@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the evaluation (see
+DESIGN.md's experiment index) at a reduced-but-meaningful replication
+count, assert the paper's qualitative claims, and print the regenerated
+table (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Replication configuration used by all benchmarks."""
+    return ExperimentConfig(n_runs=600, horizon=40.0, seed=2016)
+
+
+def run_once(benchmark, runner, config):
+    """Run an experiment exactly once under the benchmark timer."""
+    result = benchmark.pedantic(runner, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,26 @@
+"""A4 — ablation: imperfect inspections (per-visit detection probability).
+
+Expected shape: ENF and total cost grow as detection quality drops,
+but gracefully — a missed sign is usually caught at the next visit, so
+the paper's cost-optimality conclusion survives realistic inspection
+quality.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation_detection
+
+
+def _estimate(cell: str) -> float:
+    return float(cell.split()[0])
+
+
+def test_bench_ablation_detection(benchmark, bench_config):
+    result = run_once(benchmark, ablation_detection.run, bench_config)
+    enf = [_estimate(cell) for cell in result.column("ENF per year")]
+    totals = [float(cell) for cell in result.column("cost/yr TOTAL")]
+    # Monotone degradation with detection quality.
+    assert enf[-1] > enf[0]
+    assert totals[-1] > totals[0]
+    # Graceful: halving the detection probability less than triples ENF.
+    assert enf[-1] < 3.0 * enf[0]

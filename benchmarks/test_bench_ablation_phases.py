@@ -1,0 +1,18 @@
+"""A2 — ablation: degradation phase count (value of Erlang modelling).
+
+DESIGN.md design-choice ablation: phased degradation is what gives
+inspections a detection window.  With a single memoryless phase the
+ferrous-dust mode cannot be caught before failure; with more phases
+the prevented fraction rises.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation_phases
+
+
+def test_bench_ablation_phases(benchmark, bench_config):
+    result = run_once(benchmark, ablation_phases.run, bench_config)
+    prevented = [float(c.rstrip("%")) for c in result.column("prevented")]
+    # Multi-phase variants prevent a clearly larger share than 1-phase.
+    assert prevented[-1] > prevented[0] + 5.0

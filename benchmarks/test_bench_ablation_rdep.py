@@ -1,0 +1,23 @@
+"""A1 — ablation: the bolt->glue rate-dependency factor.
+
+DESIGN.md design-choice ablation: disabling the RDEP (factor 1)
+under-predicts glue failures several-fold; the glue-failure rate grows
+monotonically with the acceleration factor, while the system-level ENF
+moves little (glue is a slow mode) — the reason the dependency needs
+the FMT formalism to be seen at all.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation_rdep
+
+
+def test_bench_ablation_rdep(benchmark, bench_config):
+    result = run_once(benchmark, ablation_rdep.run, bench_config)
+    glue = [
+        float(cell) for cell in result.column("glue failures /1000 joint-yr")
+    ]
+    # Disabling the dependency loses most glue failures.
+    assert glue[-1] > 3.0 * glue[0]
+    # Roughly monotone in the factor (Monte Carlo slack).
+    assert all(b >= a * 0.8 for a, b in zip(glue, glue[1:]))

@@ -1,0 +1,19 @@
+"""A3 — cross-validation of the simulator against exact CTMC numerics.
+
+Every KPI of the Markovian submodel must agree between engines: the
+exact uniformization value must lie inside the Monte Carlo confidence
+interval.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ctmc_crossval
+from repro.experiments.common import ExperimentConfig
+
+
+def test_bench_ctmc_crossval(benchmark, bench_config):
+    config = ExperimentConfig(
+        n_runs=4000, horizon=bench_config.horizon, seed=bench_config.seed
+    )
+    result = run_once(benchmark, ctmc_crossval.run, config)
+    assert all(cell == "yes" for cell in result.column("within CI"))

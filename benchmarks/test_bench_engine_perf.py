@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the computational substrates.
+
+Not tied to a paper table; these track the performance of the hot
+paths (trajectory simulation, BDD compilation + quantification, cut-set
+expansion, CTMC transient solve) so regressions are visible.
+"""
+
+import numpy as np
+
+from repro.analysis.bdd import build_bdd
+from repro.analysis.cutsets import minimal_cut_sets
+from repro.ctmc.compiler import compile_fmt
+from repro.ctmc.transient import transient_distribution
+from repro.eijoint import build_ei_joint_fmt, current_policy, unmaintained
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.executor import FMTSimulator
+
+
+def test_bench_simulate_trajectory_current_policy(benchmark):
+    tree = build_ei_joint_fmt()
+    simulator = FMTSimulator(tree, current_policy(), horizon=50.0)
+    seeds = iter(range(10_000_000))
+
+    def one_trajectory():
+        return simulator.simulate(np.random.default_rng(next(seeds)))
+
+    trajectory = benchmark(one_trajectory)
+    assert trajectory.horizon == 50.0
+
+
+def test_bench_simulate_trajectory_unmaintained(benchmark):
+    tree = build_ei_joint_fmt()
+    simulator = FMTSimulator(tree, unmaintained(), horizon=50.0)
+    seeds = iter(range(10_000_000))
+    benchmark(lambda: simulator.simulate(np.random.default_rng(next(seeds))))
+
+
+def test_bench_bdd_build_and_quantify(benchmark):
+    tree = build_ei_joint_fmt().without_dependencies()
+    probabilities = {name: 0.05 for name in tree.basic_events}
+
+    def build_and_eval():
+        bdd, root = build_bdd(tree)
+        return bdd.probability(root, probabilities)
+
+    value = benchmark(build_and_eval)
+    assert 0.0 < value < 1.0
+
+
+def test_bench_minimal_cut_sets(benchmark):
+    tree = build_ei_joint_fmt()
+    cut_sets = benchmark(lambda: minimal_cut_sets(tree))
+    assert len(cut_sets) == 13
+
+
+def test_bench_ctmc_transient(benchmark):
+    from repro.experiments.ctmc_crossval import build_submodel
+    from repro.maintenance.actions import clean
+    from repro.maintenance.modules import InspectionModule
+
+    tree = build_submodel()
+    module = InspectionModule(
+        "i", period=1.0, targets=["dust"], action=clean(), timing="exponential"
+    )
+    strategy = MaintenanceStrategy(
+        "s", inspections=(module,), on_system_failure="none"
+    )
+    compiled = compile_fmt(tree, strategy)
+    value = benchmark(
+        lambda: transient_distribution(compiled.ctmc, 10.0).sum()
+    )
+    assert abs(value - 1.0) < 1e-9

@@ -1,0 +1,28 @@
+"""F4 — regenerate the reliability-over-time curves per strategy.
+
+Expected shape (paper): every curve starts at 1 and decays; curves are
+ordered by maintenance intensity — the unmaintained joint decays
+fastest, frequent inspection keeps reliability highest.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4_reliability
+
+
+def test_bench_fig4_reliability(benchmark, bench_config):
+    result = run_once(benchmark, fig4_reliability.run, bench_config)
+    unmaintained = [float(x) for x in result.column("unmaintained")]
+    one_per_year = [float(x) for x in result.column("inspect-1x")]
+    current = [float(x) for x in result.column("current-policy(4x)")]
+    twelve = [float(x) for x in result.column("inspect-12x")]
+
+    # Start at 1 and never increase.
+    for curve in (unmaintained, one_per_year, current, twelve):
+        assert curve[0] == 1.0
+        assert all(b <= a + 0.02 for a, b in zip(curve, curve[1:]))
+    # Ordering by maintenance intensity at the horizon (with slack for
+    # Monte Carlo noise between the two frequent-inspection curves).
+    assert unmaintained[-1] < one_per_year[-1]
+    assert one_per_year[-1] < current[-1] + 0.05
+    assert current[-1] <= twelve[-1] + 0.05

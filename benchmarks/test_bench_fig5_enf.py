@@ -1,0 +1,25 @@
+"""F5 — regenerate expected-number-of-failures vs inspection frequency.
+
+Expected shape (paper): ENF drops steeply from corrective-only to
+yearly inspections, then saturates towards the floor set by the
+failure modes that give no advance warning.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5_enf
+
+
+def _estimate(cell: str) -> float:
+    return float(cell.split()[0])
+
+
+def test_bench_fig5_enf(benchmark, bench_config):
+    result = run_once(benchmark, fig5_enf.run, bench_config)
+    enf = [_estimate(cell) for cell in result.column("ENF per year")]
+    # Steep initial drop (paper: inspections prevent most failures).
+    assert enf[1] < enf[0] / 2.5
+    # Diminishing returns: the 1x->12x gain is far smaller than 0->1x.
+    assert (enf[1] - enf[-1]) < (enf[0] - enf[1]) / 2
+    # Saturation floor: even 12x cannot eliminate no-warning failures.
+    assert enf[-1] > 0.0

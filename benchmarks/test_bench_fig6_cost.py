@@ -1,0 +1,34 @@
+"""F6 — regenerate the cost U-curve vs inspection frequency.
+
+The paper's central conclusion: total expected cost per year is
+U-shaped in the inspection frequency, and the current (quarterly)
+policy is at or immediately next to the optimum — more inspections
+increase reliability but the added maintenance cost outweighs the
+avoided failure cost.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6_cost
+
+
+def test_bench_fig6_cost(benchmark, bench_config):
+    result = run_once(benchmark, fig6_cost.run, bench_config)
+    frequencies = [float(cell) for cell in result.column("inspections/yr")]
+    totals = [float(cell) for cell in result.column("TOTAL")]
+    failures = [float(cell) for cell in result.column("failures")]
+    inspections = [float(cell) for cell in result.column("inspections")]
+
+    # Corrective-only is by far the most expensive.
+    assert totals[0] == max(totals)
+    # Inspection spend grows monotonically with frequency...
+    assert all(b >= a for a, b in zip(inspections, inspections[1:]))
+    # ...while failure cost falls.
+    assert failures[-1] < failures[0]
+    # U-shape with an interior optimum near the current policy (4/yr).
+    optimum = frequencies[totals.index(min(totals))]
+    assert 1.0 <= optimum <= 8.0
+    assert totals[-1] > min(totals)
+    # The current policy is within 15% of the optimum.
+    current_total = totals[frequencies.index(4.0)]
+    assert current_total <= min(totals) * 1.15

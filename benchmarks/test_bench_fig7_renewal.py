@@ -1,0 +1,27 @@
+"""F7 — regenerate the renewal-period sensitivity sweep.
+
+Expected shape (paper-consistent): on top of condition-based quarterly
+inspections, periodic full renewal reduces the residual failures from
+no-warning modes slightly but always costs more than it saves — the
+current policy without scheduled renewal remains cheapest.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig7_renewal
+
+
+def _estimate(cell: str) -> float:
+    return float(cell.split()[0])
+
+
+def test_bench_fig7_renewal(benchmark, bench_config):
+    result = run_once(benchmark, fig7_renewal.run, bench_config)
+    totals = [float(cell) for cell in result.column("cost/yr TOTAL")]
+    enf = [_estimate(cell) for cell in result.column("ENF per year")]
+    # No-renewal (first row) is the cheapest overall.
+    assert totals[0] == min(totals)
+    # Aggressive renewal (last row, every 5y) does reduce failures...
+    assert enf[-1] < enf[0] + 1e-9
+    # ...but costs several times more in total.
+    assert totals[-1] > 2.0 * totals[0]

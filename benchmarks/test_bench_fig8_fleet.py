@@ -1,0 +1,26 @@
+"""F8 — fleet-level failure count across heterogeneous traffic classes.
+
+Expected shape: per-joint failure rates are ordered by traffic
+intensity, and the 50k-joint network sees hundreds of service-affecting
+EI-joint failures per year — the fleet-level magnitude that motivates
+the paper.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig8_fleet
+
+
+def _estimate(cell: str) -> float:
+    return float(cell.split()[0])
+
+
+def test_bench_fig8_fleet(benchmark, bench_config):
+    result = run_once(benchmark, fig8_fleet.run, bench_config)
+    rates = [_estimate(c) for c in result.column("ENF per joint-year")]
+    assert rates[0] < rates[-1]  # branch-line < heavy-haul
+    total_note = next(n for n in result.notes if "per year network-wide" in n)
+    import re
+
+    total = float(re.search(r"([\d.]+) per year", total_note).group(1))
+    assert 100.0 < total < 5000.0

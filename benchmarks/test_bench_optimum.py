@@ -1,0 +1,21 @@
+"""OPT — golden-section search for the cost-optimal inspection frequency.
+
+The paper's conclusion in one number: the searched optimum lies near
+the current quarterly policy, and the current policy's cost is within a
+few percent of the optimum.
+"""
+
+import re
+
+from conftest import run_once
+
+from repro.experiments import optimum
+
+
+def test_bench_optimum(benchmark, bench_config):
+    result = run_once(benchmark, optimum.run, bench_config)
+    frequency = float(result.rows[0][1])
+    assert 1.0 <= frequency <= 9.0
+    note = next(n for n in result.notes if "close to cost-optimal" in n)
+    gap = float(re.search(r"within (-?[\d.]+)%", note).group(1))
+    assert gap < 15.0

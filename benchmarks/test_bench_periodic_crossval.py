@@ -1,0 +1,19 @@
+"""A5 — cross-validation of the simulator's *periodic* inspection path.
+
+Every exact value (piecewise matrix exponentials between deterministic
+inspection epochs) must lie inside the simulator's confidence interval,
+including the imperfect-detection variant.
+"""
+
+from conftest import run_once
+
+from repro.experiments import periodic_crossval
+from repro.experiments.common import ExperimentConfig
+
+
+def test_bench_periodic_crossval(benchmark, bench_config):
+    config = ExperimentConfig(
+        n_runs=3000, horizon=bench_config.horizon, seed=bench_config.seed
+    )
+    result = run_once(benchmark, periodic_crossval.run, config)
+    assert all(cell == "yes" for cell in result.column("within CI"))

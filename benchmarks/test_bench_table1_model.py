@@ -1,0 +1,12 @@
+"""T1 — regenerate the EI-joint failure-mode table (paper's model table)."""
+
+from conftest import run_once
+
+from repro.experiments import table1_model
+
+
+def test_bench_table1_model(benchmark, bench_config):
+    result = run_once(benchmark, table1_model.run, bench_config)
+    assert len(result.rows) == 11
+    groups = set(result.column("group"))
+    assert groups == {"electrical", "mechanical"}

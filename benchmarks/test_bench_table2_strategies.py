@@ -1,0 +1,12 @@
+"""T2 — regenerate the maintenance-strategy comparison table."""
+
+from conftest import run_once
+
+from repro.experiments import table2_strategies
+
+
+def test_bench_table2_strategies(benchmark, bench_config):
+    result = run_once(benchmark, table2_strategies.run, bench_config)
+    strategies = result.column("strategy")
+    assert "current-policy" in strategies
+    assert "corrective-only" in strategies

@@ -1,0 +1,23 @@
+"""T3 — the validation experiment: predicted vs observed failure rate.
+
+The paper's headline validation claim: the FMT model, parameterized
+from the incident database plus expert interviews, faithfully predicts
+the system-level expected number of failures.  The benchmark re-runs
+the whole calibration loop on the synthetic data substrate and requires
+the predicted and observed rates to agree (overlapping CIs).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3_validation
+
+
+def test_bench_table3_validation(benchmark, bench_config):
+    result = run_once(benchmark, table3_validation.run, bench_config)
+    assert any("AGREE" in note for note in result.notes)
+    # All parameters re-estimated within a factor of ~3.
+    for true_text, fitted_text in zip(
+        result.column("true mean [y]"), result.column("fitted mean [y]")
+    ):
+        ratio = float(fitted_text) / float(true_text)
+        assert 1.0 / 3.0 < ratio < 3.0

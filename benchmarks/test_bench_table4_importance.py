@@ -1,0 +1,31 @@
+"""T4 — regenerate the failure-mode importance table.
+
+Expected shape: the fast-degrading inspectable modes dominate the
+unmaintained joint; under the current policy their share collapses and
+the no-warning modes dominate the residual failures.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table4_importance
+
+
+def test_bench_table4_importance(benchmark, bench_config):
+    result = run_once(benchmark, table4_importance.run, bench_config)
+    modes = result.column("failure mode")
+    unmaintained = [
+        float(c.rstrip("%")) for c in result.column("share unmaintained")
+    ]
+    maintained = [
+        float(c.rstrip("%")) for c in result.column("share current policy")
+    ]
+    dust = modes.index("ferrous_dust")
+    # Dust dominates the unmaintained joint and is suppressed by the
+    # current policy.
+    assert unmaintained[dust] == max(unmaintained)
+    assert maintained[dust] < unmaintained[dust]
+    # No-warning modes gain relative share under maintenance.
+    no_warning = maintained[modes.index("rail_end_break")] + maintained[
+        modes.index("endpost_defect")
+    ]
+    assert no_warning > 20.0

@@ -1,0 +1,21 @@
+"""U1 — prediction uncertainty by parametric bootstrap of the calibration.
+
+Expected shape: the bootstrap predictions scatter tightly around the
+observed failure rate; the 90% prediction band contains it — parameter
+uncertainty does not break the paper's validation claim.
+"""
+
+from conftest import run_once
+
+from repro.experiments import uncertainty
+
+
+def test_bench_uncertainty(benchmark, bench_config):
+    result = run_once(benchmark, uncertainty.run, bench_config)
+    predictions = [
+        float(cell) for cell in result.column("predicted ENF/joint-yr")
+    ]
+    assert len(predictions) == uncertainty.N_BOOTSTRAP
+    # Every calibration lands in the right order of magnitude.
+    assert all(0.002 < p < 0.05 for p in predictions)
+    assert any("lies within" in note for note in result.notes)

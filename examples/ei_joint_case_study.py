@@ -1,0 +1,67 @@
+"""The EI-joint case study: compare maintenance strategies end to end.
+
+Reproduces, at example scale, the paper's core analysis: the effect of
+the inspection frequency on the reliability, expected number of
+failures, and annual cost of the electrically insulated railway joint.
+
+Run with::
+
+    python examples/ei_joint_case_study.py
+"""
+
+from repro import MonteCarlo
+from repro.eijoint import (
+    build_ei_joint_fmt,
+    current_policy,
+    default_cost_model,
+    inspection_policy,
+    no_maintenance,
+)
+
+HORIZON = 50.0
+RUNS = 1500
+
+
+def main():
+    tree = build_ei_joint_fmt()
+    cost_model = default_cost_model()
+    print(f"model: {tree}\n")
+
+    strategies = [
+        no_maintenance(),
+        inspection_policy(1),
+        inspection_policy(2),
+        current_policy(),
+        inspection_policy(8),
+    ]
+
+    header = (
+        f"{'strategy':<18} {'ENF/yr':>10} {'R(50y)':>8} "
+        f"{'cost/yr':>9} {'planned':>9} {'unplanned':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for strategy in strategies:
+        result = MonteCarlo(
+            tree, strategy, horizon=HORIZON, cost_model=cost_model, seed=2016
+        ).run(RUNS)
+        summary = result.summary
+        breakdown = summary.cost_breakdown_per_year
+        print(
+            f"{strategy.name:<18} "
+            f"{summary.failures_per_year.estimate:>10.4f} "
+            f"{summary.reliability:>8.3f} "
+            f"{breakdown.total:>9.0f} "
+            f"{breakdown.planned:>9.0f} "
+            f"{breakdown.unplanned:>10.0f}"
+        )
+
+    print(
+        "\nThe current quarterly policy minimises total cost: fewer "
+        "inspections let preventable failures through, more inspections "
+        "cost more than the failures they avoid."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Fleet-level analysis: from one joint to the national failure count.
+
+Combines three library features:
+
+* traffic classes (`repro.eijoint.fleet`) — heavier-loaded joints
+  degrade faster;
+* the parallel Monte Carlo driver — fleet studies multiply replication
+  counts, so trajectories fan out over worker processes;
+* the point-availability curve — reconstructed from recorded down
+  intervals.
+
+Run with::
+
+    python examples/fleet_analysis.py
+"""
+
+from repro import MonteCarlo
+from repro.eijoint import (
+    DEFAULT_TRAFFIC_MIX,
+    build_ei_joint_fmt,
+    current_policy,
+    default_parameters,
+    fleet_failures_per_year,
+    scale_parameters,
+)
+from repro.simulation import availability_curve
+
+FLEET_SIZE = 50_000
+
+
+def main():
+    # --- per-class and national failure counts ------------------------
+    per_class, national = fleet_failures_per_year(
+        strategy_factory=lambda params: current_policy(params),
+        mix=DEFAULT_TRAFFIC_MIX,
+        fleet_size=FLEET_SIZE,
+        horizon=25.0,
+        n_runs=800,
+        seed=11,
+    )
+    print(f"fleet of {FLEET_SIZE:,} joints, current policy:")
+    for entry in per_class:
+        cls = entry.traffic_class
+        print(
+            f"  {cls.name:<12} share {cls.fraction:>4.0%}  "
+            f"intensity x{cls.intensity:<4g} "
+            f"ENF {entry.failures_per_joint_year.estimate:.4f}/joint-yr"
+        )
+    print(f"  -> expected service-affecting failures: {national:.0f}/year\n")
+
+    # --- heavy-haul joints in detail, run in parallel ------------------
+    heavy = scale_parameters(default_parameters(), 1.6)
+    tree = build_ei_joint_fmt(heavy)
+    result = MonteCarlo(
+        tree,
+        current_policy(heavy),
+        horizon=25.0,
+        seed=12,
+        record_events=True,
+    ).run_parallel(600, processes=2, keep_trajectories=True)
+    print("heavy-haul class, 600 trajectories over 2 worker processes:")
+    print(f"  failures/yr : {result.failures_per_year}")
+
+    times = [5.0, 10.0, 20.0]
+    _, intervals = availability_curve(result.trajectories, times)
+    for t, interval in zip(times, intervals):
+        print(f"  A({t:>4}y)     : {interval.estimate:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""From Weibull field data to an FMT basic event.
+
+Reliability engineers often summarise field data as a Weibull lifetime;
+the FMT formalism needs exponentially-timed phases.  This example walks
+the bridge:
+
+1. "field data": Weibull(scale=10, shape=2.5) lifetimes for a wear
+   mode (increasing hazard — wear-out behaviour);
+2. fit the Weibull from samples (`repro.data.fit_weibull`);
+3. approximate it by a moment-matching Erlang
+   (`repro.stats.erlang_approximation`) and report the fit quality;
+4. build a basic event from it, place the detection threshold halfway,
+   and quantify how much periodic inspection helps.
+
+Run with::
+
+    python examples/phase_type_fitting.py
+"""
+
+import numpy as np
+
+from repro import FMTBuilder, MonteCarlo, MaintenanceStrategy
+from repro.core import BasicEvent
+from repro.data import fit_weibull
+from repro.maintenance import InspectionModule, clean
+from repro.stats import Weibull, erlang_approximation
+
+
+def main():
+    rng = np.random.default_rng(7)
+    true_lifetime = Weibull(scale=10.0, shape=2.5)
+
+    # --- 1+2: field data and a Weibull fit ---------------------------
+    field_data = true_lifetime.sample(rng, size=500)
+    fitted = fit_weibull(field_data)
+    print(f"true lifetime : {true_lifetime}")
+    print(f"fitted        : scale={fitted.scale:.2f}, shape={fitted.shape:.2f} "
+          f"(from {len(field_data)} observations)")
+
+    # --- 3: phase-type approximation ----------------------------------
+    fit = erlang_approximation(fitted)
+    print(f"\nErlang approximation: {fit.phases} phases, "
+          f"rate {fit.erlang.rate:.3f}/yr")
+    print(f"  target mean {fit.target_mean:.2f}y, CV {fit.target_cv:.3f}")
+    print(f"  Kolmogorov distance to the Weibull: {fit.kolmogorov:.4f}")
+
+    # --- 4: use it in a model -----------------------------------------
+    builder = FMTBuilder("wearout")
+    builder.add_event(
+        BasicEvent.from_distribution(
+            "wear",
+            fitted,
+            threshold_fraction=0.5,
+            description="wear-out mode fitted from field data",
+        )
+    )
+    builder.or_gate("top", ["wear"])
+    tree = builder.build("top")
+    event = tree.basic_events["wear"]
+    print(f"\nbasic event: {event!r}")
+
+    unmaintained = MonteCarlo(
+        tree, MaintenanceStrategy.none(), horizon=100.0, seed=1
+    ).run(2000)
+    inspected = MonteCarlo(
+        tree,
+        MaintenanceStrategy(
+            "yearly",
+            inspections=(
+                InspectionModule(
+                    "check", period=1.0, targets=["wear"], action=clean()
+                ),
+            ),
+        ),
+        horizon=100.0,
+        seed=1,
+    ).run(2000)
+    print(f"\nfailures per year, corrective only : "
+          f"{unmaintained.failures_per_year}")
+    print(f"failures per year, yearly inspection: "
+          f"{inspected.failures_per_year}")
+    ratio = (
+        unmaintained.failures_per_year.estimate
+        / inspected.failures_per_year.estimate
+    )
+    print(f"-> inspection prevents a factor {ratio:.1f} of failures; the "
+          "wear-out (increasing hazard) shape is what the multi-phase "
+          "approximation captures and a single exponential would miss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Quickstart: build a small fault maintenance tree and analyse it.
+
+A pump system: two redundant pumps (AND) in parallel with a degrading
+valve (OR at the top).  The valve degrades through four phases; from
+phase 2 on, a periodic inspection can see the degradation and cleans
+the valve before it fails.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import FMTBuilder, CostModel, MonteCarlo, MaintenanceStrategy
+from repro.analysis import minimal_cut_sets, unreliability
+from repro.maintenance import InspectionModule, clean
+
+
+def build_model():
+    """Two redundant pumps OR a degrading valve."""
+    builder = FMTBuilder("pump_system")
+    builder.basic_event("pump_a", mean=5.0, description="pump A wears out")
+    builder.basic_event("pump_b", mean=5.0, description="pump B wears out")
+    builder.degraded_event(
+        "valve",
+        phases=4,
+        mean=8.0,
+        threshold=2,
+        description="valve clogs gradually; visible from phase 2",
+    )
+    builder.and_gate("pumps", ["pump_a", "pump_b"])
+    builder.or_gate("system", ["pumps", "valve"])
+    return builder.build("system")
+
+
+def main():
+    tree = build_model()
+    print(f"model: {tree}")
+
+    # --- qualitative analysis: how can the system fail? -------------
+    print("\nminimal cut sets:")
+    for cut in minimal_cut_sets(tree):
+        print("  {" + ", ".join(sorted(cut)) + "}")
+
+    # --- exact unmaintained unreliability ----------------------------
+    for t in (1.0, 5.0, 10.0):
+        print(f"unreliability({t:>4}y, no maintenance) = "
+              f"{unreliability(tree, t):.4f}")
+
+    # --- condition-based maintenance ---------------------------------
+    strategy = MaintenanceStrategy(
+        name="quarterly-valve-inspection",
+        inspections=(
+            InspectionModule(
+                "valve_check", period=0.25, targets=["valve"], action=clean()
+            ),
+        ),
+        on_system_failure="replace",
+    )
+    cost_model = CostModel(
+        inspection_visit=50.0,
+        action_costs={"clean": 20.0, "replace": 400.0},
+        system_failure=5000.0,
+    )
+    result = MonteCarlo(
+        tree, strategy, horizon=20.0, cost_model=cost_model, seed=42
+    ).run(5000)
+    summary = result.summary
+
+    print(f"\nunder '{strategy.name}' over {summary.horizon:g} years "
+          f"({summary.n_runs} simulated lives):")
+    print(f"  reliability(20y)      : {summary.reliability:.3f}")
+    print(f"  failures per year     : {summary.failures_per_year}")
+    print(f"  availability          : {summary.availability.estimate:.6f}")
+    print(f"  cost per year         : {summary.cost_per_year}")
+    breakdown = summary.cost_breakdown_per_year
+    print(f"    inspections {breakdown.inspections:7.1f}  "
+          f"preventive {breakdown.preventive:7.1f}  "
+          f"failures {breakdown.failures:7.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+`pip install -e .` uses pyproject.toml; this file exists for
+environments without the `wheel` package, where PEP 660 editable
+installs fail and `python setup.py develop` is the fallback.
+"""
+
+from setuptools import setup
+
+setup()

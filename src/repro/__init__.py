@@ -1,0 +1,116 @@
+"""Fault maintenance trees for reliability-centered maintenance.
+
+A production-quality reproduction of the system behind *"Reliability-
+Centered Maintenance of the Electrically Insulated Railway Joint via
+Fault Tree Analysis"* (Ruijters, Guck, van Noort, Stoelinga; DSN 2016).
+
+The package provides:
+
+* the **fault maintenance tree** formalism (:mod:`repro.core`,
+  :mod:`repro.maintenance`): fault trees with phased-degradation basic
+  events, rate-dependency acceleration, periodic inspections and
+  repairs;
+* a **discrete-event Monte Carlo engine** (:mod:`repro.simulation`)
+  estimating reliability, expected number of failures, availability and
+  cost with confidence intervals;
+* **exact analyses** for static trees (:mod:`repro.analysis`: minimal
+  cut sets, BDDs, importance measures) and for Markovian submodels
+  (:mod:`repro.ctmc`: uniformization);
+* a **Galileo-style text format** (:mod:`repro.dsl`);
+* a **data substrate** (:mod:`repro.data`) generating synthetic
+  incident-registration databases and fitting model parameters to them;
+* the **EI-joint case study** (:mod:`repro.eijoint`) and the
+  **experiment harness** (:mod:`repro.experiments`) that regenerates
+  every table and figure of the evaluation.
+
+Quickstart
+----------
+>>> import repro
+>>> model = repro.eijoint.build_ei_joint_fmt()
+>>> strategy = repro.eijoint.current_policy()
+>>> result = repro.MonteCarlo(model, strategy, horizon=10.0, seed=7).run(200)
+>>> 0.0 <= result.unreliability.estimate <= 1.0
+True
+"""
+
+from repro._version import __version__
+from repro import analysis, core, ctmc, data, dsl, eijoint, maintenance
+from repro import simulation, stats, units
+from repro.core import (
+    AndGate,
+    BasicEvent,
+    FMTBuilder,
+    FaultMaintenanceTree,
+    FaultTree,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    RateDependency,
+    VotingGate,
+)
+from repro.errors import (
+    AnalysisError,
+    EstimationError,
+    ModelError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    UnsupportedModelError,
+    ValidationError,
+)
+from repro.maintenance import (
+    CostBreakdown,
+    CostModel,
+    InspectionModule,
+    MaintenanceAction,
+    MaintenanceStrategy,
+    RepairModule,
+    clean,
+    repair,
+    replace,
+)
+from repro.simulation import MonteCarlo, MonteCarloResult, SimulationConfig
+
+__all__ = [
+    "AnalysisError",
+    "AndGate",
+    "BasicEvent",
+    "CostBreakdown",
+    "CostModel",
+    "EstimationError",
+    "FMTBuilder",
+    "FaultMaintenanceTree",
+    "FaultTree",
+    "InhibitGate",
+    "InspectionModule",
+    "MaintenanceAction",
+    "MaintenanceStrategy",
+    "ModelError",
+    "MonteCarlo",
+    "MonteCarloResult",
+    "OrGate",
+    "PandGate",
+    "ParseError",
+    "RateDependency",
+    "RepairModule",
+    "ReproError",
+    "SimulationConfig",
+    "SimulationError",
+    "UnsupportedModelError",
+    "ValidationError",
+    "VotingGate",
+    "analysis",
+    "clean",
+    "core",
+    "ctmc",
+    "data",
+    "dsl",
+    "eijoint",
+    "maintenance",
+    "repair",
+    "replace",
+    "simulation",
+    "stats",
+    "units",
+    "__version__",
+]

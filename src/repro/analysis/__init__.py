@@ -1,0 +1,67 @@
+"""Exact analyses for static fault trees (the maintenance-free fragment).
+
+Classical fault-tree analysis complements the Monte Carlo engine:
+
+* :mod:`repro.analysis.cutsets` — minimal cut sets (qualitative
+  analysis);
+* :mod:`repro.analysis.bdd` — reduced ordered binary decision diagrams
+  of the structure function, and exact top-event probability;
+* :mod:`repro.analysis.unreliability` — time-dependent system
+  unreliability and MTTF for trees without maintenance;
+* :mod:`repro.analysis.importance` — Birnbaum, Fussell-Vesely, RAW and
+  RRW importance measures.
+
+These analyses require statistical independence of the basic events, so
+they reject trees with rate dependencies unless explicitly told to
+ignore them, and they reject dynamic (PAND) gates unless an
+over-approximation is requested.  The full FMT formalism — maintenance,
+RDEP — is handled by :mod:`repro.simulation` (and cross-checked by
+:mod:`repro.ctmc` on Markovian submodels).
+"""
+
+from repro.analysis.bdd import BDD, build_bdd
+from repro.analysis.common_cause import apply_beta_factor
+from repro.analysis.cutsets import minimal_cut_sets, minimal_path_sets
+from repro.analysis.importance import (
+    ImportanceMeasures,
+    birnbaum_importance,
+    importance_table,
+)
+from repro.analysis.modularization import find_modules, modular_unreliability
+from repro.analysis.periodic import PeriodicInspectionModel
+from repro.analysis.sensitivity import (
+    SensitivityEntry,
+    kpi_cost,
+    kpi_enf,
+    kpi_unreliability,
+    tornado,
+)
+from repro.analysis.unreliability import (
+    basic_event_probabilities,
+    mean_time_to_failure,
+    unreliability,
+    unreliability_bounds,
+)
+
+__all__ = [
+    "BDD",
+    "ImportanceMeasures",
+    "PeriodicInspectionModel",
+    "SensitivityEntry",
+    "apply_beta_factor",
+    "basic_event_probabilities",
+    "birnbaum_importance",
+    "build_bdd",
+    "find_modules",
+    "importance_table",
+    "kpi_cost",
+    "kpi_enf",
+    "kpi_unreliability",
+    "mean_time_to_failure",
+    "minimal_cut_sets",
+    "modular_unreliability",
+    "minimal_path_sets",
+    "tornado",
+    "unreliability",
+    "unreliability_bounds",
+]

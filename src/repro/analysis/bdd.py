@@ -1,0 +1,289 @@
+"""Reduced ordered binary decision diagrams (ROBDD) of structure functions.
+
+The BDD is the workhorse of exact static fault-tree quantification: the
+structure function is compiled once into a canonical DAG, after which
+the top-event probability for *any* vector of basic-event probabilities
+is a single linear-time traversal.  Importance measures reuse the same
+diagram with modified probability vectors.
+
+The implementation is a classical ITE-based ROBDD with a unique table
+and computed-table memoization; node identifiers are integers, with
+``0`` and ``1`` the terminal nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.events import BasicEvent
+from repro.core.gates import (
+    AndGate,
+    Gate,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    VotingGate,
+)
+from repro.core.nodes import Element
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import AnalysisError, UnsupportedModelError
+
+__all__ = ["BDD", "build_bdd"]
+
+#: Terminal node ids.
+ZERO = 0
+ONE = 1
+
+
+class BDD:
+    """A shared ROBDD over a fixed variable order.
+
+    Variables are basic-event names; ``order[i]`` is the variable at
+    level ``i`` (levels closer to the root have smaller indices).
+    """
+
+    def __init__(self, order: Sequence[str]):
+        if len(set(order)) != len(order):
+            raise AnalysisError("variable order contains duplicates")
+        self.order: Tuple[str, ...] = tuple(order)
+        self._level: Dict[str, int] = {name: i for i, name in enumerate(self.order)}
+        # Internal node storage: id -> (level, low, high); ids from 2.
+        self._nodes: List[Tuple[int, int, int]] = []
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def mk(self, level: int, low: int, high: int) -> int:
+        """Hash-consed node constructor (applies the reduction rules)."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes) + 2
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """The BDD of a single variable."""
+        level = self._level.get(name)
+        if level is None:
+            raise AnalysisError(f"variable {name!r} not in BDD order")
+        return self.mk(level, ZERO, ONE)
+
+    def node(self, u: int) -> Tuple[int, int, int]:
+        """(level, low, high) of internal node ``u``."""
+        if u < 2:
+            raise AnalysisError(f"node {u} is terminal")
+        return self._nodes[u - 2]
+
+    def level_of(self, u: int) -> int:
+        """Level of node ``u``; terminals sit below every variable."""
+        if u < 2:
+            return len(self.order)
+        return self._nodes[u - 2][0]
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` as a BDD."""
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        key = (f, g, h)
+        hit = self._ite_cache.get(key)
+        if hit is not None:
+            return hit
+        level = min(self.level_of(f), self.level_of(g), self.level_of(h))
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self.mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, u: int, level: int) -> Tuple[int, int]:
+        if u < 2 or self._nodes[u - 2][0] != level:
+            return u, u
+        _, low, high = self._nodes[u - 2]
+        return low, high
+
+    def apply_and(self, u: int, v: int) -> int:
+        """Conjunction of two BDDs."""
+        return self.ite(u, v, ZERO)
+
+    def apply_or(self, u: int, v: int) -> int:
+        """Disjunction of two BDDs."""
+        return self.ite(u, ONE, v)
+
+    def negate(self, u: int) -> int:
+        """Complement of a BDD."""
+        return self.ite(u, ZERO, ONE)
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+    def probability(self, root: int, probabilities: Mapping[str, float]) -> float:
+        """P(structure function = 1) for independent variables.
+
+        ``probabilities`` maps every variable appearing on a path of
+        the diagram to its failure probability in [0, 1].
+        """
+        cache: Dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+
+        def _prob(u: int) -> float:
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            level, low, high = self._nodes[u - 2]
+            name = self.order[level]
+            p = probabilities.get(name)
+            if p is None:
+                raise AnalysisError(f"no probability given for {name!r}")
+            if not 0.0 <= p <= 1.0:
+                raise AnalysisError(f"probability of {name!r} is {p}, not in [0,1]")
+            value = p * _prob(high) + (1.0 - p) * _prob(low)
+            cache[u] = value
+            return value
+
+        return _prob(root)
+
+    def evaluate(self, root: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the function on a concrete true/false assignment."""
+        u = root
+        while u >= 2:
+            level, low, high = self._nodes[u - 2]
+            name = self.order[level]
+            if name not in assignment:
+                raise AnalysisError(f"assignment misses variable {name!r}")
+            u = high if assignment[name] else low
+        return u == ONE
+
+    def size(self, root: int) -> int:
+        """Number of internal nodes reachable from ``root``."""
+        seen = set()
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            if u < 2 or u in seen:
+                continue
+            seen.add(u)
+            _, low, high = self._nodes[u - 2]
+            stack.extend((low, high))
+        return len(seen)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+def build_bdd(
+    tree: FaultMaintenanceTree,
+    order: Optional[Sequence[str]] = None,
+    treat_pand_as_and: bool = False,
+) -> Tuple[BDD, int]:
+    """Compile ``tree``'s structure function into a BDD.
+
+    Parameters
+    ----------
+    tree:
+        The fault tree.
+    order:
+        Variable (basic event) order; defaults to depth-first discovery
+        order, a decent heuristic that keeps related events adjacent.
+    treat_pand_as_and:
+        Over-approximate PAND as AND instead of raising.
+
+    Returns
+    -------
+    (bdd, root):
+        The diagram manager and the root node of the top event.
+    """
+    if tree.has_dynamic_gates and not treat_pand_as_and:
+        raise UnsupportedModelError(
+            "tree contains PAND gates; pass treat_pand_as_and=True for an "
+            "over-approximation or use the simulator for exact results"
+        )
+    if order is None:
+        order = _dfs_order(tree)
+    else:
+        missing = set(tree.basic_events) - set(order)
+        if missing:
+            raise AnalysisError(f"order misses basic events {sorted(missing)}")
+    bdd = BDD(order)
+    cache: Dict[str, int] = {}
+
+    def _compile(node: Element) -> int:
+        hit = cache.get(node.name)
+        if hit is not None:
+            return hit
+        if isinstance(node, BasicEvent):
+            result = bdd.var(node.name)
+        else:
+            assert isinstance(node, Gate)
+            children = [_compile(child) for child in node.children]
+            result = _compile_gate(bdd, node, children)
+        cache[node.name] = result
+        return result
+
+    return bdd, _compile(tree.top)
+
+
+def _compile_gate(bdd: BDD, gate: Gate, children: List[int]) -> int:
+    if isinstance(gate, OrGate):
+        result = ZERO
+        for child in children:
+            result = bdd.apply_or(result, child)
+        return result
+    if isinstance(gate, (AndGate, InhibitGate, PandGate)):
+        result = ONE
+        for child in children:
+            result = bdd.apply_and(result, child)
+        return result
+    if isinstance(gate, VotingGate):
+        return _compile_voting(bdd, gate.k, children)
+    raise UnsupportedModelError(f"no BDD rule for gate {type(gate).__name__}")
+
+
+def _compile_voting(bdd: BDD, k: int, children: List[int]) -> int:
+    """k-out-of-N over arbitrary child functions, by dynamic programming.
+
+    ``table[j]`` holds the BDD of "at least j of the remaining children
+    fail", built from the last child backwards.
+    """
+    n = len(children)
+    # table indexed by j (0..k); start past the last child.
+    table = [ONE] + [ZERO] * k
+    for i in range(n - 1, -1, -1):
+        new_table = [ONE] * (k + 1)
+        for j in range(1, k + 1):
+            new_table[j] = bdd.ite(children[i], table[j - 1], table[j])
+        table = new_table
+    return table[k]
+
+
+def _dfs_order(tree: FaultMaintenanceTree) -> List[str]:
+    order: List[str] = []
+    seen = set()
+
+    def _walk(node: Element) -> None:
+        if node.name in seen:
+            return
+        seen.add(node.name)
+        if isinstance(node, BasicEvent):
+            order.append(node.name)
+            return
+        assert isinstance(node, Gate)
+        for child in node.children:
+            _walk(child)
+
+    _walk(tree.top)
+    return order

@@ -1,0 +1,164 @@
+"""Common-cause failures: the beta-factor model as a tree transform.
+
+Redundancy arguments (the 2-of-4 bolt gate tolerating two failures)
+assume independence, but components installed together share causes:
+one bad batch of bolts, one sloppy installation.  The classical
+**beta-factor model** splits each member's failure rate: a fraction
+``beta`` of failures strike the whole group at once, the rest stay
+independent.
+
+:func:`apply_beta_factor` implements the model as a *tree transform*:
+each group member ``X`` becomes ``OR(X_indep, CCF)`` where ``X_indep``
+keeps ``(1-beta)`` of the original rate and the new shared basic event
+``CCF`` carries ``beta`` of it.  The transformed tree is an ordinary
+FMT — every analysis engine (BDD, CTMC, simulator) applies unchanged,
+which is the point of expressing CCF structurally.
+
+The transform requires single-phase (exponential) group members: for
+multi-phase events the "rate split" has no canonical definition.
+
+A subtlety worth knowing: because the transform preserves each member's
+*marginal* lifetime, it only redistributes the joint behaviour — more
+mass on "all fail together" and on "none fail".  For short missions
+(member failure probability small) this is devastating for k-of-n
+redundancy: the failure probability jumps from O(p^k) to O(beta*p).
+For long missions (p near 1) the same correlation can *reduce* the
+k-of-n failure probability.  The tests pin both regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.events import BasicEvent
+from repro.core.gates import (
+    AndGate,
+    Gate,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    VotingGate,
+)
+from repro.core.nodes import Element
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import UnsupportedModelError, ValidationError
+
+__all__ = ["apply_beta_factor"]
+
+
+def apply_beta_factor(
+    tree: FaultMaintenanceTree,
+    group: Sequence[str],
+    beta: float,
+    ccf_name: str = "ccf",
+) -> FaultMaintenanceTree:
+    """Return a copy of ``tree`` with a beta-factor CCF on ``group``.
+
+    Parameters
+    ----------
+    tree:
+        The original tree.  Maintenance modules and dependencies that
+        reference the group members are not remapped automatically and
+        therefore rejected; apply the transform before attaching
+        maintenance.
+    group:
+        Names of the (single-phase) basic events sharing the cause.
+    beta:
+        Fraction of each member's failure rate attributed to the
+        common cause (0 < beta < 1).
+    ccf_name:
+        Name of the introduced common-cause basic event.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValidationError(f"beta must be in (0, 1), got {beta}")
+    members = list(group)
+    if len(members) < 2:
+        raise ValidationError("a common-cause group needs >= 2 members")
+    events = tree.basic_events
+    rates: List[float] = []
+    for name in members:
+        event = events.get(name)
+        if event is None:
+            raise ValidationError(f"unknown group member {name!r}")
+        if event.phases != 1:
+            raise UnsupportedModelError(
+                f"{name!r} has {event.phases} phases; the beta-factor "
+                "rate split is defined for single-phase events"
+            )
+        rates.append(event.phase_rates[0])
+    if len(set(rates)) != 1:
+        raise UnsupportedModelError(
+            "beta-factor requires identical member rates "
+            f"(got {sorted(set(rates))}); use explicit modelling otherwise"
+        )
+    for module in list(tree.inspections) + list(tree.repairs):
+        if set(module.targets) & set(members):
+            raise UnsupportedModelError(
+                f"maintenance module {module.name!r} targets group "
+                "members; apply the CCF transform before maintenance"
+            )
+    for dep in tree.dependencies:
+        if set(dep.targets) & set(members) or dep.trigger in members:
+            raise UnsupportedModelError(
+                f"dependency {dep.name!r} references group members; "
+                "apply the CCF transform first"
+            )
+    if ccf_name in tree.nodes:
+        raise ValidationError(f"name {ccf_name!r} already used in the tree")
+
+    rate = rates[0]
+    ccf_event = BasicEvent(
+        ccf_name,
+        phase_rates=[beta * rate],
+        description=f"common cause of {', '.join(members)} "
+        f"(beta={beta:g})",
+    )
+    member_set = set(members)
+    rebuilt: Dict[str, Element] = {}
+
+    def _rebuild(node: Element) -> Element:
+        hit = rebuilt.get(node.name)
+        if hit is not None:
+            return hit
+        if isinstance(node, BasicEvent):
+            if node.name in member_set:
+                independent = BasicEvent(
+                    f"{node.name}_indep",
+                    phase_rates=[(1.0 - beta) * rate],
+                    threshold=node.threshold,
+                    repair_time=node.repair_time,
+                    description=node.description,
+                )
+                result: Element = OrGate(node.name, [independent, ccf_event])
+            else:
+                result = node
+        else:
+            assert isinstance(node, Gate)
+            children = [_rebuild(child) for child in node.children]
+            result = _clone_gate(node, children)
+        rebuilt[node.name] = result
+        return result
+
+    return FaultMaintenanceTree(
+        top=_rebuild(tree.top),
+        dependencies=tree.dependencies,
+        inspections=tree.inspections,
+        repairs=tree.repairs,
+        name=tree.name,
+    )
+
+
+def _clone_gate(gate: Gate, children: List[Element]) -> Gate:
+    if isinstance(gate, OrGate):
+        return OrGate(gate.name, children)
+    if isinstance(gate, VotingGate):
+        return VotingGate(gate.name, gate.k, children)
+    if isinstance(gate, PandGate):
+        return PandGate(gate.name, children)
+    if isinstance(gate, InhibitGate):
+        return InhibitGate(gate.name, children)
+    if isinstance(gate, AndGate):
+        return AndGate(gate.name, children)
+    raise UnsupportedModelError(  # pragma: no cover - defensive
+        f"cannot clone gate type {type(gate).__name__}"
+    )

@@ -1,0 +1,186 @@
+"""Minimal cut sets and path sets of static fault trees.
+
+A *cut set* is a set of basic events whose joint failure fails the
+system; it is *minimal* when no proper subset is a cut set.  Cut sets
+are the classical qualitative fault-tree analysis: they enumerate the
+distinct ways the system can fail, and they feed the
+inclusion-exclusion and bounding quantifications in
+:mod:`repro.analysis.unreliability`.
+
+The computation expands the tree bottom-up over a sets-of-sets algebra
+(OR = union, AND = pairwise-union product) with on-the-fly
+minimization, memoized per element so shared subtrees are expanded
+once.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Set
+
+from repro.core.events import BasicEvent
+from repro.core.gates import (
+    AndGate,
+    Gate,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    VotingGate,
+)
+from repro.core.nodes import Element
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import UnsupportedModelError
+
+__all__ = ["minimal_cut_sets", "minimal_path_sets"]
+
+CutSet = FrozenSet[str]
+
+
+def minimal_cut_sets(
+    tree: FaultMaintenanceTree,
+    treat_pand_as_and: bool = False,
+    max_cut_sets: int = 100_000,
+) -> List[CutSet]:
+    """Minimal cut sets of ``tree``, sorted by (size, names).
+
+    Parameters
+    ----------
+    tree:
+        The fault tree.  Maintenance modules and rate dependencies do
+        not affect the *structure function* and are ignored here.
+    treat_pand_as_and:
+        Priority-AND gates are order-sensitive and have no cut-set
+        semantics; with this flag they are over-approximated as AND
+        (the resulting sets over-estimate failure).  Without it a tree
+        containing PAND raises :class:`UnsupportedModelError`.
+    max_cut_sets:
+        Safety valve against combinatorial blow-up; exceeded size
+        raises :class:`UnsupportedModelError`.
+    """
+    if tree.has_dynamic_gates and not treat_pand_as_and:
+        raise UnsupportedModelError(
+            "tree contains PAND gates; pass treat_pand_as_and=True for an "
+            "over-approximation or use the simulator for exact results"
+        )
+
+    cache: Dict[str, List[CutSet]] = {}
+
+    def _expand(node: Element) -> List[CutSet]:
+        hit = cache.get(node.name)
+        if hit is not None:
+            return hit
+        if isinstance(node, BasicEvent):
+            result: List[CutSet] = [frozenset([node.name])]
+        else:
+            assert isinstance(node, Gate)
+            child_sets = [_expand(child) for child in node.children]
+            result = _combine(node, child_sets, max_cut_sets)
+        cache[node.name] = result
+        return result
+
+    sets = _expand(tree.top)
+    return sorted(sets, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+def minimal_path_sets(
+    tree: FaultMaintenanceTree,
+    treat_pand_as_and: bool = False,
+    max_cut_sets: int = 100_000,
+) -> List[CutSet]:
+    """Minimal path sets: sets of events whose joint *working* keeps the
+    system up.  Computed as the cut sets of the dual structure function
+    (AND and OR swapped, VOT(k/N) dualised to VOT(N-k+1/N))."""
+    if tree.has_dynamic_gates and not treat_pand_as_and:
+        raise UnsupportedModelError(
+            "tree contains PAND gates; pass treat_pand_as_and=True for an "
+            "approximation or use the simulator for exact results"
+        )
+
+    cache: Dict[str, List[CutSet]] = {}
+
+    def _expand(node: Element) -> List[CutSet]:
+        hit = cache.get(node.name)
+        if hit is not None:
+            return hit
+        if isinstance(node, BasicEvent):
+            result: List[CutSet] = [frozenset([node.name])]
+        else:
+            assert isinstance(node, Gate)
+            child_sets = [_expand(child) for child in node.children]
+            result = _combine_dual(node, child_sets, max_cut_sets)
+        cache[node.name] = result
+        return result
+
+    sets = _expand(tree.top)
+    return sorted(sets, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+# ----------------------------------------------------------------------
+# Sets-of-sets algebra
+# ----------------------------------------------------------------------
+def _union(collections: List[List[CutSet]], limit: int) -> List[CutSet]:
+    merged: Set[CutSet] = set()
+    for collection in collections:
+        merged.update(collection)
+    return _minimize(merged, limit)
+
+
+def _product(collections: List[List[CutSet]], limit: int) -> List[CutSet]:
+    result: Set[CutSet] = {frozenset()}
+    for collection in collections:
+        next_result: Set[CutSet] = set()
+        for left in result:
+            for right in collection:
+                next_result.add(left | right)
+                if len(next_result) > limit:
+                    raise UnsupportedModelError(
+                        f"cut-set expansion exceeded {limit} intermediate sets"
+                    )
+        result = set(_minimize(next_result, limit))
+    return _minimize(result, limit)
+
+
+def _voting(
+    k: int, collections: List[List[CutSet]], limit: int
+) -> List[CutSet]:
+    candidates: List[List[CutSet]] = []
+    for combo in combinations(range(len(collections)), k):
+        candidates.append(_product([collections[i] for i in combo], limit))
+    return _union(candidates, limit)
+
+
+def _combine(gate: Gate, child_sets: List[List[CutSet]], limit: int) -> List[CutSet]:
+    if isinstance(gate, OrGate):
+        return _union(child_sets, limit)
+    if isinstance(gate, (AndGate, InhibitGate, PandGate)):
+        return _product(child_sets, limit)
+    if isinstance(gate, VotingGate):
+        return _voting(gate.k, child_sets, limit)
+    raise UnsupportedModelError(f"no cut-set rule for gate {type(gate).__name__}")
+
+
+def _combine_dual(
+    gate: Gate, child_sets: List[List[CutSet]], limit: int
+) -> List[CutSet]:
+    if isinstance(gate, OrGate):
+        return _product(child_sets, limit)
+    if isinstance(gate, (AndGate, InhibitGate, PandGate)):
+        return _union(child_sets, limit)
+    if isinstance(gate, VotingGate):
+        dual_k = len(gate.children) - gate.k + 1
+        return _voting(dual_k, child_sets, limit)
+    raise UnsupportedModelError(f"no path-set rule for gate {type(gate).__name__}")
+
+
+def _minimize(sets: Set[CutSet], limit: int) -> List[CutSet]:
+    """Drop all supersets, keeping only minimal sets."""
+    if len(sets) > limit:
+        raise UnsupportedModelError(
+            f"cut-set expansion exceeded {limit} intermediate sets"
+        )
+    by_size = sorted(sets, key=len)
+    minimal: List[CutSet] = []
+    for candidate in by_size:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal

@@ -1,0 +1,199 @@
+"""Command-line interface: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table1               # the model inventory
+    python -m repro fig6 --runs 5000     # the cost U-curve, more precision
+    python -m repro all --quick          # everything, reduced replication
+    python -m repro analyze model.fmt    # static analysis of a Galileo file
+    python -m repro simulate model.fmt --horizon 50 --runs 2000
+    python -m repro render model.fmt --dot > model.dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.experiments import EXPERIMENTS, ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="fmt-repro",
+        description="Fault-maintenance-tree analysis of the EI-joint "
+        "(DSN 2016 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', 'list', 'analyze', "
+        "'simulate', or 'render'",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="model file for the analyze/simulate/render commands",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None, help="Monte Carlo replications"
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="simulation horizon, years"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced replication count (smoke-test mode)",
+    )
+    parser.add_argument(
+        "--absorbing",
+        action="store_true",
+        help="simulate: treat the first system failure as absorbing "
+        "(reliability study) instead of renewing the asset",
+    )
+    parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="render: emit Graphviz DOT instead of an ASCII outline",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig()
+    overrides = {}
+    if args.runs is not None:
+        overrides["n_runs"] = args.runs
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    if args.quick:
+        config = config.quick()
+    return config
+
+
+def _cmd_list() -> int:
+    print("available experiments:")
+    for key in EXPERIMENTS:
+        print(f"  {key}")
+    print("  all           (run every experiment)")
+    print("  analyze PATH  (static analysis of a Galileo model file)")
+    print("  simulate PATH (Monte Carlo simulation of a model file)")
+    print("  render PATH   (ASCII or --dot rendering of a model file)")
+    return 0
+
+
+def _cmd_analyze(path: Optional[str]) -> int:
+    if path is None:
+        print("analyze: missing model file path", file=sys.stderr)
+        return 2
+    from repro.analysis import minimal_cut_sets, unreliability
+    from repro.dsl import load_file
+
+    tree = load_file(path)
+    print(tree)
+    cut_sets = minimal_cut_sets(tree, treat_pand_as_and=True)
+    print(f"{len(cut_sets)} minimal cut sets:")
+    for cut in cut_sets:
+        print("  {" + ", ".join(sorted(cut)) + "}")
+    for t in (1.0, 5.0, 10.0):
+        value = unreliability(
+            tree,
+            t,
+            ignore_maintenance=True,
+            ignore_dependencies=True,
+            treat_pand_as_and=True,
+        )
+        print(f"unreliability({t:g}y, unmaintained) = {value:.6g}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.path is None:
+        print("simulate: missing model file path", file=sys.stderr)
+        return 2
+    from repro.dsl import load_file
+    from repro.maintenance.strategy import MaintenanceStrategy
+    from repro.simulation.montecarlo import MonteCarlo
+
+    tree = load_file(args.path)
+    strategy = MaintenanceStrategy(
+        name=tree.name,
+        inspections=tree.inspections,
+        repairs=tree.repairs,
+        on_system_failure="none" if args.absorbing else "replace",
+    )
+    horizon = args.horizon if args.horizon is not None else 50.0
+    n_runs = args.runs if args.runs is not None else 2000
+    seed = args.seed if args.seed is not None else 0
+    result = MonteCarlo(tree, strategy, horizon=horizon, seed=seed).run(n_runs)
+    summary = result.summary
+    print(tree)
+    print(f"strategy: {strategy}")
+    print(f"horizon {horizon:g}y, {n_runs} trajectories, seed {seed}")
+    print(f"  unreliability : {summary.unreliability}")
+    print(f"  failures/yr   : {summary.failures_per_year}")
+    print(f"  availability  : {summary.availability}")
+    print(f"  inspections/yr performed: {summary.inspections_per_year:.2f}")
+    print(f"  preventive actions/yr   : {summary.preventive_actions_per_year:.3f}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    if args.path is None:
+        print("render: missing model file path", file=sys.stderr)
+        return 2
+    from repro.core.visualize import ascii_tree, to_dot
+    from repro.dsl import load_file
+
+    tree = load_file(args.path)
+    print(to_dot(tree) if args.dot else ascii_tree(tree))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        return _cmd_list()
+    if args.experiment == "analyze":
+        return _cmd_analyze(args.path)
+    if args.experiment == "simulate":
+        return _cmd_simulate(args)
+    if args.experiment == "render":
+        return _cmd_render(args)
+    config = _config_from_args(args)
+    if args.experiment == "all":
+        for key, runner in EXPERIMENTS.items():
+            print(runner(config).to_text())
+            print()
+        return 0
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    print(runner(config).to_text())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core fault-maintenance-tree (FMT) formalism.
+
+An FMT is a fault tree — basic events combined by AND/OR/VOT/PAND/INHIBIT
+gates — extended with maintenance-aware constructs:
+
+* **extended basic events** whose degradation progresses through a number
+  of exponentially-timed phases (an Erlang/phase-type lifetime) with a
+  *threshold phase* from which periodic inspections can detect the
+  degradation before it turns into a failure;
+* **rate dependencies (RDEP)** that accelerate the degradation of target
+  events while a trigger element is failed;
+* **inspection and repair modules** (see :mod:`repro.maintenance`) that
+  describe when components are inspected, cleaned, repaired or renewed.
+
+This package defines the model objects and their validation; analysis
+lives in :mod:`repro.analysis` (exact, maintenance-free) and
+:mod:`repro.simulation` (Monte Carlo over the full formalism).
+"""
+
+from repro.core.builder import FMTBuilder
+from repro.core.dependencies import RateDependency
+from repro.core.events import BasicEvent
+from repro.core.gates import (
+    AndGate,
+    Gate,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    VotingGate,
+)
+from repro.core.nodes import Element
+from repro.core.tree import FaultMaintenanceTree, FaultTree
+from repro.core.visualize import ascii_tree, to_dot
+
+__all__ = [
+    "AndGate",
+    "BasicEvent",
+    "Element",
+    "FMTBuilder",
+    "FaultMaintenanceTree",
+    "FaultTree",
+    "Gate",
+    "InhibitGate",
+    "OrGate",
+    "PandGate",
+    "RateDependency",
+    "VotingGate",
+    "ascii_tree",
+    "to_dot",
+]

@@ -1,0 +1,255 @@
+"""Fluent builder for fault maintenance trees.
+
+The builder lets a model be declared element-by-element with children
+referenced *by name*, in any order; :meth:`FMTBuilder.build` resolves
+the references, constructs the gate objects bottom-up and returns a
+validated :class:`~repro.core.tree.FaultMaintenanceTree`.
+
+Example
+-------
+>>> from repro.core import FMTBuilder
+>>> b = FMTBuilder("demo")
+>>> _ = b.basic_event("pump_a", rate=0.5)
+>>> _ = b.basic_event("pump_b", rate=0.5)
+>>> _ = b.degraded_event("valve", phases=3, mean=10.0, threshold=2)
+>>> _ = b.and_gate("pumps", ["pump_a", "pump_b"])
+>>> _ = b.or_gate("top", ["pumps", "valve"])
+>>> tree = b.build("top")
+>>> sorted(tree.basic_events)
+['pump_a', 'pump_b', 'valve']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError, ValidationError
+from repro.core.dependencies import RateDependency
+from repro.core.events import BasicEvent
+from repro.core.gates import (
+    AndGate,
+    Gate,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    VotingGate,
+)
+from repro.core.nodes import Element
+from repro.core.tree import FaultMaintenanceTree
+from repro.maintenance.actions import MaintenanceAction
+from repro.maintenance.modules import InspectionModule, RepairModule
+
+__all__ = ["FMTBuilder"]
+
+
+class FMTBuilder:
+    """Accumulates element declarations and assembles a validated tree."""
+
+    def __init__(self, name: str = "fmt"):
+        self.name = name
+        self._events: Dict[str, BasicEvent] = {}
+        self._gate_specs: Dict[str, Tuple[str, Optional[int], Tuple[str, ...]]] = {}
+        self._dependencies: List[RateDependency] = []
+        self._inspections: List[InspectionModule] = []
+        self._repairs: List[RepairModule] = []
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def basic_event(
+        self,
+        name: str,
+        rate: Optional[float] = None,
+        mean: Optional[float] = None,
+        **kwargs,
+    ) -> "FMTBuilder":
+        """Declare a one-phase exponential basic event."""
+        return self.add_event(BasicEvent.exponential(name, rate=rate, mean=mean, **kwargs))
+
+    def degraded_event(
+        self,
+        name: str,
+        phases: int,
+        rate: Optional[float] = None,
+        mean: Optional[float] = None,
+        threshold: Optional[int] = None,
+        **kwargs,
+    ) -> "FMTBuilder":
+        """Declare an extended basic event with equal-rate phases."""
+        return self.add_event(
+            BasicEvent.erlang(
+                name, phases=phases, rate=rate, mean=mean, threshold=threshold, **kwargs
+            )
+        )
+
+    def add_event(self, event: BasicEvent) -> "FMTBuilder":
+        """Declare a pre-constructed basic event."""
+        self._claim_name(event.name)
+        self._events[event.name] = event
+        return self
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+    def and_gate(self, name: str, children: Sequence[str]) -> "FMTBuilder":
+        """Declare an AND gate over the named children."""
+        return self._gate(name, "and", None, children)
+
+    def or_gate(self, name: str, children: Sequence[str]) -> "FMTBuilder":
+        """Declare an OR gate over the named children."""
+        return self._gate(name, "or", None, children)
+
+    def voting_gate(self, name: str, k: int, children: Sequence[str]) -> "FMTBuilder":
+        """Declare a k-out-of-N gate over the named children."""
+        return self._gate(name, "vot", k, children)
+
+    def pand_gate(self, name: str, children: Sequence[str]) -> "FMTBuilder":
+        """Declare a priority-AND gate (children must fail left-to-right)."""
+        return self._gate(name, "pand", None, children)
+
+    def inhibit_gate(
+        self, name: str, condition: str, children: Sequence[str]
+    ) -> "FMTBuilder":
+        """Declare an INHIBIT gate: ``condition`` AND all ``children``."""
+        return self._gate(name, "inhibit", None, [condition, *children])
+
+    def _gate(
+        self, name: str, kind: str, k: Optional[int], children: Sequence[str]
+    ) -> "FMTBuilder":
+        self._claim_name(name)
+        kids = tuple(children)
+        if not kids:
+            raise ValidationError(f"{name}: gate needs at least one child")
+        self._gate_specs[name] = (kind, k, kids)
+        return self
+
+    # ------------------------------------------------------------------
+    # Dependencies and maintenance
+    # ------------------------------------------------------------------
+    def rdep(
+        self, name: str, trigger: str, targets: Sequence[str], factor: float
+    ) -> "FMTBuilder":
+        """Declare a rate dependency accelerating ``targets`` by ``factor``."""
+        self._dependencies.append(RateDependency(name, trigger, targets, factor))
+        return self
+
+    def inspection(
+        self,
+        name: str,
+        period: float,
+        targets: Sequence[str],
+        action: Optional[MaintenanceAction] = None,
+        **kwargs,
+    ) -> "FMTBuilder":
+        """Declare a periodic inspection module over ``targets``."""
+        self._inspections.append(
+            InspectionModule(name, period=period, targets=targets, action=action, **kwargs)
+        )
+        return self
+
+    def repair_module(
+        self,
+        name: str,
+        period: float,
+        targets: Sequence[str],
+        action: Optional[MaintenanceAction] = None,
+        **kwargs,
+    ) -> "FMTBuilder":
+        """Declare a periodic time-based repair/renewal module."""
+        self._repairs.append(
+            RepairModule(name, period=period, targets=targets, action=action, **kwargs)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    @property
+    def declared_names(self) -> List[str]:
+        """Names of all events and gates declared so far."""
+        return sorted(set(self._events) | set(self._gate_specs))
+
+    def build(self, top: str) -> FaultMaintenanceTree:
+        """Resolve references and return the validated tree.
+
+        Raises
+        ------
+        ModelError
+            On dangling child references, cyclic gate definitions, or an
+            unknown ``top`` name.
+        """
+        elements: Dict[str, Element] = dict(self._events)
+
+        building: set = set()
+
+        def _resolve(name: str) -> Element:
+            node = elements.get(name)
+            if node is not None:
+                return node
+            spec = self._gate_specs.get(name)
+            if spec is None:
+                raise ModelError(f"reference to undeclared element {name!r}")
+            if name in building:
+                raise ModelError(f"cyclic gate definition through {name!r}")
+            building.add(name)
+            kind, k, child_names = spec
+            children = [_resolve(child) for child in child_names]
+            building.discard(name)
+            gate = _make_gate(kind, name, k, children)
+            elements[name] = gate
+            return gate
+
+        if top not in self._events and top not in self._gate_specs:
+            raise ModelError(f"unknown top element {top!r}")
+        top_element = _resolve(top)
+        # Resolve all declared gates so dangling definitions are caught
+        # even when they are unreachable from the top.
+        for name in self._gate_specs:
+            _resolve(name)
+        reachable = {top_element.name} | _reachable_names(top_element)
+        unreachable = (set(self._events) | set(self._gate_specs)) - reachable
+        if unreachable:
+            raise ModelError(
+                f"elements not reachable from top {top!r}: {sorted(unreachable)}"
+            )
+        return FaultMaintenanceTree(
+            top=top_element,
+            dependencies=self._dependencies,
+            inspections=self._inspections,
+            repairs=self._repairs,
+            name=self.name,
+        )
+
+    def _claim_name(self, name: str) -> None:
+        if name in self._events or name in self._gate_specs:
+            raise ModelError(f"element name {name!r} declared twice")
+
+
+def _make_gate(
+    kind: str, name: str, k: Optional[int], children: Sequence[Element]
+) -> Gate:
+    if kind == "and":
+        return AndGate(name, children)
+    if kind == "or":
+        return OrGate(name, children)
+    if kind == "vot":
+        assert k is not None
+        return VotingGate(name, k, children)
+    if kind == "pand":
+        return PandGate(name, children)
+    if kind == "inhibit":
+        return InhibitGate(name, children)
+    raise ValidationError(f"unknown gate kind {kind!r}")
+
+
+def _reachable_names(root: Element) -> set:
+    seen: set = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Gate):
+            for child in node.children:
+                if child.name not in seen:
+                    seen.add(child.name)
+                    stack.append(child)
+    return seen

@@ -1,0 +1,92 @@
+"""Rate dependencies (RDEP): degradation acceleration between elements.
+
+The RDEP construct of fault maintenance trees expresses that the failure
+of one part of the system speeds up the wear of another.  In the
+EI-joint case study, broken bolts let the joint flex, which accelerates
+the degradation of the glued insulation layer.
+
+An :class:`RateDependency` names a *trigger* element (any gate or basic
+event) and a set of *target* basic events.  While the trigger is in the
+failed state, every phase rate of every target is multiplied by the
+acceleration ``factor``.  Several dependencies on the same target
+compose multiplicatively.  Because phase sojourns are exponential, the
+simulator applies a rate change memorylessly by rescheduling the pending
+phase transition with the new rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.core.nodes import validate_name
+
+__all__ = ["RateDependency"]
+
+
+class RateDependency:
+    """Acceleration of target degradation while a trigger is failed.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the dependency (shares the element namespace).
+    trigger:
+        Name of the element whose failure activates the acceleration.
+    targets:
+        Names of the basic events whose phase rates are accelerated.
+    factor:
+        Multiplicative acceleration, ``>= 1``.  ``factor=1`` makes the
+        dependency inert (useful for ablations).
+    """
+
+    __slots__ = ("name", "trigger", "targets", "factor")
+
+    def __init__(
+        self, name: str, trigger: str, targets: Sequence[str], factor: float
+    ):
+        self.name = validate_name(name)
+        self.trigger = validate_name(trigger)
+        target_tuple: Tuple[str, ...] = tuple(validate_name(t) for t in targets)
+        if not target_tuple:
+            raise ValidationError(f"{name}: RDEP needs at least one target")
+        if len(set(target_tuple)) != len(target_tuple):
+            raise ValidationError(f"{name}: duplicate RDEP targets")
+        if self.trigger in target_tuple:
+            raise ValidationError(
+                f"{name}: trigger {trigger!r} may not be among its own targets"
+            )
+        factor = float(factor)
+        if not math.isfinite(factor) or factor < 1.0:
+            raise ValidationError(
+                f"{name}: acceleration factor must be >= 1, got {factor}"
+            )
+        self.targets = target_tuple
+        self.factor = factor
+
+    def to_dict(self) -> dict:
+        """Serializable description."""
+        return {
+            "type": "rdep",
+            "name": self.name,
+            "trigger": self.trigger,
+            "targets": list(self.targets),
+            "factor": self.factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RateDependency":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            trigger=data["trigger"],
+            targets=data["targets"],
+            factor=data["factor"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RateDependency({self.name!r}, trigger={self.trigger!r}, "
+            f"targets={list(self.targets)}, factor={self.factor:g})"
+        )

@@ -1,0 +1,320 @@
+"""Basic events and extended basic events with phased degradation.
+
+A :class:`BasicEvent` models the failure behaviour of one component or
+failure mode.  In the FMT formalism every basic event is an *extended*
+basic event: its lifetime is divided into ``phases`` degradation phases,
+each with an exponential sojourn time; leaving the last phase is the
+failure.  A classical exponential basic event is the one-phase special
+case.
+
+The *threshold* phase is what connects degradation to maintenance: once
+the component's current phase is at or beyond the threshold, a periodic
+inspection will notice the degradation and can trigger a maintenance
+action (cleaning, repair, replacement) before the component actually
+fails.  Events with ``threshold=None`` degrade invisibly — inspections
+cannot catch them, only failure reveals them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.nodes import Element
+from repro.stats.distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    distribution_from_dict,
+)
+
+__all__ = ["BasicEvent"]
+
+
+class BasicEvent(Element):
+    """A (possibly extended) basic event of a fault maintenance tree.
+
+    Parameters
+    ----------
+    name:
+        Unique element name.
+    phase_rates:
+        One rate per degradation phase; the component leaves phase ``i``
+        at rate ``phase_rates[i]`` (per year) and fails when it leaves
+        the last phase.  Length is the number of phases.
+    threshold:
+        1-based index of the first phase that an inspection can detect,
+        or ``None`` for a non-inspectable event.  ``threshold=1`` means
+        any degradation at all is detectable; ``threshold=len(rates)``
+        means only the last, most-degraded phase is detectable.
+    repair_time:
+        Distribution of the corrective-repair duration after this event
+        has failed and the failure has been discovered.  Defaults to an
+        instantaneous repair, which is adequate when downtime is not a
+        studied KPI.
+    description:
+        Free-text description used in generated tables.
+    """
+
+    __slots__ = ("phase_rates", "threshold", "repair_time", "description")
+
+    def __init__(
+        self,
+        name: str,
+        phase_rates: Sequence[float],
+        threshold: Optional[int] = None,
+        repair_time: Optional[Distribution] = None,
+        description: str = "",
+    ):
+        super().__init__(name)
+        rates = tuple(float(rate) for rate in phase_rates)
+        if not rates:
+            raise ValidationError(f"{name}: at least one degradation phase required")
+        for rate in rates:
+            if not math.isfinite(rate) or rate <= 0.0:
+                raise ValidationError(
+                    f"{name}: phase rates must be positive and finite, got {rate}"
+                )
+        if threshold is not None:
+            if int(threshold) != threshold or not 1 <= threshold <= len(rates):
+                raise ValidationError(
+                    f"{name}: threshold must be in 1..{len(rates)}, got {threshold}"
+                )
+            threshold = int(threshold)
+        self.phase_rates: Tuple[float, ...] = rates
+        self.threshold = threshold
+        self.repair_time = repair_time if repair_time is not None else Deterministic(0.0)
+        self.description = description
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def exponential(
+        cls,
+        name: str,
+        rate: Optional[float] = None,
+        mean: Optional[float] = None,
+        **kwargs,
+    ) -> "BasicEvent":
+        """A classical one-phase exponential basic event.
+
+        Exactly one of ``rate`` (failures per year) or ``mean`` (mean
+        time to failure in years) must be given.
+        """
+        rate = _resolve_rate(name, rate, mean, phases=1)
+        return cls(name, phase_rates=[rate], **kwargs)
+
+    @classmethod
+    def from_distribution(
+        cls,
+        name: str,
+        distribution,
+        threshold_fraction: Optional[float] = None,
+        max_phases: int = 50,
+        **kwargs,
+    ) -> "BasicEvent":
+        """Basic event approximating an arbitrary lifetime distribution.
+
+        The distribution is converted to the FMT's phased-degradation
+        form by a moment-matching Erlang approximation (see
+        :func:`repro.stats.phasefit.erlang_approximation`).
+
+        Parameters
+        ----------
+        distribution:
+            Any :class:`~repro.stats.distributions.Distribution`.
+        threshold_fraction:
+            If given (in (0, 1]), the detection threshold is placed at
+            that fraction of the fitted phases (at least phase 1), so
+            e.g. 0.5 makes the second half of the degradation
+            detectable.  ``None`` keeps the event non-inspectable.
+        max_phases:
+            Cap forwarded to the approximation.
+        """
+        from repro.stats.phasefit import erlang_approximation
+
+        fit = erlang_approximation(distribution, max_phases=max_phases)
+        threshold: Optional[int] = None
+        if threshold_fraction is not None:
+            if not 0.0 < threshold_fraction <= 1.0:
+                raise ValidationError(
+                    f"{name}: threshold_fraction must be in (0, 1], "
+                    f"got {threshold_fraction}"
+                )
+            threshold = max(1, round(threshold_fraction * fit.phases))
+        return cls.erlang(
+            name,
+            phases=fit.phases,
+            rate=fit.erlang.rate,
+            threshold=threshold,
+            **kwargs,
+        )
+
+    @classmethod
+    def erlang(
+        cls,
+        name: str,
+        phases: int,
+        rate: Optional[float] = None,
+        mean: Optional[float] = None,
+        threshold: Optional[int] = None,
+        **kwargs,
+    ) -> "BasicEvent":
+        """An extended basic event with ``phases`` equal-rate phases.
+
+        ``rate`` is the per-phase rate; alternatively give ``mean``, the
+        mean *total* lifetime, and the per-phase rate is derived as
+        ``phases / mean``.
+        """
+        if phases < 1:
+            raise ValidationError(f"{name}: phases must be >= 1, got {phases}")
+        rate = _resolve_rate(name, rate, mean, phases=phases)
+        return cls(name, phase_rates=[rate] * phases, threshold=threshold, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    @property
+    def is_basic(self) -> bool:
+        return True
+
+    @property
+    def phases(self) -> int:
+        """Number of operational degradation phases."""
+        return len(self.phase_rates)
+
+    @property
+    def inspectable(self) -> bool:
+        """Whether periodic inspection can detect degradation."""
+        return self.threshold is not None
+
+    @property
+    def is_erlang(self) -> bool:
+        """Whether all phases share a single rate."""
+        return len(set(self.phase_rates)) == 1
+
+    # ------------------------------------------------------------------
+    # Lifetime distribution
+    # ------------------------------------------------------------------
+    def mean_lifetime(self) -> float:
+        """Expected time from pristine to failure (no maintenance)."""
+        return sum(1.0 / rate for rate in self.phase_rates)
+
+    def lifetime_distribution(self) -> Distribution:
+        """The lifetime as a :class:`Distribution` (equal-rate events only).
+
+        Raises
+        ------
+        ValidationError
+            If the phases have unequal rates; use :meth:`lifetime_cdf`
+            for the general hypoexponential case.
+        """
+        if not self.is_erlang:
+            raise ValidationError(
+                f"{self.name}: unequal phase rates form a hypoexponential "
+                "lifetime with no closed Distribution; use lifetime_cdf()"
+            )
+        if self.phases == 1:
+            return Exponential(rate=self.phase_rates[0])
+        return Erlang(shape=self.phases, rate=self.phase_rates[0])
+
+    def lifetime_cdf(self, t: float, from_phase: int = 0) -> float:
+        """P(failure by time ``t`` | currently at ``from_phase``).
+
+        Works for arbitrary per-phase rates by transient analysis of the
+        underlying absorbing chain (matrix exponential on a matrix of
+        size ``phases + 1``, which is tiny).
+        """
+        if t <= 0.0:
+            return 0.0
+        if not 0 <= from_phase <= self.phases:
+            raise ValidationError(
+                f"{self.name}: from_phase must be in 0..{self.phases}"
+            )
+        if from_phase == self.phases:
+            return 1.0
+        from scipy.linalg import expm
+
+        n = self.phases - from_phase
+        generator = np.zeros((n + 1, n + 1))
+        for i, rate in enumerate(self.phase_rates[from_phase:]):
+            generator[i, i] = -rate
+            generator[i, i + 1] = rate
+        probabilities = expm(generator * t)[0]
+        # expm can stray an ulp outside [0, 1]; clamp for downstream
+        # probability arithmetic.
+        return min(1.0, max(0.0, float(probabilities[-1])))
+
+    def phase_distribution_at(self, t: float) -> np.ndarray:
+        """Distribution over phases ``0..phases`` at time ``t`` from new."""
+        from scipy.linalg import expm
+
+        n = self.phases
+        generator = np.zeros((n + 1, n + 1))
+        for i, rate in enumerate(self.phase_rates):
+            generator[i, i] = -rate
+            generator[i, i + 1] = rate
+        return expm(generator * max(0.0, t))[0]
+
+    def sample_lifetime(self, rng: np.random.Generator, from_phase: int = 0) -> float:
+        """Sample a time-to-failure starting at ``from_phase``."""
+        total = 0.0
+        for rate in self.phase_rates[from_phase:]:
+            total += rng.exponential(1.0 / rate)
+        return total
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serializable description of this event."""
+        data = {
+            "type": "basic",
+            "name": self.name,
+            "phase_rates": list(self.phase_rates),
+            "threshold": self.threshold,
+            "repair_time": self.repair_time.to_dict(),
+        }
+        if self.description:
+            data["description"] = self.description
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BasicEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            phase_rates=data["phase_rates"],
+            threshold=data.get("threshold"),
+            repair_time=distribution_from_dict(data["repair_time"])
+            if "repair_time" in data
+            else None,
+            description=data.get("description", ""),
+        )
+
+    def __repr__(self) -> str:
+        parts = [repr(self.name), f"phases={self.phases}"]
+        if self.is_erlang:
+            parts.append(f"rate={self.phase_rates[0]:g}")
+        else:
+            parts.append(f"rates={self.phase_rates}")
+        if self.threshold is not None:
+            parts.append(f"threshold={self.threshold}")
+        return f"BasicEvent({', '.join(parts)})"
+
+
+def _resolve_rate(
+    name: str, rate: Optional[float], mean: Optional[float], phases: int
+) -> float:
+    if (rate is None) == (mean is None):
+        raise ValidationError(f"{name}: give exactly one of rate= or mean=")
+    if rate is None:
+        if mean <= 0:
+            raise ValidationError(f"{name}: mean must be positive, got {mean}")
+        rate = phases / mean
+    return float(rate)

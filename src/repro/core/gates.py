@@ -1,0 +1,232 @@
+"""Gates: the logical connectives of a fault (maintenance) tree.
+
+All gates implement ``evaluate(child_states)`` on booleans, which defines
+the *static structure function* used by the analytic engines.  The
+dynamic gate (priority-AND) additionally exposes an order-sensitive
+evaluation used by the simulator; its static evaluation conservatively
+coincides with AND, which over-approximates failure and is flagged by
+the analyses that cannot treat it exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.core.nodes import Element
+
+__all__ = [
+    "Gate",
+    "AndGate",
+    "OrGate",
+    "VotingGate",
+    "PandGate",
+    "InhibitGate",
+]
+
+
+class Gate(Element):
+    """Abstract gate with an ordered tuple of children.
+
+    Children are other :class:`~repro.core.nodes.Element` objects; the
+    same child object may be shared by several gates (fault trees are
+    DAGs).  Gates never own their children — the tree validates global
+    structure.
+    """
+
+    __slots__ = ("children",)
+
+    #: Identifier used by the serializers; overridden by subclasses.
+    kind: str = "gate"
+
+    #: Whether the gate's output depends on the *order* of child failures.
+    dynamic: bool = False
+
+    def __init__(self, name: str, children: Sequence[Element]):
+        super().__init__(name)
+        kids: Tuple[Element, ...] = tuple(children)
+        if len(kids) < self.min_children():
+            raise ValidationError(
+                f"{name}: {type(self).__name__} needs at least "
+                f"{self.min_children()} children, got {len(kids)}"
+            )
+        seen = set()
+        for child in kids:
+            if not isinstance(child, Element):
+                raise ValidationError(
+                    f"{name}: child {child!r} is not a fault-tree element"
+                )
+            if child.name in seen:
+                raise ValidationError(
+                    f"{name}: duplicate child {child.name!r}; a gate may "
+                    "reference each input at most once"
+                )
+            seen.add(child.name)
+        self.children = kids
+
+    @classmethod
+    def min_children(cls) -> int:
+        """Minimum number of children this gate type accepts."""
+        return 1
+
+    def evaluate(self, child_states: Sequence[bool]) -> bool:
+        """Static structure function of the gate."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        """Serializable description (children by name)."""
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "children": [child.name for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        names = ", ".join(child.name for child in self.children)
+        return f"{type(self).__name__}({self.name!r}, [{names}])"
+
+
+class AndGate(Gate):
+    """Fails when **all** children have failed."""
+
+    __slots__ = ()
+    kind = "and"
+
+    def evaluate(self, child_states: Sequence[bool]) -> bool:
+        self._check_arity(child_states)
+        return all(child_states)
+
+    def _check_arity(self, child_states: Sequence[bool]) -> None:
+        if len(child_states) != len(self.children):
+            raise ValidationError(
+                f"{self.name}: expected {len(self.children)} child states, "
+                f"got {len(child_states)}"
+            )
+
+
+class OrGate(Gate):
+    """Fails when **any** child has failed."""
+
+    __slots__ = ()
+    kind = "or"
+
+    def evaluate(self, child_states: Sequence[bool]) -> bool:
+        if len(child_states) != len(self.children):
+            raise ValidationError(
+                f"{self.name}: expected {len(self.children)} child states, "
+                f"got {len(child_states)}"
+            )
+        return any(child_states)
+
+
+class VotingGate(Gate):
+    """k-out-of-N gate: fails when at least ``k`` children have failed.
+
+    ``VotingGate(k=1)`` is OR and ``k=len(children)`` is AND; the tree
+    accepts these but the builder normalises them for readability.
+    """
+
+    __slots__ = ("k",)
+    kind = "vot"
+
+    def __init__(self, name: str, k: int, children: Sequence[Element]):
+        super().__init__(name, children)
+        if int(k) != k or not 1 <= k <= len(self.children):
+            raise ValidationError(
+                f"{name}: k must be in 1..{len(self.children)}, got {k}"
+            )
+        self.k = int(k)
+
+    @classmethod
+    def min_children(cls) -> int:
+        return 2
+
+    def evaluate(self, child_states: Sequence[bool]) -> bool:
+        if len(child_states) != len(self.children):
+            raise ValidationError(
+                f"{self.name}: expected {len(self.children)} child states, "
+                f"got {len(child_states)}"
+            )
+        return sum(bool(state) for state in child_states) >= self.k
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["k"] = self.k
+        return data
+
+    def __repr__(self) -> str:
+        names = ", ".join(child.name for child in self.children)
+        return f"VotingGate({self.name!r}, k={self.k}, [{names}])"
+
+
+class PandGate(Gate):
+    """Priority-AND: fails when all children fail **in left-to-right order**.
+
+    Simultaneous failures count as ordered.  The static evaluation
+    over-approximates by ignoring order (treats the gate as AND); the
+    simulator implements the exact order-sensitive semantics via
+    :meth:`evaluate_ordered`.
+    """
+
+    __slots__ = ()
+    kind = "pand"
+    dynamic = True
+
+    @classmethod
+    def min_children(cls) -> int:
+        return 2
+
+    def evaluate(self, child_states: Sequence[bool]) -> bool:
+        if len(child_states) != len(self.children):
+            raise ValidationError(
+                f"{self.name}: expected {len(self.children)} child states, "
+                f"got {len(child_states)}"
+            )
+        return all(child_states)
+
+    def evaluate_ordered(self, failure_times: Sequence[float | None]) -> bool:
+        """Order-sensitive evaluation from per-child failure times.
+
+        ``failure_times[i]`` is the time at which child ``i`` (most
+        recently) failed, or ``None`` if it is currently up.
+        """
+        if len(failure_times) != len(self.children):
+            raise ValidationError(
+                f"{self.name}: expected {len(self.children)} failure times, "
+                f"got {len(failure_times)}"
+            )
+        previous = -float("inf")
+        for time in failure_times:
+            if time is None or time < previous:
+                return False
+            previous = time
+        return True
+
+
+class InhibitGate(Gate):
+    """AND of an enabling *condition* (first child) and the causes.
+
+    Semantically identical to AND; kept as a separate type because fault
+    tree practice distinguishes conditions from causes, and the
+    serializers preserve the distinction.
+    """
+
+    __slots__ = ()
+    kind = "inhibit"
+
+    @classmethod
+    def min_children(cls) -> int:
+        return 2
+
+    @property
+    def condition(self) -> Element:
+        """The enabling condition (first child)."""
+        return self.children[0]
+
+    def evaluate(self, child_states: Sequence[bool]) -> bool:
+        if len(child_states) != len(self.children):
+            raise ValidationError(
+                f"{self.name}: expected {len(self.children)} child states, "
+                f"got {len(child_states)}"
+            )
+        return all(child_states)

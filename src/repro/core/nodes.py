@@ -1,0 +1,49 @@
+"""Base class shared by all fault-tree elements (events and gates)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ValidationError
+
+__all__ = ["Element", "validate_name"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def validate_name(name: str) -> str:
+    """Check that ``name`` is a legal element name and return it.
+
+    Names must start with a letter or underscore and may contain
+    letters, digits, underscores, dots and dashes.  This keeps names
+    directly usable as identifiers in the Galileo text format without
+    quoting ambiguities.
+    """
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValidationError(
+            f"invalid element name {name!r}: must match {_NAME_RE.pattern}"
+        )
+    return name
+
+
+class Element:
+    """A named node of a fault tree (a gate or a basic event).
+
+    Elements are identified by name within a tree; two distinct objects
+    with the same name may not appear in one tree.  Identity (not
+    equality) is used for graph structure, so shared subtrees are
+    represented by sharing the object.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = validate_name(name)
+
+    @property
+    def is_basic(self) -> bool:
+        """Whether this element is a basic event (leaf)."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

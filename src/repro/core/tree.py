@@ -1,0 +1,436 @@
+"""The fault maintenance tree container and its validation.
+
+A :class:`FaultMaintenanceTree` ties together:
+
+* a DAG of gates over basic events, rooted at a *top event*;
+* rate dependencies (RDEP) accelerating degradation;
+* inspection and repair modules (from :mod:`repro.maintenance`).
+
+Construction validates the whole model: unique names, acyclicity,
+well-formed gates, dependencies and modules that reference existing
+elements, thresholds consistent with inspections.  After construction
+the tree is conceptually immutable; strategy variants are produced by
+rebuilding (see :meth:`with_maintenance`), never by mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, TYPE_CHECKING, Tuple, Union
+
+from repro.errors import ModelError, ValidationError
+from repro.core.dependencies import RateDependency
+from repro.core.events import BasicEvent
+from repro.core.gates import AndGate, Gate, InhibitGate, OrGate, PandGate, VotingGate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.maintenance.modules import InspectionModule, RepairModule
+
+from repro.core.nodes import Element
+
+__all__ = ["FaultMaintenanceTree", "FaultTree"]
+
+
+class FaultMaintenanceTree:
+    """An immutable, validated fault maintenance tree.
+
+    Parameters
+    ----------
+    top:
+        Root element (usually a gate; a single basic event is allowed).
+    dependencies:
+        Rate dependencies (RDEP) of the model.
+    inspections:
+        Inspection modules (periodic condition checks), see
+        :class:`repro.maintenance.modules.InspectionModule`.
+    repairs:
+        Repair modules (periodic overhaul/renewal), see
+        :class:`repro.maintenance.modules.RepairModule`.
+    name:
+        Optional model name used in reports.
+    """
+
+    def __init__(
+        self,
+        top: Element,
+        dependencies: Sequence[RateDependency] = (),
+        inspections: Sequence["InspectionModule"] = (),
+        repairs: Sequence["RepairModule"] = (),
+        name: str = "fmt",
+    ):
+        self.name = name
+        self.top = top
+        self.dependencies: Tuple[RateDependency, ...] = tuple(dependencies)
+        self.inspections = tuple(inspections)
+        self.repairs = tuple(repairs)
+        self._nodes: Dict[str, Element] = {}
+        self._parents: Dict[str, List[str]] = {}
+        self._collect_and_validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _collect_and_validate(self) -> None:
+        self._collect_nodes()
+        self._check_acyclic()
+        self._check_dependencies()
+        self._check_modules()
+
+    def _collect_nodes(self) -> None:
+        """DFS from the top, filling the name->element map."""
+        stack = [self.top]
+        visited: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            existing = self._nodes.get(node.name)
+            if existing is not None and existing is not node:
+                raise ModelError(
+                    f"two distinct elements share the name {node.name!r}"
+                )
+            self._nodes[node.name] = node
+            self._parents.setdefault(node.name, [])
+            if isinstance(node, Gate):
+                for child in node.children:
+                    self._parents.setdefault(child.name, []).append(node.name)
+                    stack.append(child)
+
+    def _check_acyclic(self) -> None:
+        """Reject cycles (children must form a DAG below the top)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        colors: Dict[str, int] = {name: WHITE for name in self._nodes}
+        # Iterative DFS with explicit post-processing to color nodes black.
+        stack: List[Tuple[Element, bool]] = [(self.top, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                colors[node.name] = BLACK
+                continue
+            if colors[node.name] == BLACK:
+                continue
+            if colors[node.name] == GRAY:
+                raise ModelError(f"cycle through element {node.name!r}")
+            colors[node.name] = GRAY
+            stack.append((node, True))
+            if isinstance(node, Gate):
+                for child in node.children:
+                    if colors[child.name] == GRAY:
+                        raise ModelError(
+                            f"cycle: {node.name!r} -> {child.name!r}"
+                        )
+                    if colors[child.name] == WHITE:
+                        stack.append((child, False))
+
+    def _check_dependencies(self) -> None:
+        seen: Set[str] = set()
+        for dep in self.dependencies:
+            if dep.name in self._nodes or dep.name in seen:
+                raise ModelError(f"dependency name {dep.name!r} is not unique")
+            seen.add(dep.name)
+            if dep.trigger not in self._nodes:
+                raise ModelError(
+                    f"dependency {dep.name!r}: unknown trigger {dep.trigger!r}"
+                )
+            for target in dep.targets:
+                element = self._nodes.get(target)
+                if element is None:
+                    raise ModelError(
+                        f"dependency {dep.name!r}: unknown target {target!r}"
+                    )
+                if not element.is_basic:
+                    raise ModelError(
+                        f"dependency {dep.name!r}: target {target!r} must be "
+                        "a basic event"
+                    )
+
+    def _check_modules(self) -> None:
+        names: Set[str] = set()
+        for module in list(self.inspections) + list(self.repairs):
+            if module.name in names:
+                raise ModelError(f"duplicate maintenance module {module.name!r}")
+            names.add(module.name)
+            for target in module.targets:
+                element = self._nodes.get(target)
+                if element is None:
+                    raise ModelError(
+                        f"module {module.name!r}: unknown target {target!r}"
+                    )
+                if not element.is_basic:
+                    raise ModelError(
+                        f"module {module.name!r}: target {target!r} must be "
+                        "a basic event"
+                    )
+        for module in self.inspections:
+            for target in module.targets:
+                event = self._nodes[target]
+                if isinstance(event, BasicEvent) and event.threshold is None:
+                    raise ModelError(
+                        f"inspection {module.name!r} targets {target!r}, "
+                        "which has no detection threshold (threshold=None)"
+                    )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Mapping[str, Element]:
+        """All elements by name (read-only view)."""
+        return dict(self._nodes)
+
+    @property
+    def basic_events(self) -> Dict[str, BasicEvent]:
+        """Basic events by name."""
+        return {
+            name: node
+            for name, node in self._nodes.items()
+            if isinstance(node, BasicEvent)
+        }
+
+    @property
+    def gates(self) -> Dict[str, Gate]:
+        """Gates by name."""
+        return {
+            name: node
+            for name, node in self._nodes.items()
+            if isinstance(node, Gate)
+        }
+
+    @property
+    def has_dynamic_gates(self) -> bool:
+        """Whether the tree contains order-sensitive (PAND) gates."""
+        return any(gate.dynamic for gate in self.gates.values())
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name.
+
+        Raises
+        ------
+        ModelError
+            If no element with that name exists.
+        """
+        node = self._nodes.get(name)
+        if node is None:
+            raise ModelError(f"no element named {name!r} in tree {self.name!r}")
+        return node
+
+    def parents_of(self, name: str) -> Tuple[str, ...]:
+        """Names of the gates that have ``name`` as a child."""
+        self.element(name)
+        return tuple(self._parents.get(name, ()))
+
+    def descendants_of(self, name: str) -> Set[str]:
+        """All element names reachable below ``name`` (excluding it)."""
+        root = self.element(name)
+        result: Set[str] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Gate):
+                for child in node.children:
+                    if child.name not in result:
+                        result.add(child.name)
+                        stack.append(child)
+        return result
+
+    def depth(self) -> int:
+        """Longest path length (in edges) from the top to a leaf."""
+
+        cache: Dict[str, int] = {}
+
+        def _depth(node: Element) -> int:
+            if node.name in cache:
+                return cache[node.name]
+            if isinstance(node, Gate):
+                value = 1 + max(_depth(child) for child in node.children)
+            else:
+                value = 0
+            cache[node.name] = value
+            return value
+
+        return _depth(self.top)
+
+    # ------------------------------------------------------------------
+    # Structure function
+    # ------------------------------------------------------------------
+    def evaluate(self, failed: Union[Iterable[str], Mapping[str, bool]]) -> bool:
+        """Evaluate the static structure function.
+
+        Parameters
+        ----------
+        failed:
+            Either an iterable of failed basic-event names, or a mapping
+            from basic-event name to failed/not-failed.  Basic events
+            not mentioned count as operational.
+
+        Returns
+        -------
+        bool
+            ``True`` when the top event has occurred.
+
+        Notes
+        -----
+        PAND gates are evaluated order-insensitively here (as AND); the
+        simulator applies exact ordered semantics.
+        """
+        if isinstance(failed, Mapping):
+            failed_set = {name for name, state in failed.items() if state}
+        else:
+            failed_set = set(failed)
+        unknown = failed_set - set(self.basic_events)
+        if unknown:
+            raise ModelError(
+                f"evaluate(): unknown basic events {sorted(unknown)}"
+            )
+
+        cache: Dict[str, bool] = {}
+
+        def _eval(node: Element) -> bool:
+            hit = cache.get(node.name)
+            if hit is not None:
+                return hit
+            if node.is_basic:
+                value = node.name in failed_set
+            else:
+                assert isinstance(node, Gate)
+                value = node.evaluate([_eval(child) for child in node.children])
+            cache[node.name] = value
+            return value
+
+        return _eval(self.top)
+
+    # ------------------------------------------------------------------
+    # Rebuild helpers
+    # ------------------------------------------------------------------
+    def with_maintenance(
+        self,
+        inspections: Sequence["InspectionModule"] = (),
+        repairs: Sequence["RepairModule"] = (),
+    ) -> "FaultMaintenanceTree":
+        """A copy of this tree with the given maintenance modules.
+
+        The gate/event structure and dependencies are shared (they are
+        immutable); only the module lists differ.  This is how strategy
+        variants are derived from one base model.
+        """
+        return FaultMaintenanceTree(
+            top=self.top,
+            dependencies=self.dependencies,
+            inspections=inspections,
+            repairs=repairs,
+            name=self.name,
+        )
+
+    def without_dependencies(self) -> "FaultMaintenanceTree":
+        """A copy with all RDEPs removed (for ablation studies)."""
+        return FaultMaintenanceTree(
+            top=self.top,
+            dependencies=(),
+            inspections=self.inspections,
+            repairs=self.repairs,
+            name=self.name,
+        )
+
+    def with_dependency_factor(self, factor: float) -> "FaultMaintenanceTree":
+        """A copy with every RDEP factor replaced by ``factor``."""
+        new_deps = [
+            RateDependency(dep.name, dep.trigger, dep.targets, factor)
+            for dep in self.dependencies
+        ]
+        return FaultMaintenanceTree(
+            top=self.top,
+            dependencies=new_deps,
+            inspections=self.inspections,
+            repairs=self.repairs,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serializable description of structure + dependencies.
+
+        Maintenance modules serialize themselves; they are included when
+        present so that :meth:`from_dict` round-trips a full FMT.
+        """
+        ordered: List[Element] = []
+        seen: Set[str] = set()
+
+        def _walk(node: Element) -> None:
+            if node.name in seen:
+                return
+            seen.add(node.name)
+            if isinstance(node, Gate):
+                for child in node.children:
+                    _walk(child)
+            ordered.append(node)
+
+        _walk(self.top)
+        return {
+            "name": self.name,
+            "top": self.top.name,
+            "elements": [node.to_dict() for node in ordered],
+            "dependencies": [dep.to_dict() for dep in self.dependencies],
+            "inspections": [module.to_dict() for module in self.inspections],
+            "repairs": [module.to_dict() for module in self.repairs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultMaintenanceTree":
+        """Inverse of :meth:`to_dict`."""
+        from repro.maintenance.modules import InspectionModule, RepairModule
+
+        elements: Dict[str, Element] = {}
+        for spec in data["elements"]:
+            kind = spec["type"]
+            if kind == "basic":
+                elements[spec["name"]] = BasicEvent.from_dict(spec)
+            else:
+                children = [elements[name] for name in spec["children"]]
+                elements[spec["name"]] = _gate_from_spec(kind, spec, children)
+        dependencies = [
+            RateDependency.from_dict(spec) for spec in data.get("dependencies", [])
+        ]
+        inspections = [
+            InspectionModule.from_dict(spec) for spec in data.get("inspections", [])
+        ]
+        repairs = [RepairModule.from_dict(spec) for spec in data.get("repairs", [])]
+        top_name = data["top"]
+        if top_name not in elements:
+            raise ModelError(f"top element {top_name!r} not among elements")
+        return cls(
+            top=elements[top_name],
+            dependencies=dependencies,
+            inspections=inspections,
+            repairs=repairs,
+            name=data.get("name", "fmt"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultMaintenanceTree({self.name!r}, top={self.top.name!r}, "
+            f"|events|={len(self.basic_events)}, |gates|={len(self.gates)}, "
+            f"|rdep|={len(self.dependencies)}, "
+            f"|inspections|={len(self.inspections)}, "
+            f"|repairs|={len(self.repairs)})"
+        )
+
+
+def _gate_from_spec(kind: str, spec: dict, children: List[Element]) -> Gate:
+    name = spec["name"]
+    if kind == "and":
+        return AndGate(name, children)
+    if kind == "or":
+        return OrGate(name, children)
+    if kind == "vot":
+        return VotingGate(name, spec["k"], children)
+    if kind == "pand":
+        return PandGate(name, children)
+    if kind == "inhibit":
+        return InhibitGate(name, children)
+    raise ValidationError(f"unknown gate kind {kind!r} for element {name!r}")
+
+
+#: Alias: a fault tree is an FMT without maintenance modules.
+FaultTree = FaultMaintenanceTree

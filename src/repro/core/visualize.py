@@ -1,0 +1,160 @@
+"""Rendering of fault maintenance trees: ASCII outlines and Graphviz DOT.
+
+Two renderers, no third-party dependencies:
+
+* :func:`ascii_tree` — an indented outline for terminals and logs;
+  shared subtrees are printed once and referenced by name afterwards.
+* :func:`to_dot` — a Graphviz ``dot`` document with the conventional
+  fault-tree shapes (gates as boxes with their connective, basic events
+  as circles), RDEP arcs dashed, and maintenance module coverage drawn
+  as dotted boxes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.events import BasicEvent
+from repro.core.gates import Gate, InhibitGate, OrGate, PandGate, VotingGate, AndGate
+from repro.core.nodes import Element
+from repro.core.tree import FaultMaintenanceTree
+
+__all__ = ["ascii_tree", "to_dot"]
+
+
+def _gate_symbol(gate: Gate) -> str:
+    if isinstance(gate, OrGate):
+        return "OR"
+    if isinstance(gate, VotingGate):
+        return f"{gate.k}/{len(gate.children)}"
+    if isinstance(gate, PandGate):
+        return "PAND"
+    if isinstance(gate, InhibitGate):
+        return "INHIBIT"
+    if isinstance(gate, AndGate):
+        return "AND"
+    return type(gate).__name__  # pragma: no cover - defensive
+
+
+def _event_label(event: BasicEvent) -> str:
+    parts = [f"phases={event.phases}"]
+    if event.is_erlang:
+        parts.append(f"mean={event.mean_lifetime():g}y")
+    if event.threshold is not None:
+        parts.append(f"threshold={event.threshold}")
+    return ", ".join(parts)
+
+
+def ascii_tree(tree: FaultMaintenanceTree) -> str:
+    """Indented text outline of the tree, dependencies and modules."""
+    lines: List[str] = [f"{tree.name}"]
+    printed: Set[str] = set()
+
+    def _walk(node: Element, prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        if node.name in printed:
+            lines.append(f"{prefix}{connector}{node.name} (shared, see above)")
+            return
+        printed.add(node.name)
+        if isinstance(node, Gate):
+            lines.append(f"{prefix}{connector}{node.name} [{_gate_symbol(node)}]")
+            child_prefix = prefix + ("    " if is_last else "|   ")
+            for i, child in enumerate(node.children):
+                _walk(child, child_prefix, i == len(node.children) - 1)
+        else:
+            assert isinstance(node, BasicEvent)
+            lines.append(
+                f"{prefix}{connector}{node.name} ({_event_label(node)})"
+            )
+
+    _walk(tree.top, "", True)
+    for dep in tree.dependencies:
+        lines.append(
+            f"RDEP {dep.name}: {dep.trigger} accelerates "
+            f"{', '.join(dep.targets)} x{dep.factor:g}"
+        )
+    for module in tree.inspections:
+        lines.append(
+            f"INSPECT {module.name}: every {module.period:g}y -> "
+            f"{module.action.kind} {{{', '.join(module.targets)}}}"
+        )
+    for module in tree.repairs:
+        lines.append(
+            f"REPAIR {module.name}: every {module.period:g}y -> "
+            f"{module.action.kind} {{{', '.join(module.targets)}}}"
+        )
+    return "\n".join(lines)
+
+
+def to_dot(tree: FaultMaintenanceTree) -> str:
+    """Graphviz DOT document of the tree.
+
+    Render with ``dot -Tpdf`` / ``-Tsvg``; the output needs no
+    libraries on the Python side.
+    """
+    lines = [
+        f'digraph "{tree.name}" {{',
+        "  rankdir=TB;",
+        '  node [fontname="Helvetica"];',
+    ]
+    seen: Set[str] = set()
+
+    def _declare(node: Element) -> None:
+        if node.name in seen:
+            return
+        seen.add(node.name)
+        if isinstance(node, Gate):
+            lines.append(
+                f'  "{node.name}" [shape=box, '
+                f'label="{node.name}\\n{_gate_symbol(node)}"];'
+            )
+            for child in node.children:
+                _declare(child)
+        else:
+            assert isinstance(node, BasicEvent)
+            lines.append(
+                f'  "{node.name}" [shape=circle, '
+                f'label="{node.name}\\n{_event_label(node)}"];'
+            )
+
+    _declare(tree.top)
+
+    def _edges(node: Element, done: Set[str]) -> None:
+        if node.name in done or not isinstance(node, Gate):
+            return
+        done.add(node.name)
+        for child in node.children:
+            lines.append(f'  "{node.name}" -> "{child.name}";')
+            _edges(child, done)
+
+    _edges(tree.top, set())
+
+    for dep in tree.dependencies:
+        for target in dep.targets:
+            lines.append(
+                f'  "{dep.trigger}" -> "{target}" '
+                f'[style=dashed, color=red, label="x{dep.factor:g}"];'
+            )
+    for module in tree.inspections:
+        lines.append(
+            f'  "{module.name}" [shape=note, color=blue, '
+            f'label="{module.name}\\nevery {module.period:g}y: '
+            f'{module.action.kind}"];'
+        )
+        for target in module.targets:
+            lines.append(
+                f'  "{module.name}" -> "{target}" [style=dotted, color=blue];'
+            )
+    for module in tree.repairs:
+        lines.append(
+            f'  "{module.name}" [shape=note, color=darkgreen, '
+            f'label="{module.name}\\nevery {module.period:g}y: '
+            f'{module.action.kind}"];'
+        )
+        for target in module.targets:
+            lines.append(
+                f'  "{module.name}" -> "{target}" '
+                "[style=dotted, color=darkgreen];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Continuous-time Markov chain substrate and the FMT-to-CTMC compiler.
+
+The Monte Carlo simulator is validated against exact numerics on the
+Markovian fragment of the FMT formalism:
+
+* :mod:`repro.ctmc.chain` — sparse CTMC representation and builder;
+* :mod:`repro.ctmc.transient` — transient solution by uniformization,
+  grid stepping, and steady-state solution;
+* :mod:`repro.ctmc.compiler` — compiles an FMT (phased degradation,
+  RDEP, exponentially-timed inspection/repair modules) into a CTMC and
+  computes unreliability / availability / expected failures exactly.
+
+Periodic maintenance is *deterministically* timed and therefore outside
+CTMC semantics; the compiler accepts the standard exponential
+approximation (same mean), and the simulator supports the same
+exponential timing so that compiler and simulator can be compared on
+identical semantics.
+"""
+
+from repro.ctmc.chain import CTMC, CTMCBuilder
+from repro.ctmc.compiler import CompiledFMT, compile_fmt
+from repro.ctmc.transient import (
+    steady_state,
+    transient_distribution,
+    transient_grid,
+)
+
+__all__ = [
+    "CTMC",
+    "CTMCBuilder",
+    "CompiledFMT",
+    "compile_fmt",
+    "steady_state",
+    "transient_distribution",
+    "transient_grid",
+]

@@ -1,0 +1,349 @@
+"""Compile a fault maintenance tree into a CTMC (exact numerics).
+
+The Markovian fragment of the FMT formalism — phased degradation, RDEP
+acceleration, *exponentially timed* inspection and repair modules with
+zero planning delay — is a CTMC over the vector of component phases.
+This compiler builds that chain by reachability exploration and
+computes unreliability, expected number of failures and unavailability
+exactly, providing the ground truth the Monte Carlo simulator is
+validated against (benchmark A3).
+
+Deterministic (periodic) module timing is outside CTMC semantics; pass
+modules with ``timing="exponential"``, which the simulator also
+supports, so both engines analyse *identical* semantics.
+
+Two compilation modes:
+
+* ``mode="unreliability"`` — the top event is absorbing; ``π_FAIL(t)``
+  is the probability of failure by ``t``.
+* ``mode="availability"`` — a system failure triggers corrective
+  renewal as in the simulator: instantaneous when the strategy's
+  ``system_repair_time`` is zero (failure-entering transitions are
+  redirected to the pristine state and counted), otherwise via an
+  exponential repair with the same mean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.events import BasicEvent
+from repro.core.gates import Gate
+from repro.core.nodes import Element
+from repro.core.tree import FaultMaintenanceTree
+from repro.ctmc.chain import CTMC, CTMCBuilder
+from repro.ctmc.transient import transient_grid
+from repro.errors import AnalysisError, UnsupportedModelError
+from repro.maintenance.strategy import MaintenanceStrategy
+
+__all__ = ["CompiledFMT", "compile_fmt"]
+
+_DOWN = "__DOWN__"
+_FAIL = "__FAIL__"
+
+_MAX_STATES_DEFAULT = 200_000
+
+
+class CompiledFMT:
+    """A compiled FMT: the CTMC plus the KPI evaluation shortcuts."""
+
+    def __init__(
+        self,
+        ctmc: CTMC,
+        mode: str,
+        failure_flux: np.ndarray,
+        down_index: Optional[int],
+        fail_index: Optional[int],
+    ):
+        self.ctmc = ctmc
+        self.mode = mode
+        self._failure_flux = failure_flux
+        self._down_index = down_index
+        self._fail_index = fail_index
+
+    @property
+    def n_states(self) -> int:
+        """Size of the reachable state space."""
+        return self.ctmc.n_states
+
+    def unreliability(self, t: float) -> float:
+        """P(top event by time ``t``) (unreliability mode only)."""
+        if self.mode != "unreliability":
+            raise AnalysisError("unreliability() requires mode='unreliability'")
+        assert self._fail_index is not None
+        from repro.ctmc.transient import transient_distribution
+
+        return float(transient_distribution(self.ctmc, t)[self._fail_index])
+
+    def expected_failures(self, horizon: float, n_steps: int = 256) -> float:
+        """E[# system failures in [0, horizon]] (availability mode).
+
+        Computed as the integral of the instantaneous failure flux
+        ``π(t)·f`` over the horizon (composite Simpson rule on a
+        uniform grid of ``n_steps`` intervals).
+        """
+        if self.mode != "availability":
+            raise AnalysisError("expected_failures() requires mode='availability'")
+        if horizon <= 0.0:
+            raise AnalysisError(f"horizon must be positive, got {horizon}")
+        if n_steps < 2:
+            raise AnalysisError(f"n_steps must be >= 2, got {n_steps}")
+        if n_steps % 2 == 1:
+            n_steps += 1
+        times = np.linspace(0.0, horizon, n_steps + 1)
+        distributions = transient_grid(self.ctmc, times)
+        flux = distributions @ self._failure_flux
+        weights = np.ones(n_steps + 1)
+        weights[1:-1:2] = 4.0
+        weights[2:-1:2] = 2.0
+        step = horizon / n_steps
+        return float(np.dot(weights, flux) * step / 3.0)
+
+    def unavailability(self, horizon: float, n_steps: int = 256) -> float:
+        """Time-average probability of being down over the horizon."""
+        if self.mode != "availability":
+            raise AnalysisError("unavailability() requires mode='availability'")
+        if self._down_index is None:
+            return 0.0
+        if n_steps % 2 == 1:
+            n_steps += 1
+        times = np.linspace(0.0, horizon, n_steps + 1)
+        distributions = transient_grid(self.ctmc, times)
+        down = distributions[:, self._down_index]
+        weights = np.ones(n_steps + 1)
+        weights[1:-1:2] = 4.0
+        weights[2:-1:2] = 2.0
+        step = horizon / n_steps
+        return float(np.dot(weights, down) * step / 3.0) / horizon
+
+
+def compile_fmt(
+    tree: FaultMaintenanceTree,
+    strategy: Optional[MaintenanceStrategy] = None,
+    mode: str = "unreliability",
+    max_states: int = _MAX_STATES_DEFAULT,
+) -> CompiledFMT:
+    """Compile ``tree`` under ``strategy`` into a CTMC.
+
+    Raises
+    ------
+    UnsupportedModelError
+        For periodic (deterministic) module timing, inspection delays,
+        dynamic gates, or state spaces beyond ``max_states``.
+    """
+    if mode not in ("unreliability", "availability"):
+        raise AnalysisError(f"unknown mode {mode!r}")
+    if tree.has_dynamic_gates:
+        raise UnsupportedModelError(
+            "PAND gates make the phase vector non-Markovian; "
+            "use the simulator"
+        )
+    strategy = strategy if strategy is not None else MaintenanceStrategy.none()
+    working = strategy.apply(tree)
+    for module in list(working.inspections) + list(working.repairs):
+        if module.timing != "exponential":
+            raise UnsupportedModelError(
+                f"module {module.name!r} has timing={module.timing!r}; the "
+                "CTMC compiler needs timing='exponential'"
+            )
+    for module in working.inspections:
+        if module.delay != 0.0:
+            raise UnsupportedModelError(
+                f"inspection {module.name!r} has a planning delay; "
+                "the CTMC compiler requires delay=0"
+            )
+    if mode == "availability" and strategy.on_system_failure != "replace":
+        raise UnsupportedModelError(
+            "availability mode needs on_system_failure='replace'"
+        )
+
+    names: List[str] = list(working.basic_events)
+    events: List[BasicEvent] = [working.basic_events[n] for n in names]
+    index_of = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    rdeps = working.dependencies
+
+    def failed_set(state: Tuple[int, ...]) -> FrozenSet[str]:
+        return frozenset(
+            names[i] for i in range(n) if state[i] >= events[i].phases
+        )
+
+    element_cache: Dict[Tuple[str, FrozenSet[str]], bool] = {}
+
+    def element_failed(element: Element, failed: FrozenSet[str]) -> bool:
+        key = (element.name, failed)
+        hit = element_cache.get(key)
+        if hit is not None:
+            return hit
+        if element.is_basic:
+            value = element.name in failed
+        else:
+            assert isinstance(element, Gate)
+            value = element.evaluate(
+                [element_failed(child, failed) for child in element.children]
+            )
+        element_cache[key] = value
+        return value
+
+    def accel_of(target_index: int, failed: FrozenSet[str]) -> float:
+        factor = 1.0
+        target_name = names[target_index]
+        for dep in rdeps:
+            if target_name in dep.targets and element_failed(
+                working.element(dep.trigger), failed
+            ):
+                factor *= dep.factor
+        return factor
+
+    def top_failed(state: Tuple[int, ...]) -> bool:
+        return element_failed(working.top, failed_set(state))
+
+    def inspection_outcomes(state: Tuple[int, ...], module):
+        """Possible post-inspection states with their probabilities.
+
+        Failed targets are restored with certainty (when the module
+        detects failures); degraded targets are each detected
+        independently with the module's detection probability.
+        """
+        certain: List[Tuple[int, int]] = []
+        probabilistic: List[Tuple[int, int]] = []
+        for target in module.targets:
+            i = index_of[target]
+            event = events[i]
+            if state[i] >= event.phases:
+                if module.detect_failures:
+                    certain.append((i, 0))
+                continue
+            threshold = event.threshold
+            if threshold is not None and state[i] >= threshold:
+                new_phase = module.action.resulting_phase(state[i])
+                if new_phase != state[i]:
+                    probabilistic.append((i, new_phase))
+        p = module.detection_probability
+        if p >= 1.0:
+            certain.extend(probabilistic)
+            probabilistic = []
+        if len(probabilistic) > 12:
+            raise UnsupportedModelError(
+                f"inspection {module.name!r}: {len(probabilistic)} "
+                "simultaneously detectable targets with imperfect "
+                "detection exceed the enumeration limit"
+            )
+        from itertools import combinations as _combinations
+
+        outcomes = []
+        n = len(probabilistic)
+        for size in range(n + 1):
+            for subset in _combinations(probabilistic, size):
+                weight = (p ** size) * ((1.0 - p) ** (n - size))
+                if weight <= 0.0:
+                    continue
+                phases = list(state)
+                for i, new_phase in certain:
+                    phases[i] = new_phase
+                for i, new_phase in subset:
+                    phases[i] = new_phase
+                outcomes.append((tuple(phases), weight))
+        return outcomes
+
+    def apply_repair(state: Tuple[int, ...], module) -> Tuple[int, ...]:
+        phases = list(state)
+        for target in module.targets:
+            i = index_of[target]
+            phases[i] = module.action.resulting_phase(phases[i])
+        return tuple(phases)
+
+    fresh = tuple([0] * n)
+    if top_failed(fresh):
+        raise AnalysisError("the pristine state already fails the top event")
+
+    builder = CTMCBuilder()
+    builder.add_state(fresh)
+    instant_repair = (
+        mode == "availability" and strategy.system_repair_time == 0.0
+    )
+    flux_entries: Dict[Tuple[int, ...], float] = {}
+
+    frontier: List[Tuple[int, ...]] = [fresh]
+    explored = {fresh}
+    while frontier:
+        state = frontier.pop()
+        if builder.n_states > max_states:
+            raise UnsupportedModelError(
+                f"state space exceeds max_states={max_states}"
+            )
+        moves: List[Tuple[Tuple[int, ...], float, bool]] = []
+        failed = failed_set(state)
+        for i, event in enumerate(events):
+            if state[i] >= event.phases:
+                continue
+            rate = event.phase_rates[state[i]] * accel_of(i, failed)
+            successor = state[:i] + (state[i] + 1,) + state[i + 1:]
+            moves.append((successor, rate, True))
+        for module in working.inspections:
+            for successor, weight in inspection_outcomes(state, module):
+                if successor != state:
+                    moves.append(
+                        (successor, weight / module.period, False)
+                    )
+        for module in working.repairs:
+            successor = apply_repair(state, module)
+            if successor != state:
+                moves.append((successor, 1.0 / module.period, False))
+
+        for successor, rate, may_fail in moves:
+            if may_fail and top_failed(successor):
+                if mode == "unreliability":
+                    builder.add_transition(state, _FAIL, rate)
+                    continue
+                flux_entries[state] = flux_entries.get(state, 0.0) + rate
+                if instant_repair:
+                    if fresh != state:
+                        builder.add_transition(state, fresh, rate)
+                    continue
+                builder.add_transition(state, _DOWN, rate)
+                continue
+            builder.add_transition(state, successor, rate)
+            if successor not in explored:
+                explored.add(successor)
+                frontier.append(successor)
+
+    down_index = None
+    fail_index = None
+    if mode == "availability" and not instant_repair and flux_entries:
+        builder.add_transition(
+            _DOWN, fresh, 1.0 / strategy.system_repair_time
+        )
+    ctmc = builder.build(initial=fresh)
+    flux = np.zeros(ctmc.n_states)
+    for state, rate in flux_entries.items():
+        flux[ctmc.index_of(state)] = rate
+    if mode == "unreliability":
+        try:
+            fail_index = ctmc.index_of(_FAIL)
+        except AnalysisError:
+            # The top event is unreachable (e.g. fully repairable
+            # before any cut set completes); add an isolated marker so
+            # unreliability() cleanly returns 0.
+            fail_index = None
+    else:
+        try:
+            down_index = ctmc.index_of(_DOWN)
+        except AnalysisError:
+            down_index = None
+    if mode == "unreliability" and fail_index is None:
+        # Rebuild with an explicit unreachable FAIL state to keep the
+        # query interface total.
+        builder.add_state(_FAIL)
+        ctmc = builder.build(initial=fresh)
+        flux = np.zeros(ctmc.n_states)
+        fail_index = ctmc.index_of(_FAIL)
+    return CompiledFMT(
+        ctmc=ctmc,
+        mode=mode,
+        failure_flux=flux,
+        down_index=down_index,
+        fail_index=fail_index,
+    )

@@ -1,0 +1,62 @@
+"""Data substrate: incident databases and parameter estimation.
+
+The paper's parameters were estimated from proprietary railway incident
+registration databases plus expert interviews.  This package provides
+the complete substitute pipeline:
+
+* :mod:`repro.data.incidents` — an incident-registration database with
+  the same record schema (asset id, time, failure mode, how it was
+  found, what was done), plus a generator that populates it by
+  simulating a fleet of assets under a ground-truth model;
+* :mod:`repro.data.estimation` — maximum-likelihood fitting of
+  exponential/Erlang/Weibull lifetimes (with censoring), Poisson rate
+  estimation with confidence intervals, and reconstruction of component
+  lifetimes from maintained-asset event streams;
+* :mod:`repro.data.expert` — expert-judgment elicitation: quantile
+  aggregation across experts and distribution fitting to agreed
+  quantiles.
+
+Together these close the paper's calibration loop: raw incident records
+-> fitted parameters -> FMT model -> predicted failure counts compared
+back against the database (experiment T3).
+"""
+
+from repro.data.estimation import (
+    LifetimeSample,
+    erlang_log_likelihood,
+    estimate_failure_rate,
+    fit_erlang,
+    fit_erlang_censored,
+    fit_exponential,
+    fit_weibull,
+    lifetimes_from_database,
+    poisson_rate_interval,
+)
+from repro.data.expert import (
+    ExpertJudgment,
+    aggregate_judgments,
+    fit_erlang_to_quantiles,
+)
+from repro.data.incidents import (
+    IncidentDatabase,
+    IncidentRecord,
+    generate_incident_database,
+)
+
+__all__ = [
+    "ExpertJudgment",
+    "IncidentDatabase",
+    "IncidentRecord",
+    "LifetimeSample",
+    "aggregate_judgments",
+    "erlang_log_likelihood",
+    "estimate_failure_rate",
+    "fit_erlang",
+    "fit_erlang_censored",
+    "fit_erlang_to_quantiles",
+    "fit_exponential",
+    "fit_weibull",
+    "generate_incident_database",
+    "lifetimes_from_database",
+    "poisson_rate_interval",
+]

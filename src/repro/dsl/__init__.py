@@ -1,0 +1,12 @@
+"""Textual model interchange: an extended Galileo-style format.
+
+Classical fault-tree tools exchange models in the *Galileo* format
+(``toplevel "A"; "A" or "B" "C"; "B" lambda=0.5;``).  This package
+implements a superset with the FMT constructs — degradation phases and
+thresholds, RDEP dependencies, inspection and repair modules — plus a
+serializer, so models round-trip losslessly through text.
+"""
+
+from repro.dsl.galileo import loads, dumps, load_file, save_file
+
+__all__ = ["dumps", "loads", "load_file", "save_file"]

@@ -1,0 +1,482 @@
+"""Parser and serializer for the extended Galileo FMT format.
+
+Grammar (one statement per ``;``, ``//`` and ``#`` comments to end of
+line, names optionally double-quoted)::
+
+    model NAME ;                               // optional display name
+    toplevel NAME ;
+    NAME or CHILD... ;                         // OR gate
+    NAME and CHILD... ;                        // AND gate
+    NAME pand CHILD... ;                       // priority-AND gate
+    NAME inhibit COND CHILD... ;               // INHIBIT gate
+    NAME KofN CHILD... ;                       // voting gate, e.g. 2of4
+    NAME lambda=RATE [KEY=VALUE...] ;          // exponential basic event
+    NAME phases=N (rate=R | mean=M)
+         [threshold=K] [desc="..."] ;          // extended basic event
+    NAME rates=R1,R2,... [threshold=K]
+         [desc="..."] ;                        // unequal per-phase rates
+    rdep NAME trigger=NAME factor=F targets=A,B ;
+    inspection NAME period=P targets=A,B [action=KIND] [restore=K]
+         [delay=D] [offset=O] [timing=periodic|exponential]
+         [detectfailures=true|false] [detectionprobability=P] ;
+    repair NAME period=P targets=A,B [action=KIND] [restore=K]
+         [offset=O] [timing=...] ;
+
+``action`` is one of ``clean``, ``repair``, ``replace``; ``restore``
+gives the number of phases the action undoes (omitted = full
+restoration).  The serializer emits exactly this dialect, and
+``loads(dumps(tree))`` reproduces the tree.
+
+The words ``model``, ``toplevel``, ``rdep``, ``inspection`` and
+``repair`` are reserved at the head of a statement and cannot name a
+gate or event.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.builder import FMTBuilder
+from repro.core.events import BasicEvent
+from repro.core.gates import (
+    AndGate,
+    Gate,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    VotingGate,
+)
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import ParseError
+from repro.maintenance.actions import MaintenanceAction
+from repro.maintenance.modules import InspectionModule, RepairModule
+
+__all__ = ["loads", "dumps", "load_file", "save_file"]
+
+_VOTING_RE = re.compile(r"^(\d+)of(\d+)$")
+_TOKEN_RE = re.compile(
+    r'(?P<key>[^\s;"]+)"(?P<attached>[^"]*)"'  # key="value with spaces"
+    r'|"(?P<quoted>[^"]*)"'        # quoted name
+    r"|(?P<semi>;)"                # statement terminator
+    r"|(?P<word>[^\s;\"]+)"        # bare word (may contain '=')
+)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def loads(text: str, name: Optional[str] = None) -> FaultMaintenanceTree:
+    """Parse an extended-Galileo document into a validated tree.
+
+    The model name comes from the ``model NAME;`` statement when
+    present; the ``name`` argument overrides it.
+    """
+    statements = _split_statements(text)
+    builder = FMTBuilder("fmt")
+    toplevel: Optional[str] = None
+    for line_number, tokens in statements:
+        try:
+            toplevel = _parse_statement(builder, tokens, toplevel)
+        except ParseError as exc:
+            if exc.line is None:
+                raise ParseError(str(exc), line=line_number) from exc
+            raise
+        except Exception as exc:
+            raise ParseError(str(exc), line=line_number) from exc
+    if toplevel is None:
+        raise ParseError("no 'toplevel' statement found")
+    if name is not None:
+        builder.name = name
+    try:
+        return builder.build(toplevel)
+    except ParseError:
+        raise
+    except Exception as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def load_file(path: Union[str, Path]) -> FaultMaintenanceTree:
+    """Parse a model file; the tree is named after the file stem."""
+    path = Path(path)
+    return loads(path.read_text(encoding="utf-8"), name=path.stem)
+
+
+def _split_statements(text: str) -> List[Tuple[int, List[str]]]:
+    statements: List[Tuple[int, List[str]]] = []
+    current: List[str] = []
+    current_line = 1
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = re.split(r"//|#", raw_line, maxsplit=1)[0]
+        for match in _TOKEN_RE.finditer(line):
+            if match.group("semi") is not None:
+                if current:
+                    statements.append((current_line, current))
+                current = []
+                continue
+            if match.group("attached") is not None:
+                token = match.group("key") + match.group("attached")
+            elif match.group("quoted") is not None:
+                token = match.group("quoted")
+            else:
+                token = match.group("word")
+            if not current:
+                current_line = line_number
+            current.append(token)
+    if current:
+        raise ParseError("unterminated statement (missing ';')", line=current_line)
+    return statements
+
+
+def _parse_statement(
+    builder: FMTBuilder, tokens: List[str], toplevel: Optional[str]
+) -> Optional[str]:
+    head = tokens[0]
+    if head == "model":
+        if len(tokens) != 2:
+            raise ParseError(f"model expects one name, got {tokens[1:]}")
+        builder.name = tokens[1]
+        return toplevel
+    if head == "toplevel":
+        if len(tokens) != 2:
+            raise ParseError(f"toplevel expects one name, got {tokens[1:]}")
+        if toplevel is not None:
+            raise ParseError("duplicate 'toplevel' statement")
+        return tokens[1]
+    if head == "rdep":
+        _parse_rdep(builder, tokens)
+        return toplevel
+    if head == "inspection":
+        _parse_module(builder, tokens, kind="inspection")
+        return toplevel
+    if head == "repair":
+        _parse_module(builder, tokens, kind="repair")
+        return toplevel
+    if len(tokens) >= 2 and ("=" not in tokens[1]):
+        _parse_gate(builder, tokens)
+        return toplevel
+    _parse_event(builder, tokens)
+    return toplevel
+
+
+def _parse_gate(builder: FMTBuilder, tokens: List[str]) -> None:
+    name, connective, *children = tokens
+    if not children:
+        raise ParseError(f"gate {name!r} has no children")
+    if connective == "or":
+        builder.or_gate(name, children)
+    elif connective == "and":
+        builder.and_gate(name, children)
+    elif connective == "pand":
+        builder.pand_gate(name, children)
+    elif connective == "inhibit":
+        builder.inhibit_gate(name, children[0], children[1:])
+    else:
+        voting = _VOTING_RE.match(connective)
+        if not voting:
+            raise ParseError(
+                f"unknown gate connective {connective!r} for {name!r}"
+            )
+        k, n = int(voting.group(1)), int(voting.group(2))
+        if n != len(children):
+            raise ParseError(
+                f"{name!r}: {connective} expects {n} children, "
+                f"got {len(children)}"
+            )
+        builder.voting_gate(name, k, children)
+
+
+def _parse_kv(tokens: Sequence[str], context: str) -> Dict[str, str]:
+    values: Dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ParseError(f"{context}: expected key=value, got {token!r}")
+        key, _, value = token.partition("=")
+        if key in values:
+            raise ParseError(f"{context}: duplicate key {key!r}")
+        values[key.lower()] = value
+    return values
+
+
+def _parse_event(builder: FMTBuilder, tokens: List[str]) -> None:
+    name = tokens[0]
+    kv = _parse_kv(tokens[1:], context=f"event {name!r}")
+    description = kv.pop("desc", "")
+    if "lambda" in kv:
+        if "phases" in kv or "rate" in kv or "mean" in kv or "rates" in kv:
+            raise ParseError(
+                f"event {name!r}: lambda= excludes phases=/rate=/mean=/rates="
+            )
+        rate = _as_float(name, "lambda", kv.pop("lambda"))
+        threshold = _pop_int(kv, name, "threshold")
+        _reject_unknown(kv, name)
+        builder.add_event(
+            BasicEvent(
+                name,
+                phase_rates=[rate],
+                threshold=threshold,
+                description=description,
+            )
+        )
+        return
+    if "rates" in kv:
+        if "phases" in kv or "rate" in kv or "mean" in kv:
+            raise ParseError(
+                f"event {name!r}: rates= excludes phases=/rate=/mean="
+            )
+        raw = kv.pop("rates")
+        rates = [_as_float(name, "rates", part) for part in raw.split(",")]
+        threshold = _pop_int(kv, name, "threshold")
+        _reject_unknown(kv, name)
+        builder.add_event(
+            BasicEvent(
+                name,
+                phase_rates=rates,
+                threshold=threshold,
+                description=description,
+            )
+        )
+        return
+    phases = _pop_int(kv, name, "phases")
+    if phases is None:
+        raise ParseError(f"event {name!r}: needs lambda= or phases=")
+    rate = kv.pop("rate", None)
+    mean = kv.pop("mean", None)
+    if (rate is None) == (mean is None):
+        raise ParseError(f"event {name!r}: give exactly one of rate= or mean=")
+    threshold = _pop_int(kv, name, "threshold")
+    _reject_unknown(kv, name)
+    builder.add_event(
+        BasicEvent.erlang(
+            name,
+            phases=phases,
+            rate=_as_float(name, "rate", rate) if rate is not None else None,
+            mean=_as_float(name, "mean", mean) if mean is not None else None,
+            threshold=threshold,
+            description=description,
+        )
+    )
+
+
+def _parse_rdep(builder: FMTBuilder, tokens: List[str]) -> None:
+    if len(tokens) < 2:
+        raise ParseError("rdep needs a name")
+    name = tokens[1]
+    kv = _parse_kv(tokens[2:], context=f"rdep {name!r}")
+    trigger = kv.pop("trigger", None)
+    factor = kv.pop("factor", None)
+    targets = kv.pop("targets", None)
+    if trigger is None or factor is None or targets is None:
+        raise ParseError(f"rdep {name!r}: needs trigger=, factor=, targets=")
+    _reject_unknown(kv, name)
+    builder.rdep(
+        name,
+        trigger=trigger,
+        targets=targets.split(","),
+        factor=_as_float(name, "factor", factor),
+    )
+
+
+def _parse_module(builder: FMTBuilder, tokens: List[str], kind: str) -> None:
+    if len(tokens) < 2:
+        raise ParseError(f"{kind} needs a name")
+    name = tokens[1]
+    kv = _parse_kv(tokens[2:], context=f"{kind} {name!r}")
+    period = kv.pop("period", None)
+    targets = kv.pop("targets", None)
+    if period is None or targets is None:
+        raise ParseError(f"{kind} {name!r}: needs period= and targets=")
+    action_kind = kv.pop("action", "replace")
+    restore = _pop_int(kv, name, "restore")
+    action = MaintenanceAction(action_kind, restore_phases=restore)
+    common = {
+        "period": _as_float(name, "period", period),
+        "targets": targets.split(","),
+        "action": action,
+    }
+    if "offset" in kv:
+        common["offset"] = _as_float(name, "offset", kv.pop("offset"))
+    if "timing" in kv:
+        common["timing"] = kv.pop("timing")
+    if kind == "inspection":
+        if "delay" in kv:
+            common["delay"] = _as_float(name, "delay", kv.pop("delay"))
+        if "detectfailures" in kv:
+            common["detect_failures"] = _as_bool(
+                name, "detectfailures", kv.pop("detectfailures")
+            )
+        if "detectionprobability" in kv:
+            common["detection_probability"] = _as_float(
+                name, "detectionprobability", kv.pop("detectionprobability")
+            )
+        _reject_unknown(kv, name)
+        builder.inspection(name, **common)
+    else:
+        _reject_unknown(kv, name)
+        builder.repair_module(name, **common)
+
+
+def _pop_int(kv: Dict[str, str], name: str, key: str) -> Optional[int]:
+    raw = kv.pop(key, None)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ParseError(f"{name!r}: {key}= expects an integer, got {raw!r}") from exc
+
+
+def _as_float(name: str, key: str, raw: str) -> float:
+    try:
+        return float(raw)
+    except (TypeError, ValueError) as exc:
+        raise ParseError(f"{name!r}: {key}= expects a number, got {raw!r}") from exc
+
+
+def _as_bool(name: str, key: str, raw: str) -> bool:
+    lowered = raw.lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise ParseError(f"{name!r}: {key}= expects true/false, got {raw!r}")
+
+
+def _reject_unknown(kv: Dict[str, str], name: str) -> None:
+    if kv:
+        raise ParseError(f"{name!r}: unknown keys {sorted(kv)}")
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def dumps(tree: FaultMaintenanceTree) -> str:
+    """Serialize a tree to the extended Galileo dialect."""
+    lines: List[str] = [f"// fault maintenance tree: {tree.name}"]
+    lines.append(f"model {_quote(tree.name)};")
+    lines.append(f"toplevel {_quote(tree.top.name)};")
+    for gate_name, gate in _iter_gates(tree):
+        lines.append(_gate_line(gate))
+    for event_name in sorted(tree.basic_events):
+        lines.append(_event_line(tree.basic_events[event_name]))
+    for dep in tree.dependencies:
+        lines.append(
+            f"rdep {_quote(dep.name)} trigger={_quote(dep.trigger)} "
+            f"factor={_num(dep.factor)} targets={','.join(dep.targets)};"
+        )
+    for module in tree.inspections:
+        lines.append(_inspection_line(module))
+    for module in tree.repairs:
+        lines.append(_repair_line(module))
+    return "\n".join(lines) + "\n"
+
+
+def save_file(tree: FaultMaintenanceTree, path: Union[str, Path]) -> None:
+    """Write :func:`dumps` output to ``path``."""
+    Path(path).write_text(dumps(tree), encoding="utf-8")
+
+
+def _iter_gates(tree: FaultMaintenanceTree):
+    # Stable order: depth-first from the top, parents before children.
+    seen = set()
+    order = []
+
+    def _walk(node):
+        if node.name in seen:
+            return
+        seen.add(node.name)
+        if isinstance(node, Gate):
+            order.append((node.name, node))
+            for child in node.children:
+                _walk(child)
+
+    _walk(tree.top)
+    return order
+
+
+def _gate_line(gate: Gate) -> str:
+    children = " ".join(_quote(child.name) for child in gate.children)
+    if isinstance(gate, OrGate):
+        connective = "or"
+    elif isinstance(gate, InhibitGate):
+        connective = "inhibit"
+    elif isinstance(gate, PandGate):
+        connective = "pand"
+    elif isinstance(gate, VotingGate):
+        connective = f"{gate.k}of{len(gate.children)}"
+    elif isinstance(gate, AndGate):
+        connective = "and"
+    else:  # pragma: no cover - defensive
+        raise ParseError(f"cannot serialize gate type {type(gate).__name__}")
+    return f"{_quote(gate.name)} {connective} {children};"
+
+
+def _event_line(event: BasicEvent) -> str:
+    parts = [_quote(event.name)]
+    if event.phases == 1:
+        parts.append(f"lambda={_num(event.phase_rates[0])}")
+    elif event.is_erlang:
+        parts.append(f"phases={event.phases}")
+        parts.append(f"rate={_num(event.phase_rates[0])}")
+    else:
+        parts.append(
+            "rates=" + ",".join(_num(rate) for rate in event.phase_rates)
+        )
+    if event.threshold is not None:
+        parts.append(f"threshold={event.threshold}")
+    if event.description:
+        parts.append(f'desc="{event.description}"')
+    return " ".join(parts) + ";"
+
+
+def _action_parts(action: MaintenanceAction) -> List[str]:
+    parts = [f"action={action.kind}"]
+    if action.restore_phases is not None:
+        parts.append(f"restore={action.restore_phases}")
+    return parts
+
+
+def _inspection_line(module: InspectionModule) -> str:
+    parts = [
+        f"inspection {_quote(module.name)}",
+        f"period={_num(module.period)}",
+        f"targets={','.join(module.targets)}",
+        *_action_parts(module.action),
+    ]
+    if module.delay:
+        parts.append(f"delay={_num(module.delay)}")
+    if module.offset != module.period:
+        parts.append(f"offset={_num(module.offset)}")
+    if module.timing != "periodic":
+        parts.append(f"timing={module.timing}")
+    if not module.detect_failures:
+        parts.append("detectfailures=false")
+    if module.detection_probability != 1.0:
+        parts.append(
+            f"detectionprobability={_num(module.detection_probability)}"
+        )
+    return " ".join(parts) + ";"
+
+
+def _repair_line(module: RepairModule) -> str:
+    parts = [
+        f"repair {_quote(module.name)}",
+        f"period={_num(module.period)}",
+        f"targets={','.join(module.targets)}",
+        *_action_parts(module.action),
+    ]
+    if module.offset != module.period:
+        parts.append(f"offset={_num(module.offset)}")
+    if module.timing != "periodic":
+        parts.append(f"timing={module.timing}")
+    return " ".join(parts) + ";"
+
+
+def _num(value: float) -> str:
+    """Shortest decimal that round-trips to the same float."""
+    return repr(float(value))
+
+
+def _quote(name: str) -> str:
+    return f'"{name}"'

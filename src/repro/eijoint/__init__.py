@@ -1,0 +1,58 @@
+"""The electrically insulated railway joint (EI-joint) case study.
+
+The EI-joint electrically separates two track sections so that track
+circuits can detect trains; its failure — either a conductive bridge
+across the insulation (*electrical failure*) or a structural break
+(*mechanical failure*) — disrupts train detection and hence traffic.
+
+This package contains the reconstructed fault maintenance tree of the
+case study:
+
+* :mod:`repro.eijoint.parameters` — the failure-mode inventory with
+  degradation parameters and the cost model (provenance documented per
+  value; the paper's proprietary data is substituted per DESIGN.md);
+* :mod:`repro.eijoint.model` — assembly of the FMT;
+* :mod:`repro.eijoint.strategies` — the maintenance strategies the
+  evaluation compares, including the current policy.
+"""
+
+from repro.eijoint.fleet import (
+    DEFAULT_TRAFFIC_MIX,
+    TrafficClass,
+    fleet_failures_per_year,
+    scale_parameters,
+)
+from repro.eijoint.model import build_ei_joint_fmt, inspectable_modes
+from repro.eijoint.parameters import (
+    EIJointParameters,
+    FailureModeSpec,
+    default_cost_model,
+    default_parameters,
+)
+from repro.eijoint.strategies import (
+    current_policy,
+    inspection_policy,
+    no_maintenance,
+    renewal_only,
+    strategy_grid,
+    unmaintained,
+)
+
+__all__ = [
+    "DEFAULT_TRAFFIC_MIX",
+    "EIJointParameters",
+    "FailureModeSpec",
+    "TrafficClass",
+    "build_ei_joint_fmt",
+    "current_policy",
+    "fleet_failures_per_year",
+    "scale_parameters",
+    "default_cost_model",
+    "default_parameters",
+    "inspectable_modes",
+    "inspection_policy",
+    "no_maintenance",
+    "renewal_only",
+    "strategy_grid",
+    "unmaintained",
+]

@@ -1,0 +1,97 @@
+"""Assembly of the EI-joint fault maintenance tree.
+
+Tree shape (reconstructed from the paper's description)::
+
+    ei_joint_failure (OR)
+    ├── electrical_failure (OR)
+    │   ├── ferrous_dust            EBE, cleanable
+    │   ├── metal_overflow          EBE, grindable
+    │   ├── pollution_conductive    EBE, cleanable
+    │   └── endpost_defect          EBE, no warning
+    └── mechanical_failure (OR)
+        ├── glue_failure            EBE, RDEP-accelerated by broken bolts
+        ├── bolt_failure (VOT 2/4)
+        │   ├── bolt_1 .. bolt_4    EBE, loosen-then-break
+        ├── fishplate_crack         EBE
+        └── rail_end_break          EBE, no warning
+
+Each broken bolt accelerates the glue degradation (the joint flexes),
+expressed as one RDEP per bolt targeting ``glue_failure``; the factors
+compose multiplicatively, so two broken bolts square the acceleration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.builder import FMTBuilder
+from repro.core.tree import FaultMaintenanceTree
+from repro.eijoint.parameters import (
+    ELECTRICAL,
+    MECHANICAL,
+    EIJointParameters,
+    default_parameters,
+)
+
+__all__ = ["build_ei_joint_fmt", "inspectable_modes"]
+
+TOP = "ei_joint_failure"
+ELECTRICAL_GATE = "electrical_failure"
+MECHANICAL_GATE = "mechanical_failure"
+BOLT_GATE = "bolt_failure"
+
+
+def build_ei_joint_fmt(
+    parameters: Optional[EIJointParameters] = None,
+) -> FaultMaintenanceTree:
+    """Build the EI-joint FMT (structure + dependencies, no maintenance).
+
+    Maintenance modules are attached separately via a
+    :class:`~repro.maintenance.strategy.MaintenanceStrategy` from
+    :mod:`repro.eijoint.strategies`, so one model instance serves every
+    strategy in an experiment sweep.
+    """
+    parameters = parameters if parameters is not None else default_parameters()
+    builder = FMTBuilder("ei_joint")
+
+    for mode in parameters.modes:
+        builder.degraded_event(
+            mode.name,
+            phases=mode.phases,
+            mean=mode.mean_lifetime,
+            threshold=mode.threshold,
+            description=mode.description,
+        )
+
+    bolt_names = list(parameters.bolt_names)
+    electrical = [
+        mode.name for mode in parameters.modes if mode.group == ELECTRICAL
+    ]
+    mechanical_leaves = [
+        mode.name
+        for mode in parameters.modes
+        if mode.group == MECHANICAL and mode.name not in bolt_names
+    ]
+
+    builder.voting_gate(BOLT_GATE, parameters.bolts_needed_to_fail, bolt_names)
+    builder.or_gate(ELECTRICAL_GATE, electrical)
+    builder.or_gate(MECHANICAL_GATE, mechanical_leaves + [BOLT_GATE])
+    builder.or_gate(TOP, [ELECTRICAL_GATE, MECHANICAL_GATE])
+
+    if parameters.bolt_glue_acceleration > 1.0:
+        for bolt in bolt_names:
+            builder.rdep(
+                f"rdep_{bolt}_glue",
+                trigger=bolt,
+                targets=["glue_failure"],
+                factor=parameters.bolt_glue_acceleration,
+            )
+    return builder.build(TOP)
+
+
+def inspectable_modes(
+    parameters: Optional[EIJointParameters] = None,
+) -> List[str]:
+    """Names of the failure modes periodic inspection can detect."""
+    parameters = parameters if parameters is not None else default_parameters()
+    return [mode.name for mode in parameters.modes if mode.inspectable]

@@ -1,0 +1,305 @@
+"""Failure-mode inventory and cost model of the EI-joint case study.
+
+Provenance
+----------
+The paper estimated its parameters from proprietary incident databases
+and expert interviews; those numbers are not public.  The values below
+are *reconstructed*: they are plausible for the asset class (orders of
+magnitude consistent with published railway S&C/joint reliability
+figures) and chosen so that the model reproduces the qualitative claims
+the paper's abstract makes — a system-level expected number of failures
+of the order of 1e-2 per joint-year under the current policy, and a
+U-shaped annual cost in inspection frequency with its optimum at (or
+immediately adjacent to) the current quarterly inspection policy.  See
+DESIGN.md ("Substitutions") and EXPERIMENTS.md for the comparison
+protocol.
+
+Degradation phases follow the FMT convention: a mode with ``phases=N``
+and per-phase rate ``r`` has an Erlang(N, r) lifetime with mean ``N/r``;
+``threshold=k`` means inspections notice the mode from phase ``k`` on.
+Modes with ``threshold=None`` give no advance warning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.maintenance.costs import CostModel
+from repro.units import hours
+
+__all__ = [
+    "FailureModeSpec",
+    "EIJointParameters",
+    "default_parameters",
+    "default_cost_model",
+]
+
+#: Group labels used by the model assembly.
+ELECTRICAL = "electrical"
+MECHANICAL = "mechanical"
+
+
+@dataclass(frozen=True)
+class FailureModeSpec:
+    """One failure mode of the EI-joint.
+
+    Attributes
+    ----------
+    name:
+        Basic-event name.
+    group:
+        ``"electrical"`` or ``"mechanical"``.
+    phases:
+        Number of degradation phases.
+    mean_lifetime:
+        Mean time from pristine to failure, years (no maintenance).
+    threshold:
+        First inspectable phase (1-based), or None if the mode gives no
+        advance warning.
+    action:
+        Maintenance action kind applied when an inspection detects the
+        mode: ``"clean"``, ``"repair"`` or ``"replace"``.
+    description:
+        Table text.
+    """
+
+    name: str
+    group: str
+    phases: int
+    mean_lifetime: float
+    threshold: Optional[int]
+    action: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.group not in (ELECTRICAL, MECHANICAL):
+            raise ValidationError(f"{self.name}: unknown group {self.group!r}")
+        if self.phases < 1:
+            raise ValidationError(f"{self.name}: phases must be >= 1")
+        if self.mean_lifetime <= 0.0:
+            raise ValidationError(f"{self.name}: mean_lifetime must be positive")
+        if self.threshold is not None and not 1 <= self.threshold <= self.phases:
+            raise ValidationError(
+                f"{self.name}: threshold {self.threshold} out of 1..{self.phases}"
+            )
+
+    @property
+    def phase_rate(self) -> float:
+        """Per-phase transition rate (equal across phases)."""
+        return self.phases / self.mean_lifetime
+
+    @property
+    def inspectable(self) -> bool:
+        """Whether periodic inspection can catch the mode in time."""
+        return self.threshold is not None
+
+
+def _default_modes() -> Tuple[FailureModeSpec, ...]:
+    return (
+        # ----- electrical failure causes (conductive bridge) -----
+        FailureModeSpec(
+            name="ferrous_dust",
+            group=ELECTRICAL,
+            phases=4,
+            mean_lifetime=8.0,
+            threshold=2,
+            action="clean",
+            description="accumulation of conductive brake/grinding dust "
+            "bridging the endpost",
+        ),
+        FailureModeSpec(
+            name="metal_overflow",
+            group=ELECTRICAL,
+            phases=5,
+            mean_lifetime=15.0,
+            threshold=3,
+            action="repair",
+            description="battered rail ends flowing (lipping) over the "
+            "endpost; removed by grinding",
+        ),
+        FailureModeSpec(
+            name="pollution_conductive",
+            group=ELECTRICAL,
+            phases=3,
+            mean_lifetime=12.0,
+            threshold=2,
+            action="clean",
+            description="conductive pollution / moist contamination of "
+            "the joint surface",
+        ),
+        FailureModeSpec(
+            name="endpost_defect",
+            group=ELECTRICAL,
+            phases=2,
+            mean_lifetime=150.0,
+            threshold=None,
+            action="replace",
+            description="internal defect of the insulating endpost "
+            "material (no advance warning)",
+        ),
+        # ----- mechanical failure causes (joint breaks / loosens) -----
+        FailureModeSpec(
+            name="glue_failure",
+            group=MECHANICAL,
+            phases=6,
+            mean_lifetime=40.0,
+            threshold=4,
+            action="replace",
+            description="degradation of the glued insulation layer; "
+            "accelerated while bolts are broken (RDEP)",
+        ),
+        FailureModeSpec(
+            name="bolt_1",
+            group=MECHANICAL,
+            phases=2,
+            mean_lifetime=60.0,
+            threshold=2,
+            action="repair",
+            description="fishplate bolt 1 loosens, then breaks",
+        ),
+        FailureModeSpec(
+            name="bolt_2",
+            group=MECHANICAL,
+            phases=2,
+            mean_lifetime=60.0,
+            threshold=2,
+            action="repair",
+            description="fishplate bolt 2 loosens, then breaks",
+        ),
+        FailureModeSpec(
+            name="bolt_3",
+            group=MECHANICAL,
+            phases=2,
+            mean_lifetime=60.0,
+            threshold=2,
+            action="repair",
+            description="fishplate bolt 3 loosens, then breaks",
+        ),
+        FailureModeSpec(
+            name="bolt_4",
+            group=MECHANICAL,
+            phases=2,
+            mean_lifetime=60.0,
+            threshold=2,
+            action="repair",
+            description="fishplate bolt 4 loosens, then breaks",
+        ),
+        FailureModeSpec(
+            name="fishplate_crack",
+            group=MECHANICAL,
+            phases=3,
+            mean_lifetime=90.0,
+            threshold=3,
+            action="replace",
+            description="fatigue crack in a fishplate, visible before "
+            "fracture",
+        ),
+        FailureModeSpec(
+            name="rail_end_break",
+            group=MECHANICAL,
+            phases=1,
+            mean_lifetime=250.0,
+            threshold=None,
+            action="replace",
+            description="sudden rail break inside the joint zone",
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class EIJointParameters:
+    """All tunable parameters of the EI-joint FMT.
+
+    Attributes
+    ----------
+    modes:
+        The failure-mode inventory.
+    bolts_needed_to_fail:
+        The joint tolerates ``bolts_needed_to_fail - 1`` broken bolts;
+        a VOT(k/4) gate over the four bolts.
+    bolt_glue_acceleration:
+        RDEP factor: each *broken* bolt multiplies the glue-degradation
+        rate by this factor (factors compose multiplicatively).
+    system_repair_time:
+        Downtime of an emergency joint renewal, years.
+    """
+
+    modes: Tuple[FailureModeSpec, ...] = field(default_factory=_default_modes)
+    bolts_needed_to_fail: int = 2
+    bolt_glue_acceleration: float = 3.0
+    system_repair_time: float = hours(8.0)
+
+    def __post_init__(self) -> None:
+        names = [mode.name for mode in self.modes]
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate failure-mode names")
+        if self.bolts_needed_to_fail < 1 or self.bolts_needed_to_fail > len(
+            self.bolt_names
+        ):
+            raise ValidationError(
+                f"bolts_needed_to_fail={self.bolts_needed_to_fail} out of range"
+            )
+        if self.bolt_glue_acceleration < 1.0:
+            raise ValidationError("bolt_glue_acceleration must be >= 1")
+
+    @property
+    def bolt_names(self) -> Tuple[str, ...]:
+        """Names of the bolt failure modes, in order."""
+        return tuple(
+            mode.name for mode in self.modes if mode.name.startswith("bolt_")
+        )
+
+    @property
+    def by_name(self) -> Dict[str, FailureModeSpec]:
+        """Failure modes indexed by name."""
+        return {mode.name: mode for mode in self.modes}
+
+    def with_mode(self, name: str, **changes) -> "EIJointParameters":
+        """A copy with one failure mode's fields replaced."""
+        by_name = self.by_name
+        if name not in by_name:
+            raise ValidationError(f"unknown failure mode {name!r}")
+        new_modes = tuple(
+            dataclass_replace(mode, **changes) if mode.name == name else mode
+            for mode in self.modes
+        )
+        return dataclass_replace(self, modes=new_modes)
+
+
+def default_parameters() -> EIJointParameters:
+    """The reconstructed baseline parameters (see module docstring)."""
+    return EIJointParameters()
+
+
+def default_cost_model() -> CostModel:
+    """Reconstructed cost figures, in EUR.
+
+    * An inspection visit is the marginal per-joint cost of the
+      periodic track inspection round.
+    * A service-affecting failure costs the emergency renewal plus
+      traffic-disruption penalties — an order of magnitude above any
+      planned action, which is what makes preventive maintenance pay.
+    """
+    return CostModel(
+        inspection_visit=25.0,
+        # The three per-action inspection modules of
+        # repro.eijoint.strategies model ONE physical inspection round:
+        # the visit is priced once (on the clean module).
+        module_visit_costs={
+            "inspect_repair": 0.0,
+            "inspect_replace": 0.0,
+        },
+        action_costs={"clean": 150.0, "repair": 400.0, "replace": 2500.0},
+        event_action_costs={
+            ("bolt_1", "repair"): 120.0,
+            ("bolt_2", "repair"): 120.0,
+            ("bolt_3", "repair"): 120.0,
+            ("bolt_4", "repair"): 120.0,
+            ("metal_overflow", "repair"): 350.0,
+        },
+        system_failure=20_000.0,
+        corrective_factor=1.5,
+        downtime_per_year=250_000.0,
+    )

@@ -1,0 +1,209 @@
+"""Maintenance strategies of the EI-joint evaluation.
+
+The central knob is the inspection frequency.  One physical inspection
+round checks all inspectable failure modes; because different modes get
+different remedies, the round is modelled as three synchronised
+inspection modules (clean / repair / replace) sharing the same period —
+the cost model prices the visit once (see
+:func:`repro.eijoint.parameters.default_cost_model`).
+
+Strategies provided:
+
+* :func:`unmaintained` — nothing at all, failure absorbing (pure
+  reliability study);
+* :func:`no_maintenance` — corrective renewal after failure only;
+* :func:`inspection_policy` — condition-based maintenance with a given
+  number of inspection rounds per year, optionally plus periodic
+  renewal;
+* :func:`renewal_only` — time-based periodic renewal, no inspections;
+* :func:`current_policy` — the policy in force: quarterly inspection
+  rounds, condition-based replacement, corrective renewal on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.eijoint.parameters import EIJointParameters, default_parameters
+from repro.errors import ValidationError
+from repro.maintenance.actions import MaintenanceAction
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.strategy import MaintenanceStrategy
+
+__all__ = [
+    "unmaintained",
+    "no_maintenance",
+    "inspection_policy",
+    "renewal_only",
+    "current_policy",
+    "strategy_grid",
+    "INSPECT_CLEAN",
+    "INSPECT_REPAIR",
+    "INSPECT_REPLACE",
+    "PERIODIC_RENEWAL",
+]
+
+INSPECT_CLEAN = "inspect_clean"
+INSPECT_REPAIR = "inspect_repair"
+INSPECT_REPLACE = "inspect_replace"
+PERIODIC_RENEWAL = "periodic_renewal"
+
+#: Inspections per year of the policy currently in force (quarterly).
+CURRENT_INSPECTIONS_PER_YEAR = 4.0
+
+
+def unmaintained(
+    parameters: Optional[EIJointParameters] = None,
+) -> MaintenanceStrategy:
+    """No maintenance; the first system failure is absorbing."""
+    return MaintenanceStrategy.absorbing("unmaintained")
+
+
+def no_maintenance(
+    parameters: Optional[EIJointParameters] = None,
+) -> MaintenanceStrategy:
+    """Corrective-only: the joint is renewed after each failure."""
+    parameters = parameters if parameters is not None else default_parameters()
+    return MaintenanceStrategy(
+        name="corrective-only",
+        on_system_failure="replace",
+        system_repair_time=parameters.system_repair_time,
+        description="no inspections; emergency renewal after failure",
+    )
+
+
+def inspection_policy(
+    inspections_per_year: float,
+    renewal_years: Optional[float] = None,
+    delay: float = 0.0,
+    timing: str = "periodic",
+    parameters: Optional[EIJointParameters] = None,
+    name: Optional[str] = None,
+    detection_probability: float = 1.0,
+) -> MaintenanceStrategy:
+    """Condition-based maintenance with periodic inspection rounds.
+
+    Parameters
+    ----------
+    inspections_per_year:
+        Inspection rounds per year (> 0); e.g. 4 for quarterly.
+    renewal_years:
+        Optionally also renew the whole joint every so many years.
+    delay:
+        Work-planning delay between detection and remedy, years.
+    timing:
+        ``"periodic"`` or ``"exponential"`` (see
+        :class:`~repro.maintenance.modules.InspectionModule`).
+    detection_probability:
+        Probability that a visit notices a degraded target (imperfect
+        inspections; 1.0 = perfect).
+    """
+    if inspections_per_year <= 0.0:
+        raise ValidationError(
+            "inspections_per_year must be > 0; use no_maintenance() for none"
+        )
+    parameters = parameters if parameters is not None else default_parameters()
+    period = 1.0 / inspections_per_year
+    groups: Dict[str, List[str]] = {"clean": [], "repair": [], "replace": []}
+    for mode in parameters.modes:
+        if mode.inspectable:
+            groups[mode.action].append(mode.name)
+
+    module_names = {
+        "clean": INSPECT_CLEAN,
+        "repair": INSPECT_REPAIR,
+        "replace": INSPECT_REPLACE,
+    }
+    inspections = tuple(
+        InspectionModule(
+            module_names[kind],
+            period=period,
+            targets=targets,
+            action=MaintenanceAction(kind),
+            delay=delay,
+            timing=timing,
+            detection_probability=detection_probability,
+        )
+        for kind, targets in groups.items()
+        if targets
+    )
+    repairs = ()
+    if renewal_years is not None:
+        repairs = (_renewal_module(renewal_years, parameters, timing),)
+    if name is None:
+        name = f"inspect-{inspections_per_year:g}x"
+        if renewal_years is not None:
+            name += f"+renew-{renewal_years:g}y"
+    return MaintenanceStrategy(
+        name=name,
+        inspections=inspections,
+        repairs=repairs,
+        on_system_failure="replace",
+        system_repair_time=parameters.system_repair_time,
+        description=(
+            f"{inspections_per_year:g} inspection rounds/year, "
+            "condition-based remedies"
+            + (
+                f", full renewal every {renewal_years:g} years"
+                if renewal_years is not None
+                else ""
+            )
+        ),
+    )
+
+
+def renewal_only(
+    renewal_years: float,
+    parameters: Optional[EIJointParameters] = None,
+    timing: str = "periodic",
+) -> MaintenanceStrategy:
+    """Time-based maintenance: renew the joint periodically, never inspect."""
+    parameters = parameters if parameters is not None else default_parameters()
+    return MaintenanceStrategy(
+        name=f"renew-{renewal_years:g}y",
+        repairs=(_renewal_module(renewal_years, parameters, timing),),
+        on_system_failure="replace",
+        system_repair_time=parameters.system_repair_time,
+        description=f"full renewal every {renewal_years:g} years, no inspections",
+    )
+
+
+def current_policy(
+    parameters: Optional[EIJointParameters] = None,
+) -> MaintenanceStrategy:
+    """The maintenance policy currently in force: quarterly inspections."""
+    strategy = inspection_policy(
+        CURRENT_INSPECTIONS_PER_YEAR, parameters=parameters, name="current-policy"
+    )
+    return strategy
+
+
+def strategy_grid(
+    inspections_per_year: Sequence[float],
+    renewal_years: Optional[float] = None,
+    parameters: Optional[EIJointParameters] = None,
+) -> List[MaintenanceStrategy]:
+    """One strategy per inspection frequency (0 = corrective only)."""
+    strategies: List[MaintenanceStrategy] = []
+    for frequency in inspections_per_year:
+        if frequency == 0:
+            strategies.append(no_maintenance(parameters))
+        else:
+            strategies.append(
+                inspection_policy(
+                    frequency, renewal_years=renewal_years, parameters=parameters
+                )
+            )
+    return strategies
+
+
+def _renewal_module(
+    renewal_years: float, parameters: EIJointParameters, timing: str
+) -> RepairModule:
+    return RepairModule(
+        PERIODIC_RENEWAL,
+        period=renewal_years,
+        targets=[mode.name for mode in parameters.modes],
+        action=MaintenanceAction("replace"),
+        timing=timing,
+    )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the failing subsystem when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """The fault maintenance tree is structurally invalid.
+
+    Raised for problems such as cycles in the tree, duplicate element
+    names, gates with too few children, or maintenance modules that
+    reference unknown basic events.
+    """
+
+
+class ValidationError(ModelError):
+    """A model element has invalid parameters (e.g. a negative rate)."""
+
+
+class ParseError(ReproError):
+    """A textual model description could not be parsed.
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending statement, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class AnalysisError(ReproError):
+    """An analytic computation failed (e.g. singular linear system)."""
+
+
+class UnsupportedModelError(AnalysisError):
+    """The model uses features the requested analysis cannot handle.
+
+    For example, asking for minimal cut sets of a tree containing a
+    priority-AND gate, or compiling a tree with deterministic inspection
+    intervals to a CTMC without enabling the exponential approximation.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class EstimationError(ReproError):
+    """Parameter estimation from data failed (e.g. no uncensored samples)."""

@@ -1,0 +1,103 @@
+"""Shared plumbing of the experiment harness.
+
+Experiments return :class:`ExperimentResult` — a titled table of rows
+plus free-form notes — which renders to aligned monospace text.  The
+benchmarks and the CLI only differ in the
+:class:`ExperimentConfig` they pass (replication counts, horizon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.errors import ValidationError
+from repro.stats.confidence import ConfidenceInterval
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "format_ci"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``quick()`` returns a configuration scaled down for smoke tests and
+    benchmark runs; headline numbers in EXPERIMENTS.md use the default.
+    """
+
+    n_runs: int = 2000
+    horizon: float = 50.0
+    seed: int = 2016
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise ValidationError(f"n_runs must be >= 1, got {self.n_runs}")
+        if self.horizon <= 0.0:
+            raise ValidationError(f"horizon must be positive, got {self.horizon}")
+
+    def quick(self) -> "ExperimentConfig":
+        """A cheap variant for smoke tests (same seed, fewer runs)."""
+        return replace(self, n_runs=max(100, self.n_runs // 20))
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: table + notes.
+
+    ``rows`` hold already-formatted strings so rendering is trivial and
+    the benchmarks can assert on exact cell contents.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are str()-ed."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValidationError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, header: str) -> List[str]:
+        """All cells of one column (for assertions in tests/benches)."""
+        try:
+            index = self.headers.index(header)
+        except ValueError as exc:
+            raise ValidationError(f"no column {header!r}") from exc
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned monospace table."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(self.headers))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def format_ci(interval: ConfidenceInterval, digits: int = 4) -> str:
+    """Compact ``estimate ±half-width`` rendering of an interval."""
+    return (
+        f"{interval.estimate:.{digits}g} "
+        f"±{interval.half_width:.{max(2, digits - 1)}g}"
+    )

@@ -1,0 +1,80 @@
+"""OPT — cost-optimal inspection frequency via golden-section search.
+
+Operationalizes the paper's conclusion ("the current maintenance policy
+is close to cost-optimal"): instead of reading the optimum off the F6
+grid, a golden-section search over the continuous inspection frequency
+finds the minimiser of the expected annual cost, and the result is
+compared against the current quarterly policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.eijoint.model import build_ei_joint_fmt
+from repro.eijoint.parameters import default_cost_model, default_parameters
+from repro.eijoint.strategies import (
+    CURRENT_INSPECTIONS_PER_YEAR,
+    current_policy,
+    inspection_policy,
+)
+from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.maintenance.optimizer import optimize_frequency
+from repro.simulation.montecarlo import MonteCarlo
+
+__all__ = ["run"]
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Search the frequency axis and compare with the current policy."""
+    cfg = config if config is not None else ExperimentConfig()
+    parameters = default_parameters()
+    tree = build_ei_joint_fmt(parameters)
+    cost_model = default_cost_model()
+
+    best = optimize_frequency(
+        tree,
+        lambda f: inspection_policy(f, parameters=parameters),
+        cost_model,
+        lower=0.5,
+        upper=12.0,
+        horizon=cfg.horizon,
+        n_runs=cfg.n_runs,
+        seed=cfg.seed,
+        tolerance=0.25,
+    )
+    current = MonteCarlo(
+        tree,
+        current_policy(parameters),
+        horizon=cfg.horizon,
+        cost_model=cost_model,
+        seed=cfg.seed,
+    ).run(cfg.n_runs, confidence=cfg.confidence)
+
+    result = ExperimentResult(
+        experiment_id="OPT",
+        title="Cost-optimal inspection frequency (golden-section search)",
+        headers=["policy", "inspections/yr", "cost/yr [EUR]", "ENF/yr"],
+    )
+    result.add_row(
+        "optimum found",
+        f"{best.parameter:.2f}",
+        format_ci(best.cost_per_year),
+        format_ci(best.failures_per_year),
+    )
+    result.add_row(
+        "current policy",
+        f"{CURRENT_INSPECTIONS_PER_YEAR:g}",
+        format_ci(current.cost_per_year),
+        format_ci(current.failures_per_year),
+    )
+    gap = (
+        (current.cost_per_year.estimate - best.cost_per_year.estimate)
+        / best.cost_per_year.estimate
+        * 100.0
+    )
+    result.notes.append(
+        f"the current policy is within {gap:.1f}% of the searched optimum "
+        "— 'close to cost-optimal', as the paper concludes"
+    )
+    return result

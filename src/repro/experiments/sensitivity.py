@@ -1,0 +1,80 @@
+"""S1 — parameter sensitivity (tornado) of the failure-rate prediction.
+
+The paper: "the faithfulness of quantitative analyses heavily depend on
+the accuracy of the parameter values in the models."  This experiment
+quantifies which parameters matter: each failure mode's mean lifetime
+is perturbed ×1.5 both ways and the induced swing of the ENF under the
+current policy is measured.  The ranking justifies where data
+collection and expert-interview effort should go — the modes that
+dominate the maintained joint's residual risk (the no-warning modes)
+and the fast inspectable modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.sensitivity import kpi_enf, tornado
+from repro.eijoint.model import build_ei_joint_fmt
+from repro.eijoint.parameters import default_parameters
+from repro.eijoint.strategies import current_policy
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+__all__ = ["run"]
+
+_FACTOR = 1.5
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Tornado of ENF/yr w.r.t. each mode's mean lifetime."""
+    cfg = config if config is not None else ExperimentConfig()
+    baseline_parameters = default_parameters()
+
+    def model_factory(name: str, multiplier: float):
+        mode = baseline_parameters.by_name[name]
+        parameters = baseline_parameters.with_mode(
+            name, mean_lifetime=mode.mean_lifetime * multiplier
+        )
+        return build_ei_joint_fmt(parameters)
+
+    entries = tornado(
+        model_factory,
+        parameters=[mode.name for mode in baseline_parameters.modes],
+        strategy=current_policy(baseline_parameters),
+        kpi=kpi_enf,
+        factor=_FACTOR,
+        horizon=cfg.horizon,
+        n_runs=cfg.n_runs,
+        seed=cfg.seed,
+    )
+
+    result = ExperimentResult(
+        experiment_id="S1",
+        title=f"Sensitivity of ENF/yr to mean lifetimes (x{_FACTOR:g} both "
+        "ways), current policy",
+        headers=[
+            "failure mode",
+            "ENF/yr @ /1.5",
+            "ENF/yr baseline",
+            "ENF/yr @ x1.5",
+            "swing",
+        ],
+    )
+    for entry in entries:
+        result.add_row(
+            entry.parameter,
+            f"{entry.low_value:.5f}",
+            f"{entry.baseline:.5f}",
+            f"{entry.high_value:.5f}",
+            f"{entry.swing:.5f}",
+        )
+    result.notes.append(
+        "swing = |ENF(mean/1.5) - ENF(mean*1.5)|; common random numbers "
+        "across perturbations"
+    )
+    result.notes.append(
+        "the top entries identify the parameters whose accuracy drives "
+        "the model's predictive quality — where the paper's data "
+        "collection and interviews had to focus"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""T2 — the maintenance strategies compared in the evaluation.
+
+Regenerates the strategy table: name, inspection frequency, renewal
+period, failure response, and description.  Structural only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.eijoint import strategies as s
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+__all__ = ["run", "evaluated_strategies"]
+
+
+def evaluated_strategies():
+    """The named strategies of the evaluation, in table order."""
+    return [
+        s.unmaintained(),
+        s.no_maintenance(),
+        s.inspection_policy(1),
+        s.inspection_policy(2),
+        s.current_policy(),
+        s.inspection_policy(8),
+        s.inspection_policy(12),
+        s.inspection_policy(4, renewal_years=25),
+        s.renewal_only(10),
+    ]
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Tabulate the evaluated maintenance strategies."""
+    result = ExperimentResult(
+        experiment_id="T2",
+        title="Maintenance strategies under comparison",
+        headers=[
+            "strategy",
+            "inspections/yr",
+            "renewal",
+            "on failure",
+            "description",
+        ],
+    )
+    for strategy in evaluated_strategies():
+        renewal = "-"
+        if strategy.repairs:
+            renewal = ", ".join(f"{m.period:g}y" for m in strategy.repairs)
+        result.add_row(
+            strategy.name,
+            f"{strategy.inspection_rounds_per_year:g}",
+            renewal,
+            strategy.on_system_failure,
+            strategy.description,
+        )
+    result.notes.append(
+        "current-policy = quarterly inspection rounds with condition-based "
+        "clean/repair/replace; corrective renewal after failure"
+    )
+    return result

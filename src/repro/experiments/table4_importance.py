@@ -1,0 +1,95 @@
+"""T4 — failure-mode importance: which modes drive joint failures.
+
+Combines two views the paper uses to justify where inspection effort
+goes:
+
+* **static importance measures** (Birnbaum, Fussell-Vesely) of each
+  failure mode on the independent (RDEP-stripped) tree at mid-life;
+* **simulated failure shares** under (a) no maintenance and (b) the
+  current policy — showing how condition-based maintenance flips the
+  ranking: the fast-degrading but inspectable modes dominate the
+  unmaintained joint, while the no-warning modes dominate the residual
+  failures of the maintained joint.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.analysis.importance import importance_table
+from repro.eijoint.model import build_ei_joint_fmt
+from repro.eijoint.parameters import default_parameters
+from repro.eijoint.strategies import current_policy, no_maintenance
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.simulation.montecarlo import MonteCarlo
+
+__all__ = ["run"]
+
+_IMPORTANCE_TIME = 5.0
+
+
+def _failure_shares(tree, strategy, cfg) -> Counter:
+    """Component failures that coincide with a system failure."""
+    mc = MonteCarlo(
+        tree, strategy, horizon=cfg.horizon, seed=cfg.seed, record_events=True
+    )
+    shares: Counter = Counter()
+    for trajectory in mc.sample(max(200, cfg.n_runs // 4)):
+        system_times = set(trajectory.failure_times)
+        for event in trajectory.events:
+            if event.kind == "failure" and event.time in system_times:
+                shares[event.component] += 1
+    return shares
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Tabulate importance measures and simulated failure shares."""
+    cfg = config if config is not None else ExperimentConfig()
+    parameters = default_parameters()
+    tree = build_ei_joint_fmt(parameters)
+
+    static = importance_table(
+        tree.without_dependencies(), _IMPORTANCE_TIME
+    )
+    unmaintained_shares = _failure_shares(tree, no_maintenance(parameters), cfg)
+    maintained_shares = _failure_shares(tree, current_policy(parameters), cfg)
+    total_unmaintained = sum(unmaintained_shares.values()) or 1
+    total_maintained = sum(maintained_shares.values()) or 1
+
+    result = ExperimentResult(
+        experiment_id="T4",
+        title="Failure-mode importance and simulated failure shares",
+        headers=[
+            "failure mode",
+            f"Birnbaum({_IMPORTANCE_TIME:g}y)",
+            f"FV({_IMPORTANCE_TIME:g}y)",
+            "share unmaintained",
+            "share current policy",
+        ],
+    )
+    ranked = sorted(
+        parameters.modes,
+        key=lambda mode: static[mode.name].fussell_vesely,
+        reverse=True,
+    )
+    for mode in ranked:
+        measures = static[mode.name]
+        result.add_row(
+            mode.name,
+            f"{measures.birnbaum:.4f}",
+            f"{measures.fussell_vesely:.3f}",
+            f"{unmaintained_shares.get(mode.name, 0) / total_unmaintained:.1%}",
+            f"{maintained_shares.get(mode.name, 0) / total_maintained:.1%}",
+        )
+    result.notes.append(
+        "static measures computed on the RDEP-stripped tree (independence "
+        "required); shares count component failures coinciding with a "
+        "system failure"
+    )
+    result.notes.append(
+        "the current policy suppresses the inspectable modes, so the "
+        "no-warning modes (endpost defect, rail break) dominate the "
+        "residual failures"
+    )
+    return result

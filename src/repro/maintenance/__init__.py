@@ -1,0 +1,50 @@
+"""Maintenance modelling: actions, inspection/repair modules, costs.
+
+This package provides the *maintenance* half of the FMT formalism:
+
+* :class:`~repro.maintenance.actions.MaintenanceAction` — what is done
+  to a component (clean / repair / replace), expressed as a phase
+  restoration;
+* :class:`~repro.maintenance.modules.InspectionModule` — periodic
+  condition inspections that detect degraded components (at or past
+  their threshold phase) and schedule an action for them;
+* :class:`~repro.maintenance.modules.RepairModule` — periodic
+  time-based overhaul/renewal that restores components regardless of
+  condition;
+* :class:`~repro.maintenance.costs.CostModel` and
+  :class:`~repro.maintenance.costs.CostBreakdown` — the money side of
+  the KPIs;
+* :class:`~repro.maintenance.strategy.MaintenanceStrategy` — a named
+  bundle of modules plus the system-failure response, the unit the
+  experiments sweep over.
+"""
+
+from repro.maintenance.actions import (
+    MaintenanceAction,
+    clean,
+    repair,
+    replace,
+)
+from repro.maintenance.costs import CostBreakdown, CostModel
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.optimizer import (
+    PolicyEvaluation,
+    evaluate_strategies,
+    optimize_frequency,
+)
+from repro.maintenance.strategy import MaintenanceStrategy
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "InspectionModule",
+    "MaintenanceAction",
+    "MaintenanceStrategy",
+    "PolicyEvaluation",
+    "RepairModule",
+    "clean",
+    "evaluate_strategies",
+    "optimize_frequency",
+    "repair",
+    "replace",
+]

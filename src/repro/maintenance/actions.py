@@ -1,0 +1,105 @@
+"""Maintenance actions: what a crew does to a degraded component.
+
+Actions are expressed in terms of the degradation-phase model of
+extended basic events: an action moves the component back some number
+of phases (partial restoration) or all the way to pristine (renewal).
+The distinction between *clean*, *repair* and *replace* matters for the
+cost model — each action kind is priced separately per component — and
+for reporting; their phase semantics are configurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ValidationError
+
+__all__ = ["MaintenanceAction", "clean", "repair", "replace"]
+
+_KINDS = ("clean", "repair", "replace")
+
+
+@dataclass(frozen=True)
+class MaintenanceAction:
+    """A restoration applied to an extended basic event.
+
+    Parameters
+    ----------
+    kind:
+        ``"clean"``, ``"repair"`` or ``"replace"``; used as the key into
+        the cost model and in incident records.
+    restore_phases:
+        How many degradation phases the action undoes.  ``None`` means
+        full restoration to phase 0 (as-good-as-new).  A finite value
+        models imperfect maintenance: e.g. cleaning a polluted joint
+        removes the pollution built up so far (back a few phases) but
+        does not undo structural wear.
+    duration:
+        Time the action takes, in years (downtime for availability
+        KPIs).  Defaults to instantaneous.
+    """
+
+    kind: str
+    restore_phases: Optional[int] = None
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValidationError(
+                f"unknown action kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.restore_phases is not None and self.restore_phases < 1:
+            raise ValidationError(
+                f"restore_phases must be >= 1 or None, got {self.restore_phases}"
+            )
+        if not math.isfinite(self.duration) or self.duration < 0.0:
+            raise ValidationError(
+                f"duration must be non-negative and finite, got {self.duration}"
+            )
+
+    @property
+    def is_full_restoration(self) -> bool:
+        """Whether the action returns the component to phase 0."""
+        return self.restore_phases is None
+
+    def resulting_phase(self, current_phase: int) -> int:
+        """Phase the component occupies after applying this action."""
+        if current_phase < 0:
+            raise ValidationError(f"current_phase must be >= 0, got {current_phase}")
+        if self.restore_phases is None:
+            return 0
+        return max(0, current_phase - self.restore_phases)
+
+    def to_dict(self) -> dict:
+        """Serializable description."""
+        return {
+            "kind": self.kind,
+            "restore_phases": self.restore_phases,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MaintenanceAction":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"],
+            restore_phases=data.get("restore_phases"),
+            duration=data.get("duration", 0.0),
+        )
+
+
+def clean(restore_phases: Optional[int] = None, duration: float = 0.0) -> MaintenanceAction:
+    """A cleaning action (default: full restoration of the cleaned mode)."""
+    return MaintenanceAction("clean", restore_phases, duration)
+
+
+def repair(restore_phases: Optional[int] = None, duration: float = 0.0) -> MaintenanceAction:
+    """A repair action (e.g. grinding off metal overflow)."""
+    return MaintenanceAction("repair", restore_phases, duration)
+
+
+def replace(duration: float = 0.0) -> MaintenanceAction:
+    """A replacement: always a full restoration to as-good-as-new."""
+    return MaintenanceAction("replace", None, duration)

@@ -1,0 +1,205 @@
+"""Cost model and cost accounting for maintenance strategies.
+
+The cost KPI of the paper weighs planned maintenance (inspections,
+cleaning/repair/replacement actions) against unplanned system failures
+(emergency repair plus service-disruption penalties).  The
+:class:`CostModel` prices each accountable event; the simulator
+accumulates a :class:`CostBreakdown` per trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["CostModel", "CostBreakdown"]
+
+_ACTION_KINDS = ("clean", "repair", "replace")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices for every accountable maintenance/failure event (EUR).
+
+    Parameters
+    ----------
+    inspection_visit:
+        Cost of one execution of one inspection module (crew visit).
+    module_visit_costs:
+        Per-module overrides of the visit cost, keyed by module name.
+        Useful when several inspection modules with different actions
+        model a single physical inspection round: price the round on
+        one module and zero on the others.
+    action_costs:
+        Default cost per action kind: ``{"clean": ..., "repair": ...,
+        "replace": ...}``.  Missing kinds default to 0.
+    event_action_costs:
+        Per-event overrides: ``{(event_name, kind): cost}``.
+    system_failure:
+        Penalty per top-event occurrence (service disruption, fines,
+        emergency call-out) — on top of the corrective replacement.
+    corrective_factor:
+        Multiplier applied to replacement cost when performed
+        correctively (unplanned) instead of preventively.
+    downtime_per_year:
+        Cost rate for system downtime (EUR per year of unavailability).
+    discount_rate:
+        Continuous discount rate per year for net-present-value
+        accounting; 0 (default) means undiscounted totals.  With a
+        positive rate every charge at simulation time ``t`` enters the
+        books as ``amount * exp(-discount_rate * t)``.
+    """
+
+    inspection_visit: float = 0.0
+    discount_rate: float = 0.0
+    module_visit_costs: Mapping[str, float] = field(default_factory=dict)
+    action_costs: Mapping[str, float] = field(default_factory=dict)
+    event_action_costs: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+    system_failure: float = 0.0
+    corrective_factor: float = 1.0
+    downtime_per_year: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, value in [
+            ("inspection_visit", self.inspection_visit),
+            ("system_failure", self.system_failure),
+            ("downtime_per_year", self.downtime_per_year),
+            ("discount_rate", self.discount_rate),
+        ]:
+            if not math.isfinite(value) or value < 0.0:
+                raise ValidationError(f"{label} must be >= 0, got {value}")
+        if not math.isfinite(self.corrective_factor) or self.corrective_factor < 1.0:
+            raise ValidationError(
+                f"corrective_factor must be >= 1, got {self.corrective_factor}"
+            )
+        for kind in self.action_costs:
+            if kind not in _ACTION_KINDS:
+                raise ValidationError(f"unknown action kind {kind!r} in action_costs")
+        for (_, kind) in self.event_action_costs:
+            if kind not in _ACTION_KINDS:
+                raise ValidationError(
+                    f"unknown action kind {kind!r} in event_action_costs"
+                )
+        for module, value in self.module_visit_costs.items():
+            if not math.isfinite(value) or value < 0.0:
+                raise ValidationError(
+                    f"visit cost of module {module!r} must be >= 0, got {value}"
+                )
+
+    def visit_cost(self, module_name: str) -> float:
+        """Cost of one visit of the named inspection module."""
+        return self.module_visit_costs.get(module_name, self.inspection_visit)
+
+    def discount_factor(self, time: float) -> float:
+        """Present-value factor for a charge at simulation time ``time``."""
+        if self.discount_rate == 0.0:
+            return 1.0
+        return math.exp(-self.discount_rate * time)
+
+    def discounted_downtime_cost(self, start: float, end: float) -> float:
+        """Present value of downtime over ``[start, end]``.
+
+        The downtime cost accrues continuously at ``downtime_per_year``;
+        with discounting the integral has the closed form
+        ``c * (e^{-r*start} - e^{-r*end}) / r``.
+        """
+        if end < start:
+            raise ValidationError(f"end {end} before start {start}")
+        if self.discount_rate == 0.0:
+            return self.downtime_per_year * (end - start)
+        r = self.discount_rate
+        return (
+            self.downtime_per_year
+            * (math.exp(-r * start) - math.exp(-r * end))
+            / r
+        )
+
+    def action_cost(self, event_name: str, kind: str, corrective: bool = False) -> float:
+        """Cost of performing ``kind`` on ``event_name``.
+
+        Per-event overrides take precedence over the per-kind defaults.
+        Corrective replacements are scaled by ``corrective_factor``.
+        """
+        if kind not in _ACTION_KINDS:
+            raise ValidationError(f"unknown action kind {kind!r}")
+        cost = self.event_action_costs.get(
+            (event_name, kind), self.action_costs.get(kind, 0.0)
+        )
+        if corrective:
+            cost *= self.corrective_factor
+        return cost
+
+
+@dataclass
+class CostBreakdown:
+    """Accumulated costs of one trajectory (or an average of many).
+
+    All amounts are totals over the simulated horizon unless rescaled
+    with :meth:`per_year`.
+    """
+
+    inspections: float = 0.0
+    preventive: float = 0.0
+    corrective: float = 0.0
+    failures: float = 0.0
+    downtime: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Grand total over all categories."""
+        return (
+            self.inspections
+            + self.preventive
+            + self.corrective
+            + self.failures
+            + self.downtime
+        )
+
+    @property
+    def planned(self) -> float:
+        """Planned-maintenance spend: inspections + preventive actions."""
+        return self.inspections + self.preventive
+
+    @property
+    def unplanned(self) -> float:
+        """Unplanned spend: corrective actions, failures, downtime."""
+        return self.corrective + self.failures + self.downtime
+
+    def add(self, other: "CostBreakdown") -> "CostBreakdown":
+        """In-place accumulation; returns self for chaining."""
+        self.inspections += other.inspections
+        self.preventive += other.preventive
+        self.corrective += other.corrective
+        self.failures += other.failures
+        self.downtime += other.downtime
+        return self
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        """A new breakdown with every category multiplied by ``factor``."""
+        return CostBreakdown(
+            inspections=self.inspections * factor,
+            preventive=self.preventive * factor,
+            corrective=self.corrective * factor,
+            failures=self.failures * factor,
+            downtime=self.downtime * factor,
+        )
+
+    def per_year(self, horizon: float) -> "CostBreakdown":
+        """Average annual breakdown over a horizon of ``horizon`` years."""
+        if horizon <= 0.0:
+            raise ValidationError(f"horizon must be positive, got {horizon}")
+        return self.scaled(1.0 / horizon)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view including the total."""
+        return {
+            "inspections": self.inspections,
+            "preventive": self.preventive,
+            "corrective": self.corrective,
+            "failures": self.failures,
+            "downtime": self.downtime,
+            "total": self.total,
+        }

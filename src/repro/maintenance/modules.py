@@ -1,0 +1,245 @@
+"""Inspection and repair modules of a fault maintenance tree.
+
+Modules are *schedules over sets of basic events*:
+
+* An :class:`InspectionModule` visits its targets every ``period`` years
+  and checks their condition.  A target whose degradation phase is at or
+  past its detection threshold gets the module's maintenance action
+  (optionally after a planning ``delay``).  A target found failed is
+  replaced (corrective maintenance discovered by inspection).
+* A :class:`RepairModule` performs *time-based* maintenance: every
+  ``period`` years its action is applied to all targets regardless of
+  their condition.  With a ``replace`` action this models periodic
+  renewal of the asset.
+
+Modules are plain descriptions; their execution lives in
+:mod:`repro.simulation.executor`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.maintenance.actions import MaintenanceAction, replace
+
+__all__ = ["InspectionModule", "RepairModule"]
+
+_TIMINGS = ("periodic", "exponential")
+
+
+def _validate_timing(name: str, timing: str) -> str:
+    if timing not in _TIMINGS:
+        raise ValidationError(
+            f"{name}: timing must be one of {_TIMINGS}, got {timing!r}"
+        )
+    return timing
+
+
+def _validate_period(name: str, period: float) -> float:
+    period = float(period)
+    if not math.isfinite(period) or period <= 0.0:
+        raise ValidationError(
+            f"{name}: period must be positive and finite, got {period}"
+        )
+    return period
+
+
+def _validate_offset(name: str, offset: Optional[float], period: float) -> float:
+    if offset is None:
+        return period
+    offset = float(offset)
+    if not math.isfinite(offset) or offset < 0.0:
+        raise ValidationError(
+            f"{name}: offset must be non-negative and finite, got {offset}"
+        )
+    return offset
+
+
+def _validate_targets(name: str, targets: Sequence[str]) -> Tuple[str, ...]:
+    result = tuple(targets)
+    if not result:
+        raise ValidationError(f"{name}: module needs at least one target")
+    if len(set(result)) != len(result):
+        raise ValidationError(f"{name}: duplicate targets")
+    return result
+
+
+class InspectionModule:
+    """Periodic condition-based inspection of a set of basic events.
+
+    Parameters
+    ----------
+    name:
+        Unique module name.
+    period:
+        Years between inspections.
+    targets:
+        Names of the inspected basic events.  Every target must have a
+        detection threshold (enforced by the tree's validation).
+    action:
+        Maintenance action applied to a target found degraded.
+        Defaults to full replacement.
+    delay:
+        Years between detecting a degraded component and performing the
+        action (work-planning latency).  During the delay the component
+        keeps degrading and may still fail.
+    offset:
+        Time of the first inspection; defaults to ``period`` (the first
+        inspection happens one full period after installation).
+    detect_failures:
+        Whether a target found already failed during an inspection is
+        replaced on the spot.  Normally true; disable to model
+        inspections that only look for the specific degradation sign.
+    timing:
+        ``"periodic"`` (default): inspections at fixed intervals, the
+        realistic schedule.  ``"exponential"``: exponentially
+        distributed inter-inspection times with the same mean — the
+        Markovian approximation used by the CTMC compiler, also
+        supported by the simulator so the two can be cross-validated on
+        identical semantics.
+    detection_probability:
+        Probability that an inspection notices a target that *is* at or
+        past its threshold phase (imperfect inspection).  Misses are
+        independent across targets and visits.  Default 1.0 (perfect).
+    """
+
+    __slots__ = ("name", "period", "targets", "action", "delay", "offset",
+                 "detect_failures", "timing", "detection_probability")
+
+    def __init__(
+        self,
+        name: str,
+        period: float,
+        targets: Sequence[str],
+        action: Optional[MaintenanceAction] = None,
+        delay: float = 0.0,
+        offset: Optional[float] = None,
+        detect_failures: bool = True,
+        timing: str = "periodic",
+        detection_probability: float = 1.0,
+    ):
+        self.name = name
+        self.period = _validate_period(name, period)
+        self.targets = _validate_targets(name, targets)
+        self.action = action if action is not None else replace()
+        delay = float(delay)
+        if not math.isfinite(delay) or delay < 0.0:
+            raise ValidationError(
+                f"{name}: delay must be non-negative and finite, got {delay}"
+            )
+        self.delay = delay
+        self.offset = _validate_offset(name, offset, self.period)
+        self.detect_failures = bool(detect_failures)
+        self.timing = _validate_timing(name, timing)
+        detection_probability = float(detection_probability)
+        if not 0.0 < detection_probability <= 1.0:
+            raise ValidationError(
+                f"{name}: detection_probability must be in (0, 1], "
+                f"got {detection_probability}"
+            )
+        self.detection_probability = detection_probability
+
+    @property
+    def frequency(self) -> float:
+        """Inspections per year."""
+        return 1.0 / self.period
+
+    def to_dict(self) -> dict:
+        """Serializable description."""
+        return {
+            "type": "inspection",
+            "name": self.name,
+            "period": self.period,
+            "targets": list(self.targets),
+            "action": self.action.to_dict(),
+            "delay": self.delay,
+            "offset": self.offset,
+            "detect_failures": self.detect_failures,
+            "timing": self.timing,
+            "detection_probability": self.detection_probability,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InspectionModule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            period=data["period"],
+            targets=data["targets"],
+            action=MaintenanceAction.from_dict(data["action"])
+            if "action" in data
+            else None,
+            delay=data.get("delay", 0.0),
+            offset=data.get("offset"),
+            detect_failures=data.get("detect_failures", True),
+            timing=data.get("timing", "periodic"),
+            detection_probability=data.get("detection_probability", 1.0),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InspectionModule({self.name!r}, period={self.period:g}, "
+            f"targets={list(self.targets)}, action={self.action.kind})"
+        )
+
+
+class RepairModule:
+    """Periodic time-based maintenance of a set of basic events.
+
+    Every ``period`` years (starting at ``offset``) the module applies
+    its ``action`` to all targets, whatever their condition.  A
+    ``replace`` action makes this a periodic-renewal policy.  ``timing``
+    behaves as for :class:`InspectionModule`.
+    """
+
+    __slots__ = ("name", "period", "targets", "action", "offset", "timing")
+
+    def __init__(
+        self,
+        name: str,
+        period: float,
+        targets: Sequence[str],
+        action: Optional[MaintenanceAction] = None,
+        offset: Optional[float] = None,
+        timing: str = "periodic",
+    ):
+        self.name = name
+        self.period = _validate_period(name, period)
+        self.targets = _validate_targets(name, targets)
+        self.action = action if action is not None else replace()
+        self.offset = _validate_offset(name, offset, self.period)
+        self.timing = _validate_timing(name, timing)
+
+    def to_dict(self) -> dict:
+        """Serializable description."""
+        return {
+            "type": "repair",
+            "name": self.name,
+            "period": self.period,
+            "targets": list(self.targets),
+            "action": self.action.to_dict(),
+            "offset": self.offset,
+            "timing": self.timing,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RepairModule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            period=data["period"],
+            targets=data["targets"],
+            action=MaintenanceAction.from_dict(data["action"])
+            if "action" in data
+            else None,
+            offset=data.get("offset"),
+            timing=data.get("timing", "periodic"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairModule({self.name!r}, period={self.period:g}, "
+            f"targets={list(self.targets)}, action={self.action.kind})"
+        )

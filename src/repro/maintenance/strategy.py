@@ -1,0 +1,145 @@
+"""Maintenance strategies: the unit the experiments compare and sweep.
+
+A :class:`MaintenanceStrategy` bundles the inspection and repair modules
+that should be attached to a model, together with the response to a
+system-level failure.  The experiments of the paper compare strategies
+such as "no maintenance", "inspections every 3 months", "inspections
+plus periodic renewal" — each is one strategy object applied to the
+same base tree via :meth:`MaintenanceStrategy.apply`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.maintenance.modules import InspectionModule, RepairModule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tree import FaultMaintenanceTree
+
+__all__ = ["MaintenanceStrategy"]
+
+_FAILURE_RESPONSES = ("replace", "none")
+
+
+@dataclass(frozen=True)
+class MaintenanceStrategy:
+    """A named maintenance policy for a fault maintenance tree.
+
+    Parameters
+    ----------
+    name:
+        Strategy name used in tables and plots.
+    inspections:
+        Inspection modules to attach.
+    repairs:
+        Repair (time-based maintenance) modules to attach.
+    on_system_failure:
+        ``"replace"``: a system failure is detected immediately and the
+        whole asset is renewed (every basic event restored to pristine)
+        after ``system_repair_time`` years of downtime — the realistic
+        setting for the EI-joint, whose failure trips train detection
+        and is therefore noticed at once.  ``"none"``: the failure is
+        absorbing; used for pure reliability studies.
+    system_repair_time:
+        Downtime of the corrective renewal, in years.
+    description:
+        Free text shown in the strategy table.
+    """
+
+    name: str
+    inspections: Tuple[InspectionModule, ...] = ()
+    repairs: Tuple[RepairModule, ...] = ()
+    on_system_failure: str = "replace"
+    system_repair_time: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.on_system_failure not in _FAILURE_RESPONSES:
+            raise ValidationError(
+                f"{self.name}: on_system_failure must be one of "
+                f"{_FAILURE_RESPONSES}, got {self.on_system_failure!r}"
+            )
+        if (
+            not math.isfinite(self.system_repair_time)
+            or self.system_repair_time < 0.0
+        ):
+            raise ValidationError(
+                f"{self.name}: system_repair_time must be >= 0, "
+                f"got {self.system_repair_time}"
+            )
+        # Dataclass fields may arrive as lists; normalise to tuples.
+        object.__setattr__(self, "inspections", tuple(self.inspections))
+        object.__setattr__(self, "repairs", tuple(self.repairs))
+
+    @property
+    def inspections_per_year(self) -> float:
+        """Total inspection visits per year over all modules."""
+        return sum(1.0 / module.period for module in self.inspections)
+
+    @property
+    def inspection_rounds_per_year(self) -> float:
+        """Physical inspection rounds per year.
+
+        Modules sharing the same (period, offset, timing) model one
+        physical visit that checks several target groups; they count as
+        a single round.
+        """
+        schedules = {
+            (module.period, module.offset, module.timing)
+            for module in self.inspections
+        }
+        return sum(1.0 / period for period, _, _ in schedules)
+
+    def apply(self, tree: "FaultMaintenanceTree") -> "FaultMaintenanceTree":
+        """Attach this strategy's modules to ``tree`` (returns a copy)."""
+        return tree.with_maintenance(
+            inspections=self.inspections, repairs=self.repairs
+        )
+
+    def renamed(self, name: str, description: Optional[str] = None) -> "MaintenanceStrategy":
+        """A copy of the strategy under a different display name."""
+        return MaintenanceStrategy(
+            name=name,
+            inspections=self.inspections,
+            repairs=self.repairs,
+            on_system_failure=self.on_system_failure,
+            system_repair_time=self.system_repair_time,
+            description=self.description if description is None else description,
+        )
+
+    @classmethod
+    def none(cls, name: str = "no-maintenance") -> "MaintenanceStrategy":
+        """The do-nothing strategy (corrective renewal on failure only)."""
+        return cls(
+            name=name,
+            description="no inspections, no preventive maintenance; "
+            "renew the asset only after a failure",
+        )
+
+    @classmethod
+    def absorbing(cls, name: str = "unmaintained") -> "MaintenanceStrategy":
+        """No maintenance at all; system failure is absorbing.
+
+        This is the configuration for classical (static) fault-tree
+        reliability analysis, where the quantity of interest is the
+        time to *first* failure.
+        """
+        return cls(name=name, on_system_failure="none",
+                   description="failure is absorbing (reliability study)")
+
+    def __str__(self) -> str:
+        parts = [self.name]
+        if self.inspections:
+            periods = ", ".join(f"{m.period:g}y" for m in self.inspections)
+            parts.append(f"inspect every {periods}")
+        if self.repairs:
+            periods = ", ".join(f"{m.period:g}y" for m in self.repairs)
+            parts.append(f"overhaul every {periods}")
+        if not self.inspections and not self.repairs:
+            parts.append("corrective only" if self.on_system_failure == "replace"
+                         else "unmaintained")
+        return " | ".join(parts)

@@ -1,0 +1,44 @@
+"""Discrete-event Monte Carlo simulation of fault maintenance trees.
+
+The layering is:
+
+* :mod:`repro.simulation.engine` — a generic discrete-event core
+  (calendar queue, cancellable events, deterministic tie-breaking);
+* :mod:`repro.simulation.executor` — executes one trajectory of an FMT
+  under a maintenance strategy: phase-type degradation, RDEP
+  acceleration, periodic inspections and repairs, system-failure
+  response, full cost accounting;
+* :mod:`repro.simulation.trace` — the per-trajectory record;
+* :mod:`repro.simulation.metrics` — KPI estimators over trajectories;
+* :mod:`repro.simulation.montecarlo` — the replication driver with
+  confidence intervals and sequential stopping.
+"""
+
+from repro.simulation.engine import Engine, ScheduledEvent
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+from repro.simulation.metrics import (
+    KpiSummary,
+    availability_curve,
+    reliability_curve,
+    summarize,
+)
+from repro.simulation.montecarlo import MonteCarlo, MonteCarloResult
+from repro.simulation.parallel import sample_parallel, simulate_batch
+from repro.simulation.trace import ComponentEvent, Trajectory
+
+__all__ = [
+    "ComponentEvent",
+    "Engine",
+    "FMTSimulator",
+    "KpiSummary",
+    "MonteCarlo",
+    "MonteCarloResult",
+    "ScheduledEvent",
+    "SimulationConfig",
+    "Trajectory",
+    "availability_curve",
+    "reliability_curve",
+    "sample_parallel",
+    "simulate_batch",
+    "summarize",
+]

@@ -1,0 +1,158 @@
+"""Generic discrete-event simulation core.
+
+A minimal, fast event calendar: events are ``(time, priority, seq)``
+ordered, cancellable, and executed by callback.  Determinism is exact:
+given the same schedule calls, execution order is identical, because
+ties on time are broken first by an explicit integer priority and then
+by insertion sequence.
+
+The engine knows nothing about fault trees; :mod:`repro.simulation.executor`
+builds FMT semantics on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Engine", "ScheduledEvent"]
+
+
+class ScheduledEvent:
+    """Handle to a scheduled event; allows cancellation.
+
+    Instances are created by :meth:`Engine.schedule`; user code should
+    treat them as opaque except for :meth:`cancel` and :attr:`time`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(
+        self, time: float, priority: int, seq: int, callback: Callable[[], None]
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already executed."""
+        self.cancelled = True
+        self.callback = None  # break reference cycles early
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent(t={self.time:g}, prio={self.priority}, {state})"
+
+
+class Engine:
+    """Event calendar with a simulation clock.
+
+    The clock starts at 0.0 and only moves forward.  Scheduling an event
+    in the past raises :class:`~repro.errors.SimulationError` — a bug in
+    the caller, never a condition to silently repair.
+    """
+
+    def __init__(self):
+        self._queue: List[ScheduledEvent] = []
+        self._seq = 0
+        self.now = 0.0
+        self._running = False
+        self._stopped = False
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run at simulation time ``time``.
+
+        Lower ``priority`` values run first among same-time events; ties
+        beyond that preserve scheduling order.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule event at time {time}")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time:g} before now={self.now:g}"
+            )
+        event = ScheduledEvent(time, priority, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0.0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, callback, priority)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of non-cancelled events in the calendar."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        callback = event.callback
+        event.callback = None
+        assert callback is not None
+        callback()
+        return True
+
+    def run_until(self, t_end: float) -> None:
+        """Execute all events with time <= ``t_end``; clock ends at ``t_end``.
+
+        Re-entrant calls are rejected (an event callback must not drive
+        the engine it runs in).
+        """
+        if self._running:
+            raise SimulationError("run_until() called from within an event")
+        if t_end < self.now:
+            raise SimulationError(
+                f"t_end={t_end:g} is before current time {self.now:g}"
+            )
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                self._drop_cancelled()
+                if not self._queue or self._queue[0].time > t_end:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if not self._stopped:
+            self.now = t_end
+
+    def _drop_cancelled(self) -> None:
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)

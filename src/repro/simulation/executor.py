@@ -1,0 +1,461 @@
+"""Trajectory execution of a fault maintenance tree.
+
+:class:`FMTSimulator` simulates one life of the system at a time:
+
+* every basic event walks through its degradation phases with
+  exponential sojourns, accelerated multiplicatively by active rate
+  dependencies (RDEP);
+* gate states are propagated through the DAG on every component change;
+  priority-AND gates use exact order-sensitive semantics;
+* inspection modules fire periodically, detect targets at or past their
+  threshold phase, and schedule the module's maintenance action (after
+  an optional planning delay); targets found failed are replaced
+  correctively;
+* repair modules fire periodically and apply their action to all
+  targets regardless of condition;
+* a system (top-event) failure triggers the strategy's failure
+  response: corrective renewal of the whole asset after a repair time
+  (``on_system_failure="replace"``) or an absorbing stop
+  (``"none"``);
+* every priced occurrence is accumulated into a
+  :class:`~repro.maintenance.costs.CostBreakdown`.
+
+Determinism: trajectories are a pure function of the model, strategy,
+configuration, and the :class:`numpy.random.Generator` passed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dependencies import RateDependency
+from repro.core.events import BasicEvent
+from repro.core.gates import Gate, PandGate
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import SimulationError, ValidationError
+from repro.maintenance.actions import MaintenanceAction
+from repro.maintenance.costs import CostModel
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.engine import Engine, ScheduledEvent
+from repro.simulation.trace import ComponentEvent, Trajectory
+
+__all__ = ["FMTSimulator", "SimulationConfig"]
+
+# Same-time event ordering: component transitions first, then system
+# restoration, then time-based repairs, then inspections, then the
+# delayed actions inspections scheduled earlier.
+_PRIO_TRANSITION = 0
+_PRIO_RESTORE = 1
+_PRIO_REPAIR = 2
+_PRIO_INSPECTION = 3
+_PRIO_ACTION = 4
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level configuration of the simulator.
+
+    Parameters
+    ----------
+    horizon:
+        Length of each simulated trajectory, in years.
+    cost_model:
+        Prices for inspections, actions, failures and downtime.
+        Defaults to an all-zero model (KPIs other than cost are
+        unaffected).
+    record_events:
+        When true, every component-level event is appended to
+        :attr:`repro.simulation.trace.Trajectory.events` — needed by the
+        synthetic incident database, expensive for large replication
+        counts otherwise.
+    """
+
+    horizon: float
+    cost_model: CostModel = field(default_factory=CostModel)
+    record_events: bool = False
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0.0:
+            raise ValidationError(f"horizon must be positive, got {self.horizon}")
+
+
+class FMTSimulator:
+    """Simulates trajectories of one (tree, strategy) pair.
+
+    The constructor precomputes the static structure (parent map, RDEP
+    index, module target lists); :meth:`simulate` then runs one
+    trajectory per call using only the provided RNG for randomness.
+    """
+
+    def __init__(
+        self,
+        tree: FaultMaintenanceTree,
+        strategy: Optional[MaintenanceStrategy] = None,
+        config: Optional[SimulationConfig] = None,
+        horizon: Optional[float] = None,
+    ):
+        if config is None:
+            if horizon is None:
+                raise ValidationError("give either config= or horizon=")
+            config = SimulationConfig(horizon=horizon)
+        elif horizon is not None and horizon != config.horizon:
+            raise ValidationError("horizon= conflicts with config.horizon")
+        self.strategy = strategy if strategy is not None else MaintenanceStrategy.none()
+        self.tree = self.strategy.apply(tree)
+        self.config = config
+
+        self._events: Dict[str, BasicEvent] = self.tree.basic_events
+        self._top_name = self.tree.top.name
+        self._parents: Dict[str, Tuple[str, ...]] = {
+            name: self.tree.parents_of(name) for name in self.tree.nodes
+        }
+        self._rdeps_by_trigger: Dict[str, List[RateDependency]] = {}
+        self._rdeps_by_target: Dict[str, List[RateDependency]] = {}
+        for dep in self.tree.dependencies:
+            self._rdeps_by_trigger.setdefault(dep.trigger, []).append(dep)
+            for target in dep.targets:
+                self._rdeps_by_target.setdefault(target, []).append(dep)
+
+        # ----- per-run state (reset by _reset) -----
+        self._engine = Engine()
+        self._rng: np.random.Generator = np.random.default_rng(0)
+        self._phase: Dict[str, int] = {}
+        self._accel: Dict[str, float] = {}
+        self._transition: Dict[str, Optional[ScheduledEvent]] = {}
+        self._state: Dict[str, bool] = {}
+        self._fail_time: Dict[str, Optional[float]] = {}
+        self._pending_actions: Dict[str, Dict[str, ScheduledEvent]] = {}
+        self._system_down = False
+        self._down_since = 0.0
+        self._trajectory = Trajectory(horizon=config.horizon)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def simulate(self, rng: np.random.Generator) -> Trajectory:
+        """Run one trajectory to the horizon and return its record."""
+        self._reset(rng)
+        self._engine.run_until(self.config.horizon)
+        self._finalize()
+        return self._trajectory
+
+    # ------------------------------------------------------------------
+    # Setup / teardown
+    # ------------------------------------------------------------------
+    def _reset(self, rng: np.random.Generator) -> None:
+        self._engine = Engine()
+        self._rng = rng
+        self._phase = {name: 0 for name in self._events}
+        self._accel = {name: 1.0 for name in self._events}
+        self._transition = {name: None for name in self._events}
+        self._state = {name: False for name in self.tree.nodes}
+        self._fail_time = {name: None for name in self.tree.nodes}
+        self._pending_actions = {name: {} for name in self._events}
+        self._system_down = False
+        self._down_since = 0.0
+        self._trajectory = Trajectory(horizon=self.config.horizon)
+
+        for name in self._events:
+            self._schedule_transition(name)
+        for module in self.tree.inspections:
+            self._schedule_inspection(module, self._first_tick(module))
+        for module in self.tree.repairs:
+            self._schedule_repair(module, self._first_tick(module))
+
+    def _first_tick(self, module) -> float:
+        if module.timing == "exponential":
+            return self._rng.exponential(module.period)
+        return module.offset
+
+    def _next_tick(self, module) -> float:
+        if module.timing == "exponential":
+            return self._engine.now + self._rng.exponential(module.period)
+        return self._engine.now + module.period
+
+    def _finalize(self) -> None:
+        if self._system_down:
+            elapsed = self.config.horizon - self._down_since
+            if elapsed > 0.0:
+                self._trajectory.downtime += elapsed
+                self._charge_downtime(self._down_since, self.config.horizon)
+
+    # ------------------------------------------------------------------
+    # Degradation dynamics
+    # ------------------------------------------------------------------
+    def _schedule_transition(self, name: str) -> None:
+        """Schedule the next phase jump of component ``name``."""
+        phase = self._phase[name]
+        event = self._events[name]
+        if phase >= event.phases:
+            self._transition[name] = None
+            return
+        rate = event.phase_rates[phase] * self._accel[name]
+        delay = self._rng.exponential(1.0 / rate)
+        self._transition[name] = self._engine.schedule_after(
+            delay, lambda n=name: self._on_phase_jump(n), _PRIO_TRANSITION
+        )
+
+    def _on_phase_jump(self, name: str) -> None:
+        event = self._events[name]
+        self._phase[name] += 1
+        if self._phase[name] >= event.phases:
+            self._transition[name] = None
+            self._record(name, "failure", phase=self._phase[name])
+            self._set_component_state(name, failed=True)
+        else:
+            self._schedule_transition(name)
+
+    def _cancel_transition(self, name: str) -> None:
+        pending = self._transition[name]
+        if pending is not None:
+            pending.cancel()
+            self._transition[name] = None
+
+    def _set_phase(self, name: str, phase: int) -> None:
+        """Force component ``name`` to ``phase`` (maintenance restore)."""
+        event = self._events[name]
+        if not 0 <= phase <= event.phases:
+            raise SimulationError(f"{name}: phase {phase} out of range")
+        was_failed = self._phase[name] >= event.phases
+        self._cancel_transition(name)
+        self._phase[name] = phase
+        self._schedule_transition(name)
+        now_failed = phase >= event.phases
+        if was_failed != now_failed:
+            self._set_component_state(name, failed=now_failed)
+
+    # ------------------------------------------------------------------
+    # State propagation
+    # ------------------------------------------------------------------
+    def _set_component_state(self, name: str, failed: bool) -> None:
+        if self._state[name] == failed:
+            return
+        self._state[name] = failed
+        self._fail_time[name] = self._engine.now if failed else None
+        self._propagate_from(name)
+
+    def _propagate_from(self, origin: str) -> None:
+        """Recompute gate states upward from ``origin``; handle effects."""
+        changed = [origin]
+        self._apply_rdep_effects(origin)
+        index = 0
+        while index < len(changed):
+            current = changed[index]
+            index += 1
+            for parent_name in self._parents[current]:
+                parent = self.tree.element(parent_name)
+                assert isinstance(parent, Gate)
+                new_state = self._evaluate_gate(parent)
+                if new_state == self._state[parent_name]:
+                    continue
+                self._state[parent_name] = new_state
+                self._fail_time[parent_name] = (
+                    self._engine.now if new_state else None
+                )
+                self._apply_rdep_effects(parent_name)
+                if parent_name == self._top_name and new_state:
+                    self._on_system_failure()
+                changed.append(parent_name)
+
+    def _evaluate_gate(self, gate: Gate) -> bool:
+        if isinstance(gate, PandGate):
+            times = [
+                self._fail_time[child.name] if self._state[child.name] else None
+                for child in gate.children
+            ]
+            return gate.evaluate_ordered(times)
+        return gate.evaluate([self._state[child.name] for child in gate.children])
+
+    def _apply_rdep_effects(self, trigger_name: str) -> None:
+        for dep in self._rdeps_by_trigger.get(trigger_name, ()):
+            for target in dep.targets:
+                self._update_accel(target)
+
+    def _update_accel(self, target: str) -> None:
+        factor = 1.0
+        for dep in self._rdeps_by_target.get(target, ()):
+            if self._state[dep.trigger]:
+                factor *= dep.factor
+        if factor == self._accel[target]:
+            return
+        self._accel[target] = factor
+        # Exponential sojourns are memoryless: rescheduling the pending
+        # jump with the new rate realises the rate change exactly.
+        if self._transition[target] is not None:
+            self._cancel_transition(target)
+            self._schedule_transition(target)
+
+    # ------------------------------------------------------------------
+    # System failure response
+    # ------------------------------------------------------------------
+    def _on_system_failure(self) -> None:
+        now = self._engine.now
+        self._trajectory.failure_times.append(now)
+        self._record(self._top_name, "system_failure")
+        cost_model = self.config.cost_model
+        self._trajectory.costs.failures += (
+            cost_model.system_failure * cost_model.discount_factor(now)
+        )
+
+        if self.strategy.on_system_failure == "none":
+            # Absorbing: the system stays down until the horizon.
+            self._system_down = True
+            self._down_since = now
+            self._engine.stop()
+            return
+
+        self._system_down = True
+        self._down_since = now
+        self._trajectory.n_corrective_replacements += 1
+        # The asset is being replaced: nothing degrades, planned work on
+        # the old asset is moot.
+        for name in self._events:
+            self._cancel_transition(name)
+        for pending in self._pending_actions.values():
+            for handle in pending.values():
+                handle.cancel()
+            pending.clear()
+        self._engine.schedule_after(
+            self.strategy.system_repair_time, self._on_system_restored, _PRIO_RESTORE
+        )
+
+    def _on_system_restored(self) -> None:
+        now = self._engine.now
+        elapsed = now - self._down_since
+        self._trajectory.downtime += elapsed
+        self._charge_downtime(self._down_since, now)
+        self._system_down = False
+        self._record(self._top_name, "system_restored")
+        for name in self._events:
+            self._phase[name] = 0
+            if self._state[name]:
+                self._set_component_state(name, failed=False)
+            self._schedule_transition(name)
+
+    def _charge_downtime(self, start: float, end: float) -> None:
+        self._trajectory.costs.downtime += (
+            self.config.cost_model.discounted_downtime_cost(start, end)
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection modules
+    # ------------------------------------------------------------------
+    def _schedule_inspection(self, module: InspectionModule, time: float) -> None:
+        if time > self.config.horizon:
+            return
+        self._engine.schedule(
+            time, lambda m=module: self._on_inspection(m), _PRIO_INSPECTION
+        )
+
+    def _on_inspection(self, module: InspectionModule) -> None:
+        self._schedule_inspection(module, self._next_tick(module))
+        if self._system_down:
+            return
+        cost_model = self.config.cost_model
+        self._trajectory.n_inspections += 1
+        self._trajectory.costs.inspections += cost_model.visit_cost(
+            module.name
+        ) * cost_model.discount_factor(self._engine.now)
+        for target in module.targets:
+            if self._state[target]:
+                if module.detect_failures:
+                    self._corrective_replace(target)
+                continue
+            event = self._events[target]
+            threshold = event.threshold
+            assert threshold is not None  # enforced by tree validation
+            if self._phase[target] < threshold:
+                continue
+            if (
+                module.detection_probability < 1.0
+                and self._rng.random() >= module.detection_probability
+            ):
+                continue  # imperfect inspection missed the degradation
+            self._record(target, "detection", phase=self._phase[target])
+            if module.name in self._pending_actions[target]:
+                continue
+            if module.delay <= 0.0:
+                self._perform_action(module, target)
+            else:
+                handle = self._engine.schedule_after(
+                    module.delay,
+                    lambda m=module, t=target: self._on_delayed_action(m, t),
+                    _PRIO_ACTION,
+                )
+                self._pending_actions[target][module.name] = handle
+
+    def _on_delayed_action(self, module: InspectionModule, target: str) -> None:
+        self._pending_actions[target].pop(module.name, None)
+        if self._system_down:
+            return
+        if self._state[target]:
+            # The component failed while the work order was pending;
+            # the crew replaces it instead.
+            self._corrective_replace(target)
+            return
+        self._perform_action(module, target)
+
+    def _perform_action(self, module, target: str) -> None:
+        action: MaintenanceAction = module.action
+        cost_model = self.config.cost_model
+        cost = cost_model.action_cost(
+            target, action.kind
+        ) * cost_model.discount_factor(self._engine.now)
+        self._trajectory.costs.preventive += cost
+        self._trajectory.n_preventive_actions += 1
+        new_phase = action.resulting_phase(self._phase[target])
+        self._record(target, action.kind, phase=new_phase)
+        self._set_phase(target, new_phase)
+
+    def _corrective_replace(self, target: str) -> None:
+        cost_model = self.config.cost_model
+        cost = cost_model.action_cost(
+            target, "replace", corrective=True
+        ) * cost_model.discount_factor(self._engine.now)
+        self._trajectory.costs.corrective += cost
+        self._trajectory.n_corrective_replacements += 1
+        self._record(target, "replace", corrective=True, phase=0)
+        self._set_phase(target, 0)
+
+    # ------------------------------------------------------------------
+    # Repair modules
+    # ------------------------------------------------------------------
+    def _schedule_repair(self, module: RepairModule, time: float) -> None:
+        if time > self.config.horizon:
+            return
+        self._engine.schedule(
+            time, lambda m=module: self._on_repair(m), _PRIO_REPAIR
+        )
+
+    def _on_repair(self, module: RepairModule) -> None:
+        self._schedule_repair(module, self._next_tick(module))
+        if self._system_down:
+            return
+        for target in module.targets:
+            self._perform_action(module, target)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        component: str,
+        kind: str,
+        corrective: bool = False,
+        phase: Optional[int] = None,
+    ) -> None:
+        if not self.config.record_events:
+            return
+        self._trajectory.events.append(
+            ComponentEvent(
+                time=self._engine.now,
+                component=component,
+                kind=kind,
+                corrective=corrective,
+                phase=phase,
+            )
+        )

@@ -1,0 +1,223 @@
+"""KPI estimators over collections of simulated trajectories.
+
+:func:`summarize` turns raw :class:`~repro.simulation.trace.Trajectory`
+records into the key performance indicators the paper analyses —
+unreliability, expected number of failures, availability, and the
+annual cost breakdown — each with a confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.maintenance.costs import CostBreakdown
+from repro.simulation.trace import Trajectory
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "KpiSummary",
+    "summarize",
+    "reliability_curve",
+    "availability_curve",
+]
+
+
+@dataclass(frozen=True)
+class KpiSummary:
+    """Point estimates + confidence intervals of the standard KPIs.
+
+    All trajectory-averaged quantities refer to the simulation horizon;
+    per-year figures are annualised by dividing by the horizon.
+    """
+
+    n_runs: int
+    horizon: float
+    #: P(at least one system failure within the horizon).
+    unreliability: ConfidenceInterval
+    #: Expected number of system failures within the horizon.
+    expected_failures: ConfidenceInterval
+    #: Expected number of system failures per year.
+    failures_per_year: ConfidenceInterval
+    #: Long-run fraction of time the system is up.
+    availability: ConfidenceInterval
+    #: Expected total cost per year.
+    cost_per_year: ConfidenceInterval
+    #: Mean annual cost split by category.
+    cost_breakdown_per_year: CostBreakdown
+    #: Mean inspections per year actually performed.
+    inspections_per_year: float
+    #: Mean preventive maintenance actions per year.
+    preventive_actions_per_year: float
+    #: Mean corrective replacements per year.
+    corrective_replacements_per_year: float
+
+    @property
+    def reliability(self) -> float:
+        """Convenience: 1 - unreliability point estimate."""
+        return 1.0 - self.unreliability.estimate
+
+    @property
+    def mean_failures(self) -> float:
+        """Convenience: point estimate of expected failures in horizon."""
+        return self.expected_failures.estimate
+
+
+def summarize(
+    trajectories: Sequence[Trajectory], confidence: float = 0.95
+) -> KpiSummary:
+    """Aggregate trajectories into a :class:`KpiSummary`.
+
+    Raises
+    ------
+    ValidationError
+        If ``trajectories`` is empty or horizons are inconsistent.
+    """
+    if not trajectories:
+        raise ValidationError("summarize() needs at least one trajectory")
+    horizon = trajectories[0].horizon
+    if any(t.horizon != horizon for t in trajectories):
+        raise ValidationError("trajectories have inconsistent horizons")
+    n = len(trajectories)
+
+    failures = [float(t.n_failures) for t in trajectories]
+    failed = sum(1 for t in trajectories if t.failed_by_horizon)
+    availabilities = [t.availability for t in trajectories]
+    totals = [t.costs.total for t in trajectories]
+
+    expected_failures = mean_confidence_interval(failures, confidence)
+    failures_per_year = ConfidenceInterval(
+        expected_failures.estimate / horizon,
+        expected_failures.lower / horizon,
+        expected_failures.upper / horizon,
+        confidence,
+    )
+    cost_total = mean_confidence_interval(totals, confidence)
+    cost_per_year = ConfidenceInterval(
+        cost_total.estimate / horizon,
+        cost_total.lower / horizon,
+        cost_total.upper / horizon,
+        confidence,
+    )
+
+    mean_costs = CostBreakdown()
+    for t in trajectories:
+        mean_costs.add(t.costs)
+    mean_costs = mean_costs.scaled(1.0 / n).per_year(horizon)
+
+    return KpiSummary(
+        n_runs=n,
+        horizon=horizon,
+        unreliability=wilson_interval(failed, n, confidence),
+        expected_failures=expected_failures,
+        failures_per_year=failures_per_year,
+        availability=mean_confidence_interval(availabilities, confidence),
+        cost_per_year=cost_per_year,
+        cost_breakdown_per_year=mean_costs,
+        inspections_per_year=_mean(trajectories, "n_inspections") / horizon,
+        preventive_actions_per_year=_mean(trajectories, "n_preventive_actions")
+        / horizon,
+        corrective_replacements_per_year=_mean(
+            trajectories, "n_corrective_replacements"
+        )
+        / horizon,
+    )
+
+
+def reliability_curve(
+    trajectories: Sequence[Trajectory],
+    times: Sequence[float],
+    confidence: float = 0.95,
+) -> Tuple[np.ndarray, list]:
+    """Empirical survival (reliability) curve over a time grid.
+
+    Returns
+    -------
+    (times, intervals):
+        ``times`` as an array and one Wilson
+        :class:`~repro.stats.confidence.ConfidenceInterval` of the
+        survival probability per grid point.
+    """
+    if not trajectories:
+        raise ValidationError("reliability_curve() needs at least one trajectory")
+    grid = np.asarray(list(times), dtype=float)
+    horizon = trajectories[0].horizon
+    if np.any(grid < 0.0) or np.any(grid > horizon):
+        raise ValidationError("time grid must lie within [0, horizon]")
+    first_failures = np.array(
+        [
+            t.first_failure if t.first_failure is not None else np.inf
+            for t in trajectories
+        ]
+    )
+    n = len(trajectories)
+    intervals = []
+    for t in grid:
+        survived = int(np.sum(first_failures > t))
+        intervals.append(wilson_interval(survived, n, confidence))
+    return grid, intervals
+
+
+def availability_curve(
+    trajectories: Sequence[Trajectory],
+    times: Sequence[float],
+    confidence: float = 0.95,
+) -> Tuple[np.ndarray, list]:
+    """Point availability A(t) = P(system up at t) over a time grid.
+
+    Requires trajectories simulated with ``record_events=True`` (down
+    intervals are reconstructed from the ``system_failure`` /
+    ``system_restored`` event pairs).
+
+    Returns
+    -------
+    (times, intervals):
+        One Wilson interval of the up-probability per grid point.
+    """
+    if not trajectories:
+        raise ValidationError("availability_curve() needs trajectories")
+    grid = np.asarray(list(times), dtype=float)
+    horizon = trajectories[0].horizon
+    if np.any(grid < 0.0) or np.any(grid > horizon):
+        raise ValidationError("time grid must lie within [0, horizon]")
+
+    down_intervals = []
+    for trajectory in trajectories:
+        if trajectory.failure_times and not trajectory.events:
+            raise ValidationError(
+                "availability_curve() needs record_events=True "
+                "(down intervals are reconstructed from events)"
+            )
+        intervals = []
+        down_since = None
+        for event in trajectory.events:
+            if event.kind == "system_failure" and down_since is None:
+                down_since = event.time
+            elif event.kind == "system_restored" and down_since is not None:
+                intervals.append((down_since, event.time))
+                down_since = None
+        if down_since is not None:
+            intervals.append((down_since, trajectory.horizon))
+        down_intervals.append(intervals)
+
+    n = len(trajectories)
+    results = []
+    for t in grid:
+        up = sum(
+            1
+            for intervals in down_intervals
+            if not any(start <= t < end for start, end in intervals)
+        )
+        results.append(wilson_interval(up, n, confidence))
+    return grid, results
+
+
+def _mean(trajectories: Sequence[Trajectory], attribute: str) -> float:
+    return sum(getattr(t, attribute) for t in trajectories) / len(trajectories)

@@ -1,0 +1,225 @@
+"""Monte Carlo replication driver with confidence intervals.
+
+:class:`MonteCarlo` owns the reproducibility story: a single integer
+seed expands via :class:`numpy.random.SeedSequence` into one independent
+RNG stream per trajectory, so results are invariant to batching and
+fully reproducible.
+
+Two modes are provided: a fixed replication count (:meth:`MonteCarlo.run`)
+and sequential estimation to a target relative precision
+(:meth:`MonteCarlo.run_to_precision`), mirroring the statistical
+model-checking workflow the paper's analyses used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import ValidationError
+from repro.maintenance.costs import CostModel
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+from repro.simulation.metrics import KpiSummary, reliability_curve, summarize
+from repro.simulation.trace import Trajectory
+from repro.stats.confidence import ConfidenceInterval
+from repro.stats.sequential import RelativePrecisionRule, RunningStatistics
+
+__all__ = ["MonteCarlo", "MonteCarloResult"]
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Result of a Monte Carlo study: KPIs plus optional raw material."""
+
+    summary: KpiSummary
+    trajectories: Optional[Tuple[Trajectory, ...]] = None
+
+    # Convenience pass-throughs used everywhere in the experiments.
+    @property
+    def n_runs(self) -> int:
+        """Number of simulated trajectories."""
+        return self.summary.n_runs
+
+    @property
+    def unreliability(self) -> ConfidenceInterval:
+        """P(failure within horizon), with CI."""
+        return self.summary.unreliability
+
+    @property
+    def reliability(self) -> float:
+        """1 - unreliability point estimate."""
+        return self.summary.reliability
+
+    @property
+    def failures_per_year(self) -> ConfidenceInterval:
+        """Expected number of system failures per year, with CI."""
+        return self.summary.failures_per_year
+
+    @property
+    def availability(self) -> ConfidenceInterval:
+        """Mean fraction of time the system is up, with CI."""
+        return self.summary.availability
+
+    @property
+    def cost_per_year(self) -> ConfidenceInterval:
+        """Expected annual total cost, with CI."""
+        return self.summary.cost_per_year
+
+    def reliability_at(
+        self, times: Sequence[float], confidence: float = 0.95
+    ) -> Tuple[np.ndarray, list]:
+        """Survival curve on a grid (requires kept trajectories)."""
+        if self.trajectories is None:
+            raise ValidationError(
+                "reliability_at() needs keep_trajectories=True in run()"
+            )
+        return reliability_curve(self.trajectories, times, confidence)
+
+
+class MonteCarlo:
+    """Replicated simulation of one (model, strategy) pair.
+
+    Parameters
+    ----------
+    tree:
+        The fault maintenance tree (maintenance modules on the tree are
+        replaced by the strategy's).
+    strategy:
+        Maintenance strategy to apply; defaults to corrective-only.
+    horizon:
+        Trajectory length in years.
+    cost_model:
+        Cost model for the cost KPI; optional.
+    seed:
+        Root seed; every trajectory gets an independent child stream.
+    record_events:
+        Forwarded to :class:`~repro.simulation.executor.SimulationConfig`.
+    """
+
+    def __init__(
+        self,
+        tree: FaultMaintenanceTree,
+        strategy: Optional[MaintenanceStrategy] = None,
+        horizon: float = 10.0,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 0,
+        record_events: bool = False,
+    ):
+        config = SimulationConfig(
+            horizon=horizon,
+            cost_model=cost_model if cost_model is not None else CostModel(),
+            record_events=record_events,
+        )
+        self.simulator = FMTSimulator(tree, strategy, config=config)
+        self.seed = seed
+        self._seed_sequence = np.random.SeedSequence(seed)
+        self._streams_used = 0
+
+    @property
+    def horizon(self) -> float:
+        """Trajectory length in years."""
+        return self.simulator.config.horizon
+
+    def _next_rng(self) -> np.random.Generator:
+        child = self._seed_sequence.spawn(1)[0]
+        self._streams_used += 1
+        return np.random.default_rng(child)
+
+    def sample(self, n_runs: int) -> List[Trajectory]:
+        """Simulate ``n_runs`` fresh trajectories and return them raw."""
+        if n_runs < 1:
+            raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+        return [self.simulator.simulate(self._next_rng()) for _ in range(n_runs)]
+
+    def run_parallel(
+        self,
+        n_runs: int,
+        processes: int = 2,
+        confidence: float = 0.95,
+        keep_trajectories: bool = False,
+    ) -> MonteCarloResult:
+        """Like :meth:`run`, fanned out over worker processes.
+
+        The child RNG streams are identical to a serial :meth:`run`
+        from the same driver state, so the results are bit-identical —
+        parallelism is purely a wall-clock optimization.
+        """
+        from repro.simulation.parallel import sample_parallel
+
+        if n_runs < 1:
+            raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+        seeds = self._seed_sequence.spawn(n_runs)
+        self._streams_used += n_runs
+        trajectories = sample_parallel(self.simulator, seeds, processes)
+        summary = summarize(trajectories, confidence)
+        return MonteCarloResult(
+            summary=summary,
+            trajectories=tuple(trajectories) if keep_trajectories else None,
+        )
+
+    def run(
+        self,
+        n_runs: int,
+        confidence: float = 0.95,
+        keep_trajectories: bool = False,
+    ) -> MonteCarloResult:
+        """Run a fixed number of replications and summarize KPIs."""
+        trajectories = self.sample(n_runs)
+        summary = summarize(trajectories, confidence)
+        return MonteCarloResult(
+            summary=summary,
+            trajectories=tuple(trajectories) if keep_trajectories else None,
+        )
+
+    def run_to_precision(
+        self,
+        rule: Optional[RelativePrecisionRule] = None,
+        batch_size: int = 200,
+        confidence: float = 0.95,
+        keep_trajectories: bool = True,
+        target: str = "failures",
+    ) -> MonteCarloResult:
+        """Sequential estimation to a target relative precision.
+
+        Batches of trajectories are simulated until the stopping
+        ``rule`` declares the confidence interval of the ``target``
+        statistic tight enough (or its sample budget is exhausted).
+        All KPIs are then summarized over everything that was
+        simulated.
+
+        ``target`` selects the controlled statistic: ``"failures"``
+        (number of system failures per trajectory, the default),
+        ``"unreliability"`` (failure indicator), or ``"cost"`` (total
+        trajectory cost — requires a cost model).
+        """
+        extractors = {
+            "failures": lambda t: float(t.n_failures),
+            "unreliability": lambda t: 1.0 if t.failed_by_horizon else 0.0,
+            "cost": lambda t: t.costs.total,
+        }
+        extractor = extractors.get(target)
+        if extractor is None:
+            raise ValidationError(
+                f"unknown target {target!r}; expected one of "
+                f"{sorted(extractors)}"
+            )
+        if rule is None:
+            rule = RelativePrecisionRule()
+        if batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        statistics = RunningStatistics()
+        collected: List[Trajectory] = []
+        while not rule.should_stop(statistics):
+            batch = self.sample(batch_size)
+            for trajectory in batch:
+                statistics.add(extractor(trajectory))
+            collected.extend(batch)
+        summary = summarize(collected, confidence)
+        return MonteCarloResult(
+            summary=summary,
+            trajectories=tuple(collected) if keep_trajectories else None,
+        )

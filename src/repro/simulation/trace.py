@@ -1,0 +1,86 @@
+"""Per-trajectory simulation records.
+
+A :class:`Trajectory` is everything one simulated life of the system
+produces: system failure times, downtime, cost breakdown, and — when
+event recording is enabled — the stream of component-level events that
+the synthetic incident database is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.maintenance.costs import CostBreakdown
+
+__all__ = ["ComponentEvent", "Trajectory"]
+
+
+@dataclass(frozen=True)
+class ComponentEvent:
+    """One component-level occurrence during a trajectory.
+
+    ``kind`` is one of:
+
+    * ``"failure"`` — the component (basic event) failed;
+    * ``"detection"`` — an inspection found the component degraded;
+    * ``"clean"`` / ``"repair"`` / ``"replace"`` — a maintenance action
+      was applied (``corrective`` tells planned from unplanned);
+    * ``"system_failure"`` — the top event occurred (component field
+      holds the top element's name);
+    * ``"system_restored"`` — corrective renewal completed.
+    """
+
+    time: float
+    component: str
+    kind: str
+    corrective: bool = False
+    phase: Optional[int] = None
+
+
+@dataclass
+class Trajectory:
+    """Result of simulating one trajectory up to ``horizon`` years."""
+
+    horizon: float
+    failure_times: List[float] = field(default_factory=list)
+    downtime: float = 0.0
+    costs: CostBreakdown = field(default_factory=CostBreakdown)
+    n_inspections: int = 0
+    n_preventive_actions: int = 0
+    n_corrective_replacements: int = 0
+    events: List[ComponentEvent] = field(default_factory=list)
+
+    @property
+    def n_failures(self) -> int:
+        """Number of system (top-event) failures in the horizon."""
+        return len(self.failure_times)
+
+    @property
+    def first_failure(self) -> Optional[float]:
+        """Time of the first system failure, or None if none occurred."""
+        return self.failure_times[0] if self.failure_times else None
+
+    @property
+    def failed_by_horizon(self) -> bool:
+        """Whether at least one system failure occurred."""
+        return bool(self.failure_times)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the horizon the system was up."""
+        if self.horizon <= 0.0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime / self.horizon)
+
+    @property
+    def failures_per_year(self) -> float:
+        """Average number of system failures per year."""
+        if self.horizon <= 0.0:
+            return 0.0
+        return self.n_failures / self.horizon
+
+    def survived_until(self, t: float) -> bool:
+        """Whether the system had no failure up to (and including) ``t``."""
+        first = self.first_failure
+        return first is None or first > t

@@ -1,0 +1,307 @@
+"""Lifetime distributions used by fault-tree events and maintenance.
+
+Every distribution implements the small :class:`Distribution` interface:
+sampling with an explicit :class:`numpy.random.Generator` (the library
+never touches global RNG state), the cumulative distribution function,
+its complement (survival function), density, mean, and a dictionary
+round-trip used by the Galileo serializer.
+
+Times are non-negative and, by library convention, measured in years.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Type
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Erlang",
+    "Weibull",
+    "Deterministic",
+    "Uniform",
+    "LogNormal",
+    "distribution_from_dict",
+]
+
+
+class Distribution(ABC):
+    """A non-negative continuous (or degenerate) lifetime distribution."""
+
+    #: Short identifier used in serialized form; set by subclasses.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one sample (``size=None``) or an array of samples."""
+
+    @abstractmethod
+    def cdf(self, t: float) -> float:
+        """Probability that the lifetime is at most ``t``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value of the distribution."""
+
+    def survival(self, t: float) -> float:
+        """Probability that the lifetime exceeds ``t``."""
+        return 1.0 - self.cdf(t)
+
+    def hazard_integral(self, t: float) -> float:
+        """Cumulative hazard ``H(t) = -ln S(t)``; ``inf`` once S(t)=0."""
+        s = self.survival(t)
+        if s <= 0.0:
+            return math.inf
+        return -math.log(s)
+
+    @abstractmethod
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable description; inverse of :func:`distribution_from_dict`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{key}={value}" for key, value in self.to_dict().items() if key != "kind"
+        )
+        return f"{type(self).__name__}({params})"
+
+
+def _require_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+@dataclass(frozen=True, repr=False)
+class Exponential(Distribution):
+    """Exponential lifetime with failure rate ``rate`` (per year)."""
+
+    rate: float
+    kind = "exponential"
+
+    def __post_init__(self) -> None:
+        _require_positive("rate", self.rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Build from a mean time to failure instead of a rate."""
+        return cls(rate=1.0 / _require_positive("mean", mean))
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.exponential(scale=1.0 / self.rate, size=size)
+
+    def cdf(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        return -math.expm1(-self.rate * t)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "rate": self.rate}
+
+
+@dataclass(frozen=True, repr=False)
+class Erlang(Distribution):
+    """Erlang distribution: sum of ``shape`` iid exponential phases.
+
+    This is the degradation model of extended basic events: a component
+    traverses ``shape`` degradation phases, each exponentially
+    distributed with rate ``rate``, and fails on leaving the last phase.
+    The mean lifetime is ``shape / rate``.
+    """
+
+    shape: int
+    rate: float
+    kind = "erlang"
+
+    def __post_init__(self) -> None:
+        if int(self.shape) != self.shape or self.shape < 1:
+            raise ValidationError(f"shape must be a positive integer, got {self.shape}")
+        _require_positive("rate", self.rate)
+
+    @classmethod
+    def from_mean(cls, shape: int, mean: float) -> "Erlang":
+        """Build an Erlang with ``shape`` phases and the given mean."""
+        return cls(shape=shape, rate=shape / _require_positive("mean", mean))
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.gamma(shape=self.shape, scale=1.0 / self.rate, size=size)
+
+    def cdf(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        # 1 - sum_{n<shape} e^{-rt} (rt)^n / n!, computed stably.
+        x = self.rate * t
+        term = math.exp(-x)
+        total = term
+        for n in range(1, self.shape):
+            term *= x / n
+            total += term
+        return max(0.0, 1.0 - total)
+
+    def mean(self) -> float:
+        return self.shape / self.rate
+
+    def variance(self) -> float:
+        """Variance ``shape / rate**2``."""
+        return self.shape / (self.rate * self.rate)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "shape": self.shape, "rate": self.rate}
+
+
+@dataclass(frozen=True, repr=False)
+class Weibull(Distribution):
+    """Weibull lifetime with ``scale`` (years) and ``shape`` parameters.
+
+    ``shape > 1`` models wear-out (increasing hazard), ``shape < 1``
+    infant mortality, ``shape == 1`` reduces to the exponential.
+    """
+
+    scale: float
+    shape: float
+    kind = "weibull"
+
+    def __post_init__(self) -> None:
+        _require_positive("scale", self.scale)
+        _require_positive("shape", self.shape)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return self.scale * rng.weibull(self.shape, size=size)
+
+    def cdf(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        return -math.expm1(-((t / self.scale) ** self.shape))
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "scale": self.scale, "shape": self.shape}
+
+
+@dataclass(frozen=True, repr=False)
+class Deterministic(Distribution):
+    """Degenerate distribution: the lifetime is exactly ``value`` years.
+
+    Used for scheduled events such as periodic inspections.
+    """
+
+    value: float
+    kind = "deterministic"
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value) or self.value < 0.0:
+            raise ValidationError(
+                f"value must be a non-negative finite number, got {self.value}"
+            )
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return self.value
+        return np.full(size, self.value)
+
+    def cdf(self, t: float) -> float:
+        return 1.0 if t >= self.value else 0.0
+
+    def mean(self) -> float:
+        return self.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+@dataclass(frozen=True, repr=False)
+class Uniform(Distribution):
+    """Uniform lifetime on ``[low, high]`` years."""
+
+    low: float
+    high: float
+    kind = "uniform"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.low < self.high):
+            raise ValidationError(
+                f"require 0 <= low < high, got low={self.low}, high={self.high}"
+            )
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.uniform(self.low, self.high, size=size)
+
+    def cdf(self, t: float) -> float:
+        if t <= self.low:
+            return 0.0
+        if t >= self.high:
+            return 1.0
+        return (t - self.low) / (self.high - self.low)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True, repr=False)
+class LogNormal(Distribution):
+    """Log-normal lifetime; ``mu``/``sigma`` are of the underlying normal."""
+
+    mu: float
+    sigma: float
+    kind = "lognormal"
+
+    def __post_init__(self) -> None:
+        _require_positive("sigma", self.sigma)
+        if not math.isfinite(self.mu):
+            raise ValidationError(f"mu must be finite, got {self.mu}")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.lognormal(mean=self.mu, sigma=self.sigma, size=size)
+
+    def cdf(self, t: float) -> float:
+        if t <= 0.0:
+            return 0.0
+        z = (math.log(t) - self.mu) / (self.sigma * math.sqrt(2.0))
+        return 0.5 * (1.0 + math.erf(z))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "mu": self.mu, "sigma": self.sigma}
+
+
+_KINDS: Dict[str, Type[Distribution]] = {
+    cls.kind: cls
+    for cls in (Exponential, Erlang, Weibull, Deterministic, Uniform, LogNormal)
+}
+
+
+def distribution_from_dict(data: Dict[str, Any]) -> Distribution:
+    """Reconstruct a distribution from its :meth:`Distribution.to_dict` form.
+
+    Raises
+    ------
+    ValidationError
+        If the ``kind`` key is missing or unknown, or parameters are bad.
+    """
+    if "kind" not in data:
+        raise ValidationError(f"distribution dict lacks 'kind': {data!r}")
+    kind = data["kind"]
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ValidationError(
+            f"unknown distribution kind {kind!r}; known: {sorted(_KINDS)}"
+        )
+    params = {key: value for key, value in data.items() if key != "kind"}
+    return cls(**params)

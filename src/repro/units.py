@@ -1,0 +1,86 @@
+"""Time and money unit conventions used throughout the library.
+
+The library measures **time in years** and **money in euros** unless a
+function documents otherwise.  This module centralises the conversion
+constants and provides small helpers so models can be written in whatever
+unit is natural for the parameter being described (e.g. "inspection every
+3 months", "mean time to failure 40 years") without sprinkling magic
+numbers through the code.
+"""
+
+from __future__ import annotations
+
+#: Days per (Julian) year; used for day <-> year conversions.
+DAYS_PER_YEAR = 365.25
+
+#: Hours per (Julian) year.
+HOURS_PER_YEAR = 24.0 * DAYS_PER_YEAR
+
+#: Months per year.
+MONTHS_PER_YEAR = 12.0
+
+#: Weeks per year.
+WEEKS_PER_YEAR = DAYS_PER_YEAR / 7.0
+
+
+def years(value: float) -> float:
+    """Identity helper to make call sites self-documenting."""
+    return float(value)
+
+
+def months(value: float) -> float:
+    """Convert months to years."""
+    return float(value) / MONTHS_PER_YEAR
+
+
+def weeks(value: float) -> float:
+    """Convert weeks to years."""
+    return float(value) / WEEKS_PER_YEAR
+
+
+def days(value: float) -> float:
+    """Convert days to years."""
+    return float(value) / DAYS_PER_YEAR
+
+
+def hours(value: float) -> float:
+    """Convert hours to years."""
+    return float(value) / HOURS_PER_YEAR
+
+
+def per_year(rate: float) -> float:
+    """Identity helper for rates expressed per year."""
+    return float(rate)
+
+
+def per_month(rate: float) -> float:
+    """Convert a per-month rate to a per-year rate."""
+    return float(rate) * MONTHS_PER_YEAR
+
+
+def format_years(value: float) -> str:
+    """Render a duration in years using a human-friendly unit.
+
+    >>> format_years(0.25)
+    '3.0 months'
+    >>> format_years(2.0)
+    '2.00 years'
+    """
+    if value < 0:
+        raise ValueError(f"duration must be non-negative, got {value}")
+    if value == 0:
+        return "0"
+    if value < 1.0 / MONTHS_PER_YEAR:
+        return f"{value * DAYS_PER_YEAR:.1f} days"
+    if value < 1.0:
+        return f"{value * MONTHS_PER_YEAR:.1f} months"
+    return f"{value:.2f} years"
+
+
+def format_money(value: float, currency: str = "EUR") -> str:
+    """Render a money amount with thousands separators.
+
+    >>> format_money(12345.6)
+    'EUR 12,346'
+    """
+    return f"{currency} {value:,.0f}"

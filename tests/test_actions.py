@@ -1,0 +1,64 @@
+"""Maintenance actions: phase semantics and validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.maintenance.actions import MaintenanceAction, clean, repair, replace
+
+
+def test_replace_restores_to_zero():
+    action = replace()
+    assert action.resulting_phase(5) == 0
+    assert action.is_full_restoration
+
+
+def test_clean_default_is_full():
+    assert clean().resulting_phase(3) == 0
+
+
+def test_partial_restoration():
+    action = repair(restore_phases=2)
+    assert action.resulting_phase(5) == 3
+    assert action.resulting_phase(1) == 0
+    assert not action.is_full_restoration
+
+
+def test_resulting_phase_never_negative():
+    action = clean(restore_phases=10)
+    assert action.resulting_phase(3) == 0
+
+
+def test_resulting_phase_rejects_negative_input():
+    with pytest.raises(ValidationError):
+        clean().resulting_phase(-1)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValidationError):
+        MaintenanceAction("paint")
+
+
+def test_restore_phases_must_be_positive():
+    with pytest.raises(ValidationError):
+        MaintenanceAction("clean", restore_phases=0)
+
+
+def test_duration_must_be_non_negative():
+    with pytest.raises(ValidationError):
+        MaintenanceAction("clean", duration=-0.1)
+
+
+def test_duration_stored():
+    assert clean(duration=0.01).duration == 0.01
+
+
+def test_dict_round_trip():
+    action = repair(restore_phases=3, duration=0.02)
+    clone = MaintenanceAction.from_dict(action.to_dict())
+    assert clone == action
+
+
+def test_helpers_set_kind():
+    assert clean().kind == "clean"
+    assert repair().kind == "repair"
+    assert replace().kind == "replace"

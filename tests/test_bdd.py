@@ -1,0 +1,163 @@
+"""BDD construction and probability evaluation."""
+
+from itertools import chain, combinations
+
+import pytest
+
+from repro.analysis.bdd import BDD, ONE, ZERO, build_bdd
+from repro.core.builder import FMTBuilder
+from repro.errors import AnalysisError, UnsupportedModelError
+
+
+def _assignments(names):
+    for subset in chain.from_iterable(
+        combinations(names, r) for r in range(len(names) + 1)
+    ):
+        yield {name: name in subset for name in names}
+
+
+def _brute_force_probability(tree, probabilities):
+    total = 0.0
+    names = sorted(tree.basic_events)
+    for assignment in _assignments(names):
+        if tree.evaluate(assignment):
+            weight = 1.0
+            for name in names:
+                p = probabilities[name]
+                weight *= p if assignment[name] else (1.0 - p)
+            total += weight
+    return total
+
+
+@pytest.mark.parametrize(
+    "fixture_name",
+    ["simple_or_tree", "simple_and_tree", "voting_tree", "layered_tree"],
+)
+def test_bdd_agrees_with_structure_function(fixture_name, request):
+    tree = request.getfixturevalue(fixture_name)
+    bdd, root = build_bdd(tree)
+    for assignment in _assignments(sorted(tree.basic_events)):
+        assert bdd.evaluate(root, assignment) == tree.evaluate(assignment)
+
+
+@pytest.mark.parametrize(
+    "fixture_name",
+    ["simple_or_tree", "simple_and_tree", "voting_tree", "layered_tree"],
+)
+def test_bdd_probability_matches_brute_force(fixture_name, request):
+    tree = request.getfixturevalue(fixture_name)
+    probabilities = {
+        name: 0.1 + 0.13 * i for i, name in enumerate(sorted(tree.basic_events))
+    }
+    bdd, root = build_bdd(tree)
+    expected = _brute_force_probability(tree, probabilities)
+    assert bdd.probability(root, probabilities) == pytest.approx(expected)
+
+
+def test_or_probability_closed_form(simple_or_tree):
+    bdd, root = build_bdd(simple_or_tree)
+    p = bdd.probability(root, {"a": 0.2, "b": 0.3})
+    assert p == pytest.approx(1.0 - 0.8 * 0.7)
+
+
+def test_and_probability_closed_form(simple_and_tree):
+    bdd, root = build_bdd(simple_and_tree)
+    assert bdd.probability(root, {"a": 0.2, "b": 0.3}) == pytest.approx(0.06)
+
+
+def test_custom_variable_order_same_probability(layered_tree):
+    probabilities = {name: 0.3 for name in layered_tree.basic_events}
+    default_bdd, default_root = build_bdd(layered_tree)
+    order = sorted(layered_tree.basic_events, reverse=True)
+    custom_bdd, custom_root = build_bdd(layered_tree, order=order)
+    assert custom_bdd.probability(
+        custom_root, probabilities
+    ) == pytest.approx(default_bdd.probability(default_root, probabilities))
+
+
+def test_incomplete_order_rejected(layered_tree):
+    with pytest.raises(AnalysisError):
+        build_bdd(layered_tree, order=["a", "b"])
+
+
+def test_duplicate_order_rejected():
+    with pytest.raises(AnalysisError):
+        BDD(["a", "a"])
+
+
+def test_pand_rejected_without_flag():
+    builder = FMTBuilder("pand")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.pand_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        build_bdd(tree)
+    bdd, root = build_bdd(tree, treat_pand_as_and=True)
+    assert bdd.probability(root, {"a": 0.5, "b": 0.5}) == pytest.approx(0.25)
+
+
+def test_missing_probability_rejected(simple_or_tree):
+    bdd, root = build_bdd(simple_or_tree)
+    with pytest.raises(AnalysisError):
+        bdd.probability(root, {"a": 0.5})
+
+
+def test_out_of_range_probability_rejected(simple_or_tree):
+    bdd, root = build_bdd(simple_or_tree)
+    with pytest.raises(AnalysisError):
+        bdd.probability(root, {"a": 1.5, "b": 0.5})
+
+
+def test_reduction_shares_nodes():
+    # x OR x (through two gates) must reduce to the single variable.
+    builder = FMTBuilder("dup")
+    builder.basic_event("x", rate=1.0)
+    builder.basic_event("y", rate=1.0)
+    builder.and_gate("left", ["x", "y"])
+    builder.and_gate("right", ["y", "x"])
+    builder.or_gate("top", ["left", "right"])
+    tree = builder.build("top")
+    bdd, root = build_bdd(tree)
+    # left == right, so the whole tree is x AND y: exactly 2 nodes.
+    assert bdd.size(root) == 2
+
+
+def test_terminal_constants():
+    bdd = BDD(["x"])
+    assert bdd.apply_or(ZERO, ONE) == ONE
+    assert bdd.apply_and(ZERO, ONE) == ZERO
+    assert bdd.negate(ONE) == ZERO
+
+
+def test_negate_involution():
+    bdd = BDD(["x", "y"])
+    x = bdd.var("x")
+    y = bdd.var("y")
+    f = bdd.apply_or(x, y)
+    assert bdd.negate(bdd.negate(f)) == f
+
+
+def test_unknown_variable_rejected():
+    bdd = BDD(["x"])
+    with pytest.raises(AnalysisError):
+        bdd.var("z")
+
+
+def test_evaluate_missing_assignment_rejected(simple_or_tree):
+    bdd, root = build_bdd(simple_or_tree)
+    # a=False forces the traversal to consult the missing variable b.
+    with pytest.raises(AnalysisError):
+        bdd.evaluate(root, {"a": False})
+
+
+def test_voting_gate_bdd_size_polynomial():
+    """A k-of-n gate BDD stays small (k*(n-k+1)-ish), not exponential."""
+    builder = FMTBuilder("vote")
+    names = [f"x{i}" for i in range(12)]
+    for name in names:
+        builder.basic_event(name, rate=1.0)
+    builder.voting_gate("top", 6, names)
+    tree = builder.build("top")
+    bdd, root = build_bdd(tree)
+    assert bdd.size(root) < 100

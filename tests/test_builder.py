@@ -1,0 +1,145 @@
+"""Builder: declaration order independence, reference resolution."""
+
+import pytest
+
+from repro.core.builder import FMTBuilder
+from repro.core.gates import InhibitGate, PandGate, VotingGate
+from repro.errors import ModelError, ValidationError
+
+
+def test_children_can_be_declared_after_gate():
+    builder = FMTBuilder("t")
+    builder.or_gate("top", ["a", "b"])
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    tree = builder.build("top")
+    assert set(tree.basic_events) == {"a", "b"}
+
+
+def test_nested_gates_resolve():
+    builder = FMTBuilder("t")
+    builder.or_gate("top", ["mid"])
+    builder.and_gate("mid", ["a", "b"])
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    tree = builder.build("top")
+    assert tree.depth() == 2
+
+
+def test_duplicate_declaration_rejected():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=1.0)
+    with pytest.raises(ModelError):
+        builder.basic_event("a", rate=2.0)
+    with pytest.raises(ModelError):
+        builder.or_gate("a", ["x"])
+
+
+def test_undeclared_reference_rejected():
+    builder = FMTBuilder("t")
+    builder.or_gate("top", ["ghost"])
+    with pytest.raises(ModelError):
+        builder.build("top")
+
+
+def test_unknown_top_rejected():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=1.0)
+    with pytest.raises(ModelError):
+        builder.build("nope")
+
+
+def test_cyclic_definition_rejected():
+    builder = FMTBuilder("t")
+    builder.or_gate("x", ["y"])
+    builder.or_gate("y", ["x"])
+    with pytest.raises(ModelError):
+        builder.build("x")
+
+
+def test_self_cycle_rejected():
+    builder = FMTBuilder("t")
+    builder.or_gate("x", ["x"])
+    with pytest.raises(ModelError):
+        builder.build("x")
+
+
+def test_unreachable_elements_rejected():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("orphan", rate=1.0)
+    builder.or_gate("top", ["a"])
+    with pytest.raises(ModelError) as excinfo:
+        builder.build("top")
+    assert "orphan" in str(excinfo.value)
+
+
+def test_empty_gate_rejected():
+    builder = FMTBuilder("t")
+    with pytest.raises(ValidationError):
+        builder.or_gate("g", [])
+
+
+def test_voting_gate_built():
+    builder = FMTBuilder("t")
+    for name in ("a", "b", "c"):
+        builder.basic_event(name, rate=1.0)
+    builder.voting_gate("top", 2, ["a", "b", "c"])
+    tree = builder.build("top")
+    assert isinstance(tree.top, VotingGate)
+    assert tree.top.k == 2
+
+
+def test_pand_gate_built():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.pand_gate("top", ["a", "b"])
+    assert isinstance(builder.build("top").top, PandGate)
+
+
+def test_inhibit_gate_built_with_condition_first():
+    builder = FMTBuilder("t")
+    for name in ("cond", "x", "y"):
+        builder.basic_event(name, rate=1.0)
+    builder.inhibit_gate("top", "cond", ["x", "y"])
+    tree = builder.build("top")
+    assert isinstance(tree.top, InhibitGate)
+    assert tree.top.condition.name == "cond"
+
+
+def test_rdep_attached():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.or_gate("top", ["a", "b"])
+    builder.rdep("dep", trigger="a", targets=["b"], factor=2.0)
+    tree = builder.build("top")
+    assert len(tree.dependencies) == 1
+    assert tree.dependencies[0].trigger == "a"
+
+
+def test_maintenance_attached():
+    builder = FMTBuilder("t")
+    builder.degraded_event("w", phases=3, mean=5.0, threshold=2)
+    builder.or_gate("top", ["w"])
+    builder.inspection("insp", period=0.5, targets=["w"])
+    builder.repair_module("renew", period=10.0, targets=["w"])
+    tree = builder.build("top")
+    assert len(tree.inspections) == 1
+    assert len(tree.repairs) == 1
+
+
+def test_declared_names_sorted():
+    builder = FMTBuilder("t")
+    builder.basic_event("b", rate=1.0)
+    builder.basic_event("a", rate=1.0)
+    builder.or_gate("top", ["a", "b"])
+    assert builder.declared_names == ["a", "b", "top"]
+
+
+def test_builder_returns_self_for_chaining():
+    builder = FMTBuilder("t")
+    result = builder.basic_event("a", rate=1.0).or_gate("top", ["a"])
+    assert result is builder
+    assert builder.build("top").top.name == "top"

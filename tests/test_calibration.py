@@ -1,0 +1,95 @@
+"""The calibration pipeline (repro.eijoint.calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.data.incidents import generate_incident_database
+from repro.eijoint.calibration import (
+    ModeFit,
+    refit_parameters,
+    simulate_expert_interviews,
+)
+from repro.eijoint.model import build_ei_joint_fmt
+from repro.eijoint.parameters import default_parameters
+from repro.eijoint.strategies import current_policy
+
+
+@pytest.fixture(scope="module")
+def database():
+    truth = default_parameters()
+    return generate_incident_database(
+        build_ei_joint_fmt(truth),
+        current_policy(truth),
+        n_joints=800,
+        window=10.0,
+        seed=13,
+    )
+
+
+def test_interviews_are_monotone_and_noisy():
+    mode = default_parameters().by_name["ferrous_dust"]
+    rng = np.random.default_rng(1)
+    judgments = simulate_expert_interviews(mode, rng)
+    assert len(judgments) == 3
+    for judgment in judgments:
+        values = [judgment.quantiles[l] for l in sorted(judgment.quantiles)]
+        assert values == sorted(values)
+    # Experts disagree (noise is per-expert).
+    medians = {j.quantiles[0.5] for j in judgments}
+    assert len(medians) == 3
+
+
+def test_interviews_zero_noise_recover_truth():
+    mode = default_parameters().by_name["ferrous_dust"]
+    rng = np.random.default_rng(1)
+    judgments = simulate_expert_interviews(mode, rng, sigma=1e-12)
+    medians = [j.quantiles[0.5] for j in judgments]
+    assert max(medians) == pytest.approx(min(medians), rel=1e-6)
+
+
+def test_refit_covers_every_mode(database):
+    truth = default_parameters()
+    fitted, records = refit_parameters(
+        database, truth, np.random.default_rng(2)
+    )
+    assert {record.name for record in records} == {
+        mode.name for mode in truth.modes
+    }
+    assert isinstance(records[0], ModeFit)
+
+
+def test_refit_recovers_means_approximately(database):
+    truth = default_parameters()
+    _, records = refit_parameters(database, truth, np.random.default_rng(3))
+    for record in records:
+        assert 0.3 < record.fitted_mean / record.true_mean < 3.0
+
+
+def test_refit_keeps_structure_for_database_modes(database):
+    truth = default_parameters()
+    fitted, records = refit_parameters(
+        database, truth, np.random.default_rng(4)
+    )
+    for record in records:
+        if record.source.startswith("incident DB"):
+            assert record.fitted_phases == record.true_phases
+        mode = fitted.by_name[record.name]
+        assert mode.phases == record.fitted_phases
+
+
+def test_refit_threshold_stays_valid(database):
+    truth = default_parameters()
+    fitted, _ = refit_parameters(database, truth, np.random.default_rng(5))
+    for mode in fitted.modes:
+        if mode.threshold is not None:
+            assert 1 <= mode.threshold <= mode.phases
+    # The fitted parameters must build a valid tree.
+    tree = build_ei_joint_fmt(fitted)
+    assert len(tree.basic_events) == 11
+
+
+def test_refit_deterministic_given_rng(database):
+    truth = default_parameters()
+    first, _ = refit_parameters(database, truth, np.random.default_rng(6))
+    second, _ = refit_parameters(database, truth, np.random.default_rng(6))
+    assert first == second

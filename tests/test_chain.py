@@ -1,0 +1,102 @@
+"""CTMC representation and builder."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMC, CTMCBuilder
+from repro.errors import AnalysisError, ValidationError
+
+
+def _two_state():
+    builder = CTMCBuilder()
+    builder.add_transition("up", "down", 2.0)
+    builder.add_transition("down", "up", 3.0)
+    return builder.build(initial="up")
+
+
+def test_builder_registers_states_from_transitions():
+    chain = _two_state()
+    assert chain.n_states == 2
+    assert set(chain.labels) == {"up", "down"}
+
+
+def test_generator_rows_sum_to_zero():
+    chain = _two_state()
+    rows = np.asarray(chain.generator.sum(axis=1)).ravel()
+    assert np.allclose(rows, 0.0)
+
+
+def test_parallel_transitions_accumulate():
+    builder = CTMCBuilder()
+    builder.add_transition("a", "b", 1.0)
+    builder.add_transition("a", "b", 2.0)
+    chain = builder.build()
+    i, j = chain.index_of("a"), chain.index_of("b")
+    assert chain.generator[i, j] == pytest.approx(3.0)
+
+
+def test_self_loop_rejected():
+    builder = CTMCBuilder()
+    with pytest.raises(ValidationError):
+        builder.add_transition("a", "a", 1.0)
+
+
+def test_nonpositive_rate_rejected():
+    builder = CTMCBuilder()
+    with pytest.raises(ValidationError):
+        builder.add_transition("a", "b", 0.0)
+    with pytest.raises(ValidationError):
+        builder.add_transition("a", "b", -1.0)
+
+
+def test_empty_build_rejected():
+    with pytest.raises(ValidationError):
+        CTMCBuilder().build()
+
+
+def test_unknown_initial_rejected():
+    builder = CTMCBuilder()
+    builder.add_state("a")
+    with pytest.raises(ValidationError):
+        builder.build(initial="zz")
+
+
+def test_default_initial_is_first_state():
+    builder = CTMCBuilder()
+    builder.add_transition("first", "second", 1.0)
+    chain = builder.build()
+    assert chain.initial[chain.index_of("first")] == 1.0
+
+
+def test_exit_rates():
+    chain = _two_state()
+    rates = chain.exit_rates()
+    assert rates[chain.index_of("up")] == pytest.approx(2.0)
+    assert rates[chain.index_of("down")] == pytest.approx(3.0)
+
+
+def test_uniformization_rate_covers_max_exit():
+    chain = _two_state()
+    assert chain.uniformization_rate() >= 3.0
+
+
+def test_absorbing_states():
+    builder = CTMCBuilder()
+    builder.add_transition("a", "b", 1.0)
+    chain = builder.build()
+    assert chain.absorbing_states() == [chain.index_of("b")]
+
+
+def test_index_of_unknown_raises():
+    with pytest.raises(AnalysisError):
+        _two_state().index_of("ghost")
+
+
+def test_ctmc_rejects_bad_initial_distribution():
+    chain = _two_state()
+    with pytest.raises(ValidationError):
+        CTMC(chain.labels, chain.generator, np.array([0.5, 0.4]))
+
+
+def test_repr():
+    assert "n_states=2" in repr(_two_state())

@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dsl import save_file
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig6" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nonsense"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    assert "ferrous_dust" in capsys.readouterr().out
+
+
+def test_quick_flag_and_overrides(capsys):
+    code = main(["fig5", "--quick", "--runs", "100", "--horizon", "20", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ENF per year" in out
+
+
+def test_analyze_missing_path(capsys):
+    assert main(["analyze"]) == 2
+    assert "missing model file" in capsys.readouterr().err
+
+
+def test_analyze_model_file(tmp_path, capsys, layered_tree):
+    path = tmp_path / "model.fmt"
+    save_file(layered_tree, path)
+    assert main(["analyze", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "minimal cut sets" in out
+    assert "unreliability" in out
+
+
+def test_simulate_model_file(tmp_path, capsys, maintained_tree):
+    path = tmp_path / "model.fmt"
+    save_file(maintained_tree, path)
+    assert main(["simulate", str(path), "--runs", "50", "--horizon", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "failures/yr" in out
+    assert "50 trajectories" in out
+
+
+def test_simulate_absorbing_flag(tmp_path, capsys, maintained_tree):
+    path = tmp_path / "model.fmt"
+    save_file(maintained_tree, path)
+    assert main(["simulate", str(path), "--runs", "50", "--absorbing"]) == 0
+    assert "unreliability" in capsys.readouterr().out
+
+
+def test_simulate_missing_path(capsys):
+    assert main(["simulate"]) == 2
+    assert "missing model file" in capsys.readouterr().err
+
+
+def test_render_ascii(tmp_path, capsys, layered_tree):
+    path = tmp_path / "model.fmt"
+    save_file(layered_tree, path)
+    assert main(["render", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "[OR]" in out or "[AND]" in out
+
+
+def test_render_dot(tmp_path, capsys, layered_tree):
+    path = tmp_path / "model.fmt"
+    save_file(layered_tree, path)
+    assert main(["render", str(path), "--dot"]) == 0
+    assert capsys.readouterr().out.startswith("digraph")
+
+
+def test_render_missing_path(capsys):
+    assert main(["render"]) == 2
+    assert "missing model file" in capsys.readouterr().err
+
+
+def test_shipped_example_models_load():
+    from pathlib import Path
+
+    from repro.dsl import load_file
+
+    models = Path(__file__).parent.parent / "examples" / "models"
+    for path in sorted(models.glob("*.fmt")):
+        tree = load_file(path)
+        assert tree.basic_events
+
+
+def test_parser_version():
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["--version"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,189 @@
+"""Beta-factor common-cause failure transform."""
+
+import math
+
+import pytest
+
+from repro.analysis.common_cause import apply_beta_factor
+from repro.analysis.unreliability import unreliability
+from repro.core.builder import FMTBuilder
+from repro.errors import UnsupportedModelError, ValidationError
+from repro.maintenance.modules import InspectionModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.montecarlo import MonteCarlo
+
+
+def _redundant_tree(rate=0.1, k=2, n=3):
+    builder = FMTBuilder("redundant")
+    names = [f"c{i}" for i in range(n)]
+    for name in names:
+        builder.basic_event(name, rate=rate)
+    builder.voting_gate("top", k, names)
+    return builder.build("top"), names
+
+
+def test_transform_structure():
+    tree, names = _redundant_tree()
+    transformed = apply_beta_factor(tree, names, beta=0.2)
+    assert "ccf" in transformed.basic_events
+    for name in names:
+        assert name in transformed.gates  # member is now an OR gate
+        assert f"{name}_indep" in transformed.basic_events
+
+
+def test_rates_split():
+    tree, names = _redundant_tree(rate=0.1)
+    transformed = apply_beta_factor(tree, names, beta=0.25)
+    assert transformed.basic_events["ccf"].phase_rates[0] == pytest.approx(
+        0.025
+    )
+    assert transformed.basic_events["c0_indep"].phase_rates[0] == (
+        pytest.approx(0.075)
+    )
+
+
+def test_marginal_failure_probability_preserved():
+    """Each member's marginal lifetime is unchanged by the split:
+    independent and common parts race at rates summing to the original."""
+    tree, names = _redundant_tree(rate=0.2)
+    transformed = apply_beta_factor(tree, names, beta=0.3)
+    t = 3.0
+    marginal = 1.0 - math.exp(-0.2 * t)
+    # P(c0 fails by t) = P(indep or ccf) with independent exponentials.
+    p_indep = transformed.basic_events["c0_indep"].lifetime_cdf(t)
+    p_ccf = transformed.basic_events["ccf"].lifetime_cdf(t)
+    combined = 1.0 - (1.0 - p_indep) * (1.0 - p_ccf)
+    assert combined == pytest.approx(marginal, rel=1e-9)
+
+
+def test_ccf_defeats_redundancy_on_short_missions():
+    """Small member failure probability: k-of-n goes from O(p^k) to
+    O(beta*p) — the classical CCF danger."""
+    tree, names = _redundant_tree(rate=0.1, k=2, n=3)
+    t = 0.2  # p ~ 0.02
+    independent = unreliability(tree, t)
+    previous = independent
+    for beta in (0.1, 0.3, 0.6):
+        transformed = apply_beta_factor(tree, names, beta=beta)
+        dependent = unreliability(transformed, t)
+        assert dependent > previous
+        previous = dependent
+    # The jump is an order of magnitude, not a perturbation.
+    assert previous > 10.0 * independent
+
+
+def test_ccf_can_help_on_long_missions():
+    """Near-certain member failure: correlation concentrates mass on
+    'all or none', which *reduces* P(at least k fail) — the marginal-
+    preserving transform is not uniformly pessimistic."""
+    tree, names = _redundant_tree(rate=0.1, k=2, n=3)
+    t = 5.0  # p ~ 0.39
+    independent = unreliability(tree, t)
+    transformed = apply_beta_factor(tree, names, beta=0.3)
+    assert unreliability(transformed, t) < independent
+
+
+def test_single_component_unaffected_in_distribution():
+    """For a 1-of-n (series) system CCF does not change unreliability:
+    the first failure time distribution is identical."""
+    tree, names = _redundant_tree(rate=0.1, k=1, n=3)
+    base = unreliability(tree, 4.0)
+    transformed = apply_beta_factor(tree, names, beta=0.4)
+    # Series system: fails at min of member lifetimes. Marginals are
+    # preserved but members are now positively correlated, so the min
+    # is stochastically *larger*: unreliability can only drop.
+    assert unreliability(transformed, 4.0) <= base + 1e-12
+
+
+def test_simulator_handles_transformed_tree():
+    tree, names = _redundant_tree(rate=0.3, k=2, n=3)
+    transformed = apply_beta_factor(tree, names, beta=0.5)
+    sim = MonteCarlo(
+        transformed, MaintenanceStrategy.absorbing(), horizon=10.0, seed=6
+    ).run(3000, confidence=0.99)
+    exact = unreliability(transformed, 10.0)
+    assert sim.unreliability.contains(exact)
+
+
+def test_validation_beta_range():
+    tree, names = _redundant_tree()
+    with pytest.raises(ValidationError):
+        apply_beta_factor(tree, names, beta=0.0)
+    with pytest.raises(ValidationError):
+        apply_beta_factor(tree, names, beta=1.0)
+
+
+def test_validation_group_size():
+    tree, names = _redundant_tree()
+    with pytest.raises(ValidationError):
+        apply_beta_factor(tree, names[:1], beta=0.2)
+
+
+def test_validation_unknown_member():
+    tree, names = _redundant_tree()
+    with pytest.raises(ValidationError):
+        apply_beta_factor(tree, ["ghost", "c0"], beta=0.2)
+
+
+def test_multi_phase_member_rejected():
+    builder = FMTBuilder("t")
+    builder.degraded_event("a", phases=2, mean=1.0)
+    builder.degraded_event("b", phases=2, mean=1.0)
+    builder.and_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        apply_beta_factor(tree, ["a", "b"], beta=0.2)
+
+
+def test_unequal_rates_rejected():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=0.1)
+    builder.basic_event("b", rate=0.2)
+    builder.and_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        apply_beta_factor(tree, ["a", "b"], beta=0.2)
+
+
+def test_maintenance_on_members_rejected():
+    builder = FMTBuilder("t")
+    builder.degraded_event("a", phases=1, mean=1.0, threshold=1)
+    builder.degraded_event("b", phases=1, mean=1.0, threshold=1)
+    builder.and_gate("top", ["a", "b"])
+    builder.inspection("i", period=1.0, targets=["a"])
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        apply_beta_factor(tree, ["a", "b"], beta=0.2)
+
+
+def test_name_collision_rejected():
+    tree, names = _redundant_tree()
+    with pytest.raises(ValidationError):
+        apply_beta_factor(tree, names, beta=0.2, ccf_name="c0")
+
+
+def test_eijoint_bolt_ccf():
+    """A bolt-batch common cause collapses the 2-of-4 redundancy."""
+    from repro.eijoint import build_ei_joint_fmt
+
+    tree = build_ei_joint_fmt().without_dependencies()
+    # Bolts are 2-phase; model the CCF on a simplified single-phase
+    # variant of the bolt group.
+    import dataclasses
+
+    from repro.eijoint.parameters import default_parameters
+
+    params = default_parameters()
+    for bolt in params.bolt_names:
+        params = params.with_mode(bolt, phases=1, threshold=None)
+    simplified = build_ei_joint_fmt(
+        dataclasses.replace(params, bolt_glue_acceleration=1.0)
+    )
+    transformed = apply_beta_factor(
+        simplified, list(params.bolt_names), beta=0.2, ccf_name="bolt_batch"
+    )
+    # Short mission: each bolt is unlikely to have failed, so the
+    # common cause dominates the pair combinations.
+    base = unreliability(simplified, 2.0)
+    with_ccf = unreliability(transformed, 2.0)
+    assert with_ccf > base

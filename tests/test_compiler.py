@@ -1,0 +1,208 @@
+"""FMT-to-CTMC compiler: exactness against closed forms and the simulator."""
+
+import math
+
+import pytest
+
+from repro.core.builder import FMTBuilder
+from repro.ctmc.compiler import compile_fmt
+from repro.errors import AnalysisError, UnsupportedModelError
+from repro.maintenance.actions import clean
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.montecarlo import MonteCarlo
+
+
+def _single(phases=1, mean=2.0, threshold=None):
+    builder = FMTBuilder("single")
+    builder.degraded_event("w", phases=phases, mean=mean, threshold=threshold)
+    builder.or_gate("top", ["w"])
+    return builder.build("top")
+
+
+def test_single_exponential_unreliability():
+    tree = _single(phases=1, mean=2.0)
+    compiled = compile_fmt(tree, MaintenanceStrategy.absorbing())
+    for t in (0.5, 2.0, 5.0):
+        assert compiled.unreliability(t) == pytest.approx(
+            1.0 - math.exp(-t / 2.0), abs=1e-9
+        )
+
+
+def test_erlang_unreliability_matches_event_cdf():
+    tree = _single(phases=4, mean=8.0)
+    event = tree.basic_events["w"]
+    compiled = compile_fmt(tree, MaintenanceStrategy.absorbing())
+    for t in (1.0, 5.0, 20.0):
+        assert compiled.unreliability(t) == pytest.approx(
+            event.lifetime_cdf(t), abs=1e-8
+        )
+
+
+def test_and_gate_unreliability():
+    builder = FMTBuilder("and")
+    builder.basic_event("a", rate=0.5)
+    builder.basic_event("b", rate=0.25)
+    builder.and_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    compiled = compile_fmt(tree, MaintenanceStrategy.absorbing())
+    t = 3.0
+    expected = (1 - math.exp(-0.5 * t)) * (1 - math.exp(-0.25 * t))
+    assert compiled.unreliability(t) == pytest.approx(expected, abs=1e-9)
+
+
+def test_rdep_acceleration_exact():
+    """Trigger fails at rate a; target rate jumps from r to g*r."""
+    builder = FMTBuilder("rdep")
+    builder.basic_event("target_evt", rate=0.1)
+    builder.basic_event("trig", rate=1.0)
+    builder.and_gate("guard", ["trig", "target_evt"])
+    builder.or_gate("top", ["target_evt", "guard"])
+    builder.rdep("d", trigger="trig", targets=["target_evt"], factor=5.0)
+    tree = builder.build("top")
+    compiled = compile_fmt(tree, MaintenanceStrategy.absorbing())
+    # Compare against a 1000-run simulation at a few time points.
+    sim = MonteCarlo(
+        tree, MaintenanceStrategy.absorbing(), horizon=5.0, seed=42
+    ).run(4000)
+    exact = compiled.unreliability(5.0)
+    assert sim.unreliability.contains(exact)
+
+
+def test_exponential_inspection_reduces_unreliability():
+    tree = _single(phases=3, mean=3.0, threshold=2)
+    module = InspectionModule(
+        "i", period=0.25, targets=["w"], action=clean(), timing="exponential"
+    )
+    inspected = MaintenanceStrategy(
+        "s", inspections=(module,), on_system_failure="none"
+    )
+    with_inspection = compile_fmt(tree, inspected)
+    without = compile_fmt(tree, MaintenanceStrategy.absorbing())
+    assert with_inspection.unreliability(5.0) < without.unreliability(5.0) / 2
+
+
+def test_expected_failures_instant_repair_exponential():
+    """Poisson process: instant renewal of an exponential component."""
+    tree = _single(phases=1, mean=2.0)
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.0
+    )
+    compiled = compile_fmt(tree, strategy, mode="availability")
+    assert compiled.expected_failures(10.0) == pytest.approx(5.0, rel=1e-4)
+
+
+def test_expected_failures_erlang_renewal():
+    """Renewal process with Erlang-2 interarrivals: exact renewal function."""
+    tree = _single(phases=2, mean=2.0)  # per-phase rate 1.0
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.0
+    )
+    compiled = compile_fmt(tree, strategy, mode="availability")
+    # m(t) = t/2 - 1/4 + e^{-2t}/4 for Erlang(2, 1) renewals.
+    t = 10.0
+    expected = t / 2.0 - 0.25 + math.exp(-2.0 * t) / 4.0
+    assert compiled.expected_failures(t) == pytest.approx(expected, rel=1e-3)
+
+
+def test_unavailability_with_repair_time():
+    tree = _single(phases=1, mean=1.0)
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.5
+    )
+    compiled = compile_fmt(tree, strategy, mode="availability")
+    # Long-run unavailability = 0.5 / 1.5; at a long horizon it converges.
+    assert compiled.unavailability(300.0, n_steps=600) == pytest.approx(
+        1.0 / 3.0, rel=0.02
+    )
+
+
+def test_unavailability_zero_with_instant_repair():
+    tree = _single(phases=1, mean=1.0)
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.0
+    )
+    compiled = compile_fmt(tree, strategy, mode="availability")
+    assert compiled.unavailability(10.0) == 0.0
+
+
+def test_periodic_timing_rejected():
+    tree = _single(phases=3, mean=3.0, threshold=2)
+    module = InspectionModule("i", period=0.25, targets=["w"], action=clean())
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    with pytest.raises(UnsupportedModelError):
+        compile_fmt(tree, strategy)
+
+
+def test_inspection_delay_rejected():
+    tree = _single(phases=3, mean=3.0, threshold=2)
+    module = InspectionModule(
+        "i",
+        period=0.25,
+        targets=["w"],
+        action=clean(),
+        delay=0.1,
+        timing="exponential",
+    )
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    with pytest.raises(UnsupportedModelError):
+        compile_fmt(tree, strategy)
+
+
+def test_pand_rejected():
+    builder = FMTBuilder("pand")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.pand_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        compile_fmt(tree)
+
+
+def test_availability_needs_replace_response():
+    tree = _single()
+    with pytest.raises(UnsupportedModelError):
+        compile_fmt(tree, MaintenanceStrategy.absorbing(), mode="availability")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(AnalysisError):
+        compile_fmt(_single(), mode="banana")
+
+
+def test_state_space_guard():
+    builder = FMTBuilder("big")
+    names = [f"x{i}" for i in range(12)]
+    for name in names:
+        builder.degraded_event(name, phases=4, mean=10.0)
+    builder.and_gate("top", names)
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        compile_fmt(tree, max_states=1000)
+
+
+def test_wrong_mode_queries_rejected():
+    tree = _single()
+    unrel = compile_fmt(tree, MaintenanceStrategy.absorbing())
+    with pytest.raises(AnalysisError):
+        unrel.expected_failures(1.0)
+    avail = compile_fmt(
+        tree,
+        MaintenanceStrategy("s", on_system_failure="replace"),
+        mode="availability",
+    )
+    with pytest.raises(AnalysisError):
+        avail.unreliability(1.0)
+
+
+def test_repair_module_exponential_included():
+    tree = _single(phases=4, mean=4.0)
+    module = RepairModule(
+        "renew", period=1.0, targets=["w"], timing="exponential"
+    )
+    strategy = MaintenanceStrategy(
+        "s", repairs=(module,), on_system_failure="none"
+    )
+    renewed = compile_fmt(tree, strategy)
+    bare = compile_fmt(tree, MaintenanceStrategy.absorbing())
+    assert renewed.unreliability(8.0) < bare.unreliability(8.0)

@@ -1,0 +1,130 @@
+"""Confidence intervals: coverage sanity, edge cases, invariants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    proportion_confidence_interval,
+    wilson_interval,
+)
+
+
+def test_interval_contains():
+    interval = ConfidenceInterval(0.5, 0.4, 0.6, 0.95)
+    assert interval.contains(0.45)
+    assert not interval.contains(0.39)
+
+
+def test_interval_half_width():
+    interval = ConfidenceInterval(0.5, 0.4, 0.6, 0.95)
+    assert interval.half_width == pytest.approx(0.1)
+
+
+def test_interval_relative_half_width():
+    interval = ConfidenceInterval(2.0, 1.0, 3.0, 0.95)
+    assert interval.relative_half_width == pytest.approx(0.5)
+
+
+def test_interval_relative_half_width_zero_estimate():
+    interval = ConfidenceInterval(0.0, -1.0, 1.0, 0.95)
+    assert interval.relative_half_width == math.inf
+
+
+def test_interval_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        ConfidenceInterval(0.5, 0.6, 0.4, 0.95)
+
+
+def test_interval_rejects_bad_confidence():
+    with pytest.raises(ValueError):
+        ConfidenceInterval(0.5, 0.4, 0.6, 1.5)
+
+
+def test_interval_str_mentions_confidence():
+    assert "@95%" in str(ConfidenceInterval(0.5, 0.4, 0.6, 0.95))
+
+
+def test_mean_ci_centers_on_mean():
+    interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+    assert interval.estimate == pytest.approx(2.5)
+    assert interval.lower < 2.5 < interval.upper
+
+
+def test_mean_ci_empty():
+    interval = mean_confidence_interval([])
+    assert interval.lower == -math.inf and interval.upper == math.inf
+
+
+def test_mean_ci_single_sample_is_unbounded():
+    interval = mean_confidence_interval([3.0])
+    assert interval.estimate == 3.0
+    assert interval.lower == -math.inf
+
+
+def test_mean_ci_constant_samples_zero_width():
+    interval = mean_confidence_interval([2.0] * 10)
+    assert interval.half_width == pytest.approx(0.0)
+
+
+def test_mean_ci_width_shrinks_with_n(rng):
+    small = mean_confidence_interval(list(rng.normal(size=50)))
+    large = mean_confidence_interval(list(rng.normal(size=5000)))
+    assert large.half_width < small.half_width
+
+
+def test_mean_ci_coverage_on_normal(rng):
+    hits = 0
+    trials = 300
+    for _ in range(trials):
+        samples = rng.normal(loc=1.0, size=30)
+        if mean_confidence_interval(list(samples), 0.95).contains(1.0):
+            hits += 1
+    assert hits / trials > 0.88
+
+
+def test_wilson_point_estimate():
+    interval = wilson_interval(30, 100)
+    assert interval.estimate == pytest.approx(0.3)
+
+
+def test_wilson_bounds_stay_in_unit_interval():
+    for successes, trials in [(0, 10), (10, 10), (1, 1000), (999, 1000)]:
+        interval = wilson_interval(successes, trials)
+        assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+
+def test_wilson_zero_successes_has_positive_upper():
+    interval = wilson_interval(0, 50)
+    assert interval.lower == pytest.approx(0.0, abs=1e-12)
+    assert interval.upper > 0.0
+
+
+def test_wilson_zero_trials_degenerates():
+    interval = wilson_interval(0, 0)
+    assert interval.lower == 0.0 and interval.upper == 1.0
+
+
+def test_wilson_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        wilson_interval(5, 3)
+    with pytest.raises(ValueError):
+        wilson_interval(-1, 3)
+
+
+def test_wilson_coverage_on_binomial(rng):
+    p = 0.07
+    hits = 0
+    trials = 300
+    for _ in range(trials):
+        successes = rng.binomial(200, p)
+        if wilson_interval(int(successes), 200, 0.95).contains(p):
+            hits += 1
+    assert hits / trials > 0.88
+
+
+def test_proportion_ci_is_wilson():
+    assert proportion_confidence_interval(3, 10) == wilson_interval(3, 10)

@@ -1,0 +1,113 @@
+"""Cost model and cost accounting."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.maintenance.costs import CostBreakdown, CostModel
+
+
+def test_action_cost_default_zero():
+    assert CostModel().action_cost("e", "clean") == 0.0
+
+
+def test_action_cost_per_kind():
+    model = CostModel(action_costs={"clean": 10.0, "replace": 100.0})
+    assert model.action_cost("e", "clean") == 10.0
+    assert model.action_cost("e", "replace") == 100.0
+    assert model.action_cost("e", "repair") == 0.0
+
+
+def test_action_cost_event_override():
+    model = CostModel(
+        action_costs={"replace": 100.0},
+        event_action_costs={("special", "replace"): 500.0},
+    )
+    assert model.action_cost("special", "replace") == 500.0
+    assert model.action_cost("other", "replace") == 100.0
+
+
+def test_corrective_factor_scales_cost():
+    model = CostModel(action_costs={"replace": 100.0}, corrective_factor=1.5)
+    assert model.action_cost("e", "replace", corrective=True) == 150.0
+    assert model.action_cost("e", "replace", corrective=False) == 100.0
+
+
+def test_action_cost_unknown_kind_rejected():
+    with pytest.raises(ValidationError):
+        CostModel().action_cost("e", "paint")
+
+
+def test_constructor_rejects_unknown_kinds():
+    with pytest.raises(ValidationError):
+        CostModel(action_costs={"paint": 1.0})
+    with pytest.raises(ValidationError):
+        CostModel(event_action_costs={("e", "paint"): 1.0})
+
+
+def test_constructor_rejects_negative_costs():
+    with pytest.raises(ValidationError):
+        CostModel(inspection_visit=-1.0)
+    with pytest.raises(ValidationError):
+        CostModel(system_failure=-1.0)
+    with pytest.raises(ValidationError):
+        CostModel(module_visit_costs={"m": -1.0})
+
+
+def test_corrective_factor_must_be_at_least_one():
+    with pytest.raises(ValidationError):
+        CostModel(corrective_factor=0.5)
+
+
+def test_visit_cost_default_and_override():
+    model = CostModel(
+        inspection_visit=25.0, module_visit_costs={"secondary": 0.0}
+    )
+    assert model.visit_cost("primary") == 25.0
+    assert model.visit_cost("secondary") == 0.0
+
+
+def test_breakdown_total():
+    breakdown = CostBreakdown(
+        inspections=1.0, preventive=2.0, corrective=3.0, failures=4.0, downtime=5.0
+    )
+    assert breakdown.total == 15.0
+    assert breakdown.planned == 3.0
+    assert breakdown.unplanned == 12.0
+
+
+def test_breakdown_add():
+    left = CostBreakdown(inspections=1.0)
+    right = CostBreakdown(inspections=2.0, failures=3.0)
+    left.add(right)
+    assert left.inspections == 3.0
+    assert left.failures == 3.0
+
+
+def test_breakdown_scaled_is_new_object():
+    original = CostBreakdown(inspections=10.0)
+    scaled = original.scaled(0.5)
+    assert scaled.inspections == 5.0
+    assert original.inspections == 10.0
+
+
+def test_breakdown_per_year():
+    breakdown = CostBreakdown(failures=100.0)
+    assert breakdown.per_year(50.0).failures == pytest.approx(2.0)
+
+
+def test_breakdown_per_year_rejects_bad_horizon():
+    with pytest.raises(ValidationError):
+        CostBreakdown().per_year(0.0)
+
+
+def test_breakdown_as_dict():
+    data = CostBreakdown(inspections=1.0, downtime=2.0).as_dict()
+    assert data["total"] == 3.0
+    assert set(data) == {
+        "inspections",
+        "preventive",
+        "corrective",
+        "failures",
+        "downtime",
+        "total",
+    }

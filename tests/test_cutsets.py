@@ -1,0 +1,152 @@
+"""Minimal cut sets and path sets."""
+
+from itertools import chain, combinations
+
+import pytest
+
+from repro.analysis.cutsets import minimal_cut_sets, minimal_path_sets
+from repro.core.builder import FMTBuilder
+from repro.errors import UnsupportedModelError
+
+
+def _powerset(names):
+    return chain.from_iterable(
+        combinations(names, r) for r in range(len(names) + 1)
+    )
+
+
+def _check_cut_sets_characterize_tree(tree):
+    """Cut sets must exactly characterize the structure function."""
+    cut_sets = minimal_cut_sets(tree)
+    names = sorted(tree.basic_events)
+    for subset in _powerset(names):
+        failed = set(subset)
+        from_cuts = any(cut <= failed for cut in cut_sets)
+        assert from_cuts == tree.evaluate(failed), f"mismatch at {failed}"
+    # Minimality: removing any element from a cut set breaks it.
+    for cut in cut_sets:
+        for name in cut:
+            assert not tree.evaluate(cut - {name})
+
+
+def test_or_tree_cut_sets(simple_or_tree):
+    assert minimal_cut_sets(simple_or_tree) == [
+        frozenset({"a"}),
+        frozenset({"b"}),
+    ]
+
+
+def test_and_tree_cut_sets(simple_and_tree):
+    assert minimal_cut_sets(simple_and_tree) == [frozenset({"a", "b"})]
+
+
+def test_voting_tree_cut_sets(voting_tree):
+    cut_sets = minimal_cut_sets(voting_tree)
+    assert len(cut_sets) == 3
+    assert all(len(cut) == 2 for cut in cut_sets)
+
+
+def test_layered_tree_characterization(layered_tree):
+    _check_cut_sets_characterize_tree(layered_tree)
+
+
+def test_shared_event_absorption():
+    # top = a OR (a AND b): the {a, b} cut set is absorbed by {a}.
+    builder = FMTBuilder("absorb")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.and_gate("ab", ["a", "b"])
+    builder.or_gate("top", ["a", "ab"])
+    tree = builder.build("top")
+    assert minimal_cut_sets(tree) == [frozenset({"a"})]
+
+
+def test_inhibit_acts_as_and():
+    builder = FMTBuilder("inh")
+    builder.basic_event("cond", rate=1.0)
+    builder.basic_event("x", rate=1.0)
+    builder.inhibit_gate("top", "cond", ["x"])
+    tree = builder.build("top")
+    assert minimal_cut_sets(tree) == [frozenset({"cond", "x"})]
+
+
+def test_pand_rejected_without_flag():
+    builder = FMTBuilder("pand")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.pand_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        minimal_cut_sets(tree)
+    assert minimal_cut_sets(tree, treat_pand_as_and=True) == [
+        frozenset({"a", "b"})
+    ]
+
+
+def test_cut_sets_sorted_by_size_then_names(layered_tree):
+    cut_sets = minimal_cut_sets(layered_tree)
+    sizes = [len(cut) for cut in cut_sets]
+    assert sizes == sorted(sizes)
+
+
+def test_explosion_guard():
+    builder = FMTBuilder("big")
+    names = [f"x{i}" for i in range(14)]
+    for name in names:
+        builder.basic_event(name, rate=1.0)
+    builder.voting_gate("top", 7, names)
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        minimal_cut_sets(tree, max_cut_sets=100)
+
+
+def test_path_sets_or_tree(simple_or_tree):
+    # Keeping both a and b up keeps an OR system up.
+    assert minimal_path_sets(simple_or_tree) == [frozenset({"a", "b"})]
+
+
+def test_path_sets_and_tree(simple_and_tree):
+    assert minimal_path_sets(simple_and_tree) == [
+        frozenset({"a"}),
+        frozenset({"b"}),
+    ]
+
+
+def test_path_sets_voting(voting_tree):
+    # 2-of-3 fails <=> at most 1 working; path sets are pairs.
+    path_sets = minimal_path_sets(voting_tree)
+    assert len(path_sets) == 3
+    assert all(len(path) == 2 for path in path_sets)
+
+
+def test_path_sets_complement_cut_sets(layered_tree):
+    """A set of working events avoids failure iff it hits every cut set."""
+    cut_sets = minimal_cut_sets(layered_tree)
+    path_sets = minimal_path_sets(layered_tree)
+    names = set(layered_tree.basic_events)
+    for path in path_sets:
+        failed = names - path
+        assert not any(cut <= failed for cut in cut_sets)
+
+
+def test_pand_rejected_for_path_sets():
+    builder = FMTBuilder("pand")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.pand_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        minimal_path_sets(tree)
+
+
+def test_eijoint_cut_sets():
+    from repro.eijoint import build_ei_joint_fmt
+
+    tree = build_ei_joint_fmt()
+    cut_sets = minimal_cut_sets(tree)
+    singletons = [cut for cut in cut_sets if len(cut) == 1]
+    pairs = [cut for cut in cut_sets if len(cut) == 2]
+    # 7 single-event modes + C(4,2)=6 bolt pairs.
+    assert len(singletons) == 7
+    assert len(pairs) == 6
+    assert frozenset({"bolt_1", "bolt_2"}) in pairs

@@ -1,0 +1,60 @@
+"""Rate dependency (RDEP) declarations."""
+
+import pytest
+
+from repro.core.dependencies import RateDependency
+from repro.errors import ValidationError
+
+
+def test_basic_construction():
+    dep = RateDependency("d", "trigger", ["a", "b"], 2.5)
+    assert dep.trigger == "trigger"
+    assert dep.targets == ("a", "b")
+    assert dep.factor == 2.5
+
+
+def test_factor_one_allowed():
+    assert RateDependency("d", "t", ["a"], 1.0).factor == 1.0
+
+
+def test_factor_below_one_rejected():
+    with pytest.raises(ValidationError):
+        RateDependency("d", "t", ["a"], 0.5)
+
+
+def test_factor_nan_rejected():
+    with pytest.raises(ValidationError):
+        RateDependency("d", "t", ["a"], float("nan"))
+
+
+def test_empty_targets_rejected():
+    with pytest.raises(ValidationError):
+        RateDependency("d", "t", [], 2.0)
+
+
+def test_duplicate_targets_rejected():
+    with pytest.raises(ValidationError):
+        RateDependency("d", "t", ["a", "a"], 2.0)
+
+
+def test_trigger_cannot_target_itself():
+    with pytest.raises(ValidationError):
+        RateDependency("d", "a", ["a", "b"], 2.0)
+
+
+def test_invalid_names_rejected():
+    with pytest.raises(ValidationError):
+        RateDependency("1bad", "t", ["a"], 2.0)
+    with pytest.raises(ValidationError):
+        RateDependency("d", "t", ["bad name"], 2.0)
+
+
+def test_dict_round_trip():
+    dep = RateDependency("d", "t", ["a", "b"], 3.0)
+    clone = RateDependency.from_dict(dep.to_dict())
+    assert clone.to_dict() == dep.to_dict()
+
+
+def test_repr():
+    text = repr(RateDependency("d", "t", ["a"], 2.0))
+    assert "trigger='t'" in text and "factor=2" in text

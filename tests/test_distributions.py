@@ -1,0 +1,172 @@
+"""Lifetime distributions: moments, CDFs, sampling, serialization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Uniform,
+    Weibull,
+    distribution_from_dict,
+)
+
+ALL_DISTRIBUTIONS = [
+    Exponential(rate=0.5),
+    Erlang(shape=3, rate=1.5),
+    Weibull(scale=4.0, shape=2.0),
+    Deterministic(value=2.5),
+    Uniform(low=1.0, high=3.0),
+    LogNormal(mu=0.5, sigma=0.4),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.kind)
+def test_cdf_is_monotone_and_bounded(dist):
+    previous = 0.0
+    for t in np.linspace(0.0, 20.0, 50):
+        value = dist.cdf(float(t))
+        assert 0.0 <= value <= 1.0
+        assert value >= previous - 1e-12
+        previous = value
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.kind)
+def test_cdf_zero_at_origin(dist):
+    assert dist.cdf(0.0) == pytest.approx(0.0, abs=1e-12)
+    assert dist.cdf(-1.0) == 0.0
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.kind)
+def test_survival_complements_cdf(dist):
+    for t in (0.5, 1.0, 5.0):
+        assert dist.survival(t) == pytest.approx(1.0 - dist.cdf(t))
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.kind)
+def test_sample_mean_matches_analytic_mean(dist, rng):
+    samples = dist.sample(rng, size=40_000)
+    assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.05)
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.kind)
+def test_dict_round_trip(dist):
+    clone = distribution_from_dict(dist.to_dict())
+    assert clone == dist
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.kind)
+def test_scalar_sample(dist, rng):
+    value = dist.sample(rng)
+    assert np.isscalar(value) or np.ndim(value) == 0
+    assert value >= 0.0
+
+
+def test_exponential_mean_inverse_rate():
+    assert Exponential(rate=4.0).mean() == pytest.approx(0.25)
+
+
+def test_exponential_from_mean():
+    assert Exponential.from_mean(5.0).rate == pytest.approx(0.2)
+
+
+def test_exponential_cdf_closed_form():
+    dist = Exponential(rate=2.0)
+    assert dist.cdf(1.0) == pytest.approx(1.0 - math.exp(-2.0))
+
+
+def test_exponential_hazard_integral():
+    dist = Exponential(rate=2.0)
+    assert dist.hazard_integral(3.0) == pytest.approx(6.0)
+
+
+def test_erlang_mean_and_variance():
+    dist = Erlang(shape=4, rate=2.0)
+    assert dist.mean() == pytest.approx(2.0)
+    assert dist.variance() == pytest.approx(1.0)
+
+
+def test_erlang_from_mean():
+    dist = Erlang.from_mean(shape=5, mean=10.0)
+    assert dist.mean() == pytest.approx(10.0)
+    assert dist.rate == pytest.approx(0.5)
+
+
+def test_erlang_shape_one_equals_exponential():
+    erlang = Erlang(shape=1, rate=0.7)
+    exponential = Exponential(rate=0.7)
+    for t in (0.1, 1.0, 4.0):
+        assert erlang.cdf(t) == pytest.approx(exponential.cdf(t))
+
+
+def test_erlang_cdf_against_scipy():
+    from scipy import stats as sps
+
+    dist = Erlang(shape=3, rate=1.2)
+    for t in (0.5, 2.0, 6.0):
+        expected = sps.gamma.cdf(t, a=3, scale=1.0 / 1.2)
+        assert dist.cdf(t) == pytest.approx(expected, rel=1e-9)
+
+
+def test_weibull_shape_one_equals_exponential():
+    weibull = Weibull(scale=2.0, shape=1.0)
+    exponential = Exponential(rate=0.5)
+    for t in (0.2, 1.0, 3.0):
+        assert weibull.cdf(t) == pytest.approx(exponential.cdf(t))
+
+
+def test_deterministic_cdf_is_step():
+    dist = Deterministic(value=2.0)
+    assert dist.cdf(1.999) == 0.0
+    assert dist.cdf(2.0) == 1.0
+
+
+def test_deterministic_sampling_constant(rng):
+    dist = Deterministic(value=1.5)
+    assert np.all(dist.sample(rng, size=10) == 1.5)
+
+
+def test_uniform_mean():
+    assert Uniform(low=1.0, high=3.0).mean() == pytest.approx(2.0)
+
+
+def test_lognormal_mean():
+    dist = LogNormal(mu=0.0, sigma=1.0)
+    assert dist.mean() == pytest.approx(math.exp(0.5))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: Exponential(rate=0.0),
+        lambda: Exponential(rate=-1.0),
+        lambda: Exponential(rate=math.inf),
+        lambda: Erlang(shape=0, rate=1.0),
+        lambda: Erlang(shape=2.5, rate=1.0),
+        lambda: Erlang(shape=2, rate=-1.0),
+        lambda: Weibull(scale=0.0, shape=1.0),
+        lambda: Weibull(scale=1.0, shape=0.0),
+        lambda: Deterministic(value=-1.0),
+        lambda: Uniform(low=3.0, high=1.0),
+        lambda: Uniform(low=-1.0, high=1.0),
+        lambda: LogNormal(mu=0.0, sigma=0.0),
+    ],
+)
+def test_invalid_parameters_rejected(factory):
+    with pytest.raises(ValidationError):
+        factory()
+
+
+def test_from_dict_unknown_kind():
+    with pytest.raises(ValidationError):
+        distribution_from_dict({"kind": "gamma", "rate": 1.0})
+
+
+def test_from_dict_missing_kind():
+    with pytest.raises(ValidationError):
+        distribution_from_dict({"rate": 1.0})

@@ -1,0 +1,180 @@
+"""The EI-joint case-study model, parameters, and strategies."""
+
+import dataclasses
+
+import pytest
+
+from repro.eijoint.model import (
+    BOLT_GATE,
+    ELECTRICAL_GATE,
+    MECHANICAL_GATE,
+    TOP,
+    build_ei_joint_fmt,
+    inspectable_modes,
+)
+from repro.eijoint.parameters import (
+    EIJointParameters,
+    default_cost_model,
+    default_parameters,
+)
+from repro.eijoint.strategies import (
+    CURRENT_INSPECTIONS_PER_YEAR,
+    current_policy,
+    inspection_policy,
+    no_maintenance,
+    renewal_only,
+    strategy_grid,
+    unmaintained,
+)
+from repro.errors import ValidationError
+
+
+def test_default_parameters_valid():
+    parameters = default_parameters()
+    assert len(parameters.modes) == 11
+    assert parameters.bolt_names == ("bolt_1", "bolt_2", "bolt_3", "bolt_4")
+
+
+def test_mode_lookup_and_phase_rate():
+    parameters = default_parameters()
+    dust = parameters.by_name["ferrous_dust"]
+    assert dust.phase_rate == pytest.approx(dust.phases / dust.mean_lifetime)
+
+
+def test_with_mode_changes_one_mode():
+    parameters = default_parameters().with_mode("ferrous_dust", phases=2)
+    assert parameters.by_name["ferrous_dust"].phases == 2
+    assert parameters.by_name["pollution_conductive"].phases == 3
+
+
+def test_with_mode_unknown_rejected():
+    with pytest.raises(ValidationError):
+        default_parameters().with_mode("ghost", phases=2)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValidationError):
+        dataclasses.replace(default_parameters(), bolts_needed_to_fail=9)
+    with pytest.raises(ValidationError):
+        dataclasses.replace(default_parameters(), bolt_glue_acceleration=0.5)
+
+
+def test_tree_structure():
+    tree = build_ei_joint_fmt()
+    assert tree.top.name == TOP
+    assert set(tree.gates) == {TOP, ELECTRICAL_GATE, MECHANICAL_GATE, BOLT_GATE}
+    assert len(tree.basic_events) == 11
+    assert len(tree.dependencies) == 4
+
+
+def test_tree_semantics_electrical():
+    tree = build_ei_joint_fmt()
+    assert tree.evaluate({"ferrous_dust"})
+    assert tree.evaluate({"endpost_defect"})
+
+
+def test_tree_semantics_bolts_need_two():
+    tree = build_ei_joint_fmt()
+    assert not tree.evaluate({"bolt_1"})
+    assert tree.evaluate({"bolt_1", "bolt_3"})
+
+
+def test_tree_semantics_mechanical():
+    tree = build_ei_joint_fmt()
+    assert tree.evaluate({"glue_failure"})
+    assert tree.evaluate({"rail_end_break"})
+
+
+def test_rdep_disabled_when_factor_one():
+    parameters = dataclasses.replace(
+        default_parameters(), bolt_glue_acceleration=1.0
+    )
+    assert build_ei_joint_fmt(parameters).dependencies == ()
+
+
+def test_inspectable_modes():
+    modes = inspectable_modes()
+    assert "ferrous_dust" in modes
+    assert "endpost_defect" not in modes
+    assert "rail_end_break" not in modes
+
+
+def test_cost_model_prices():
+    model = default_cost_model()
+    assert model.visit_cost("inspect_clean") > 0.0
+    assert model.visit_cost("inspect_repair") == 0.0
+    assert model.action_cost("bolt_1", "repair") < model.action_cost(
+        "glue_failure", "replace"
+    )
+    assert model.system_failure > model.action_cost("glue_failure", "replace")
+
+
+def test_unmaintained_strategy_absorbing():
+    assert unmaintained().on_system_failure == "none"
+
+
+def test_no_maintenance_corrective():
+    strategy = no_maintenance()
+    assert strategy.on_system_failure == "replace"
+    assert strategy.system_repair_time > 0.0
+    assert strategy.inspections == ()
+
+
+def test_inspection_policy_modules_cover_inspectables():
+    strategy = inspection_policy(4)
+    covered = set()
+    for module in strategy.inspections:
+        assert module.period == pytest.approx(0.25)
+        covered.update(module.targets)
+    assert covered == set(inspectable_modes())
+
+
+def test_inspection_policy_actions_match_modes():
+    strategy = inspection_policy(2)
+    parameters = default_parameters()
+    for module in strategy.inspections:
+        for target in module.targets:
+            assert parameters.by_name[target].action == module.action.kind
+
+
+def test_inspection_policy_rejects_zero():
+    with pytest.raises(ValidationError):
+        inspection_policy(0)
+
+
+def test_inspection_policy_with_renewal():
+    strategy = inspection_policy(4, renewal_years=25.0)
+    assert len(strategy.repairs) == 1
+    assert strategy.repairs[0].period == 25.0
+    assert set(strategy.repairs[0].targets) == {
+        mode.name for mode in default_parameters().modes
+    }
+
+
+def test_current_policy_is_quarterly():
+    strategy = current_policy()
+    assert strategy.name == "current-policy"
+    assert strategy.inspections_per_year == pytest.approx(
+        3 * CURRENT_INSPECTIONS_PER_YEAR
+    )
+    for module in strategy.inspections:
+        assert module.period == pytest.approx(1.0 / CURRENT_INSPECTIONS_PER_YEAR)
+
+
+def test_renewal_only():
+    strategy = renewal_only(10.0)
+    assert strategy.inspections == ()
+    assert strategy.repairs[0].period == 10.0
+
+
+def test_strategy_grid():
+    strategies = strategy_grid([0, 1, 4])
+    assert strategies[0].name == "corrective-only"
+    assert strategies[1].name == "inspect-1x"
+    assert strategies[2].name == "inspect-4x"
+
+
+def test_strategies_attach_to_tree():
+    tree = build_ei_joint_fmt()
+    attached = current_policy().apply(tree)
+    assert len(attached.inspections) == 3

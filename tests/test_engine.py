@@ -1,0 +1,163 @@
+"""Discrete-event engine: ordering, cancellation, clock discipline."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import Engine
+
+
+def test_events_execute_in_time_order():
+    engine = Engine()
+    log = []
+    engine.schedule(2.0, lambda: log.append("b"))
+    engine.schedule(1.0, lambda: log.append("a"))
+    engine.schedule(3.0, lambda: log.append("c"))
+    engine.run_until(10.0)
+    assert log == ["a", "b", "c"]
+
+
+def test_ties_broken_by_priority_then_sequence():
+    engine = Engine()
+    log = []
+    engine.schedule(1.0, lambda: log.append("low2"), priority=2)
+    engine.schedule(1.0, lambda: log.append("first"), priority=0)
+    engine.schedule(1.0, lambda: log.append("second"), priority=0)
+    engine.schedule(1.0, lambda: log.append("low1"), priority=1)
+    engine.run_until(5.0)
+    assert log == ["first", "second", "low1", "low2"]
+
+
+def test_clock_advances_to_event_times():
+    engine = Engine()
+    times = []
+    engine.schedule(1.5, lambda: times.append(engine.now))
+    engine.run_until(2.0)
+    assert times == [1.5]
+    assert engine.now == 2.0
+
+
+def test_run_until_does_not_execute_later_events():
+    engine = Engine()
+    log = []
+    engine.schedule(5.0, lambda: log.append("late"))
+    engine.run_until(2.0)
+    assert log == []
+    engine.run_until(6.0)
+    assert log == ["late"]
+
+
+def test_cancelled_events_do_not_run():
+    engine = Engine()
+    log = []
+    handle = engine.schedule(1.0, lambda: log.append("x"))
+    handle.cancel()
+    engine.run_until(2.0)
+    assert log == []
+
+
+def test_cancel_after_execution_is_noop():
+    engine = Engine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.run_until(2.0)
+    handle.cancel()  # must not raise
+
+
+def test_pending_counts_non_cancelled():
+    engine = Engine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending == 2
+    handle.cancel()
+    assert engine.pending == 1
+
+
+def test_peek_time_skips_cancelled():
+    engine = Engine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert Engine().peek_time() is None
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(5.0, lambda: None)
+    engine.run_until(5.0)
+    with pytest.raises(SimulationError):
+        engine.schedule(4.0, lambda: None)
+
+
+def test_schedule_nonfinite_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_after_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule_after(-1.0, lambda: None)
+
+
+def test_events_can_schedule_events():
+    engine = Engine()
+    log = []
+
+    def first():
+        log.append(engine.now)
+        engine.schedule_after(1.0, lambda: log.append(engine.now))
+
+    engine.schedule(1.0, first)
+    engine.run_until(5.0)
+    assert log == [1.0, 2.0]
+
+
+def test_stop_halts_run():
+    engine = Engine()
+    log = []
+    engine.schedule(1.0, lambda: (log.append(1), engine.stop()))
+    engine.schedule(2.0, lambda: log.append(2))
+    engine.run_until(10.0)
+    assert log == [1]
+    # Clock stays at the stop point, not t_end.
+    assert engine.now == 1.0
+
+
+def test_run_until_backwards_rejected():
+    engine = Engine()
+    engine.run_until(5.0)
+    with pytest.raises(SimulationError):
+        engine.run_until(1.0)
+
+
+def test_reentrant_run_rejected():
+    engine = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run_until(10.0)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1.0, reenter)
+    engine.run_until(5.0)
+    assert len(errors) == 1
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_step_executes_single_event():
+    engine = Engine()
+    log = []
+    engine.schedule(1.0, lambda: log.append("x"))
+    assert engine.step() is True
+    assert log == ["x"]
+    assert engine.now == 1.0

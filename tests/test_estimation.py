@@ -1,0 +1,234 @@
+"""Parameter estimation: MLE fits, Poisson CIs, lifetime reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.data.estimation import (
+    LifetimeSample,
+    erlang_log_likelihood,
+    estimate_failure_rate,
+    fit_erlang,
+    fit_erlang_censored,
+    fit_exponential,
+    fit_weibull,
+    lifetimes_from_database,
+    poisson_rate_interval,
+)
+from repro.data.incidents import IncidentDatabase, IncidentRecord
+from repro.errors import EstimationError
+from repro.stats.distributions import Erlang, Exponential, Weibull
+
+
+def test_exponential_mle_complete_data(rng):
+    true = Exponential(rate=0.5)
+    sample = LifetimeSample(tuple(true.sample(rng, 5000)))
+    fit = fit_exponential(sample)
+    assert fit.rate == pytest.approx(0.5, rel=0.05)
+
+
+def test_exponential_mle_with_censoring(rng):
+    """Censoring at a fixed time must not bias the exposure estimator."""
+    true = Exponential(rate=0.5)
+    lifetimes = true.sample(rng, 5000)
+    cutoff = 1.0
+    observed = tuple(t for t in lifetimes if t <= cutoff)
+    censored = tuple(cutoff for t in lifetimes if t > cutoff)
+    fit = fit_exponential(LifetimeSample(observed, censored))
+    assert fit.rate == pytest.approx(0.5, rel=0.07)
+
+
+def test_exponential_requires_observations():
+    with pytest.raises(EstimationError):
+        fit_exponential(LifetimeSample((), (1.0, 2.0)))
+
+
+def test_lifetime_sample_rejects_negative():
+    with pytest.raises(EstimationError):
+        LifetimeSample((-1.0,))
+
+
+def test_erlang_recovers_shape_and_rate(rng):
+    true = Erlang(shape=4, rate=0.5)
+    fit = fit_erlang(true.sample(rng, 4000))
+    assert fit.shape == 4
+    assert fit.rate == pytest.approx(0.5, rel=0.1)
+
+
+def test_erlang_shape_one_for_exponential_data(rng):
+    true = Exponential(rate=1.0)
+    fit = fit_erlang(true.sample(rng, 4000))
+    assert fit.shape == 1
+
+
+def test_erlang_needs_two_samples():
+    with pytest.raises(EstimationError):
+        fit_erlang([1.0])
+
+
+def test_erlang_rejects_nonpositive_samples():
+    with pytest.raises(EstimationError):
+        fit_erlang([1.0, -2.0])
+
+
+def test_erlang_log_likelihood_prefers_truth(rng):
+    true = Erlang(shape=3, rate=1.0)
+    samples = true.sample(rng, 2000)
+    at_truth = erlang_log_likelihood(samples, 3, 1.0)
+    elsewhere = erlang_log_likelihood(samples, 1, 1.0 / 3.0)
+    assert at_truth > elsewhere
+
+
+def test_erlang_censored_recovers_rate(rng):
+    true = Erlang(shape=2, rate=2.0 / 150.0)  # mean 150
+    lifetimes = true.sample(rng, 20_000)
+    window = 10.0
+    observed = tuple(t for t in lifetimes if t <= window)
+    censored = tuple(window for t in lifetimes if t > window)
+    fit = fit_erlang_censored(
+        LifetimeSample(observed, censored), shape=2
+    )
+    assert fit.mean() == pytest.approx(150.0, rel=0.25)
+
+
+def test_erlang_censored_requires_failures():
+    with pytest.raises(EstimationError):
+        fit_erlang_censored(LifetimeSample((), (10.0,)), shape=2)
+
+
+def test_weibull_recovers_parameters(rng):
+    true = Weibull(scale=5.0, shape=2.0)
+    fit = fit_weibull(true.sample(rng, 4000))
+    assert fit.scale == pytest.approx(5.0, rel=0.1)
+    assert fit.shape == pytest.approx(2.0, rel=0.1)
+
+
+def test_weibull_needs_two_samples():
+    with pytest.raises(EstimationError):
+        fit_weibull([1.0])
+
+
+def test_poisson_interval_contains_rate():
+    interval = poisson_rate_interval(20, 1000.0)
+    assert interval.estimate == pytest.approx(0.02)
+    assert interval.lower < 0.02 < interval.upper
+
+
+def test_poisson_interval_zero_count():
+    interval = poisson_rate_interval(0, 100.0)
+    assert interval.estimate == 0.0
+    assert interval.lower == 0.0
+    assert interval.upper > 0.0
+
+
+def test_poisson_interval_coverage(rng):
+    rate, exposure = 0.05, 400.0
+    hits = 0
+    for _ in range(300):
+        count = rng.poisson(rate * exposure)
+        if poisson_rate_interval(int(count), exposure).contains(rate):
+            hits += 1
+    assert hits / 300 > 0.88
+
+
+def test_poisson_interval_validation():
+    with pytest.raises(EstimationError):
+        poisson_rate_interval(-1, 10.0)
+    with pytest.raises(EstimationError):
+        poisson_rate_interval(1, 0.0)
+
+
+def _db(records, n_joints=1, window=10.0):
+    return IncidentDatabase(records, n_joints=n_joints, window=window)
+
+
+def test_estimate_failure_rate_from_database():
+    records = [
+        IncidentRecord(0, 1.0, "top", "system_failure"),
+        IncidentRecord(0, 5.0, "top", "system_failure"),
+    ]
+    interval = estimate_failure_rate(_db(records), kind="system_failure")
+    assert interval.estimate == pytest.approx(0.2)
+
+
+def test_lifetimes_simple_failure():
+    records = [IncidentRecord(0, 3.0, "w", "failure")]
+    sample = lifetimes_from_database(_db(records), "w")
+    assert sample.observed == (3.0,)
+    assert sample.censored == ()
+
+
+def test_lifetimes_censored_when_no_failure():
+    sample = lifetimes_from_database(_db([]), "w")
+    assert sample.observed == ()
+    assert sample.censored == (10.0,)
+
+
+def test_lifetimes_restart_after_system_renewal():
+    records = [
+        IncidentRecord(0, 2.0, "w", "failure"),
+        IncidentRecord(0, 2.0, "top", "system_failure"),
+        IncidentRecord(0, 2.0, "top", "system_restored"),
+        IncidentRecord(0, 7.0, "w", "failure"),
+        IncidentRecord(0, 7.0, "top", "system_failure"),
+        IncidentRecord(0, 7.0, "top", "system_restored"),
+    ]
+    sample = lifetimes_from_database(_db(records), "w")
+    assert sample.observed == (2.0, 5.0)
+    assert sample.censored == (3.0,)
+
+
+def test_lifetimes_window_tainted_by_partial_restoration():
+    records = [
+        IncidentRecord(0, 1.0, "w", "clean"),
+        IncidentRecord(0, 4.0, "w", "failure"),
+    ]
+    # Joint 1 contributes a clean censored window; joint 0's cleaned
+    # window must not produce a (biased) observation.
+    sample = lifetimes_from_database(_db(records, n_joints=2), "w")
+    assert sample.observed == ()
+    assert sample.censored == (10.0,)
+
+
+def test_lifetimes_nothing_usable_raises():
+    records = [
+        IncidentRecord(0, 1.0, "w", "clean"),
+        IncidentRecord(0, 4.0, "w", "failure"),
+    ]
+    with pytest.raises(EstimationError):
+        lifetimes_from_database(_db(records), "w")
+
+
+def test_lifetimes_replace_restarts_window():
+    records = [
+        IncidentRecord(0, 2.0, "w", "replace"),
+        IncidentRecord(0, 6.0, "w", "failure"),
+    ]
+    sample = lifetimes_from_database(_db(records), "w")
+    assert sample.observed == (4.0,)
+
+
+def test_lifetimes_other_components_ignored():
+    records = [
+        IncidentRecord(0, 1.0, "v", "clean"),
+        IncidentRecord(0, 4.0, "w", "failure"),
+    ]
+    sample = lifetimes_from_database(_db(records), "w")
+    assert sample.observed == (4.0,)
+
+
+def test_lifetimes_round_trip_with_simulator(maintained_tree):
+    """Lifetimes reconstructed from a corrective-only fleet must match
+    the component's true mean."""
+    from repro.data.incidents import generate_incident_database
+    from repro.maintenance.strategy import MaintenanceStrategy
+
+    db = generate_incident_database(
+        maintained_tree.without_dependencies(),
+        MaintenanceStrategy.none(),
+        n_joints=300,
+        window=40.0,
+        seed=11,
+    )
+    sample = lifetimes_from_database(db, "wear")
+    fit = fit_erlang_censored(sample, shape=4)
+    assert fit.mean() == pytest.approx(8.0, rel=0.15)

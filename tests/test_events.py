@@ -1,0 +1,151 @@
+"""Basic events: construction, lifetime maths, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import BasicEvent
+from repro.errors import ValidationError
+from repro.stats.distributions import Erlang, Exponential
+
+
+def test_exponential_constructor_by_rate():
+    event = BasicEvent.exponential("e", rate=0.5)
+    assert event.phases == 1
+    assert event.phase_rates == (0.5,)
+
+
+def test_exponential_constructor_by_mean():
+    event = BasicEvent.exponential("e", mean=4.0)
+    assert event.phase_rates[0] == pytest.approx(0.25)
+
+
+def test_exponential_requires_exactly_one_of_rate_mean():
+    with pytest.raises(ValidationError):
+        BasicEvent.exponential("e")
+    with pytest.raises(ValidationError):
+        BasicEvent.exponential("e", rate=1.0, mean=1.0)
+
+
+def test_erlang_constructor_mean_is_total():
+    event = BasicEvent.erlang("e", phases=4, mean=8.0)
+    assert event.mean_lifetime() == pytest.approx(8.0)
+    assert event.phase_rates == (0.5,) * 4
+
+
+def test_erlang_requires_positive_phase_count():
+    with pytest.raises(ValidationError):
+        BasicEvent.erlang("e", phases=0, mean=1.0)
+
+
+def test_threshold_bounds():
+    BasicEvent.erlang("ok", phases=3, mean=1.0, threshold=3)
+    with pytest.raises(ValidationError):
+        BasicEvent.erlang("bad", phases=3, mean=1.0, threshold=4)
+    with pytest.raises(ValidationError):
+        BasicEvent.erlang("bad", phases=3, mean=1.0, threshold=0)
+
+
+def test_inspectable_flag():
+    assert BasicEvent.erlang("a", phases=2, mean=1.0, threshold=1).inspectable
+    assert not BasicEvent.erlang("b", phases=2, mean=1.0).inspectable
+
+
+def test_rejects_nonpositive_rates():
+    with pytest.raises(ValidationError):
+        BasicEvent("e", phase_rates=[0.5, 0.0])
+    with pytest.raises(ValidationError):
+        BasicEvent("e", phase_rates=[])
+
+
+def test_rejects_invalid_name():
+    with pytest.raises(ValidationError):
+        BasicEvent.exponential("1bad", rate=1.0)
+
+
+def test_is_basic():
+    assert BasicEvent.exponential("e", rate=1.0).is_basic
+
+
+def test_lifetime_distribution_exponential():
+    dist = BasicEvent.exponential("e", rate=0.5).lifetime_distribution()
+    assert isinstance(dist, Exponential)
+    assert dist.rate == 0.5
+
+
+def test_lifetime_distribution_erlang():
+    dist = BasicEvent.erlang("e", phases=3, rate=0.5).lifetime_distribution()
+    assert isinstance(dist, Erlang)
+    assert dist.shape == 3
+
+
+def test_lifetime_distribution_rejects_hypoexponential():
+    event = BasicEvent("e", phase_rates=[1.0, 2.0])
+    with pytest.raises(ValidationError):
+        event.lifetime_distribution()
+
+
+def test_lifetime_cdf_matches_erlang():
+    event = BasicEvent.erlang("e", phases=3, mean=6.0)
+    erlang = event.lifetime_distribution()
+    for t in (0.5, 2.0, 10.0):
+        assert event.lifetime_cdf(t) == pytest.approx(erlang.cdf(t), abs=1e-9)
+
+
+def test_lifetime_cdf_from_later_phase_is_larger():
+    event = BasicEvent.erlang("e", phases=4, mean=8.0)
+    assert event.lifetime_cdf(2.0, from_phase=2) > event.lifetime_cdf(2.0)
+
+
+def test_lifetime_cdf_from_failed_phase():
+    event = BasicEvent.erlang("e", phases=2, mean=1.0)
+    assert event.lifetime_cdf(0.5, from_phase=2) == 1.0
+
+
+def test_lifetime_cdf_bad_phase():
+    event = BasicEvent.erlang("e", phases=2, mean=1.0)
+    with pytest.raises(ValidationError):
+        event.lifetime_cdf(1.0, from_phase=3)
+
+
+def test_lifetime_cdf_hypoexponential_monotone():
+    event = BasicEvent("e", phase_rates=[2.0, 0.5, 1.0])
+    values = [event.lifetime_cdf(t) for t in np.linspace(0.0, 10.0, 20)]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_phase_distribution_sums_to_one():
+    event = BasicEvent.erlang("e", phases=3, mean=6.0)
+    dist = event.phase_distribution_at(2.0)
+    assert len(dist) == 4
+    assert float(np.sum(dist)) == pytest.approx(1.0)
+
+
+def test_phase_distribution_at_zero_is_pristine():
+    event = BasicEvent.erlang("e", phases=3, mean=6.0)
+    dist = event.phase_distribution_at(0.0)
+    assert dist[0] == pytest.approx(1.0)
+
+
+def test_sample_lifetime_mean(rng):
+    event = BasicEvent.erlang("e", phases=4, mean=8.0)
+    samples = [event.sample_lifetime(rng) for _ in range(5000)]
+    assert np.mean(samples) == pytest.approx(8.0, rel=0.05)
+
+
+def test_sample_lifetime_from_phase_shorter(rng):
+    event = BasicEvent.erlang("e", phases=4, mean=8.0)
+    samples = [event.sample_lifetime(rng, from_phase=3) for _ in range(5000)]
+    assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+
+
+def test_dict_round_trip():
+    event = BasicEvent.erlang(
+        "e", phases=3, mean=6.0, threshold=2, description="wear"
+    )
+    clone = BasicEvent.from_dict(event.to_dict())
+    assert clone.to_dict() == event.to_dict()
+
+
+def test_repr_contains_name_and_phases():
+    text = repr(BasicEvent.erlang("wear", phases=3, mean=6.0, threshold=2))
+    assert "wear" in text and "phases=3" in text

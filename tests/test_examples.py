@@ -1,0 +1,58 @@
+"""The shipped examples: importable, and their model builders work.
+
+Full example runs take tens of seconds (they are exercised separately);
+here we import every example module (catching syntax/API drift) and
+execute the cheap model-construction parts.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "ei_joint_case_study",
+        "custom_maintenance_strategy",
+        "parameter_fitting",
+        "fault_tree_analysis",
+        "phase_type_fitting",
+        "fleet_analysis",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=lambda path: path.stem
+)
+def test_example_imports_and_defines_main(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None))
+
+
+def test_quickstart_model_builds():
+    module = _load(EXAMPLES_DIR / "quickstart.py")
+    tree = module.build_model()
+    assert set(tree.basic_events) == {"pump_a", "pump_b", "valve"}
+
+
+def test_custom_strategy_builds():
+    module = _load(EXAMPLES_DIR / "custom_maintenance_strategy.py")
+    strategy = module.build_custom_strategy()
+    assert strategy.name == "differentiated"
+    assert len(strategy.inspections) == 3
+    assert len(strategy.repairs) == 1

@@ -1,0 +1,339 @@
+"""FMT trajectory executor: semantics of degradation, maintenance,
+RDEP, and the system-failure response."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import FMTBuilder
+from repro.errors import ValidationError
+from repro.maintenance.actions import clean, repair
+from repro.maintenance.costs import CostModel
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _single_event_tree(phases=3, mean=3.0, threshold=2):
+    builder = FMTBuilder("single")
+    builder.degraded_event("w", phases=phases, mean=mean, threshold=threshold)
+    builder.or_gate("top", ["w"])
+    return builder.build("top")
+
+
+def test_config_requires_horizon():
+    tree = _single_event_tree()
+    with pytest.raises(ValidationError):
+        FMTSimulator(tree)
+
+
+def test_config_conflicting_horizon_rejected():
+    tree = _single_event_tree()
+    with pytest.raises(ValidationError):
+        FMTSimulator(tree, config=SimulationConfig(horizon=5.0), horizon=6.0)
+
+
+def test_config_rejects_nonpositive_horizon():
+    with pytest.raises(ValidationError):
+        SimulationConfig(horizon=0.0)
+
+
+def test_absorbing_single_failure():
+    tree = _single_event_tree()
+    sim = FMTSimulator(tree, MaintenanceStrategy.absorbing(), horizon=1000.0)
+    trajectory = sim.simulate(_rng(1))
+    assert trajectory.n_failures == 1
+    assert trajectory.first_failure is not None
+    # After the failure the system is down until the horizon.
+    assert trajectory.downtime == pytest.approx(
+        1000.0 - trajectory.first_failure
+    )
+
+
+def test_absorbing_first_failure_time_distribution():
+    tree = _single_event_tree(phases=4, mean=8.0)
+    sim = FMTSimulator(tree, MaintenanceStrategy.absorbing(), horizon=10_000.0)
+    times = [sim.simulate(_rng(i)).first_failure for i in range(2000)]
+    assert np.mean(times) == pytest.approx(8.0, rel=0.07)
+
+
+def test_corrective_renewal_cycles():
+    tree = _single_event_tree(phases=2, mean=2.0)
+    sim = FMTSimulator(tree, MaintenanceStrategy.none(), horizon=2000.0)
+    trajectory = sim.simulate(_rng(2))
+    # Renewal cycle mean = component mean (instant repair) -> ~1000.
+    assert trajectory.n_failures == pytest.approx(1000, rel=0.15)
+    assert trajectory.downtime == 0.0
+
+
+def test_system_repair_time_accumulates_downtime():
+    tree = _single_event_tree(phases=1, mean=1.0, threshold=None)
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.5
+    )
+    sim = FMTSimulator(tree, strategy, horizon=3000.0)
+    trajectory = sim.simulate(_rng(3))
+    # Alternating up (mean 1.0) / down (0.5): availability ~ 2/3.
+    assert trajectory.availability == pytest.approx(2.0 / 3.0, rel=0.1)
+
+
+def test_inspection_prevents_failures():
+    tree = _single_event_tree(phases=4, mean=4.0, threshold=2)
+    module = InspectionModule("i", period=0.25, targets=["w"], action=clean())
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    with_inspection = FMTSimulator(tree, strategy, horizon=500.0)
+    without = FMTSimulator(tree, MaintenanceStrategy.none(), horizon=500.0)
+    n_with = with_inspection.simulate(_rng(4)).n_failures
+    n_without = without.simulate(_rng(4)).n_failures
+    assert n_with < n_without / 3
+
+
+def test_inspection_counts_and_costs():
+    tree = _single_event_tree()
+    module = InspectionModule("i", period=1.0, targets=["w"], action=clean())
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    config = SimulationConfig(
+        horizon=10.0, cost_model=CostModel(inspection_visit=7.0)
+    )
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(_rng(5))
+    assert trajectory.n_inspections == 10
+    assert trajectory.costs.inspections == pytest.approx(70.0)
+
+
+def test_inspection_offset_controls_first_visit():
+    tree = _single_event_tree()
+    module = InspectionModule(
+        "i", period=100.0, targets=["w"], action=clean(), offset=1.0
+    )
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    trajectory = FMTSimulator(tree, strategy, horizon=10.0).simulate(_rng(6))
+    assert trajectory.n_inspections == 1
+
+
+def test_partial_restoration_weaker_than_full():
+    tree = _single_event_tree(phases=6, mean=6.0, threshold=3)
+    full = MaintenanceStrategy(
+        "full",
+        inspections=(
+            InspectionModule("i", period=0.5, targets=["w"], action=clean()),
+        ),
+    )
+    partial = MaintenanceStrategy(
+        "partial",
+        inspections=(
+            InspectionModule(
+                "i", period=0.5, targets=["w"], action=repair(restore_phases=1)
+            ),
+        ),
+    )
+    n_full = sum(
+        FMTSimulator(tree, full, horizon=300.0).simulate(_rng(i)).n_failures
+        for i in range(5)
+    )
+    n_partial = sum(
+        FMTSimulator(tree, partial, horizon=300.0).simulate(_rng(i)).n_failures
+        for i in range(5)
+    )
+    assert n_full < n_partial
+
+
+def test_inspection_detects_latent_component_failure():
+    # top = 2-of-2, so a single failed component is latent.
+    builder = FMTBuilder("latent")
+    builder.degraded_event("a", phases=2, mean=1.0, threshold=1)
+    builder.degraded_event("b", phases=2, mean=1e6, threshold=1)
+    builder.and_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    module = InspectionModule(
+        "i", period=1.0, targets=["a"], action=clean(), detect_failures=True
+    )
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    config = SimulationConfig(
+        horizon=50.0,
+        cost_model=CostModel(action_costs={"replace": 10.0}),
+        record_events=True,
+    )
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(_rng(7))
+    corrective = [
+        e for e in trajectory.events if e.kind == "replace" and e.corrective
+    ]
+    assert trajectory.n_corrective_replacements == len(corrective)
+    assert len(corrective) > 10
+    assert trajectory.costs.corrective > 0.0
+
+
+def test_detect_failures_false_ignores_failed_component():
+    builder = FMTBuilder("latent")
+    builder.degraded_event("a", phases=2, mean=1.0, threshold=1)
+    builder.degraded_event("b", phases=2, mean=1e6, threshold=1)
+    builder.and_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    module = InspectionModule(
+        "i", period=1.0, targets=["a"], action=clean(), detect_failures=False
+    )
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    trajectory = FMTSimulator(tree, strategy, horizon=50.0).simulate(_rng(8))
+    assert trajectory.n_corrective_replacements == 0
+
+
+def test_inspection_delay_allows_failures_to_slip_through():
+    tree = _single_event_tree(phases=3, mean=1.5, threshold=1)
+    immediate = MaintenanceStrategy(
+        "now",
+        inspections=(
+            InspectionModule("i", period=0.5, targets=["w"], action=clean()),
+        ),
+    )
+    delayed = MaintenanceStrategy(
+        "later",
+        inspections=(
+            InspectionModule(
+                "i", period=0.5, targets=["w"], action=clean(), delay=0.4
+            ),
+        ),
+    )
+    n_now = sum(
+        FMTSimulator(tree, immediate, horizon=200.0).simulate(_rng(i)).n_failures
+        for i in range(5)
+    )
+    n_later = sum(
+        FMTSimulator(tree, delayed, horizon=200.0).simulate(_rng(i)).n_failures
+        for i in range(5)
+    )
+    assert n_later > n_now
+
+
+def test_repair_module_renews_periodically():
+    tree = _single_event_tree(phases=4, mean=40.0, threshold=None)
+    module = RepairModule("renew", period=5.0, targets=["w"])
+    strategy = MaintenanceStrategy("s", repairs=(module,))
+    config = SimulationConfig(
+        horizon=100.0, cost_model=CostModel(action_costs={"replace": 3.0})
+    )
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(_rng(9))
+    assert trajectory.n_preventive_actions == 20
+    assert trajectory.costs.preventive == pytest.approx(60.0)
+    # Renewal every 5y of a 40y-mean Erlang-4 keeps failures very rare.
+    assert trajectory.n_failures <= 1
+
+
+def test_rdep_accelerates_degradation():
+    def build(factor):
+        builder = FMTBuilder("rdep")
+        builder.degraded_event("w", phases=3, mean=30.0)
+        builder.basic_event("trigger_evt", mean=0.01)
+        # Trigger fails almost immediately but does not fail the top.
+        builder.and_gate("guard", ["trigger_evt", "w"])
+        builder.or_gate("top", ["w", "guard"])
+        if factor > 1.0:
+            builder.rdep("d", trigger="trigger_evt", targets=["w"], factor=factor)
+        return builder.build("top")
+
+    slow = FMTSimulator(
+        build(1.0), MaintenanceStrategy.absorbing(), horizon=1e5
+    )
+    fast = FMTSimulator(
+        build(10.0), MaintenanceStrategy.absorbing(), horizon=1e5
+    )
+    mean_slow = np.mean([slow.simulate(_rng(i)).first_failure for i in range(300)])
+    mean_fast = np.mean([fast.simulate(_rng(i)).first_failure for i in range(300)])
+    assert mean_slow == pytest.approx(30.0, rel=0.15)
+    assert mean_fast == pytest.approx(3.0, rel=0.25)
+
+
+def test_rdep_deactivates_when_trigger_repaired():
+    # Trigger is renewed every year; the acceleration must switch off.
+    builder = FMTBuilder("rdep_toggle")
+    builder.degraded_event("w", phases=2, mean=100.0)
+    builder.degraded_event("t", phases=1, mean=0.5, threshold=1)
+    builder.and_gate("guard", ["t", "w"])
+    builder.or_gate("top", ["w", "guard"])
+    builder.rdep("d", trigger="t", targets=["w"], factor=50.0)
+    tree = builder.build("top")
+    module = InspectionModule("i", period=0.2, targets=["t"])
+    strategy = MaintenanceStrategy(
+        "s", inspections=(module,), on_system_failure="none"
+    )
+    always_on = FMTSimulator(tree, MaintenanceStrategy.absorbing(), horizon=1e4)
+    toggled = FMTSimulator(tree, strategy, horizon=1e4)
+    mean_on = np.mean(
+        [always_on.simulate(_rng(i)).first_failure for i in range(200)]
+    )
+    mean_toggled = np.mean(
+        [toggled.simulate(_rng(i)).first_failure for i in range(200)]
+    )
+    # With the trigger constantly repaired, degradation is much slower.
+    assert mean_toggled > 3.0 * mean_on
+
+
+def test_failure_costs_charged():
+    tree = _single_event_tree(phases=1, mean=1.0, threshold=None)
+    config = SimulationConfig(
+        horizon=100.0,
+        cost_model=CostModel(system_failure=11.0),
+    )
+    trajectory = FMTSimulator(
+        tree, MaintenanceStrategy.none(), config=config
+    ).simulate(_rng(10))
+    assert trajectory.costs.failures == pytest.approx(
+        11.0 * trajectory.n_failures
+    )
+
+
+def test_downtime_cost_charged():
+    tree = _single_event_tree(phases=1, mean=1.0, threshold=None)
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.1
+    )
+    config = SimulationConfig(
+        horizon=100.0, cost_model=CostModel(downtime_per_year=1000.0)
+    )
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(_rng(11))
+    assert trajectory.costs.downtime == pytest.approx(
+        1000.0 * trajectory.downtime, rel=1e-6
+    )
+
+
+def test_events_recorded_only_when_enabled():
+    tree = _single_event_tree(phases=1, mean=0.5, threshold=None)
+    quiet = FMTSimulator(
+        tree,
+        MaintenanceStrategy.none(),
+        config=SimulationConfig(horizon=20.0, record_events=False),
+    ).simulate(_rng(12))
+    verbose = FMTSimulator(
+        tree,
+        MaintenanceStrategy.none(),
+        config=SimulationConfig(horizon=20.0, record_events=True),
+    ).simulate(_rng(12))
+    assert quiet.events == []
+    kinds = {event.kind for event in verbose.events}
+    assert {"failure", "system_failure", "system_restored"} <= kinds
+
+
+def test_determinism_same_seed_same_trajectory():
+    tree = _single_event_tree()
+    module = InspectionModule("i", period=0.5, targets=["w"], action=clean())
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    sim = FMTSimulator(tree, strategy, horizon=200.0)
+    first = sim.simulate(_rng(99))
+    second = sim.simulate(_rng(99))
+    assert first.failure_times == second.failure_times
+    assert first.n_inspections == second.n_inspections
+
+
+def test_pand_order_sensitivity():
+    builder = FMTBuilder("pand")
+    builder.basic_event("first", mean=1.0)
+    builder.basic_event("second", mean=1.0)
+    builder.pand_gate("top", ["first", "second"])
+    tree = builder.build("top")
+    sim = FMTSimulator(tree, MaintenanceStrategy.absorbing(), horizon=1e4)
+    failures = sum(
+        1 for i in range(400) if sim.simulate(_rng(i)).n_failures > 0
+    )
+    # Both events eventually fail; order is correct half the time.
+    assert failures == pytest.approx(200, abs=45)

@@ -1,0 +1,179 @@
+"""Executor edge cases: renewal/cancellation interplay, PAND resets,
+shared subtrees under maintenance, module ticks during downtime."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import FMTBuilder
+from repro.maintenance.actions import clean, repair
+from repro.maintenance.costs import CostModel
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_pending_delayed_action_cancelled_by_system_renewal():
+    """A work order pending when the system fails must not execute on
+    the freshly renewed asset."""
+    builder = FMTBuilder("pending")
+    builder.degraded_event("slow", phases=3, mean=6.0, threshold=1)
+    builder.degraded_event("fast", phases=1, mean=0.3, threshold=1)
+    builder.or_gate("top", ["slow", "fast"])
+    tree = builder.build("top")
+    # Long delay: 'fast' fails (renewing everything) while the order
+    # for 'slow' is still pending.
+    module = InspectionModule(
+        "i", period=0.5, targets=["slow"], action=clean(), delay=5.0
+    )
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    config = SimulationConfig(
+        horizon=50.0,
+        cost_model=CostModel(action_costs={"clean": 1.0}),
+        record_events=True,
+    )
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(_rng(1))
+    # Any executed clean must happen at least `delay` after a detection
+    # of a *post-renewal* degradation; the easy invariant: the clean
+    # count can't exceed the detection count.
+    detections = sum(1 for e in trajectory.events if e.kind == "detection")
+    cleans = sum(
+        1 for e in trajectory.events if e.kind == "clean" and not e.corrective
+    )
+    assert cleans <= detections
+
+
+def test_pand_resets_after_repair():
+    """PAND requires in-order failure; renewal resets the order."""
+    builder = FMTBuilder("pand_reset")
+    builder.degraded_event("first", phases=1, mean=1.0, threshold=1)
+    builder.degraded_event("second", phases=1, mean=1.0, threshold=1)
+    builder.pand_gate("top", ["first", "second"])
+    tree = builder.build("top")
+    # Repair module renews 'first' every 0.5y: 'first' rarely stays
+    # failed long enough for 'second' to follow in order.
+    module = RepairModule("r", period=0.5, targets=["first"])
+    with_reset = MaintenanceStrategy(
+        "reset", repairs=(module,), on_system_failure="none"
+    )
+    without = MaintenanceStrategy.absorbing()
+    failures_with = sum(
+        FMTSimulator(tree, with_reset, horizon=30.0).simulate(_rng(i)).n_failures
+        for i in range(200)
+    )
+    failures_without = sum(
+        FMTSimulator(tree, without, horizon=30.0).simulate(_rng(i)).n_failures
+        for i in range(200)
+    )
+    assert failures_with < failures_without
+
+
+def test_shared_event_repair_updates_all_parents():
+    """Repairing a shared child must re-evaluate every parent gate."""
+    builder = FMTBuilder("shared")
+    builder.degraded_event("shared", phases=1, mean=0.5, threshold=1)
+    builder.degraded_event("x", phases=1, mean=1e9, threshold=1)
+    builder.degraded_event("y", phases=1, mean=1e9, threshold=1)
+    builder.and_gate("left", ["shared", "x"])
+    builder.and_gate("right", ["shared", "y"])
+    builder.or_gate("top", ["left", "right"])
+    tree = builder.build("top")
+    module = InspectionModule("i", period=0.25, targets=["shared"])
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    trajectory = FMTSimulator(tree, strategy, horizon=100.0).simulate(_rng(2))
+    # 'shared' fails ~200 times but is always replaced at inspection;
+    # the system (needing x or y too) never fails.
+    assert trajectory.n_failures == 0
+    assert trajectory.n_corrective_replacements > 50
+
+
+def test_module_ticks_skipped_while_system_down():
+    builder = FMTBuilder("down")
+    builder.degraded_event("w", phases=1, mean=0.1, threshold=1)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    module = InspectionModule("i", period=0.05, targets=["w"])
+    # Repair takes 1 year; failures are ~every 0.1y, so the system is
+    # down most of the time and most ticks must be skipped unpriced.
+    strategy = MaintenanceStrategy(
+        "s",
+        inspections=(module,),
+        on_system_failure="replace",
+        system_repair_time=1.0,
+    )
+    config = SimulationConfig(
+        horizon=100.0, cost_model=CostModel(inspection_visit=1.0)
+    )
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(_rng(3))
+    possible_ticks = 100.0 / 0.05
+    assert trajectory.n_inspections < 0.4 * possible_ticks
+    assert trajectory.costs.inspections == pytest.approx(
+        trajectory.n_inspections * 1.0
+    )
+    assert trajectory.availability < 0.5
+
+
+def test_repair_module_during_downtime_noop():
+    builder = FMTBuilder("renewdown")
+    builder.degraded_event("w", phases=1, mean=0.2, threshold=1)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    module = RepairModule("r", period=0.1, targets=["w"])
+    strategy = MaintenanceStrategy(
+        "s",
+        repairs=(module,),
+        on_system_failure="replace",
+        system_repair_time=10.0,
+    )
+    trajectory = FMTSimulator(tree, strategy, horizon=50.0).simulate(_rng(4))
+    # With 10y repairs, most of the horizon is downtime; renewal ticks
+    # during downtime perform no actions.
+    possible = 50.0 / 0.1
+    assert trajectory.n_preventive_actions < 0.6 * possible
+
+
+def test_zero_offset_inspection_fires_at_start():
+    builder = FMTBuilder("offset0")
+    builder.degraded_event("w", phases=2, mean=10.0, threshold=1)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    module = InspectionModule(
+        "i", period=1000.0, targets=["w"], offset=0.0
+    )
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    config = SimulationConfig(horizon=1.0)
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(_rng(5))
+    assert trajectory.n_inspections == 1
+
+
+def test_multiple_rdeps_compose_multiplicatively():
+    def build(n_triggers):
+        builder = FMTBuilder("multi")
+        builder.degraded_event("w", phases=1, mean=100.0)
+        names = []
+        for i in range(2):
+            builder.degraded_event(f"t{i}", phases=1, mean=0.001, threshold=1)
+            names.append(f"t{i}")
+        # Guard keeps triggers out of the failure logic.
+        builder.and_gate("guard", names + ["w"])
+        builder.or_gate("top", ["w", "guard"])
+        for i in range(n_triggers):
+            builder.rdep(f"d{i}", trigger=f"t{i}", targets=["w"], factor=10.0)
+        return builder.build(top="top")
+
+    means = {}
+    for n in (1, 2):
+        tree = build(n)
+        ttf = [
+            FMTSimulator(tree, MaintenanceStrategy.absorbing(), horizon=1e5)
+            .simulate(_rng(i))
+            .first_failure
+            for i in range(300)
+        ]
+        means[n] = float(np.mean([t for t in ttf if t is not None]))
+    # One trigger: mean ~ 100/10 = 10; two: ~ 100/100 = 1.
+    assert means[1] == pytest.approx(10.0, rel=0.25)
+    assert means[2] == pytest.approx(1.0, rel=0.25)

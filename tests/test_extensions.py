@@ -1,0 +1,212 @@
+"""Extension features: imperfect inspections and cost discounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.builder import FMTBuilder
+from repro.ctmc.compiler import compile_fmt
+from repro.dsl import dumps, loads
+from repro.errors import ValidationError
+from repro.maintenance.actions import clean
+from repro.maintenance.costs import CostModel
+from repro.maintenance.modules import InspectionModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+from repro.simulation.montecarlo import MonteCarlo
+
+
+def _tree(phases=4, mean=4.0, threshold=2):
+    builder = FMTBuilder("ext")
+    builder.degraded_event("w", phases=phases, mean=mean, threshold=threshold)
+    builder.or_gate("top", ["w"])
+    return builder.build("top")
+
+
+def _strategy(detection_probability=1.0, timing="periodic", period=0.25):
+    module = InspectionModule(
+        "i",
+        period=period,
+        targets=["w"],
+        action=clean(),
+        timing=timing,
+        detection_probability=detection_probability,
+    )
+    return MaintenanceStrategy("s", inspections=(module,))
+
+
+# ----------------------------------------------------------------------
+# Imperfect inspections
+# ----------------------------------------------------------------------
+def test_detection_probability_validation():
+    with pytest.raises(ValidationError):
+        InspectionModule(
+            "i", period=1.0, targets=["w"], detection_probability=0.0
+        )
+    with pytest.raises(ValidationError):
+        InspectionModule(
+            "i", period=1.0, targets=["w"], detection_probability=1.2
+        )
+
+
+def test_detection_probability_round_trips():
+    module = InspectionModule(
+        "i", period=1.0, targets=["w"], detection_probability=0.7
+    )
+    clone = InspectionModule.from_dict(module.to_dict())
+    assert clone.detection_probability == 0.7
+
+
+def test_detection_probability_galileo_round_trip():
+    text = (
+        "toplevel t; t or w; w phases=3 mean=6 threshold=2;"
+        "inspection i period=0.5 targets=w action=clean "
+        "detectionprobability=0.8;"
+    )
+    tree = loads(text)
+    assert tree.inspections[0].detection_probability == 0.8
+    assert "detectionprobability=0.8" in dumps(tree)
+
+
+def test_imperfect_inspection_allows_more_failures():
+    tree = _tree()
+    enf = {}
+    for p in (1.0, 0.5):
+        mc = MonteCarlo(tree, _strategy(p), horizon=200.0, seed=8)
+        enf[p] = mc.run(30).summary.expected_failures.estimate
+    assert enf[0.5] > enf[1.0]
+
+
+def test_imperfect_inspection_interpolates_to_none():
+    """With a tiny detection probability, ENF approaches no-maintenance."""
+    tree = _tree()
+    barely = MonteCarlo(
+        tree, _strategy(0.01), horizon=300.0, seed=9
+    ).run(20).summary.expected_failures.estimate
+    unmaintained = MonteCarlo(
+        tree, MaintenanceStrategy.none(), horizon=300.0, seed=9
+    ).run(20).summary.expected_failures.estimate
+    assert barely == pytest.approx(unmaintained, rel=0.15)
+
+
+def test_imperfect_inspection_matches_ctmc():
+    """Exact CTMC with subset-enumerated detection vs the simulator."""
+    tree = _tree(phases=3, mean=3.0, threshold=1)
+    strategy = MaintenanceStrategy(
+        "s",
+        inspections=(
+            InspectionModule(
+                "i",
+                period=0.5,
+                targets=["w"],
+                action=clean(),
+                timing="exponential",
+                detection_probability=0.6,
+            ),
+        ),
+        on_system_failure="none",
+    )
+    exact = compile_fmt(tree, strategy).unreliability(5.0)
+    sim = MonteCarlo(tree, strategy, horizon=5.0, seed=21).run(
+        6000, confidence=0.999
+    )
+    assert sim.unreliability.contains(exact)
+
+
+def test_imperfect_detection_only_affects_degradation_not_failures():
+    # 2-of-2 AND keeps a failed 'a' latent; inspection must still
+    # replace it even with low detection probability.
+    builder = FMTBuilder("latent")
+    builder.degraded_event("a", phases=1, mean=0.5, threshold=1)
+    builder.degraded_event("b", phases=1, mean=1e9, threshold=1)
+    builder.and_gate("top", ["a", "b"])
+    tree = builder.build("top")
+    module = InspectionModule(
+        "i",
+        period=1.0,
+        targets=["a"],
+        action=clean(),
+        detection_probability=0.01,
+    )
+    strategy = MaintenanceStrategy("s", inspections=(module,))
+    trajectory = FMTSimulator(tree, strategy, horizon=100.0).simulate(
+        np.random.default_rng(3)
+    )
+    # ~100 failures of 'a', each found at the next inspection.
+    assert trajectory.n_corrective_replacements > 50
+
+
+# ----------------------------------------------------------------------
+# Cost discounting
+# ----------------------------------------------------------------------
+def test_discount_factor():
+    model = CostModel(discount_rate=0.05)
+    assert model.discount_factor(0.0) == 1.0
+    assert model.discount_factor(10.0) == pytest.approx(math.exp(-0.5))
+
+
+def test_discount_factor_zero_rate():
+    assert CostModel().discount_factor(100.0) == 1.0
+
+
+def test_discounted_downtime_closed_form():
+    model = CostModel(downtime_per_year=100.0, discount_rate=0.1)
+    value = model.discounted_downtime_cost(1.0, 3.0)
+    expected = 100.0 * (math.exp(-0.1) - math.exp(-0.3)) / 0.1
+    assert value == pytest.approx(expected)
+
+
+def test_discounted_downtime_zero_rate_is_linear():
+    model = CostModel(downtime_per_year=100.0)
+    assert model.discounted_downtime_cost(1.0, 3.0) == pytest.approx(200.0)
+
+
+def test_discounted_downtime_rejects_reversed_interval():
+    with pytest.raises(ValidationError):
+        CostModel().discounted_downtime_cost(3.0, 1.0)
+
+
+def test_negative_discount_rate_rejected():
+    with pytest.raises(ValidationError):
+        CostModel(discount_rate=-0.1)
+
+
+def test_discounting_reduces_total_costs():
+    tree = _tree()
+    base = CostModel(
+        inspection_visit=10.0,
+        action_costs={"clean": 5.0},
+        system_failure=100.0,
+    )
+    discounted = CostModel(
+        inspection_visit=10.0,
+        action_costs={"clean": 5.0},
+        system_failure=100.0,
+        discount_rate=0.05,
+    )
+    plain = MonteCarlo(
+        tree, _strategy(), horizon=50.0, cost_model=base, seed=4
+    ).run(100).summary.cost_per_year.estimate
+    npv = MonteCarlo(
+        tree, _strategy(), horizon=50.0, cost_model=discounted, seed=4
+    ).run(100).summary.cost_per_year.estimate
+    assert 0.0 < npv < plain
+
+
+def test_discounted_inspection_stream_closed_form():
+    """A failure-free model: only inspections are charged, at known
+    times, so the NPV has an exact closed form."""
+    builder = FMTBuilder("quiet")
+    builder.degraded_event("w", phases=2, mean=1e9, threshold=1)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    rate = 0.1
+    model = CostModel(inspection_visit=100.0, discount_rate=rate)
+    config = SimulationConfig(horizon=10.0, cost_model=model)
+    strategy = _strategy(period=1.0)
+    trajectory = FMTSimulator(tree, strategy, config=config).simulate(
+        np.random.default_rng(5)
+    )
+    expected = sum(100.0 * math.exp(-rate * t) for t in range(1, 11))
+    assert trajectory.costs.inspections == pytest.approx(expected)

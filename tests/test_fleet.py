@@ -1,0 +1,94 @@
+"""Fleet heterogeneity: traffic classes and fleet aggregation."""
+
+import pytest
+
+from repro.eijoint.fleet import (
+    DEFAULT_TRAFFIC_MIX,
+    USAGE_DRIVEN_MODES,
+    FleetClassResult,
+    TrafficClass,
+    fleet_failures_per_year,
+    scale_parameters,
+)
+from repro.eijoint.parameters import default_parameters
+from repro.eijoint.strategies import current_policy, no_maintenance
+from repro.errors import ValidationError
+from repro.stats.confidence import ConfidenceInterval
+
+
+def test_traffic_class_validation():
+    with pytest.raises(ValidationError):
+        TrafficClass("x", fraction=0.0, intensity=1.0)
+    with pytest.raises(ValidationError):
+        TrafficClass("x", fraction=1.5, intensity=1.0)
+    with pytest.raises(ValidationError):
+        TrafficClass("x", fraction=0.5, intensity=0.0)
+
+
+def test_default_mix_sums_to_one():
+    assert sum(cls.fraction for cls in DEFAULT_TRAFFIC_MIX) == pytest.approx(1.0)
+
+
+def test_scale_parameters_divides_usage_driven_means():
+    base = default_parameters()
+    scaled = scale_parameters(base, 2.0)
+    for mode in base.modes:
+        scaled_mode = scaled.by_name[mode.name]
+        if mode.name in USAGE_DRIVEN_MODES:
+            assert scaled_mode.mean_lifetime == pytest.approx(
+                mode.mean_lifetime / 2.0
+            )
+        else:
+            assert scaled_mode.mean_lifetime == mode.mean_lifetime
+
+
+def test_scale_parameters_keeps_structure():
+    base = default_parameters()
+    scaled = scale_parameters(base, 1.5)
+    for mode in base.modes:
+        scaled_mode = scaled.by_name[mode.name]
+        assert scaled_mode.phases == mode.phases
+        assert scaled_mode.threshold == mode.threshold
+
+
+def test_scale_parameters_identity():
+    base = default_parameters()
+    assert scale_parameters(base, 1.0) == base
+
+
+def test_scale_parameters_rejects_bad_intensity():
+    with pytest.raises(ValidationError):
+        scale_parameters(default_parameters(), -1.0)
+
+
+def test_weighted_rate():
+    result = FleetClassResult(
+        traffic_class=TrafficClass("x", fraction=0.25, intensity=1.0),
+        failures_per_joint_year=ConfidenceInterval(0.02, 0.01, 0.03, 0.95),
+    )
+    assert result.weighted_rate == pytest.approx(0.005)
+
+
+def test_fleet_fractions_must_sum_to_one():
+    mix = (TrafficClass("a", 0.5, 1.0),)
+    with pytest.raises(ValidationError):
+        fleet_failures_per_year(
+            lambda p: no_maintenance(p), mix=mix, n_runs=10
+        )
+
+
+def test_fleet_rates_ordered_by_intensity():
+    per_class, total = fleet_failures_per_year(
+        lambda p: current_policy(p),
+        fleet_size=10_000,
+        horizon=25.0,
+        n_runs=400,
+        seed=3,
+    )
+    rates = [r.failures_per_joint_year.estimate for r in per_class]
+    # Heavier traffic -> more failures.
+    assert rates[0] < rates[2]
+    assert total > 0.0
+    # Total equals the weighted per-joint rate times the fleet size.
+    weighted = sum(r.weighted_rate for r in per_class)
+    assert total == pytest.approx(weighted * 10_000)

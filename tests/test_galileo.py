@@ -1,0 +1,184 @@
+"""Extended Galileo format: parsing, serialization, round-trips."""
+
+import pytest
+
+from repro.core.gates import InhibitGate, PandGate, VotingGate
+from repro.dsl import dumps, load_file, loads, save_file
+from repro.errors import ParseError
+
+
+BASIC_MODEL = """
+// a small model
+toplevel "top";
+"top" or "a" "b";
+"a" lambda=0.5;
+"b" phases=3 rate=1.0 threshold=2;
+"""
+
+
+def test_parse_basic_model():
+    tree = loads(BASIC_MODEL)
+    assert tree.top.name == "top"
+    assert tree.basic_events["a"].phases == 1
+    assert tree.basic_events["b"].threshold == 2
+
+
+def test_parse_unquoted_names():
+    tree = loads("toplevel top; top and a b; a lambda=1; b lambda=2;")
+    assert set(tree.basic_events) == {"a", "b"}
+
+
+def test_parse_mean_instead_of_rate():
+    tree = loads('toplevel t; t or e; e phases=4 mean=8;')
+    assert tree.basic_events["e"].mean_lifetime() == pytest.approx(8.0)
+
+
+def test_parse_unequal_phase_rates():
+    tree = loads("toplevel t; t or e; e rates=0.5,0.2,0.1 threshold=2;")
+    event = tree.basic_events["e"]
+    assert event.phase_rates == (0.5, 0.2, 0.1)
+    assert event.threshold == 2
+
+
+def test_unequal_rates_round_trip():
+    tree = loads("toplevel t; t or e; e rates=0.5,0.2,0.1;")
+    assert loads(dumps(tree)).basic_events["e"].phase_rates == (0.5, 0.2, 0.1)
+
+
+def test_rates_conflicts_with_phases():
+    with pytest.raises(ParseError):
+        loads("toplevel t; t or e; e rates=0.5,0.2 phases=2;")
+
+
+def test_parse_voting_gate():
+    tree = loads(
+        "toplevel t; t 2of3 a b c; a lambda=1; b lambda=1; c lambda=1;"
+    )
+    assert isinstance(tree.top, VotingGate)
+    assert tree.top.k == 2
+
+
+def test_voting_arity_mismatch_rejected():
+    with pytest.raises(ParseError):
+        loads("toplevel t; t 2of3 a b; a lambda=1; b lambda=1;")
+
+
+def test_parse_pand_and_inhibit():
+    tree = loads(
+        "toplevel t; t or p i;"
+        "p pand a b; i inhibit c d;"
+        "a lambda=1; b lambda=1; c lambda=1; d lambda=1;"
+    )
+    assert isinstance(tree.element("p"), PandGate)
+    assert isinstance(tree.element("i"), InhibitGate)
+
+
+def test_parse_rdep():
+    tree = loads(
+        "toplevel t; t or a b; a lambda=1; b lambda=1;"
+        "rdep d trigger=a factor=2.5 targets=b;"
+    )
+    dep = tree.dependencies[0]
+    assert dep.trigger == "a"
+    assert dep.factor == 2.5
+
+
+def test_parse_inspection_and_repair():
+    tree = loads(
+        "toplevel t; t or w; w phases=3 mean=6 threshold=2;"
+        "inspection i period=0.25 targets=w action=clean delay=0.1;"
+        "repair r period=10 targets=w action=replace;"
+    )
+    assert tree.inspections[0].period == 0.25
+    assert tree.inspections[0].action.kind == "clean"
+    assert tree.inspections[0].delay == 0.1
+    assert tree.repairs[0].period == 10.0
+
+
+def test_parse_description_with_spaces():
+    tree = loads('toplevel t; t or e; e lambda=1 desc="two words";')
+    assert tree.basic_events["e"].description == "two words"
+
+
+def test_comments_ignored():
+    text = (
+        "// leading comment\n"
+        "toplevel t; # trailing style\n"
+        "t or a; // gate comment\n"
+        "a lambda=1;\n"
+    )
+    assert loads(text).top.name == "t"
+
+
+def test_multiline_statement():
+    text = "toplevel t;\nt or\n  a\n  b;\na lambda=1; b lambda=1;"
+    assert len(loads(text).top.children) == 2
+
+
+def test_missing_toplevel_rejected():
+    with pytest.raises(ParseError):
+        loads("a lambda=1;")
+
+
+def test_duplicate_toplevel_rejected():
+    with pytest.raises(ParseError):
+        loads("toplevel a; toplevel b; a lambda=1; b lambda=1;")
+
+
+def test_unterminated_statement_rejected():
+    with pytest.raises(ParseError):
+        loads("toplevel t; t or a; a lambda=1")
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(ParseError):
+        loads("toplevel t; t or a; a lambda=1 color=red;")
+
+
+def test_lambda_and_phases_conflict():
+    with pytest.raises(ParseError):
+        loads("toplevel t; t or a; a lambda=1 phases=2;")
+
+
+def test_rate_and_mean_conflict():
+    with pytest.raises(ParseError):
+        loads("toplevel t; t or a; a phases=2 rate=1 mean=2;")
+
+
+def test_bad_number_reports_line():
+    with pytest.raises(ParseError) as excinfo:
+        loads("toplevel t;\nt or a;\na lambda=banana;")
+    assert "line 3" in str(excinfo.value)
+
+
+def test_parse_error_from_builder_reports_line():
+    with pytest.raises(ParseError):
+        loads("toplevel t; t or ghost;")
+
+
+def test_round_trip_preserves_semantics(layered_tree):
+    clone = loads(dumps(layered_tree))
+    for failed in [set(), {"a", "b"}, {"c", "d"}, {"b", "c"}]:
+        assert clone.evaluate(failed) == layered_tree.evaluate(failed)
+
+
+def test_round_trip_fixed_point(maintained_tree, inspection_strategy):
+    tree = inspection_strategy.apply(maintained_tree)
+    text = dumps(tree)
+    assert dumps(loads(text)) == text
+
+
+def test_eijoint_round_trip():
+    from repro.eijoint import build_ei_joint_fmt, current_policy
+
+    tree = current_policy().apply(build_ei_joint_fmt())
+    clone = loads(dumps(tree))
+    assert clone.to_dict() == tree.to_dict()
+
+
+def test_file_round_trip(tmp_path, layered_tree):
+    path = tmp_path / "model.fmt"
+    save_file(layered_tree, path)
+    clone = load_file(path)
+    assert clone.name == "model"
+    assert set(clone.basic_events) == set(layered_tree.basic_events)

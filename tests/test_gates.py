@@ -1,0 +1,138 @@
+"""Gate semantics: static evaluation, arity checks, PAND ordering."""
+
+import pytest
+
+from repro.core.events import BasicEvent
+from repro.core.gates import (
+    AndGate,
+    InhibitGate,
+    OrGate,
+    PandGate,
+    VotingGate,
+)
+from repro.errors import ValidationError
+
+
+def _leaves(n):
+    return [BasicEvent.exponential(f"x{i}", rate=1.0) for i in range(n)]
+
+
+def test_and_gate_truth_table():
+    gate = AndGate("g", _leaves(2))
+    assert gate.evaluate([True, True])
+    assert not gate.evaluate([True, False])
+    assert not gate.evaluate([False, False])
+
+
+def test_or_gate_truth_table():
+    gate = OrGate("g", _leaves(2))
+    assert gate.evaluate([True, False])
+    assert gate.evaluate([True, True])
+    assert not gate.evaluate([False, False])
+
+
+def test_voting_gate_threshold():
+    gate = VotingGate("g", 2, _leaves(3))
+    assert not gate.evaluate([True, False, False])
+    assert gate.evaluate([True, True, False])
+    assert gate.evaluate([True, True, True])
+
+
+def test_voting_k1_is_or():
+    gate = VotingGate("g", 1, _leaves(3))
+    assert gate.evaluate([False, False, True])
+
+
+def test_voting_kn_is_and():
+    gate = VotingGate("g", 3, _leaves(3))
+    assert not gate.evaluate([True, True, False])
+    assert gate.evaluate([True, True, True])
+
+
+def test_voting_k_out_of_range():
+    with pytest.raises(ValidationError):
+        VotingGate("g", 0, _leaves(3))
+    with pytest.raises(ValidationError):
+        VotingGate("g", 4, _leaves(3))
+
+
+def test_voting_needs_two_children():
+    with pytest.raises(ValidationError):
+        VotingGate("g", 1, _leaves(1))
+
+
+def test_inhibit_condition_property():
+    leaves = _leaves(3)
+    gate = InhibitGate("g", leaves)
+    assert gate.condition is leaves[0]
+    assert gate.evaluate([True, True, True])
+    assert not gate.evaluate([False, True, True])
+
+
+def test_pand_static_evaluation_is_and():
+    gate = PandGate("g", _leaves(2))
+    assert gate.evaluate([True, True])
+    assert not gate.evaluate([True, False])
+
+
+def test_pand_ordered_in_order():
+    gate = PandGate("g", _leaves(3))
+    assert gate.evaluate_ordered([1.0, 2.0, 3.0])
+
+
+def test_pand_ordered_simultaneous_counts():
+    gate = PandGate("g", _leaves(2))
+    assert gate.evaluate_ordered([2.0, 2.0])
+
+
+def test_pand_ordered_out_of_order():
+    gate = PandGate("g", _leaves(2))
+    assert not gate.evaluate_ordered([3.0, 1.0])
+
+
+def test_pand_ordered_with_operational_child():
+    gate = PandGate("g", _leaves(2))
+    assert not gate.evaluate_ordered([1.0, None])
+
+
+def test_pand_is_dynamic():
+    assert PandGate("g", _leaves(2)).dynamic
+    assert not AndGate("g2", _leaves(2)).dynamic
+
+
+def test_arity_mismatch_raises():
+    gate = AndGate("g", _leaves(2))
+    with pytest.raises(ValidationError):
+        gate.evaluate([True])
+    or_gate = OrGate("g2", _leaves(2))
+    with pytest.raises(ValidationError):
+        or_gate.evaluate([True, False, True])
+
+
+def test_duplicate_children_rejected():
+    leaf = BasicEvent.exponential("x", rate=1.0)
+    with pytest.raises(ValidationError):
+        OrGate("g", [leaf, leaf])
+
+
+def test_gate_requires_children():
+    with pytest.raises(ValidationError):
+        OrGate("g", [])
+
+
+def test_non_element_child_rejected():
+    with pytest.raises(ValidationError):
+        OrGate("g", ["not-an-element"])
+
+
+def test_to_dict_contains_children_names():
+    gate = VotingGate("g", 2, _leaves(3))
+    data = gate.to_dict()
+    assert data["type"] == "vot"
+    assert data["k"] == 2
+    assert data["children"] == ["x0", "x1", "x2"]
+
+
+def test_repr_mentions_children():
+    gate = AndGate("g", _leaves(2))
+    assert "x0" in repr(gate)

@@ -1,0 +1,103 @@
+"""Importance measures."""
+
+import math
+
+import pytest
+
+from repro.analysis.importance import birnbaum_importance, importance_table
+from repro.analysis.unreliability import unreliability
+from repro.core.builder import FMTBuilder
+from repro.errors import AnalysisError, UnsupportedModelError
+
+
+def test_or_tree_birnbaum_closed_form(simple_or_tree):
+    t = 1.0
+    table = importance_table(simple_or_tree, t)
+    # For OR: dP/dp_a = 1 - p_b.
+    p_b = simple_or_tree.basic_events["b"].lifetime_cdf(t)
+    assert table["a"].birnbaum == pytest.approx(1.0 - p_b)
+
+
+def test_and_tree_birnbaum_closed_form(simple_and_tree):
+    t = 1.0
+    table = importance_table(simple_and_tree, t)
+    p_b = simple_and_tree.basic_events["b"].lifetime_cdf(t)
+    assert table["a"].birnbaum == pytest.approx(p_b)
+
+
+def test_birnbaum_importance_shortcut(simple_or_tree):
+    values = birnbaum_importance(simple_or_tree, 1.0)
+    table = importance_table(simple_or_tree, 1.0)
+    assert values == {
+        name: measure.birnbaum for name, measure in table.items()
+    }
+
+
+def test_fussell_vesely_in_unit_interval(layered_tree):
+    table = importance_table(layered_tree, 2.0)
+    for measure in table.values():
+        assert -1e-12 <= measure.fussell_vesely <= 1.0 + 1e-12
+
+
+def test_raw_at_least_one_for_coherent(layered_tree):
+    table = importance_table(layered_tree, 2.0)
+    for measure in table.values():
+        assert measure.raw >= 1.0 - 1e-12
+
+
+def test_rrw_at_least_one_for_coherent(layered_tree):
+    table = importance_table(layered_tree, 2.0)
+    for measure in table.values():
+        assert measure.rrw >= 1.0 - 1e-12
+
+
+def test_criticality_formula(voting_tree):
+    t = 3.0
+    top = unreliability(voting_tree, t)
+    table = importance_table(voting_tree, t)
+    for name, measure in table.items():
+        expected = measure.birnbaum * measure.probability / top
+        assert measure.criticality == pytest.approx(expected)
+
+
+def test_single_point_of_failure_dominates():
+    builder = FMTBuilder("spof")
+    builder.basic_event("spof", rate=0.1)
+    builder.basic_event("red_a", rate=0.1)
+    builder.basic_event("red_b", rate=0.1)
+    builder.and_gate("redundant", ["red_a", "red_b"])
+    builder.or_gate("top", ["spof", "redundant"])
+    tree = builder.build("top")
+    table = importance_table(tree, 1.0)
+    assert table["spof"].birnbaum > table["red_a"].birnbaum
+
+
+def test_zero_probability_time_rejected(simple_or_tree):
+    with pytest.raises(AnalysisError):
+        importance_table(simple_or_tree, 0.0)
+
+
+def test_rdep_tree_rejected(maintained_tree):
+    with pytest.raises(UnsupportedModelError):
+        importance_table(maintained_tree, 1.0)
+
+
+def test_rrw_infinite_for_only_cut_set():
+    builder = FMTBuilder("only")
+    builder.basic_event("x", rate=0.5)
+    builder.or_gate("top", ["x"])
+    tree = builder.build("top")
+    table = importance_table(tree, 1.0)
+    assert math.isinf(table["x"].rrw)
+
+
+def test_eijoint_dust_most_important():
+    from repro.eijoint import build_ei_joint_fmt
+
+    tree = build_ei_joint_fmt().without_dependencies()
+    table = importance_table(tree, 5.0)
+    ranked = sorted(
+        table.values(), key=lambda m: m.fussell_vesely, reverse=True
+    )
+    # The fastest-degrading mode dominates early-life failures.
+    assert ranked[0].event == "ferrous_dust"

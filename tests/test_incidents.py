@@ -1,0 +1,122 @@
+"""Incident database: generation, queries, persistence."""
+
+import pytest
+
+from repro.data.incidents import (
+    IncidentDatabase,
+    IncidentRecord,
+    generate_incident_database,
+)
+from repro.errors import ValidationError
+
+
+def _record(joint=0, time=1.0, component="w", kind="failure", **kw):
+    return IncidentRecord(
+        joint_id=joint, time=time, component=component, kind=kind, **kw
+    )
+
+
+def _database():
+    records = [
+        _record(0, 1.0, "w", "failure"),
+        _record(0, 1.0, "top", "system_failure"),
+        _record(0, 1.0, "top", "system_restored"),
+        _record(1, 2.0, "w", "detection", phase=2),
+        _record(1, 2.0, "w", "clean"),
+        _record(1, 4.0, "v", "failure"),
+    ]
+    return IncidentDatabase(records, n_joints=4, window=10.0)
+
+
+def test_joint_years():
+    assert _database().joint_years == 40.0
+
+
+def test_records_sorted_by_joint_then_time():
+    db = IncidentDatabase(
+        [_record(1, 5.0), _record(0, 2.0), _record(0, 1.0)],
+        n_joints=2,
+        window=10.0,
+    )
+    keys = [(r.joint_id, r.time) for r in db.records]
+    assert keys == sorted(keys)
+
+
+def test_of_kind():
+    assert len(_database().of_kind("failure")) == 2
+    assert len(_database().of_kind("system_failure")) == 1
+
+
+def test_component_failures_filter():
+    db = _database()
+    assert len(db.component_failures()) == 2
+    assert len(db.component_failures("w")) == 1
+    assert db.component_failures("w")[0].component == "w"
+
+
+def test_failure_modes():
+    assert _database().failure_modes() == ["v", "w"]
+
+
+def test_count_and_rate():
+    db = _database()
+    assert db.count("failure") == 2
+    assert db.count("failure", "v") == 1
+    assert db.rate_per_joint_year("failure") == pytest.approx(0.05)
+
+
+def test_for_joint():
+    db = _database()
+    assert len(db.for_joint(0)) == 3
+    assert db.for_joint(3) == []
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        IncidentDatabase([], n_joints=0, window=10.0)
+    with pytest.raises(ValidationError):
+        IncidentDatabase([], n_joints=1, window=0.0)
+
+
+def test_csv_round_trip(tmp_path):
+    db = _database()
+    path = tmp_path / "incidents.csv"
+    db.to_csv(path)
+    clone = IncidentDatabase.from_csv(path)
+    assert clone.n_joints == db.n_joints
+    assert clone.window == db.window
+    assert clone.records == db.records
+
+
+def test_from_csv_rejects_other_files(tmp_path):
+    path = tmp_path / "other.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValidationError):
+        IncidentDatabase.from_csv(path)
+
+
+def test_generate_database(maintained_tree, inspection_strategy):
+    db = generate_incident_database(
+        maintained_tree, inspection_strategy, n_joints=30, window=20.0, seed=3
+    )
+    assert db.n_joints == 30
+    assert db.window == 20.0
+    assert len(db) > 0
+    kinds = {record.kind for record in db.records}
+    assert "system_failure" in kinds or "clean" in kinds
+    # Joint ids stay within the fleet.
+    assert all(0 <= record.joint_id < 30 for record in db.records)
+
+
+def test_generate_database_deterministic(maintained_tree, inspection_strategy):
+    first = generate_incident_database(
+        maintained_tree, inspection_strategy, n_joints=10, window=10.0, seed=5
+    )
+    second = generate_incident_database(
+        maintained_tree, inspection_strategy, n_joints=10, window=10.0, seed=5
+    )
+    assert first.records == second.records
+
+
+def test_repr():
+    assert "n_joints=4" in repr(_database())

@@ -1,0 +1,142 @@
+"""End-to-end integration tests on the EI-joint case study.
+
+These exercise the full pipeline — model assembly, simulation, exact
+analyses, serialization, data generation, estimation — on the actual
+case-study model, asserting the cross-cutting consistency properties
+that individual unit tests cannot see.
+"""
+
+import pytest
+
+from repro import MonteCarlo, dsl
+from repro.analysis import minimal_cut_sets, unreliability
+from repro.data.estimation import estimate_failure_rate
+from repro.data.incidents import generate_incident_database
+from repro.eijoint import (
+    build_ei_joint_fmt,
+    current_policy,
+    default_cost_model,
+    inspection_policy,
+    no_maintenance,
+    unmaintained,
+)
+
+HORIZON = 40.0
+RUNS = 800
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_ei_joint_fmt()
+
+
+def test_simulated_unmaintained_matches_static_analysis(tree):
+    """Without maintenance and without RDEP, the simulator must match
+    the exact BDD unreliability."""
+    independent = tree.without_dependencies()
+    sim = MonteCarlo(
+        independent, unmaintained(), horizon=10.0, seed=21
+    ).run(4000, confidence=0.99)
+    exact = unreliability(independent, 10.0)
+    assert sim.unreliability.contains(exact)
+
+
+def test_rdep_increases_unreliability(tree):
+    """The acceleration dependency can only make things worse."""
+    with_dep = MonteCarlo(tree, unmaintained(), horizon=30.0, seed=3).run(RUNS)
+    without = MonteCarlo(
+        tree.without_dependencies(), unmaintained(), horizon=30.0, seed=3
+    ).run(RUNS)
+    assert (
+        with_dep.unreliability.estimate
+        >= without.unreliability.estimate - 0.05
+    )
+
+
+def test_maintenance_orders_strategies(tree):
+    """ENF(corrective-only) > ENF(1x) > ENF(12x) with margins."""
+    cost_model = default_cost_model()
+    enf = {}
+    for label, strategy in [
+        ("none", no_maintenance()),
+        ("1x", inspection_policy(1)),
+        ("12x", inspection_policy(12)),
+    ]:
+        result = MonteCarlo(
+            tree, strategy, horizon=HORIZON, cost_model=cost_model, seed=5
+        ).run(RUNS)
+        enf[label] = result.failures_per_year.estimate
+    assert enf["none"] > 2.5 * enf["1x"]
+    assert enf["1x"] > enf["12x"]
+
+
+def test_current_policy_enf_order_of_magnitude(tree):
+    """The headline number: ~1e-2 failures per joint-year."""
+    result = MonteCarlo(
+        tree, current_policy(), horizon=HORIZON, seed=7
+    ).run(RUNS)
+    assert 0.005 < result.failures_per_year.estimate < 0.05
+
+
+def test_availability_is_high_under_current_policy(tree):
+    result = MonteCarlo(
+        tree, current_policy(), horizon=HORIZON, seed=9
+    ).run(RUNS)
+    assert result.availability.estimate > 0.9999
+
+
+def test_cost_accounting_is_consistent(tree):
+    """Breakdown categories sum to the reported total."""
+    result = MonteCarlo(
+        tree,
+        current_policy(),
+        horizon=HORIZON,
+        cost_model=default_cost_model(),
+        seed=11,
+    ).run(200)
+    breakdown = result.summary.cost_breakdown_per_year
+    assert breakdown.total == pytest.approx(
+        breakdown.inspections
+        + breakdown.preventive
+        + breakdown.corrective
+        + breakdown.failures
+        + breakdown.downtime
+    )
+    assert result.cost_per_year.estimate == pytest.approx(
+        breakdown.total, rel=1e-9
+    )
+
+
+def test_galileo_round_trip_preserves_kpis(tree):
+    """A tree serialized to text and back simulates identically."""
+    attached = current_policy().apply(tree)
+    clone = dsl.loads(dsl.dumps(attached))
+    # Same seed, same model semantics -> identical trajectories.
+    original = MonteCarlo(attached, None, horizon=20.0, seed=13).run(100)
+    restored = MonteCarlo(clone, None, horizon=20.0, seed=13).run(100)
+    assert (
+        original.summary.expected_failures.estimate
+        == restored.summary.expected_failures.estimate
+    )
+
+
+def test_incident_database_consistent_with_simulation(tree):
+    """The database's system-failure rate must match a fresh simulation
+    of the same strategy within confidence bounds."""
+    database = generate_incident_database(
+        tree, current_policy(), n_joints=600, window=15.0, seed=15
+    )
+    observed = estimate_failure_rate(database, kind="system_failure")
+    simulated = MonteCarlo(
+        tree, current_policy(), horizon=15.0, seed=16
+    ).run(600)
+    # Both are noisy; require overlapping 95% intervals.
+    assert observed.lower <= simulated.failures_per_year.upper
+    assert simulated.failures_per_year.lower <= observed.upper
+
+
+def test_cut_sets_of_case_study_stable(tree):
+    cut_sets = minimal_cut_sets(tree)
+    assert len(cut_sets) == 13
+    assert min(len(c) for c in cut_sets) == 1
+    assert max(len(c) for c in cut_sets) == 2

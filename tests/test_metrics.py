@@ -1,0 +1,175 @@
+"""KPI summarization from trajectories."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.maintenance.costs import CostBreakdown
+from repro.simulation.metrics import (
+    availability_curve,
+    reliability_curve,
+    summarize,
+)
+from repro.simulation.trace import ComponentEvent, Trajectory
+
+
+def _trajectory(horizon=10.0, failures=(), downtime=0.0, cost_total=0.0, **kw):
+    trajectory = Trajectory(horizon=horizon, **kw)
+    trajectory.failure_times = list(failures)
+    trajectory.downtime = downtime
+    trajectory.costs = CostBreakdown(failures=cost_total)
+    return trajectory
+
+
+def test_trajectory_properties():
+    trajectory = _trajectory(failures=[2.0, 5.0], downtime=1.0)
+    assert trajectory.n_failures == 2
+    assert trajectory.first_failure == 2.0
+    assert trajectory.failed_by_horizon
+    assert trajectory.availability == pytest.approx(0.9)
+    assert trajectory.failures_per_year == pytest.approx(0.2)
+    assert trajectory.survived_until(1.9)
+    assert not trajectory.survived_until(2.0)
+
+
+def test_trajectory_no_failures():
+    trajectory = _trajectory()
+    assert trajectory.first_failure is None
+    assert not trajectory.failed_by_horizon
+    assert trajectory.survived_until(10.0)
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValidationError):
+        summarize([])
+
+
+def test_summarize_inconsistent_horizons_rejected():
+    with pytest.raises(ValidationError):
+        summarize([_trajectory(horizon=10.0), _trajectory(horizon=20.0)])
+
+
+def test_summarize_unreliability_counts_failed_runs():
+    trajectories = [_trajectory(failures=[1.0])] * 3 + [_trajectory()] * 7
+    summary = summarize(trajectories)
+    assert summary.unreliability.estimate == pytest.approx(0.3)
+    assert summary.reliability == pytest.approx(0.7)
+
+
+def test_summarize_expected_failures():
+    trajectories = [_trajectory(failures=[1.0, 2.0]), _trajectory()]
+    summary = summarize(trajectories)
+    assert summary.expected_failures.estimate == pytest.approx(1.0)
+    assert summary.failures_per_year.estimate == pytest.approx(0.1)
+    assert summary.mean_failures == pytest.approx(1.0)
+
+
+def test_summarize_costs_per_year():
+    trajectories = [_trajectory(cost_total=100.0), _trajectory(cost_total=300.0)]
+    summary = summarize(trajectories)
+    assert summary.cost_per_year.estimate == pytest.approx(20.0)
+    assert summary.cost_breakdown_per_year.failures == pytest.approx(20.0)
+
+
+def test_summarize_counts_per_year():
+    trajectory = _trajectory()
+    trajectory.n_inspections = 40
+    trajectory.n_preventive_actions = 10
+    trajectory.n_corrective_replacements = 5
+    summary = summarize([trajectory])
+    assert summary.inspections_per_year == pytest.approx(4.0)
+    assert summary.preventive_actions_per_year == pytest.approx(1.0)
+    assert summary.corrective_replacements_per_year == pytest.approx(0.5)
+
+
+def test_summarize_availability():
+    trajectories = [_trajectory(downtime=2.0), _trajectory(downtime=0.0)]
+    summary = summarize(trajectories)
+    assert summary.availability.estimate == pytest.approx(0.9)
+
+
+def test_reliability_curve_values():
+    trajectories = [
+        _trajectory(failures=[1.0]),
+        _trajectory(failures=[5.0]),
+        _trajectory(),
+        _trajectory(),
+    ]
+    times, intervals = reliability_curve(trajectories, [0.0, 2.0, 6.0, 10.0])
+    survival = [interval.estimate for interval in intervals]
+    assert survival == pytest.approx([1.0, 0.75, 0.5, 0.5])
+    assert list(times) == [0.0, 2.0, 6.0, 10.0]
+
+
+def test_reliability_curve_monotone_non_increasing():
+    trajectories = [_trajectory(failures=[float(i)]) for i in range(1, 9)]
+    _, intervals = reliability_curve(trajectories, [0.0, 2.5, 5.0, 7.5, 10.0])
+    values = [interval.estimate for interval in intervals]
+    assert all(b <= a for a, b in zip(values, values[1:]))
+
+
+def _down_trajectory(intervals, horizon=10.0):
+    trajectory = _trajectory(horizon=horizon)
+    for start, end in intervals:
+        trajectory.failure_times.append(start)
+        trajectory.events.append(
+            ComponentEvent(time=start, component="top", kind="system_failure")
+        )
+        if end is not None:
+            trajectory.events.append(
+                ComponentEvent(
+                    time=end, component="top", kind="system_restored"
+                )
+            )
+    return trajectory
+
+
+def test_availability_curve_reconstructs_down_intervals():
+    trajectories = [
+        _down_trajectory([(2.0, 4.0)]),
+        _down_trajectory([]),
+    ]
+    _, intervals = availability_curve(trajectories, [1.0, 3.0, 5.0])
+    assert [i.estimate for i in intervals] == pytest.approx([1.0, 0.5, 1.0])
+
+
+def test_availability_curve_absorbing_down_until_horizon():
+    trajectories = [_down_trajectory([(2.0, None)])]
+    _, intervals = availability_curve(trajectories, [1.0, 9.9])
+    assert intervals[0].estimate == 1.0
+    assert intervals[1].estimate == 0.0
+
+
+def test_availability_curve_needs_events():
+    trajectory = _trajectory(failures=[1.0])  # failures but no events
+    with pytest.raises(ValidationError):
+        availability_curve([trajectory], [0.5])
+
+
+def test_availability_curve_from_simulation():
+    from repro.core.builder import FMTBuilder
+    from repro.maintenance.strategy import MaintenanceStrategy
+    from repro.simulation.montecarlo import MonteCarlo
+
+    builder = FMTBuilder("avail")
+    builder.degraded_event("w", phases=1, mean=1.0, threshold=1)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.5
+    )
+    result = MonteCarlo(
+        tree, strategy, horizon=30.0, seed=3, record_events=True
+    ).run(300, keep_trajectories=True)
+    _, intervals = availability_curve(result.trajectories, [20.0, 25.0])
+    # Long-run availability of an up(1.0)/down(0.5) alternation ~ 2/3.
+    for interval in intervals:
+        assert interval.estimate == pytest.approx(2.0 / 3.0, abs=0.1)
+
+
+def test_reliability_curve_grid_validation():
+    with pytest.raises(ValidationError):
+        reliability_curve([_trajectory()], [-1.0])
+    with pytest.raises(ValidationError):
+        reliability_curve([_trajectory()], [11.0])
+    with pytest.raises(ValidationError):
+        reliability_curve([], [1.0])

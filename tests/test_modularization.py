@@ -1,0 +1,105 @@
+"""Modular decomposition and modular quantification."""
+
+import pytest
+
+from repro.analysis.modularization import find_modules, modular_unreliability
+from repro.analysis.unreliability import unreliability
+from repro.core.builder import FMTBuilder
+from repro.errors import UnsupportedModelError
+
+
+def test_top_is_always_a_module(layered_tree):
+    assert layered_tree.top.name in find_modules(layered_tree)
+
+
+def test_independent_subtrees_are_modules(simple_or_tree):
+    # No sharing at all: every gate is a module.
+    assert find_modules(simple_or_tree) == ["top"]
+
+
+def test_shared_event_breaks_module(layered_tree):
+    # 'b' is shared between gates 'ab' and 'bcd': neither is a module.
+    modules = find_modules(layered_tree)
+    assert "ab" not in modules
+    assert "bcd" not in modules
+    assert modules == ["top"]
+
+
+def test_nested_modules():
+    builder = FMTBuilder("nested")
+    for name in ("a", "b", "c", "d"):
+        builder.basic_event(name, rate=0.3)
+    builder.and_gate("left", ["a", "b"])
+    builder.or_gate("right", ["c", "d"])
+    builder.or_gate("top", ["left", "right"])
+    tree = builder.build("top")
+    assert find_modules(tree) == ["left", "right", "top"]
+
+
+def test_rdep_crossing_breaks_module(maintained_tree):
+    builder = FMTBuilder("crossed")
+    for name in ("a", "b", "c"):
+        builder.basic_event(name, rate=0.3)
+    builder.and_gate("sub", ["a", "b"])
+    builder.or_gate("top", ["sub", "c"])
+    builder.rdep("d", trigger="c", targets=["a"], factor=2.0)
+    tree = builder.build("top")
+    assert "sub" not in find_modules(tree)
+
+
+def test_eijoint_modules():
+    from repro.eijoint import build_ei_joint_fmt
+
+    tree = build_ei_joint_fmt()
+    modules = find_modules(tree)
+    # The electrical subtree shares nothing and has no crossing RDEPs.
+    assert "electrical_failure" in modules
+    # The bolt gate's events trigger RDEPs on glue (outside): no module.
+    assert "bolt_failure" not in modules
+
+
+def test_modular_unreliability_matches_monolithic():
+    builder = FMTBuilder("nested")
+    builder.basic_event("a", rate=0.5)
+    builder.basic_event("b", rate=0.3)
+    builder.degraded_event("c", phases=3, mean=4.0)
+    builder.basic_event("d", rate=0.1)
+    builder.and_gate("left", ["a", "b"])
+    builder.voting_gate("right", 1, ["c", "d"])
+    builder.or_gate("top", ["left", "right"])
+    tree = builder.build("top")
+    for t in (0.5, 2.0, 8.0):
+        assert modular_unreliability(tree, t) == pytest.approx(
+            unreliability(tree, t), abs=1e-10
+        )
+
+
+def test_modular_unreliability_with_sharing(layered_tree):
+    # Sharing means only the top module exists; still must be exact.
+    for t in (1.0, 3.0):
+        assert modular_unreliability(layered_tree, t) == pytest.approx(
+            unreliability(layered_tree, t), abs=1e-10
+        )
+
+
+def test_modular_unreliability_eijoint():
+    from repro.eijoint import build_ei_joint_fmt
+
+    tree = build_ei_joint_fmt().without_dependencies()
+    assert modular_unreliability(tree, 5.0) == pytest.approx(
+        unreliability(tree, 5.0), abs=1e-10
+    )
+
+
+def test_modular_rejects_dependencies(maintained_tree):
+    with pytest.raises(UnsupportedModelError):
+        modular_unreliability(maintained_tree, 1.0)
+
+
+def test_modular_rejects_pand():
+    builder = FMTBuilder("pand")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.pand_gate("top", ["a", "b"])
+    with pytest.raises(UnsupportedModelError):
+        modular_unreliability(builder.build("top"), 1.0)

@@ -1,0 +1,101 @@
+"""Inspection and repair modules: validation and serialization."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.maintenance.actions import clean, replace
+from repro.maintenance.modules import InspectionModule, RepairModule
+
+
+def test_inspection_defaults():
+    module = InspectionModule("m", period=0.5, targets=["a"])
+    assert module.action.kind == "replace"
+    assert module.offset == 0.5
+    assert module.delay == 0.0
+    assert module.detect_failures
+    assert module.timing == "periodic"
+
+
+def test_inspection_frequency():
+    assert InspectionModule("m", period=0.25, targets=["a"]).frequency == 4.0
+
+
+def test_inspection_custom_offset():
+    module = InspectionModule("m", period=1.0, targets=["a"], offset=0.1)
+    assert module.offset == 0.1
+
+
+def test_inspection_zero_offset_allowed():
+    assert InspectionModule("m", period=1.0, targets=["a"], offset=0.0).offset == 0.0
+
+
+def test_period_must_be_positive():
+    with pytest.raises(ValidationError):
+        InspectionModule("m", period=0.0, targets=["a"])
+    with pytest.raises(ValidationError):
+        RepairModule("m", period=-1.0, targets=["a"])
+
+
+def test_targets_required():
+    with pytest.raises(ValidationError):
+        InspectionModule("m", period=1.0, targets=[])
+
+
+def test_duplicate_targets_rejected():
+    with pytest.raises(ValidationError):
+        RepairModule("m", period=1.0, targets=["a", "a"])
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValidationError):
+        InspectionModule("m", period=1.0, targets=["a"], delay=-0.5)
+
+
+def test_invalid_timing_rejected():
+    with pytest.raises(ValidationError):
+        InspectionModule("m", period=1.0, targets=["a"], timing="weekly")
+    with pytest.raises(ValidationError):
+        RepairModule("m", period=1.0, targets=["a"], timing="weekly")
+
+
+def test_exponential_timing_accepted():
+    module = InspectionModule(
+        "m", period=1.0, targets=["a"], timing="exponential"
+    )
+    assert module.timing == "exponential"
+
+
+def test_inspection_dict_round_trip():
+    module = InspectionModule(
+        "m",
+        period=0.25,
+        targets=["a", "b"],
+        action=clean(restore_phases=1),
+        delay=0.1,
+        offset=0.05,
+        detect_failures=False,
+        timing="exponential",
+    )
+    clone = InspectionModule.from_dict(module.to_dict())
+    assert clone.to_dict() == module.to_dict()
+
+
+def test_repair_dict_round_trip():
+    module = RepairModule(
+        "m", period=10.0, targets=["a"], action=replace(), offset=5.0
+    )
+    clone = RepairModule.from_dict(module.to_dict())
+    assert clone.to_dict() == module.to_dict()
+
+
+def test_repair_defaults():
+    module = RepairModule("m", period=10.0, targets=["a"])
+    assert module.action.kind == "replace"
+    assert module.offset == 10.0
+
+
+def test_reprs():
+    assert "period=0.25" in repr(
+        InspectionModule("m", period=0.25, targets=["a"])
+    )
+    assert "replace" in repr(RepairModule("r", period=5.0, targets=["a"]))

@@ -1,0 +1,139 @@
+"""Monte Carlo driver: reproducibility, stopping, result surface."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.montecarlo import MonteCarlo
+from repro.stats.sequential import RelativePrecisionRule
+
+
+def _mc(tree, strategy=None, **kw):
+    return MonteCarlo(tree, strategy or MaintenanceStrategy.none(), **kw)
+
+
+def test_same_seed_reproduces_results(maintained_tree):
+    first = _mc(maintained_tree, horizon=30.0, seed=7).run(50)
+    second = _mc(maintained_tree, horizon=30.0, seed=7).run(50)
+    assert (
+        first.summary.expected_failures.estimate
+        == second.summary.expected_failures.estimate
+    )
+    assert first.unreliability.estimate == second.unreliability.estimate
+
+
+def test_different_seeds_differ(maintained_tree):
+    first = _mc(maintained_tree, horizon=30.0, seed=1).run(50)
+    second = _mc(maintained_tree, horizon=30.0, seed=2).run(50)
+    assert (
+        first.summary.expected_failures.estimate
+        != second.summary.expected_failures.estimate
+    )
+
+
+def test_batching_invariance(maintained_tree):
+    """Two batches of 25 equal one batch of 50 under the same seed."""
+    whole = _mc(maintained_tree, horizon=30.0, seed=9)
+    split = _mc(maintained_tree, horizon=30.0, seed=9)
+    all_at_once = whole.sample(50)
+    in_parts = split.sample(25) + split.sample(25)
+    assert [t.n_failures for t in all_at_once] == [
+        t.n_failures for t in in_parts
+    ]
+
+
+def test_run_requires_positive_count(maintained_tree):
+    with pytest.raises(ValidationError):
+        _mc(maintained_tree, horizon=10.0).run(0)
+
+
+def test_result_properties(maintained_tree, inspection_strategy):
+    result = _mc(
+        maintained_tree, inspection_strategy, horizon=20.0, seed=3
+    ).run(100)
+    assert result.n_runs == 100
+    assert 0.0 <= result.unreliability.estimate <= 1.0
+    assert 0.0 <= result.reliability <= 1.0
+    assert result.failures_per_year.estimate >= 0.0
+    assert 0.0 <= result.availability.estimate <= 1.0
+    assert result.cost_per_year.estimate == 0.0  # no cost model given
+
+
+def test_reliability_at_requires_kept_trajectories(maintained_tree):
+    result = _mc(maintained_tree, horizon=20.0).run(20)
+    with pytest.raises(ValidationError):
+        result.reliability_at([1.0])
+
+
+def test_reliability_at_with_kept_trajectories(maintained_tree):
+    result = _mc(maintained_tree, horizon=20.0, seed=4).run(
+        200, keep_trajectories=True
+    )
+    times, intervals = result.reliability_at([0.0, 10.0, 20.0])
+    assert intervals[0].estimate == 1.0
+    assert intervals[2].estimate <= intervals[1].estimate
+
+
+def test_run_to_precision_stops(maintained_tree):
+    rule = RelativePrecisionRule(
+        relative_error=0.25, min_samples=50, max_samples=2000
+    )
+    result = _mc(maintained_tree, horizon=50.0, seed=5).run_to_precision(
+        rule, batch_size=50
+    )
+    assert 50 <= result.n_runs <= 2000
+    interval = result.summary.expected_failures
+    assert (
+        interval.relative_half_width <= 0.25 or result.n_runs == 2000
+    )
+
+
+def test_run_to_precision_respects_max_samples(maintained_tree):
+    rule = RelativePrecisionRule(
+        relative_error=1e-12, min_samples=50, max_samples=100
+    )
+    result = _mc(maintained_tree, horizon=5.0, seed=6).run_to_precision(
+        rule, batch_size=50
+    )
+    assert result.n_runs == 100
+
+
+def test_run_to_precision_unreliability_target(maintained_tree):
+    rule = RelativePrecisionRule(
+        relative_error=0.3, min_samples=50, max_samples=1000
+    )
+    result = _mc(maintained_tree, horizon=30.0, seed=8).run_to_precision(
+        rule, batch_size=50, target="unreliability"
+    )
+    assert 50 <= result.n_runs <= 1000
+
+
+def test_run_to_precision_cost_target(maintained_tree):
+    from repro.maintenance.costs import CostModel
+
+    mc = MonteCarlo(
+        maintained_tree,
+        MaintenanceStrategy.none(),
+        horizon=30.0,
+        cost_model=CostModel(system_failure=100.0),
+        seed=9,
+    )
+    rule = RelativePrecisionRule(
+        relative_error=0.3, min_samples=50, max_samples=1000
+    )
+    result = mc.run_to_precision(rule, batch_size=50, target="cost")
+    assert result.cost_per_year.estimate > 0.0
+
+
+def test_run_to_precision_unknown_target(maintained_tree):
+    with pytest.raises(ValidationError):
+        _mc(maintained_tree, horizon=5.0).run_to_precision(target="banana")
+
+
+def test_run_to_precision_rejects_bad_batch(maintained_tree):
+    with pytest.raises(ValidationError):
+        _mc(maintained_tree, horizon=5.0).run_to_precision(batch_size=0)
+
+
+def test_horizon_property(maintained_tree):
+    assert _mc(maintained_tree, horizon=12.5).horizon == 12.5

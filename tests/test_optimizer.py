@@ -1,0 +1,126 @@
+"""Maintenance-policy optimizer."""
+
+import pytest
+
+from repro.core.builder import FMTBuilder
+from repro.errors import ValidationError
+from repro.maintenance.actions import clean
+from repro.maintenance.costs import CostModel
+from repro.maintenance.modules import InspectionModule
+from repro.maintenance.optimizer import evaluate_strategies, optimize_frequency
+from repro.maintenance.strategy import MaintenanceStrategy
+
+
+@pytest.fixture(scope="module")
+def tree():
+    builder = FMTBuilder("opt")
+    builder.degraded_event("wear", phases=4, mean=4.0, threshold=2)
+    builder.or_gate("top", ["wear"])
+    return builder.build("top")
+
+
+def _strategy(frequency: float) -> MaintenanceStrategy:
+    module = InspectionModule(
+        "insp", period=1.0 / frequency, targets=["wear"], action=clean()
+    )
+    return MaintenanceStrategy(f"f{frequency:g}", inspections=(module,))
+
+
+COSTS = CostModel(
+    inspection_visit=30.0,
+    action_costs={"clean": 10.0, "replace": 100.0},
+    system_failure=2000.0,
+)
+
+
+def test_evaluate_strategies_returns_one_record_each(tree):
+    evaluations = evaluate_strategies(
+        tree, [_strategy(1), _strategy(4)], COSTS, horizon=20.0, n_runs=200
+    )
+    assert len(evaluations) == 2
+    assert evaluations[0].strategy.name == "f1"
+    for evaluation in evaluations:
+        assert evaluation.cost_per_year.estimate > 0.0
+        assert 0.0 <= evaluation.reliability <= 1.0
+
+
+def test_evaluate_strategies_empty_rejected(tree):
+    with pytest.raises(ValidationError):
+        evaluate_strategies(tree, [], COSTS)
+
+
+def test_evaluate_strategies_common_seed_reproducible(tree):
+    first = evaluate_strategies(
+        tree, [_strategy(2)], COSTS, horizon=20.0, n_runs=100, seed=5
+    )
+    second = evaluate_strategies(
+        tree, [_strategy(2)], COSTS, horizon=20.0, n_runs=100, seed=5
+    )
+    assert (
+        first[0].cost_per_year.estimate == second[0].cost_per_year.estimate
+    )
+
+
+def test_optimize_finds_interior_optimum(tree):
+    best = optimize_frequency(
+        tree,
+        _strategy,
+        COSTS,
+        lower=0.25,
+        upper=12.0,
+        horizon=30.0,
+        n_runs=400,
+        seed=3,
+        tolerance=0.5,
+    )
+    # With expensive failures and cheap visits the optimum is an
+    # interior frequency, not a boundary.
+    assert 0.5 < best.parameter < 12.0
+    # The optimum beats both boundary policies.
+    boundary = evaluate_strategies(
+        tree,
+        [_strategy(0.25), _strategy(12.0)],
+        COSTS,
+        horizon=30.0,
+        n_runs=400,
+        seed=3,
+    )
+    for evaluation in boundary:
+        assert best.cost_per_year.estimate <= evaluation.cost_per_year.estimate
+
+
+def test_optimize_validates_bounds(tree):
+    with pytest.raises(ValidationError):
+        optimize_frequency(tree, _strategy, COSTS, lower=2.0, upper=1.0)
+    with pytest.raises(ValidationError):
+        optimize_frequency(
+            tree, _strategy, COSTS, lower=1.0, upper=2.0, tolerance=0.0
+        )
+
+
+def test_optimize_respects_evaluation_budget(tree):
+    with pytest.raises(ValidationError):
+        optimize_frequency(
+            tree,
+            _strategy,
+            COSTS,
+            lower=0.25,
+            upper=12.0,
+            n_runs=50,
+            tolerance=1e-9,
+            max_evaluations=5,
+        )
+
+
+def test_policy_evaluation_str(tree):
+    best = optimize_frequency(
+        tree,
+        _strategy,
+        COSTS,
+        lower=1.0,
+        upper=4.0,
+        horizon=10.0,
+        n_runs=100,
+        tolerance=1.0,
+    )
+    assert "cost/yr" in str(best)

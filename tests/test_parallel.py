@@ -1,0 +1,73 @@
+"""Parallel Monte Carlo: correctness and serial equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.executor import FMTSimulator
+from repro.simulation.montecarlo import MonteCarlo
+from repro.simulation.parallel import sample_parallel, simulate_batch
+
+
+def test_simulate_batch_matches_individual(maintained_tree):
+    simulator = FMTSimulator(
+        maintained_tree, MaintenanceStrategy.none(), horizon=20.0
+    )
+    seeds = np.random.SeedSequence(5).spawn(10)
+    batch = simulate_batch(simulator, seeds)
+    individually = [
+        simulator.simulate(np.random.default_rng(seed)) for seed in seeds
+    ]
+    assert [t.n_failures for t in batch] == [
+        t.n_failures for t in individually
+    ]
+
+
+def test_sample_parallel_single_process_equals_batch(maintained_tree):
+    simulator = FMTSimulator(
+        maintained_tree, MaintenanceStrategy.none(), horizon=20.0
+    )
+    seeds = np.random.SeedSequence(6).spawn(20)
+    serial = simulate_batch(simulator, seeds)
+    parallel = sample_parallel(simulator, seeds, processes=1)
+    assert [t.failure_times for t in serial] == [
+        t.failure_times for t in parallel
+    ]
+
+
+def test_sample_parallel_two_processes_preserves_order(maintained_tree):
+    simulator = FMTSimulator(
+        maintained_tree, MaintenanceStrategy.none(), horizon=20.0
+    )
+    seeds = np.random.SeedSequence(7).spawn(30)
+    serial = simulate_batch(simulator, seeds)
+    parallel = sample_parallel(simulator, seeds, processes=2, chunk_size=7)
+    assert [t.failure_times for t in serial] == [
+        t.failure_times for t in parallel
+    ]
+
+
+def test_run_parallel_matches_run(maintained_tree, inspection_strategy):
+    serial = MonteCarlo(
+        maintained_tree, inspection_strategy, horizon=20.0, seed=11
+    ).run(40)
+    parallel = MonteCarlo(
+        maintained_tree, inspection_strategy, horizon=20.0, seed=11
+    ).run_parallel(40, processes=2)
+    assert (
+        serial.summary.expected_failures.estimate
+        == parallel.summary.expected_failures.estimate
+    )
+    assert serial.unreliability.estimate == parallel.unreliability.estimate
+
+
+def test_run_parallel_validation(maintained_tree):
+    mc = MonteCarlo(maintained_tree, None, horizon=5.0)
+    with pytest.raises(ValidationError):
+        mc.run_parallel(0)
+    simulator = FMTSimulator(
+        maintained_tree, MaintenanceStrategy.none(), horizon=5.0
+    )
+    with pytest.raises(ValidationError):
+        sample_parallel(simulator, [], processes=0)

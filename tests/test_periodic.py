@@ -1,0 +1,242 @@
+"""Exact periodic-inspection analysis vs the simulator.
+
+This is the deterministic-timing counterpart of the CTMC
+cross-validation: the simulator's periodic inspection semantics are
+checked against closed (matrix-exponential) computations.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.periodic import (
+    PeriodicInspectionModel,
+    expected_failures,
+    unreliability,
+)
+from repro.core.builder import FMTBuilder
+from repro.core.events import BasicEvent
+from repro.errors import AnalysisError, UnsupportedModelError
+from repro.maintenance.actions import clean, repair
+from repro.maintenance.modules import InspectionModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.montecarlo import MonteCarlo
+
+
+def _event(phases=3, mean=3.0, threshold=2):
+    return BasicEvent.erlang("w", phases=phases, mean=mean, threshold=threshold)
+
+
+def _module(period=0.5, action=None, detection_probability=1.0, offset=None):
+    return InspectionModule(
+        "i",
+        period=period,
+        targets=["w"],
+        action=action if action is not None else clean(),
+        detection_probability=detection_probability,
+        offset=offset,
+    )
+
+
+def _tree(event):
+    builder = FMTBuilder("single")
+    builder.add_event(event)
+    builder.or_gate("top", ["w"])
+    return builder.build("top")
+
+
+# ----------------------------------------------------------------------
+# Sanity against closed forms (no inspection influence)
+# ----------------------------------------------------------------------
+def test_before_first_inspection_matches_lifetime_cdf():
+    event = _event()
+    module = _module(period=100.0)  # first inspection at t=100
+    for t in (0.5, 1.5, 3.0):
+        assert unreliability(event, module, t) == pytest.approx(
+            event.lifetime_cdf(t), abs=1e-10
+        )
+
+
+def test_useless_threshold_inspection_changes_nothing():
+    """With threshold == phases the last phase is detectable, so the
+    inspection does help; with a restore that maps to the same phase
+    (repair of 0 phases is invalid) we instead test detection
+    probability ~ 0 via an offset beyond the horizon."""
+    event = _event()
+    module = _module(period=1.0, offset=50.0)
+    t = 5.0
+    assert unreliability(event, module, t) == pytest.approx(
+        event.lifetime_cdf(t), abs=1e-10
+    )
+
+
+def test_renewal_without_inspections_matches_renewal_function():
+    """Erlang(2) renewal process: m(t) = t/2 - 1/4 + e^{-2t}/4 for
+    per-phase rate 1."""
+    event = BasicEvent.erlang("w", phases=2, rate=1.0, threshold=2)
+    module = _module(period=1000.0)  # inspections beyond horizon
+    t = 10.0
+    expected = t / 2.0 - 0.25 + math.exp(-2.0 * t) / 4.0
+    assert expected_failures(event, module, t) == pytest.approx(
+        expected, rel=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural behaviour
+# ----------------------------------------------------------------------
+def test_inspections_reduce_unreliability_monotonically_in_frequency():
+    event = _event()
+    t = 10.0
+    values = [
+        unreliability(event, _module(period=period), t)
+        for period in (4.0, 2.0, 1.0, 0.5, 0.25)
+    ]
+    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+    # Frequent inspection removes a substantial share of failures, but
+    # the 1-phase detection window caps what any frequency can prevent.
+    assert values[-1] < 0.5 * event.lifetime_cdf(t)
+
+
+def test_detection_probability_interpolates():
+    event = _event()
+    t = 10.0
+    perfect = unreliability(event, _module(detection_probability=1.0), t)
+    imperfect = unreliability(event, _module(detection_probability=0.5), t)
+    nothing = event.lifetime_cdf(t)
+    assert perfect < imperfect < nothing
+
+
+def test_partial_restoration_weaker_than_full():
+    event = BasicEvent.erlang("w", phases=5, mean=5.0, threshold=2)
+    t = 20.0
+    full = unreliability(event, _module(action=clean()), t)
+    partial = unreliability(
+        event, _module(action=repair(restore_phases=1)), t
+    )
+    assert full < partial
+
+
+def test_unreliability_monotone_in_time():
+    event = _event()
+    module = _module()
+    previous = 0.0
+    for t in np.linspace(0.0, 12.0, 25):
+        value = unreliability(event, module, float(t))
+        assert value >= previous - 1e-12
+        previous = value
+
+
+# ----------------------------------------------------------------------
+# Cross-validation against the simulator (periodic timing!)
+# ----------------------------------------------------------------------
+def test_simulator_matches_exact_unreliability():
+    event = _event(phases=4, mean=4.0, threshold=2)
+    module = _module(period=0.75)
+    exact = unreliability(event, module, 8.0)
+    strategy = MaintenanceStrategy(
+        "s", inspections=(module,), on_system_failure="none"
+    )
+    sim = MonteCarlo(_tree(event), strategy, horizon=8.0, seed=31).run(
+        8000, confidence=0.999
+    )
+    assert sim.unreliability.contains(exact)
+
+
+def test_simulator_matches_exact_unreliability_imperfect_detection():
+    event = _event(phases=3, mean=3.0, threshold=1)
+    module = _module(period=0.5, detection_probability=0.6)
+    exact = unreliability(event, module, 6.0)
+    strategy = MaintenanceStrategy(
+        "s", inspections=(module,), on_system_failure="none"
+    )
+    sim = MonteCarlo(_tree(event), strategy, horizon=6.0, seed=33).run(
+        8000, confidence=0.999
+    )
+    assert sim.unreliability.contains(exact)
+
+
+def test_simulator_matches_exact_expected_failures():
+    event = _event(phases=3, mean=2.0, threshold=2)
+    module = _module(period=0.5)
+    exact = expected_failures(event, module, 10.0)
+    strategy = MaintenanceStrategy(
+        "s",
+        inspections=(module,),
+        on_system_failure="replace",
+        system_repair_time=0.0,
+    )
+    sim = MonteCarlo(_tree(event), strategy, horizon=10.0, seed=37).run(
+        8000, confidence=0.999
+    )
+    assert sim.summary.expected_failures.contains(exact)
+
+
+def test_simulator_matches_exact_with_offset():
+    event = _event(phases=3, mean=3.0, threshold=2)
+    module = _module(period=1.0, offset=0.25)
+    exact = unreliability(event, module, 5.0)
+    strategy = MaintenanceStrategy(
+        "s", inspections=(module,), on_system_failure="none"
+    )
+    sim = MonteCarlo(_tree(event), strategy, horizon=5.0, seed=41).run(
+        8000, confidence=0.999
+    )
+    assert sim.unreliability.contains(exact)
+
+
+# ----------------------------------------------------------------------
+# Validation of inputs
+# ----------------------------------------------------------------------
+def test_rejects_delay():
+    event = _event()
+    module = InspectionModule(
+        "i", period=1.0, targets=["w"], action=clean(), delay=0.1
+    )
+    with pytest.raises(UnsupportedModelError):
+        PeriodicInspectionModel(event, module)
+
+
+def test_rejects_exponential_timing():
+    event = _event()
+    module = InspectionModule(
+        "i", period=1.0, targets=["w"], action=clean(), timing="exponential"
+    )
+    with pytest.raises(UnsupportedModelError):
+        PeriodicInspectionModel(event, module)
+
+
+def test_rejects_mismatched_targets():
+    event = _event()
+    module = InspectionModule(
+        "i", period=1.0, targets=["other"], action=clean()
+    )
+    with pytest.raises(UnsupportedModelError):
+        PeriodicInspectionModel(event, module)
+
+
+def test_rejects_thresholdless_event():
+    event = BasicEvent.erlang("w", phases=3, mean=3.0)
+    module = InspectionModule("i", period=1.0, targets=["w"], action=clean())
+    with pytest.raises(UnsupportedModelError):
+        PeriodicInspectionModel(event, module)
+
+
+def test_mode_queries_guarded():
+    event = _event()
+    module = _module()
+    absorbing = PeriodicInspectionModel(event, module)
+    with pytest.raises(AnalysisError):
+        absorbing.expected_failures(1.0)
+    renewing = PeriodicInspectionModel(event, module, renew_on_failure=True)
+    with pytest.raises(AnalysisError):
+        renewing.unreliability(1.0)
+
+
+def test_phase_distribution_sums_to_one():
+    event = _event()
+    module = _module()
+    model = PeriodicInspectionModel(event, module, renew_on_failure=True)
+    for t in (0.3, 1.7, 6.0):
+        assert model.phase_distribution(t).sum() == pytest.approx(1.0)

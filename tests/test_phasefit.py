@@ -1,0 +1,135 @@
+"""Phase-type (Erlang) approximation of general distributions."""
+
+import pytest
+
+from repro.core.events import BasicEvent
+from repro.errors import EstimationError, ValidationError
+from repro.stats.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Weibull,
+)
+from repro.stats.phasefit import (
+    erlang_approximation,
+    kolmogorov_distance,
+)
+
+
+def test_exponential_maps_to_one_phase():
+    fit = erlang_approximation(Exponential(rate=0.5))
+    assert fit.phases == 1
+    assert fit.erlang.rate == pytest.approx(0.5)
+    assert fit.kolmogorov == pytest.approx(0.0, abs=1e-9)
+
+
+def test_erlang_is_reproduced_exactly():
+    target = Erlang(shape=4, rate=0.5)
+    fit = erlang_approximation(target)
+    assert fit.phases == 4
+    assert fit.erlang.rate == pytest.approx(0.5)
+    assert fit.kolmogorov == pytest.approx(0.0, abs=1e-9)
+
+
+def test_weibull_shape2_gets_multiple_phases():
+    # Weibull k=2 has CV ~ 0.52 -> ~4 phases.
+    target = Weibull(scale=10.0, shape=2.0)
+    fit = erlang_approximation(target)
+    assert 3 <= fit.phases <= 5
+    assert fit.erlang.mean() == pytest.approx(target.mean(), rel=1e-6)
+    assert fit.kolmogorov < 0.05
+
+
+def test_lognormal_fit_quality_reported():
+    target = LogNormal(mu=2.0, sigma=0.4)
+    fit = erlang_approximation(target)
+    assert fit.phases > 1
+    assert 0.0 < fit.kolmogorov < 0.2
+
+
+def test_deterministic_hits_phase_cap():
+    fit = erlang_approximation(Deterministic(value=5.0), max_phases=30)
+    assert fit.phases == 30
+    assert fit.erlang.mean() == pytest.approx(5.0)
+
+
+def test_high_cv_falls_back_to_exponential():
+    # Weibull shape 0.7 has CV > 1: best Erlang is the exponential.
+    fit = erlang_approximation(Weibull(scale=5.0, shape=0.7))
+    assert fit.phases == 1
+
+
+def test_explicit_moments_override():
+    fit = erlang_approximation(Exponential(rate=1.0), mean=10.0, cv=0.5)
+    assert fit.phases == 4
+    assert fit.erlang.mean() == pytest.approx(10.0)
+
+
+def test_invalid_moments_rejected():
+    with pytest.raises(EstimationError):
+        erlang_approximation(Exponential(rate=1.0), mean=-1.0)
+    with pytest.raises(EstimationError):
+        erlang_approximation(Exponential(rate=1.0), cv=0.0)
+
+
+def test_kolmogorov_distance_symmetry():
+    a = Exponential(rate=0.5)
+    b = Erlang(shape=3, rate=1.5)
+    assert kolmogorov_distance(a, b) == pytest.approx(
+        kolmogorov_distance(b, a)
+    )
+
+
+def test_kolmogorov_identity_is_zero():
+    a = Weibull(scale=3.0, shape=2.0)
+    assert kolmogorov_distance(a, a) == 0.0
+
+
+def test_basic_event_from_distribution():
+    event = BasicEvent.from_distribution(
+        "wear", Weibull(scale=10.0, shape=2.0), threshold_fraction=0.5
+    )
+    assert event.phases >= 3
+    assert event.threshold == max(1, round(0.5 * event.phases))
+    assert event.mean_lifetime() == pytest.approx(
+        Weibull(scale=10.0, shape=2.0).mean(), rel=1e-6
+    )
+
+
+def test_basic_event_from_distribution_no_threshold():
+    event = BasicEvent.from_distribution("wear", Exponential(rate=0.1))
+    assert event.threshold is None
+
+
+def test_basic_event_from_distribution_bad_fraction():
+    with pytest.raises(ValidationError):
+        BasicEvent.from_distribution(
+            "wear", Exponential(rate=0.1), threshold_fraction=1.5
+        )
+
+
+def test_fitted_event_usable_in_simulation():
+    from repro.core.builder import FMTBuilder
+    from repro.maintenance.strategy import MaintenanceStrategy
+    from repro.simulation.montecarlo import MonteCarlo
+
+    builder = FMTBuilder("fitted")
+    builder.add_event(
+        BasicEvent.from_distribution(
+            "wear", Weibull(scale=8.0, shape=2.5), threshold_fraction=0.5
+        )
+    )
+    builder.or_gate("top", ["wear"])
+    tree = builder.build("top")
+    result = MonteCarlo(
+        tree, MaintenanceStrategy.absorbing(), horizon=100.0, seed=2
+    ).run(500, keep_trajectories=True)
+    import numpy as np
+
+    mean_ttf = np.mean(
+        [t.first_failure for t in result.trajectories if t.first_failure]
+    )
+    assert mean_ttf == pytest.approx(
+        Weibull(scale=8.0, shape=2.5).mean(), rel=0.1
+    )

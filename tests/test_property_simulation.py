@@ -1,0 +1,129 @@
+"""Property-based tests on the stochastic layers.
+
+Distribution sampling against analytic CDFs (Kolmogorov-Smirnov),
+simulator invariants over random parameterizations, and agreement
+between the simulator and the exact CTMC on randomly parameterized
+Markovian models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as sps
+
+from repro.core.builder import FMTBuilder
+from repro.ctmc.compiler import compile_fmt
+from repro.maintenance.actions import clean
+from repro.maintenance.modules import InspectionModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.executor import FMTSimulator
+from repro.simulation.montecarlo import MonteCarlo
+from repro.stats.distributions import Erlang, Exponential, Weibull
+
+
+@given(
+    rate=st.floats(min_value=0.05, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_exponential_sampling_ks(rate, seed):
+    dist = Exponential(rate=rate)
+    samples = dist.sample(np.random.default_rng(seed), size=2000)
+    statistic, pvalue = sps.kstest(samples, lambda x: np.vectorize(dist.cdf)(x))
+    assert pvalue > 1e-4
+
+
+@given(
+    shape=st.integers(min_value=1, max_value=6),
+    rate=st.floats(min_value=0.1, max_value=5.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_erlang_sampling_ks(shape, rate, seed):
+    dist = Erlang(shape=shape, rate=rate)
+    samples = dist.sample(np.random.default_rng(seed), size=2000)
+    _, pvalue = sps.kstest(samples, lambda x: np.vectorize(dist.cdf)(x))
+    assert pvalue > 1e-4
+
+
+@given(
+    scale=st.floats(min_value=0.5, max_value=10.0),
+    shape=st.floats(min_value=0.5, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=10, deadline=None)
+def test_weibull_sampling_ks(scale, shape, seed):
+    dist = Weibull(scale=scale, shape=shape)
+    samples = dist.sample(np.random.default_rng(seed), size=2000)
+    _, pvalue = sps.kstest(samples, lambda x: np.vectorize(dist.cdf)(x))
+    assert pvalue > 1e-4
+
+
+def _degrading_tree(phases, mean, threshold):
+    builder = FMTBuilder("prop")
+    builder.degraded_event("w", phases=phases, mean=mean, threshold=threshold)
+    builder.or_gate("top", ["w"])
+    return builder.build("top")
+
+
+@given(
+    phases=st.integers(min_value=2, max_value=5),
+    mean=st.floats(min_value=2.0, max_value=20.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_trajectory_invariants(phases, mean, seed):
+    tree = _degrading_tree(phases, mean, threshold=1)
+    sim = FMTSimulator(tree, MaintenanceStrategy.none(), horizon=50.0)
+    trajectory = sim.simulate(np.random.default_rng(seed))
+    assert 0.0 <= trajectory.downtime <= trajectory.horizon
+    assert 0.0 <= trajectory.availability <= 1.0
+    assert all(0.0 <= t <= 50.0 for t in trajectory.failure_times)
+    assert trajectory.failure_times == sorted(trajectory.failure_times)
+    assert trajectory.costs.total == 0.0  # no cost model configured
+
+
+@given(
+    phases=st.integers(min_value=2, max_value=4),
+    period=st.floats(min_value=0.1, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=8, deadline=None)
+def test_inspections_never_hurt(phases, period, seed):
+    """Expected failures with inspections <= without (statistically)."""
+    tree = _degrading_tree(phases, mean=4.0, threshold=1)
+    module = InspectionModule("i", period=period, targets=["w"], action=clean())
+    inspected = MaintenanceStrategy("s", inspections=(module,))
+    base = MonteCarlo(tree, MaintenanceStrategy.none(), horizon=40.0, seed=seed)
+    better = MonteCarlo(tree, inspected, horizon=40.0, seed=seed)
+    enf_base = base.run(60).summary.expected_failures.estimate
+    enf_better = better.run(60).summary.expected_failures.estimate
+    assert enf_better <= enf_base + 1.0  # generous statistical slack
+
+
+@given(
+    phases=st.integers(min_value=1, max_value=3),
+    mean=st.floats(min_value=1.0, max_value=10.0),
+    period=st.floats(min_value=0.2, max_value=2.0),
+)
+@settings(max_examples=8, deadline=None)
+def test_simulator_matches_ctmc_unreliability(phases, mean, period):
+    """Random Markovian FMT: the simulated unreliability at the horizon
+    must contain the exact CTMC value in its 99.9% CI.
+
+    The wide confidence level keeps the per-example false-alarm
+    probability negligible across the many examples hypothesis tries.
+    """
+    threshold = max(1, phases - 1)
+    tree = _degrading_tree(phases, mean, threshold)
+    module = InspectionModule(
+        "i", period=period, targets=["w"], action=clean(), timing="exponential"
+    )
+    strategy = MaintenanceStrategy(
+        "s", inspections=(module,), on_system_failure="none"
+    )
+    exact = compile_fmt(tree, strategy).unreliability(5.0)
+    sim = MonteCarlo(tree, strategy, horizon=5.0, seed=17).run(
+        3000, confidence=0.999
+    )
+    assert sim.unreliability.contains(exact)

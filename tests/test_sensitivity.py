@@ -1,0 +1,83 @@
+"""Sensitivity (tornado) analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityEntry,
+    kpi_cost,
+    kpi_enf,
+    kpi_unreliability,
+    tornado,
+)
+from repro.core.builder import FMTBuilder
+from repro.errors import ValidationError
+from repro.maintenance.strategy import MaintenanceStrategy
+
+
+def _factory(name: str, multiplier: float):
+    means = {"fast": 2.0, "slow": 50.0}
+    means[name] *= multiplier
+    builder = FMTBuilder("sens")
+    builder.degraded_event("fast", phases=2, mean=means["fast"])
+    builder.degraded_event("slow", phases=2, mean=means["slow"])
+    builder.or_gate("top", ["fast", "slow"])
+    return builder.build("top")
+
+
+def test_entry_swing():
+    entry = SensitivityEntry("x", baseline=1.0, low_value=0.8, high_value=1.3)
+    assert entry.swing == pytest.approx(0.5)
+    assert entry.relative_swing == pytest.approx(0.5)
+
+
+def test_entry_relative_swing_zero_baseline():
+    entry = SensitivityEntry("x", baseline=0.0, low_value=0.1, high_value=0.2)
+    assert entry.relative_swing == float("inf")
+
+
+def test_tornado_ranks_dominant_parameter_first():
+    entries = tornado(
+        _factory,
+        parameters=["fast", "slow"],
+        strategy=MaintenanceStrategy.none(),
+        kpi=kpi_enf,
+        horizon=30.0,
+        n_runs=300,
+        seed=7,
+    )
+    assert [entry.parameter for entry in entries][0] == "fast"
+    assert entries[0].swing > entries[1].swing
+
+
+def test_tornado_direction_for_competing_failures():
+    """Longer mean lifetime of the dominant mode must lower the ENF."""
+    entries = tornado(
+        _factory,
+        parameters=["fast"],
+        strategy=MaintenanceStrategy.none(),
+        kpi=kpi_enf,
+        factor=2.0,
+        horizon=30.0,
+        n_runs=300,
+        seed=7,
+    )
+    entry = entries[0]
+    assert entry.low_value > entry.baseline > entry.high_value
+
+
+def test_tornado_validation():
+    with pytest.raises(ValidationError):
+        tornado(_factory, ["fast"], MaintenanceStrategy.none(), factor=1.0)
+    with pytest.raises(ValidationError):
+        tornado(_factory, [], MaintenanceStrategy.none())
+
+
+def test_kpi_extractors():
+    from repro.simulation.montecarlo import MonteCarlo
+
+    result = MonteCarlo(
+        _factory("fast", 1.0), MaintenanceStrategy.none(), horizon=10.0, seed=1
+    ).run(100)
+    assert kpi_enf(result) == result.failures_per_year.estimate
+    assert kpi_cost(result) == result.cost_per_year.estimate
+    assert kpi_unreliability(result) == result.unreliability.estimate

@@ -1,0 +1,123 @@
+"""Running statistics and sequential stopping rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.sequential import RelativePrecisionRule, RunningStatistics
+
+
+def test_running_mean_matches_numpy(rng):
+    values = rng.normal(size=500)
+    stats = RunningStatistics()
+    stats.extend(values)
+    assert stats.mean == pytest.approx(float(np.mean(values)))
+    assert stats.variance == pytest.approx(float(np.var(values, ddof=1)))
+
+
+def test_running_count():
+    stats = RunningStatistics()
+    stats.extend([1.0, 2.0, 3.0])
+    assert stats.count == 3
+
+
+def test_variance_with_fewer_than_two_samples():
+    stats = RunningStatistics()
+    assert stats.variance == 0.0
+    stats.add(5.0)
+    assert stats.variance == 0.0
+
+
+def test_std_error_empty_is_inf():
+    assert RunningStatistics().std_error == math.inf
+
+
+def test_confidence_interval_unbounded_until_two_samples():
+    stats = RunningStatistics()
+    stats.add(1.0)
+    interval = stats.confidence_interval()
+    assert interval.lower == -math.inf
+
+
+def test_confidence_interval_matches_direct_computation(rng):
+    from repro.stats.confidence import mean_confidence_interval
+
+    values = list(rng.normal(size=100))
+    stats = RunningStatistics()
+    stats.extend(values)
+    direct = mean_confidence_interval(values)
+    online = stats.confidence_interval()
+    assert online.lower == pytest.approx(direct.lower)
+    assert online.upper == pytest.approx(direct.upper)
+
+
+def test_merge_equivalent_to_sequential(rng):
+    values = rng.normal(size=200)
+    left = RunningStatistics()
+    left.extend(values[:80])
+    right = RunningStatistics()
+    right.extend(values[80:])
+    left.merge(right)
+    combined = RunningStatistics()
+    combined.extend(values)
+    assert left.count == combined.count
+    assert left.mean == pytest.approx(combined.mean)
+    assert left.variance == pytest.approx(combined.variance)
+
+
+def test_merge_with_empty_is_identity(rng):
+    stats = RunningStatistics()
+    stats.extend(rng.normal(size=10))
+    before = (stats.count, stats.mean, stats.variance)
+    stats.merge(RunningStatistics())
+    assert (stats.count, stats.mean, stats.variance) == before
+
+
+def test_merge_into_empty(rng):
+    values = rng.normal(size=10)
+    other = RunningStatistics()
+    other.extend(values)
+    stats = RunningStatistics()
+    stats.merge(other)
+    assert stats.count == 10
+    assert stats.mean == pytest.approx(float(np.mean(values)))
+
+
+def test_rule_does_not_stop_before_min_samples():
+    rule = RelativePrecisionRule(min_samples=100)
+    stats = RunningStatistics()
+    stats.extend([1.0] * 50)
+    assert not rule.should_stop(stats)
+
+
+def test_rule_stops_on_tight_interval():
+    rule = RelativePrecisionRule(relative_error=0.05, min_samples=10)
+    stats = RunningStatistics()
+    stats.extend([1.0] * 200)  # zero variance -> zero width
+    assert rule.should_stop(stats)
+
+
+def test_rule_stops_at_max_samples():
+    rule = RelativePrecisionRule(
+        relative_error=1e-9, min_samples=10, max_samples=50
+    )
+    stats = RunningStatistics()
+    stats.extend([0.0, 1.0] * 25)
+    assert rule.should_stop(stats)
+
+
+def test_rule_keeps_going_on_wide_interval(rng):
+    rule = RelativePrecisionRule(relative_error=0.001, min_samples=10)
+    stats = RunningStatistics()
+    stats.extend(rng.normal(loc=1.0, scale=5.0, size=20))
+    assert not rule.should_stop(stats)
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        RelativePrecisionRule(relative_error=0.0)
+    with pytest.raises(ValueError):
+        RelativePrecisionRule(min_samples=1)
+    with pytest.raises(ValueError):
+        RelativePrecisionRule(min_samples=100, max_samples=10)

@@ -1,0 +1,91 @@
+"""Maintenance strategies."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.maintenance.actions import clean
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.strategy import MaintenanceStrategy
+
+
+def _module(name="m", period=0.5):
+    return InspectionModule(name, period=period, targets=["wear"], action=clean())
+
+
+def test_none_strategy():
+    strategy = MaintenanceStrategy.none()
+    assert strategy.on_system_failure == "replace"
+    assert strategy.inspections == ()
+    assert strategy.inspections_per_year == 0.0
+
+
+def test_absorbing_strategy():
+    strategy = MaintenanceStrategy.absorbing()
+    assert strategy.on_system_failure == "none"
+
+
+def test_inspections_per_year_sums_modules():
+    strategy = MaintenanceStrategy(
+        "s", inspections=(_module("a", 0.5), _module("b", 0.25))
+    )
+    assert strategy.inspections_per_year == pytest.approx(6.0)
+
+
+def test_invalid_failure_response():
+    with pytest.raises(ValidationError):
+        MaintenanceStrategy("s", on_system_failure="ignore")
+
+
+def test_negative_repair_time_rejected():
+    with pytest.raises(ValidationError):
+        MaintenanceStrategy("s", system_repair_time=-1.0)
+
+
+def test_lists_normalised_to_tuples():
+    strategy = MaintenanceStrategy("s", inspections=[_module()])
+    assert isinstance(strategy.inspections, tuple)
+
+
+def test_inspection_rounds_groups_synchronised_modules():
+    strategy = MaintenanceStrategy(
+        "s",
+        inspections=(
+            _module("a", 0.25),
+            _module("b", 0.25),  # same schedule -> same physical round
+            _module("c", 0.5),
+        ),
+    )
+    assert strategy.inspection_rounds_per_year == pytest.approx(6.0)
+    assert strategy.inspections_per_year == pytest.approx(10.0)
+
+
+def test_apply_attaches_modules(maintained_tree):
+    strategy = MaintenanceStrategy("s", inspections=(_module(),))
+    tree = strategy.apply(maintained_tree)
+    assert len(tree.inspections) == 1
+    assert len(maintained_tree.inspections) == 0
+
+
+def test_renamed_keeps_modules():
+    strategy = MaintenanceStrategy("s", inspections=(_module(),))
+    renamed = strategy.renamed("other", description="alt")
+    assert renamed.name == "other"
+    assert renamed.inspections == strategy.inspections
+    assert renamed.description == "alt"
+
+
+def test_str_mentions_inspection_period():
+    strategy = MaintenanceStrategy("s", inspections=(_module(period=0.25),))
+    assert "0.25y" in str(strategy)
+
+
+def test_str_for_corrective_only():
+    assert "corrective only" in str(MaintenanceStrategy.none())
+    assert "unmaintained" in str(MaintenanceStrategy.absorbing())
+
+
+def test_str_mentions_overhaul():
+    strategy = MaintenanceStrategy(
+        "s", repairs=(RepairModule("r", period=10.0, targets=["wear"]),)
+    )
+    assert "overhaul every 10y" in str(strategy)

@@ -1,0 +1,127 @@
+"""Transient and steady-state CTMC solutions against closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc.chain import CTMCBuilder
+from repro.ctmc.transient import (
+    steady_state,
+    transient_distribution,
+    transient_grid,
+)
+from repro.errors import AnalysisError
+
+
+def _birth_death(up_rate=2.0, down_rate=3.0):
+    builder = CTMCBuilder()
+    builder.add_transition("up", "down", up_rate)
+    builder.add_transition("down", "up", down_rate)
+    return builder.build(initial="up")
+
+
+def _absorbing(rate=0.5):
+    builder = CTMCBuilder()
+    builder.add_transition("alive", "dead", rate)
+    return builder.build(initial="alive")
+
+
+def test_transient_at_zero_is_initial():
+    chain = _birth_death()
+    pi = transient_distribution(chain, 0.0)
+    assert np.allclose(pi, chain.initial)
+
+
+def test_absorbing_matches_exponential_cdf():
+    chain = _absorbing(rate=0.5)
+    dead = chain.index_of("dead")
+    for t in (0.1, 1.0, 4.0, 10.0):
+        expected = 1.0 - math.exp(-0.5 * t)
+        assert transient_distribution(chain, t)[dead] == pytest.approx(
+            expected, abs=1e-10
+        )
+
+
+def test_two_state_closed_form():
+    """P(up at t) = pi_up + (1 - pi_up) e^{-(a+b)t} for start in up."""
+    a, b = 2.0, 3.0
+    chain = _birth_death(a, b)
+    up = chain.index_of("up")
+    stationary_up = b / (a + b)
+    for t in (0.05, 0.3, 1.0, 5.0):
+        expected = stationary_up + (1 - stationary_up) * math.exp(-(a + b) * t)
+        assert transient_distribution(chain, t)[up] == pytest.approx(
+            expected, abs=1e-10
+        )
+
+
+def test_distribution_sums_to_one():
+    chain = _birth_death()
+    for t in (0.1, 1.0, 10.0, 100.0):
+        assert transient_distribution(chain, t).sum() == pytest.approx(1.0)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(AnalysisError):
+        transient_distribution(_birth_death(), -1.0)
+
+
+def test_custom_initial_distribution():
+    chain = _birth_death()
+    pi0 = np.array([0.5, 0.5])
+    pi = transient_distribution(chain, 1e6, initial=pi0)
+    assert pi[chain.index_of("up")] == pytest.approx(0.6, abs=1e-6)
+
+
+def test_grid_matches_pointwise():
+    chain = _birth_death()
+    times = [0.0, 0.5, 1.0, 2.0]
+    grid = transient_grid(chain, times)
+    for row, t in zip(grid, times):
+        assert np.allclose(row, transient_distribution(chain, t), atol=1e-9)
+
+
+def test_grid_requires_sorted_times():
+    with pytest.raises(AnalysisError):
+        transient_grid(_birth_death(), [1.0, 0.5])
+
+
+def test_grid_empty():
+    assert transient_grid(_birth_death(), []).shape == (0, 2)
+
+
+def test_steady_state_two_state():
+    chain = _birth_death(2.0, 3.0)
+    pi = steady_state(chain)
+    assert pi[chain.index_of("up")] == pytest.approx(0.6)
+    assert pi[chain.index_of("down")] == pytest.approx(0.4)
+
+
+def test_steady_state_matches_long_run_transient():
+    builder = CTMCBuilder()
+    builder.add_transition("a", "b", 1.0)
+    builder.add_transition("b", "c", 2.0)
+    builder.add_transition("c", "a", 0.5)
+    chain = builder.build()
+    pi = steady_state(chain)
+    pi_long = transient_distribution(chain, 500.0)
+    assert np.allclose(pi, pi_long, atol=1e-6)
+
+
+def test_steady_state_single_state():
+    builder = CTMCBuilder()
+    builder.add_state("only")
+    chain = builder.build()
+    assert steady_state(chain)[0] == pytest.approx(1.0)
+
+
+def test_stiff_chain_stable():
+    """Uniformization must stay stable with widely separated rates."""
+    builder = CTMCBuilder()
+    builder.add_transition("a", "b", 1e4)
+    builder.add_transition("b", "a", 1e-2)
+    chain = builder.build(initial="a")
+    pi = transient_distribution(chain, 1.0)
+    assert pi.sum() == pytest.approx(1.0)
+    assert np.all(pi >= -1e-12)

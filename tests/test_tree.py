@@ -1,0 +1,190 @@
+"""Tree container: validation, traversal, structure function."""
+
+import pytest
+
+from repro.core.builder import FMTBuilder
+from repro.core.dependencies import RateDependency
+from repro.core.events import BasicEvent
+from repro.core.gates import AndGate, OrGate
+from repro.core.tree import FaultMaintenanceTree, FaultTree
+from repro.errors import ModelError, ValidationError
+from repro.maintenance.actions import clean
+from repro.maintenance.modules import InspectionModule, RepairModule
+
+
+def test_fault_tree_alias():
+    assert FaultTree is FaultMaintenanceTree
+
+
+def test_nodes_collected(layered_tree):
+    assert set(layered_tree.basic_events) == {"a", "b", "c", "d"}
+    assert set(layered_tree.gates) == {"ab", "bcd", "top"}
+
+
+def test_single_event_tree():
+    event = BasicEvent.exponential("only", rate=1.0)
+    tree = FaultMaintenanceTree(event)
+    assert tree.top is event
+    assert tree.evaluate({"only"})
+
+
+def test_duplicate_names_rejected():
+    a1 = BasicEvent.exponential("a", rate=1.0)
+    a2 = BasicEvent.exponential("a", rate=2.0)
+    with pytest.raises(ModelError):
+        FaultMaintenanceTree(OrGate("top", [a1, a2]))
+
+
+def test_shared_subtree_allowed():
+    shared = BasicEvent.exponential("shared", rate=1.0)
+    left = AndGate("left", [shared, BasicEvent.exponential("l", rate=1.0)])
+    right = AndGate("right", [shared, BasicEvent.exponential("r", rate=1.0)])
+    tree = FaultMaintenanceTree(OrGate("top", [left, right]))
+    assert set(tree.basic_events) == {"shared", "l", "r"}
+    assert tree.parents_of("shared") == ("left", "right") or set(
+        tree.parents_of("shared")
+    ) == {"left", "right"}
+
+
+def test_element_lookup(layered_tree):
+    assert layered_tree.element("ab").name == "ab"
+    with pytest.raises(ModelError):
+        layered_tree.element("nope")
+
+
+def test_parents_of(layered_tree):
+    assert set(layered_tree.parents_of("b")) == {"ab", "bcd"}
+    assert layered_tree.parents_of("top") == ()
+
+
+def test_descendants_of(layered_tree):
+    assert layered_tree.descendants_of("ab") == {"a", "b"}
+    assert "d" in layered_tree.descendants_of("top")
+
+
+def test_depth(layered_tree, simple_or_tree):
+    assert layered_tree.depth() == 2
+    assert simple_or_tree.depth() == 1
+
+
+def test_evaluate_with_set(simple_or_tree):
+    assert simple_or_tree.evaluate({"a"})
+    assert not simple_or_tree.evaluate(set())
+
+
+def test_evaluate_with_mapping(simple_and_tree):
+    assert simple_and_tree.evaluate({"a": True, "b": True})
+    assert not simple_and_tree.evaluate({"a": True, "b": False})
+
+
+def test_evaluate_unknown_event_rejected(simple_or_tree):
+    with pytest.raises(ModelError):
+        simple_or_tree.evaluate({"zz"})
+
+
+def test_evaluate_voting(voting_tree):
+    assert not voting_tree.evaluate({"a"})
+    assert voting_tree.evaluate({"a", "c"})
+
+
+def test_evaluate_layered(layered_tree):
+    # ab = a AND b; bcd = 2-of-3(b, c, d); top = ab OR bcd
+    assert not layered_tree.evaluate({"a"})
+    assert layered_tree.evaluate({"a", "b"})
+    assert layered_tree.evaluate({"c", "d"})
+    assert not layered_tree.evaluate({"c"})
+
+
+def test_dependency_validation_unknown_trigger():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=1.0)
+    builder.or_gate("top", ["a"])
+    tree = builder.build("top")
+    with pytest.raises(ModelError):
+        FaultMaintenanceTree(
+            tree.top,
+            dependencies=[RateDependency("d", "ghost", ["a"], 2.0)],
+        )
+
+
+def test_dependency_target_must_be_basic(layered_tree):
+    with pytest.raises(ModelError):
+        FaultMaintenanceTree(
+            layered_tree.top,
+            dependencies=[RateDependency("d", "a", ["ab"], 2.0)],
+        )
+
+
+def test_dependency_name_collision(maintained_tree):
+    with pytest.raises(ModelError):
+        FaultMaintenanceTree(
+            maintained_tree.top,
+            dependencies=[
+                RateDependency("top", "shock", ["wear"], 2.0),
+            ],
+        )
+
+
+def test_inspection_target_needs_threshold(simple_or_tree):
+    module = InspectionModule("m", period=1.0, targets=["a"], action=clean())
+    with pytest.raises(ModelError):
+        simple_or_tree.with_maintenance(inspections=[module])
+
+
+def test_inspection_unknown_target(maintained_tree):
+    module = InspectionModule("m", period=1.0, targets=["ghost"])
+    with pytest.raises(ModelError):
+        maintained_tree.with_maintenance(inspections=[module])
+
+
+def test_repair_module_attaches(maintained_tree):
+    module = RepairModule("renew", period=10.0, targets=["wear", "shock"])
+    tree = maintained_tree.with_maintenance(repairs=[module])
+    assert len(tree.repairs) == 1
+    # The original tree is untouched.
+    assert len(maintained_tree.repairs) == 0
+
+
+def test_duplicate_module_names_rejected(maintained_tree):
+    module_a = InspectionModule("m", period=1.0, targets=["wear"])
+    module_b = RepairModule("m", period=2.0, targets=["wear"])
+    with pytest.raises(ModelError):
+        maintained_tree.with_maintenance(
+            inspections=[module_a], repairs=[module_b]
+        )
+
+
+def test_without_dependencies(maintained_tree):
+    stripped = maintained_tree.without_dependencies()
+    assert stripped.dependencies == ()
+    assert maintained_tree.dependencies  # original keeps them
+
+
+def test_with_dependency_factor(maintained_tree):
+    scaled = maintained_tree.with_dependency_factor(9.0)
+    assert all(dep.factor == 9.0 for dep in scaled.dependencies)
+
+
+def test_has_dynamic_gates():
+    builder = FMTBuilder("t")
+    builder.basic_event("a", rate=1.0)
+    builder.basic_event("b", rate=1.0)
+    builder.pand_gate("top", ["a", "b"])
+    assert builder.build("top").has_dynamic_gates
+
+
+def test_dict_round_trip(maintained_tree, inspection_strategy):
+    tree = inspection_strategy.apply(maintained_tree)
+    clone = FaultMaintenanceTree.from_dict(tree.to_dict())
+    assert clone.to_dict() == tree.to_dict()
+
+
+def test_dict_round_trip_preserves_semantics(layered_tree):
+    clone = FaultMaintenanceTree.from_dict(layered_tree.to_dict())
+    for failed in [set(), {"a", "b"}, {"c", "d"}, {"b"}]:
+        assert clone.evaluate(failed) == layered_tree.evaluate(failed)
+
+
+def test_repr(maintained_tree):
+    text = repr(maintained_tree)
+    assert "maintained" in text and "|events|=2" in text

@@ -1,0 +1,64 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_months_to_years():
+    assert units.months(6.0) == pytest.approx(0.5)
+
+
+def test_weeks_to_years():
+    assert units.weeks(units.WEEKS_PER_YEAR) == pytest.approx(1.0)
+
+
+def test_days_to_years():
+    assert units.days(365.25) == pytest.approx(1.0)
+
+
+def test_hours_to_years():
+    assert units.hours(units.HOURS_PER_YEAR) == pytest.approx(1.0)
+
+
+def test_years_identity():
+    assert units.years(3.5) == 3.5
+
+
+def test_per_month_rate():
+    assert units.per_month(1.0) == pytest.approx(12.0)
+
+
+def test_per_year_identity():
+    assert units.per_year(0.3) == 0.3
+
+
+def test_format_years_days():
+    assert units.format_years(1.0 / 365.25) == "1.0 days"
+
+
+def test_format_years_months():
+    assert units.format_years(0.25) == "3.0 months"
+
+
+def test_format_years_years():
+    assert units.format_years(2.0) == "2.00 years"
+
+
+def test_format_years_zero():
+    assert units.format_years(0) == "0"
+
+
+def test_format_years_negative_raises():
+    with pytest.raises(ValueError):
+        units.format_years(-1.0)
+
+
+def test_format_money():
+    assert units.format_money(12345.6) == "EUR 12,346"
+
+
+def test_format_money_currency():
+    assert units.format_money(10, currency="GBP") == "GBP 10"

@@ -1,0 +1,140 @@
+"""Static unreliability: methods agree, bounds bound, MTTF integrates."""
+
+import math
+
+import pytest
+
+from repro.analysis.unreliability import (
+    basic_event_probabilities,
+    mean_time_to_failure,
+    unreliability,
+    unreliability_bounds,
+)
+from repro.core.builder import FMTBuilder
+from repro.errors import AnalysisError, UnsupportedModelError
+from repro.maintenance.modules import InspectionModule
+from repro.maintenance.actions import clean
+
+
+def test_event_probabilities_are_cdfs(layered_tree):
+    probabilities = basic_event_probabilities(layered_tree, 2.0)
+    for name, event in layered_tree.basic_events.items():
+        assert probabilities[name] == pytest.approx(event.lifetime_cdf(2.0))
+
+
+def test_event_probabilities_negative_time_rejected(simple_or_tree):
+    with pytest.raises(AnalysisError):
+        basic_event_probabilities(simple_or_tree, -1.0)
+
+
+def test_or_tree_closed_form(simple_or_tree):
+    # P = 1 - e^{-0.5t} e^{-0.25t}
+    t = 2.0
+    expected = 1.0 - math.exp(-0.75 * t)
+    assert unreliability(simple_or_tree, t) == pytest.approx(expected)
+
+
+def test_and_tree_closed_form(simple_and_tree):
+    t = 2.0
+    expected = (1.0 - math.exp(-0.5 * t)) * (1.0 - math.exp(-0.25 * t))
+    assert unreliability(simple_and_tree, t) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize(
+    "fixture_name", ["simple_or_tree", "voting_tree", "layered_tree"]
+)
+def test_methods_agree(fixture_name, request):
+    tree = request.getfixturevalue(fixture_name)
+    exact = unreliability(tree, 1.5, method="bdd")
+    inclusion = unreliability(tree, 1.5, method="inclusion-exclusion")
+    assert inclusion == pytest.approx(exact, abs=1e-9)
+
+
+def test_rare_event_is_upper_bound(layered_tree):
+    exact = unreliability(layered_tree, 1.0, method="bdd")
+    rare = unreliability(layered_tree, 1.0, method="rare-event")
+    assert rare >= exact - 1e-12
+
+
+def test_unknown_method_rejected(simple_or_tree):
+    with pytest.raises(AnalysisError):
+        unreliability(simple_or_tree, 1.0, method="magic")
+
+
+def test_monotone_in_time(layered_tree):
+    values = [unreliability(layered_tree, t) for t in (0.0, 1.0, 2.0, 5.0, 20.0)]
+    assert values[0] == 0.0
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_bounds_bracket_exact(layered_tree):
+    for t in (0.5, 2.0, 8.0):
+        exact = unreliability(layered_tree, t)
+        lower, upper = unreliability_bounds(layered_tree, t)
+        assert lower <= exact + 1e-12
+        assert upper >= exact - 1e-12
+
+
+def test_rdep_tree_rejected(maintained_tree):
+    with pytest.raises(UnsupportedModelError):
+        unreliability(maintained_tree, 1.0)
+    # With the flag, the structure is quantified ignoring the RDEP.
+    value = unreliability(maintained_tree, 1.0, ignore_dependencies=True)
+    assert 0.0 < value < 1.0
+
+
+def test_maintained_tree_rejected(maintained_tree):
+    module = InspectionModule(
+        "i", period=1.0, targets=["wear"], action=clean()
+    )
+    tree = maintained_tree.with_maintenance(inspections=[module])
+    with pytest.raises(UnsupportedModelError):
+        unreliability(tree, 1.0, ignore_dependencies=True)
+    value = unreliability(
+        tree, 1.0, ignore_dependencies=True, ignore_maintenance=True
+    )
+    assert 0.0 < value < 1.0
+
+
+def test_mttf_single_exponential():
+    builder = FMTBuilder("one")
+    builder.basic_event("x", rate=0.25)
+    builder.or_gate("top", ["x"])
+    tree = builder.build("top")
+    assert mean_time_to_failure(tree) == pytest.approx(4.0, rel=1e-6)
+
+
+def test_mttf_or_of_exponentials(simple_or_tree):
+    # Competing exponentials: MTTF = 1 / (0.5 + 0.25).
+    assert mean_time_to_failure(simple_or_tree) == pytest.approx(
+        1.0 / 0.75, rel=1e-6
+    )
+
+
+def test_mttf_and_of_exponentials(simple_and_tree):
+    # max of exponentials: 1/l1 + 1/l2 - 1/(l1+l2).
+    expected = 2.0 + 4.0 - 1.0 / 0.75
+    assert mean_time_to_failure(simple_and_tree) == pytest.approx(
+        expected, rel=1e-6
+    )
+
+
+def test_mttf_erlang_component():
+    builder = FMTBuilder("erl")
+    builder.degraded_event("w", phases=4, mean=8.0)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    assert mean_time_to_failure(tree) == pytest.approx(8.0, rel=1e-6)
+
+
+def test_inclusion_exclusion_cut_set_cap():
+    builder = FMTBuilder("many")
+    names = [f"x{i}" for i in range(25)]
+    for name in names:
+        builder.basic_event(name, rate=1.0)
+    builder.or_gate("top", names)
+    tree = builder.build("top")
+    with pytest.raises(UnsupportedModelError):
+        unreliability(tree, 1.0, method="inclusion-exclusion")
+    # BDD handles it fine.
+    assert unreliability(tree, 1.0, method="bdd") > 0.99

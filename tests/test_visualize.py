@@ -1,0 +1,79 @@
+"""Tree rendering: ASCII outline and Graphviz DOT."""
+
+from repro.core.visualize import ascii_tree, to_dot
+from repro.eijoint import build_ei_joint_fmt, current_policy
+
+
+def test_ascii_contains_all_elements(layered_tree):
+    text = ascii_tree(layered_tree)
+    for name in layered_tree.nodes:
+        assert name in text
+
+
+def test_ascii_marks_gate_kinds(layered_tree):
+    text = ascii_tree(layered_tree)
+    assert "[AND]" in text
+    assert "[OR]" in text
+    assert "[2/3]" in text
+
+
+def test_ascii_shared_subtree_printed_once():
+    from repro.core.builder import FMTBuilder
+
+    builder = FMTBuilder("shared")
+    builder.basic_event("s", rate=1.0)
+    builder.basic_event("x", rate=1.0)
+    builder.basic_event("y", rate=1.0)
+    builder.and_gate("left", ["s", "x"])
+    builder.and_gate("right", ["s", "y"])
+    builder.or_gate("top", ["left", "right"])
+    text = ascii_tree(builder.build("top"))
+    assert text.count("(shared, see above)") == 1
+
+
+def test_ascii_lists_dependencies_and_modules():
+    tree = current_policy().apply(build_ei_joint_fmt())
+    text = ascii_tree(tree)
+    assert "RDEP" in text
+    assert "INSPECT inspect_clean" in text
+
+
+def test_ascii_event_labels(maintained_tree):
+    text = ascii_tree(maintained_tree)
+    assert "phases=4" in text
+    assert "threshold=2" in text
+
+
+def test_dot_is_well_formed(layered_tree):
+    dot = to_dot(layered_tree)
+    assert dot.startswith('digraph "layered" {')
+    assert dot.rstrip().endswith("}")
+    # One edge per gate-child relation.
+    assert dot.count("->") == sum(
+        len(g.children) for g in layered_tree.gates.values()
+    )
+
+
+def test_dot_gate_and_event_shapes(layered_tree):
+    dot = to_dot(layered_tree)
+    assert "shape=box" in dot
+    assert "shape=circle" in dot
+
+
+def test_dot_rdep_rendered(maintained_tree):
+    dot = to_dot(maintained_tree)
+    assert "style=dashed" in dot
+    assert 'label="x5"' in dot
+
+
+def test_dot_modules_rendered():
+    tree = current_policy().apply(build_ei_joint_fmt())
+    dot = to_dot(tree)
+    assert "shape=note" in dot
+    assert "style=dotted" in dot
+
+
+def test_dot_each_node_declared_once(layered_tree):
+    dot = to_dot(layered_tree)
+    for name in layered_tree.nodes:
+        assert dot.count(f'"{name}" [') == 1
