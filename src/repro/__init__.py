@@ -21,7 +21,10 @@ The package provides:
   incident-registration databases and fitting model parameters to them;
 * the **EI-joint case study** (:mod:`repro.eijoint`) and the
   **experiment harness** (:mod:`repro.experiments`) that regenerates
-  every table and figure of the evaluation.
+  every table and figure of the evaluation;
+* an **observability layer** (:mod:`repro.observability`): metrics
+  registry, structured logging, passive simulation instrumentation,
+  JSONL trace export, and profiling hooks.
 
 Quickstart
 ----------
@@ -35,7 +38,8 @@ True
 
 from repro._version import __version__
 from repro import analysis, core, ctmc, data, dsl, eijoint, maintenance
-from repro import simulation, stats, units
+from repro import observability, simulation, stats, units
+from repro.observability import Instrumentation, MetricsRegistry
 from repro.core import (
     AndGate,
     BasicEvent,
@@ -83,8 +87,10 @@ __all__ = [
     "FaultTree",
     "InhibitGate",
     "InspectionModule",
+    "Instrumentation",
     "MaintenanceAction",
     "MaintenanceStrategy",
+    "MetricsRegistry",
     "ModelError",
     "MonteCarlo",
     "MonteCarloResult",
@@ -107,6 +113,7 @@ __all__ = [
     "dsl",
     "eijoint",
     "maintenance",
+    "observability",
     "repair",
     "replace",
     "simulation",

@@ -1,8 +1,21 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
 
+``REPRO_LOG_LEVEL`` (debug/info/warning/error) pre-configures logging
+before argument parsing, so even argparse-time failures of automation
+wrappers get timestamped structured logs; ``--log-level`` then takes
+precedence once parsed.
+"""
+
+import os
 import sys
 
 from repro.cli import main
+from repro.observability.logging_setup import setup_logging
 
 if __name__ == "__main__":
+    try:
+        setup_logging(os.environ.get("REPRO_LOG_LEVEL"))
+    except ValueError as exc:
+        print(f"REPRO_LOG_LEVEL: {exc}", file=sys.stderr)
+        setup_logging(None)
     sys.exit(main())

@@ -9,6 +9,12 @@ Usage::
     python -m repro analyze model.fmt    # static analysis of a Galileo file
     python -m repro simulate model.fmt --horizon 50 --runs 2000
     python -m repro render model.fmt --dot > model.dot
+    python -m repro trace model.fmt --out trace.jsonl   # JSONL event trace
+
+Observability flags (all verbs): ``--log-level debug|info|warning|error``
+routes the library's structured logs to stderr; ``--profile`` prints a
+metrics/timing report after the run; ``--metrics-out PATH`` dumps the
+same registry as JSON.  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -19,8 +25,12 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.experiments import EXPERIMENTS, ExperimentConfig
+from repro.experiments.common import timed_run
+from repro.observability import Instrumentation, get_logger, kv, setup_logging, use
 
 __all__ = ["main", "build_parser"]
+
+logger = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,13 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'list', 'analyze', "
-        "'simulate', or 'render'",
+        "'simulate', 'render', or 'trace'",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
-        help="model file for the analyze/simulate/render commands",
+        help="model file for the analyze/simulate/render/trace commands",
     )
     parser.add_argument(
         "--runs", type=int, default=None, help="Monte Carlo replications"
@@ -66,6 +76,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--dot",
         action="store_true",
         help="render: emit Graphviz DOT instead of an ASCII outline",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="trace: write the JSONL event trace here (default: stdout)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="verbosity of the structured logs on stderr",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect simulation metrics/timers and print a profile "
+        "report after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the collected metrics registry as JSON",
     )
     return parser
 
@@ -96,6 +130,7 @@ def _cmd_list() -> int:
     print("  analyze PATH  (static analysis of a Galileo model file)")
     print("  simulate PATH (Monte Carlo simulation of a model file)")
     print("  render PATH   (ASCII or --dot rendering of a model file)")
+    print("  trace PATH    (JSONL component-event trace of simulated runs)")
     return 0
 
 
@@ -124,21 +159,26 @@ def _cmd_analyze(path: Optional[str]) -> int:
     return 0
 
 
+def _strategy_for_model_run(tree, absorbing: bool):
+    from repro.maintenance.strategy import MaintenanceStrategy
+
+    return MaintenanceStrategy(
+        name=tree.name,
+        inspections=tree.inspections,
+        repairs=tree.repairs,
+        on_system_failure="none" if absorbing else "replace",
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.path is None:
         print("simulate: missing model file path", file=sys.stderr)
         return 2
     from repro.dsl import load_file
-    from repro.maintenance.strategy import MaintenanceStrategy
     from repro.simulation.montecarlo import MonteCarlo
 
     tree = load_file(args.path)
-    strategy = MaintenanceStrategy(
-        name=tree.name,
-        inspections=tree.inspections,
-        repairs=tree.repairs,
-        on_system_failure="none" if args.absorbing else "replace",
-    )
+    strategy = _strategy_for_model_run(tree, args.absorbing)
     horizon = args.horizon if args.horizon is not None else 50.0
     n_runs = args.runs if args.runs is not None else 2000
     seed = args.seed if args.seed is not None else 0
@@ -167,9 +207,37 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.path is None:
+        print("trace: missing model file path", file=sys.stderr)
+        return 2
+    from repro.dsl import load_file
+    from repro.observability.tracing import write_trace, write_trace_file
+    from repro.simulation.montecarlo import MonteCarlo
+
+    tree = load_file(args.path)
+    strategy = _strategy_for_model_run(tree, args.absorbing)
+    horizon = args.horizon if args.horizon is not None else 50.0
+    n_runs = args.runs if args.runs is not None else 100
+    seed = args.seed if args.seed is not None else 0
+    mc = MonteCarlo(
+        tree, strategy, horizon=horizon, seed=seed, record_events=True
+    )
+    trajectories = mc.sample(n_runs)
+    if args.out is None:
+        lines = write_trace(trajectories, sys.stdout)
+    else:
+        lines = write_trace_file(trajectories, args.out)
+        print(
+            f"wrote {lines} JSONL records ({n_runs} trajectories) to {args.out}"
+        )
+    logger.info(
+        kv("trace written", trajectories=n_runs, records=lines, out=args.out or "-")
+    )
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "list":
         return _cmd_list()
     if args.experiment == "analyze":
@@ -178,10 +246,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.experiment == "render":
         return _cmd_render(args)
+    if args.experiment == "trace":
+        return _cmd_trace(args)
     config = _config_from_args(args)
     if args.experiment == "all":
         for key, runner in EXPERIMENTS.items():
-            print(runner(config).to_text())
+            print(timed_run(runner, config, experiment_id=key).to_text())
             print()
         return 0
     runner = EXPERIMENTS.get(args.experiment)
@@ -191,8 +261,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    print(runner(config).to_text())
+    print(timed_run(runner, config, experiment_id=args.experiment).to_text())
     return 0
+
+
+def _check_writable(path: str, flag: str) -> Optional[str]:
+    """Fail fast on an unwritable output path — before the run, not after."""
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        return f"{flag}: cannot write {path}: {exc}"
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    setup_logging(args.log_level)
+    for path, flag in ((args.metrics_out, "--metrics-out"), (args.out, "--out")):
+        if path is not None:
+            problem = _check_writable(path, flag)
+            if problem is not None:
+                print(problem, file=sys.stderr)
+                return 2
+    instrumentation = (
+        Instrumentation() if (args.profile or args.metrics_out) else None
+    )
+    with use(instrumentation):
+        code = _dispatch(args)
+    if instrumentation is not None:
+        if args.profile:
+            print()
+            print(instrumentation.registry.render_text(title="profile"))
+        if args.metrics_out:
+            instrumentation.registry.write_json(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

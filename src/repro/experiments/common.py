@@ -8,13 +8,18 @@ benchmarks and the CLI only differ in the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.errors import ValidationError
+from repro.observability import instrumentation as _obs
+from repro.observability.logging_setup import get_logger, kv
 from repro.stats.confidence import ConfidenceInterval
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "format_ci"]
+__all__ = ["ExperimentConfig", "ExperimentResult", "format_ci", "timed_run"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,33 @@ class ExperimentResult:
 
     def __str__(self) -> str:
         return self.to_text()
+
+
+def timed_run(
+    runner: Callable[[ExperimentConfig], ExperimentResult],
+    config: ExperimentConfig,
+    experiment_id: Optional[str] = None,
+    instrumentation: Optional["_obs.Instrumentation"] = None,
+) -> ExperimentResult:
+    """Run one experiment with wall-clock timing.
+
+    The elapsed time always goes to the log (INFO); when an
+    instrumentation is active — passed explicitly or ambient via
+    :func:`repro.observability.use` — it is also recorded on the
+    ``experiment.<id>.seconds`` timer and appended to the result's
+    notes, which is how ``--profile`` surfaces per-experiment timings.
+    Output is otherwise identical to calling ``runner(config)``.
+    """
+    start = time.perf_counter()
+    result = runner(config)
+    elapsed = time.perf_counter() - start
+    key = experiment_id if experiment_id is not None else result.experiment_id
+    logger.info(kv("experiment done", experiment=key, seconds=elapsed))
+    instr = instrumentation if instrumentation is not None else _obs.current()
+    if instr is not None:
+        instr.observe(f"experiment.{key}.seconds", elapsed)
+        result.notes.append(f"wall time: {elapsed:.3f} s")
+    return result
 
 
 def format_ci(interval: ConfidenceInterval, digits: int = 4) -> str:

@@ -1,0 +1,57 @@
+"""Observability for the FMT stack: metrics, logging, tracing, profiling.
+
+The layering is:
+
+* :mod:`repro.observability.metrics` — zero-dependency registry of
+  counters, gauges, and timers (p50/p95/max), rendering to text or
+  JSON;
+* :mod:`repro.observability.logging_setup` — structured logging
+  convention and the one place handlers are configured;
+* :mod:`repro.observability.instrumentation` — the
+  :class:`Instrumentation` hook object the simulation stack reports
+  into, attached explicitly or ambiently (:func:`use`/:func:`current`);
+* :mod:`repro.observability.tracing` — JSONL trajectory-trace export;
+* :mod:`repro.observability.profiling` — cProfile wrappers for
+  function-level deep dives.
+
+Instrumentation is strictly passive: attaching it never changes RNG
+draws, event ordering, or results.  Metric names and the trace schema
+are documented in ``docs/observability.md``.
+"""
+
+from repro.observability.instrumentation import Instrumentation, current, use
+from repro.observability.logging_setup import get_logger, kv, setup_logging
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    percentile,
+)
+from repro.observability.profiling import profile_call, profiled
+from repro.observability.tracing import (
+    TRACE_SCHEMA_VERSION,
+    trace_records,
+    write_trace,
+    write_trace_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Instrumentation",
+    "MetricsRegistry",
+    "TRACE_SCHEMA_VERSION",
+    "Timer",
+    "current",
+    "get_logger",
+    "kv",
+    "percentile",
+    "profile_call",
+    "profiled",
+    "setup_logging",
+    "trace_records",
+    "use",
+    "write_trace",
+    "write_trace_file",
+]

@@ -1,0 +1,101 @@
+"""Structured logging setup for the :mod:`repro` package.
+
+Library modules obtain loggers through :func:`get_logger` (always under
+the ``repro.`` namespace) and never configure handlers themselves — a
+library must stay silent unless its host application opts in.  The CLI
+(and ``python -m repro`` via the ``REPRO_LOG_LEVEL`` environment
+variable) opts in by calling :func:`setup_logging`, which installs one
+stderr handler on the ``repro`` root logger.
+
+Log lines follow a lightweight structured convention: a free-form
+event phrase followed by ``key=value`` pairs built with :func:`kv`, so
+they stay grep-able and machine-parseable without a JSON logging
+dependency::
+
+    2026-08-05 12:00:00 INFO repro.simulation.parallel fan-out chosen processes=4 runs=2000
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+__all__ = ["get_logger", "setup_logging", "kv", "LOG_FORMAT", "DATE_FORMAT"]
+
+LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+DATE_FORMAT = "%Y-%m-%d %H:%M:%S"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("simulation.engine")`` and
+    ``get_logger("repro.simulation.engine")`` return the same logger.
+    """
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def parse_level(level: Union[str, int, None]) -> Optional[int]:
+    """Map a CLI/env level spelling to a ``logging`` level, None passes through."""
+    if level is None:
+        return None
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[level.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+        ) from None
+
+
+def setup_logging(
+    level: Union[str, int, None] = None, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Install the ``repro`` stderr handler (idempotent) and set the level.
+
+    ``level`` may be a name (``"debug"`` … ``"critical"``), a
+    ``logging`` constant, or None to leave the level untouched (the
+    first call defaults to WARNING).  Returns the ``repro`` root
+    logger.
+    """
+    global _configured
+    logger = logging.getLogger("repro")
+    if not _configured:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+        logger.setLevel(logging.WARNING)
+        _configured = True
+    parsed = parse_level(level)
+    if parsed is not None:
+        logger.setLevel(parsed)
+    return logger
+
+
+def kv(event: str, **fields) -> str:
+    """Render ``event key=value ...`` for structured log lines.
+
+    Floats are compacted with ``%g``; everything else is ``str()``-ed.
+    """
+    parts = [event]
+    for key, value in fields.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)

@@ -1,0 +1,277 @@
+"""Zero-dependency metrics registry: counters, gauges, timers.
+
+The registry is the storage layer of the observability stack: hot-path
+code increments :class:`Counter`\\ s and feeds :class:`Timer`\\ s; the CLI
+renders the registry to aligned text (``--profile``) or dumps it as
+JSON (``--metrics-out``).  Everything here is pure stdlib and cheap
+enough to stay enabled in the simulation hot path — a counter
+increment is one attribute add, and timers only pay two
+``perf_counter`` calls per observed block.
+
+All instruments are plain picklable objects so a
+:class:`~repro.observability.instrumentation.Instrumentation` can ride
+along with a simulator into worker processes (each worker then updates
+its own copy; see :func:`MetricsRegistry.merge` for recombining).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import ValidationError
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (``q`` in [0, 100]).
+
+    Matches ``numpy.percentile``'s default method but needs no numpy —
+    the registry must work in contexts where only stdlib is loaded.
+    """
+    if not samples:
+        raise ValidationError("percentile() of no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class Counter:
+    """Monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-write-wins float value (e.g. a fan-out or queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Timer:
+    """Duration histogram: keeps raw samples, reports p50/p95/max.
+
+    Samples are seconds.  The raw list is bounded by ``max_samples``;
+    beyond that only count/total keep growing and quantiles describe
+    the first ``max_samples`` observations (good enough for the
+    replication workloads this instrument serves, and it keeps memory
+    bounded on million-trajectory runs).
+    """
+
+    __slots__ = ("name", "count", "total", "max_samples", "_samples")
+
+    def __init__(self, name: str, max_samples: int = 100_000):
+        if max_samples < 1:
+            raise ValidationError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration, in seconds."""
+        self.count += 1
+        self.total += seconds
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager timing the enclosed block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def mean(self) -> float:
+        """Mean duration, 0.0 when nothing was observed."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Percentile (``q`` in [0, 100]) of the recorded samples."""
+        if not self._samples:
+            return 0.0
+        return percentile(self._samples, q)
+
+    @property
+    def max(self) -> float:
+        """Largest recorded duration, 0.0 when nothing was observed."""
+        return max(self._samples) if self._samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Count/total/mean/p50/p95/max as a JSON-ready dict."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.quantile(50.0),
+            "p95_seconds": self.quantile(95.0),
+            "max_seconds": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer({self.name}: n={self.count}, total={self.total:.3g}s)"
+
+
+class MetricsRegistry:
+    """Named collection of counters, gauges, and timers.
+
+    Instruments are created on first use (``registry.counter("x")``)
+    and live for the registry's lifetime; a name is bound to exactly
+    one instrument kind (asking for ``counter("x")`` after
+    ``timer("x")`` is a caller bug and raises).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- instrument accessors -----------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        """Get or create the timer ``name``."""
+        instrument = self._timers.get(name)
+        if instrument is None:
+            self._check_free(name, self._timers)
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def _check_free(self, name: str, owner: Dict[str, object]) -> None:
+        for family in (self._counters, self._gauges, self._timers):
+            if family is not owner and name in family:
+                raise ValidationError(
+                    f"metric name {name!r} already used by another instrument kind"
+                )
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (e.g. from a worker)."""
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, timer in other._timers.items():
+            mine = self.timer(name)
+            for sample in timer._samples:
+                mine.observe(sample)
+            extra = timer.count - len(timer._samples)
+            if extra > 0:
+                mine.count += extra
+                mine.total += timer.total - sum(timer._samples)
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    # -- rendering -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, Union[int, float, Dict[str, float]]]]:
+        """JSON-ready snapshot of everything in the registry."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "timers": {
+                name: t.summary() for name, t in sorted(self._timers.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The :meth:`to_dict` snapshot as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        """Write the JSON snapshot to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def render_text(self, title: str = "metrics") -> str:
+        """Aligned human-readable rendering (the ``--profile`` report)."""
+        lines = [f"== {title} =="]
+        if self._counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self._counters)
+            for name, counter in sorted(self._counters.items()):
+                lines.append(f"  {name.ljust(width)}  {counter.value}")
+        if self._gauges:
+            lines.append("gauges:")
+            width = max(len(name) for name in self._gauges)
+            for name, gauge in sorted(self._gauges.items()):
+                lines.append(f"  {name.ljust(width)}  {gauge.value:g}")
+        if self._timers:
+            lines.append("timers (seconds):")
+            width = max(len(name) for name in self._timers)
+            for name, timer in sorted(self._timers.items()):
+                lines.append(
+                    f"  {name.ljust(width)}  n={timer.count}"
+                    f" total={timer.total:.4g} mean={timer.mean:.4g}"
+                    f" p50={timer.quantile(50.0):.4g}"
+                    f" p95={timer.quantile(95.0):.4g}"
+                    f" max={timer.max:.4g}"
+                )
+        if len(lines) == 1:
+            lines.append("(empty)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, timers={len(self._timers)})"
+        )

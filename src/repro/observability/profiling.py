@@ -1,0 +1,71 @@
+"""Profiling hooks: cProfile wrappers for deep-dive performance work.
+
+The metrics timers answer "where did wall-clock go between phases";
+these helpers answer "which functions burned it".  They are opt-in
+only — cProfile roughly doubles simulation time — and have no effect
+on results (profiling observes the interpreter, not the model).
+
+Typical workflow (see docs/observability.md)::
+
+    from repro.observability.profiling import profiled
+
+    with profiled(limit=15):
+        MonteCarlo(tree, strategy, horizon=50.0, seed=0).run(2000)
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+__all__ = ["profiled", "profile_call", "stats_text"]
+
+
+def stats_text(
+    profiler: cProfile.Profile, limit: int = 25, sort: str = "cumulative"
+) -> str:
+    """Render a profiler's stats table to a string."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    return buffer.getvalue()
+
+
+@contextmanager
+def profiled(
+    limit: int = 25,
+    sort: str = "cumulative",
+    stream: Optional[IO[str]] = None,
+    dump_path: Optional[str] = None,
+) -> Iterator[cProfile.Profile]:
+    """cProfile the enclosed block and print the top ``limit`` entries.
+
+    ``dump_path`` additionally writes the raw profile for ``snakeviz``
+    or ``pstats`` post-processing.  The profiler object is yielded so
+    callers can inspect it directly.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        if dump_path is not None:
+            profiler.dump_stats(dump_path)
+        out = stream if stream is not None else sys.stderr
+        out.write(stats_text(profiler, limit=limit, sort=sort))
+
+
+def profile_call(func, *args, limit: int = 25, sort: str = "cumulative", **kwargs):
+    """Profile one call; returns ``(result, stats_text)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return result, stats_text(profiler, limit=limit, sort=sort)

@@ -1,0 +1,76 @@
+"""JSONL trajectory-trace export.
+
+Serialises simulated :class:`~repro.simulation.trace.Trajectory`
+records (simulated with ``record_events=True``) into a line-delimited
+JSON stream suitable for ad-hoc analysis with ``jq``/pandas or for
+diffing two simulator versions event by event.  The schema is
+documented in ``docs/observability.md`` and versioned via
+``TRACE_SCHEMA_VERSION``; every line carries a ``record`` discriminator:
+
+* ``header`` — once per stream: schema version, trajectory count;
+* ``trajectory`` — per trajectory: index, horizon, KPI scalars;
+* ``event`` — per component-level event: time, component, kind,
+  phase, corrective flag, owning trajectory index.
+
+The CLI verb ``python -m repro trace model.fmt --out trace.jsonl``
+drives :func:`write_trace` end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterator, Sequence
+
+from repro.simulation.trace import Trajectory
+
+__all__ = ["TRACE_SCHEMA_VERSION", "trace_records", "write_trace", "write_trace_file"]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_records(trajectories: Sequence[Trajectory]) -> Iterator[Dict]:
+    """Yield the JSONL records (as dicts) for a set of trajectories."""
+    yield {
+        "record": "header",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "n_trajectories": len(trajectories),
+    }
+    for index, trajectory in enumerate(trajectories):
+        yield {
+            "record": "trajectory",
+            "index": index,
+            "horizon": trajectory.horizon,
+            "n_failures": trajectory.n_failures,
+            "failure_times": list(trajectory.failure_times),
+            "downtime": trajectory.downtime,
+            "n_inspections": trajectory.n_inspections,
+            "n_preventive_actions": trajectory.n_preventive_actions,
+            "n_corrective_replacements": trajectory.n_corrective_replacements,
+            "total_cost": trajectory.costs.total,
+        }
+        for event in trajectory.events:
+            yield {
+                "record": "event",
+                "trajectory": index,
+                "time": event.time,
+                "component": event.component,
+                "kind": event.kind,
+                "corrective": event.corrective,
+                "phase": event.phase,
+            }
+
+
+def write_trace(trajectories: Sequence[Trajectory], stream: IO[str]) -> int:
+    """Write the JSONL trace to an open text stream; returns line count."""
+    count = 0
+    for record in trace_records(trajectories):
+        stream.write(json.dumps(record, sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def write_trace_file(trajectories: Sequence[Trajectory], path) -> int:
+    """Write the JSONL trace to ``path``; returns line count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return write_trace(trajectories, handle)

@@ -11,7 +11,13 @@ The layering is:
 * :mod:`repro.simulation.trace` — the per-trajectory record;
 * :mod:`repro.simulation.metrics` — KPI estimators over trajectories;
 * :mod:`repro.simulation.montecarlo` — the replication driver with
-  confidence intervals and sequential stopping.
+  confidence intervals and sequential stopping;
+* :mod:`repro.simulation.parallel` — multiprocess fan-out with
+  bit-identical results.
+
+Every layer accepts an optional
+:class:`~repro.observability.instrumentation.Instrumentation` (event
+counters, per-trajectory timers) — see :mod:`repro.observability`.
 """
 
 from repro.simulation.engine import Engine, ScheduledEvent
@@ -23,7 +29,11 @@ from repro.simulation.metrics import (
     summarize,
 )
 from repro.simulation.montecarlo import MonteCarlo, MonteCarloResult
-from repro.simulation.parallel import sample_parallel, simulate_batch
+from repro.simulation.parallel import (
+    default_process_count,
+    sample_parallel,
+    simulate_batch,
+)
 from repro.simulation.trace import ComponentEvent, Trajectory
 
 __all__ = [
@@ -37,6 +47,7 @@ __all__ = [
     "SimulationConfig",
     "Trajectory",
     "availability_curve",
+    "default_process_count",
     "reliability_curve",
     "sample_parallel",
     "simulate_batch",

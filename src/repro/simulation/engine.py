@@ -17,6 +17,12 @@ import math
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.observability.instrumentation import (
+    EVENTS_CANCELLED,
+    EVENTS_EXECUTED,
+    EVENTS_SCHEDULED,
+    Instrumentation,
+)
 
 __all__ = ["Engine", "ScheduledEvent"]
 
@@ -28,21 +34,35 @@ class ScheduledEvent:
     treat them as opaque except for :meth:`cancel` and :attr:`time`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "_engine")
 
     def __init__(
-        self, time: float, priority: int, seq: int, callback: Callable[[], None]
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        engine: Optional["Engine"] = None,
     ):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
+        # Back-link so cancel() can keep the engine's live pending
+        # count exact; detached once the event executes or cancels.
+        self._engine = engine
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already executed."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = None  # break reference cycles early
+        engine = self._engine
+        if engine is not None:
+            self._engine = None
+            engine._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -64,12 +84,14 @@ class Engine:
     the caller, never a condition to silently repair.
     """
 
-    def __init__(self):
+    def __init__(self, instrumentation: Optional[Instrumentation] = None):
         self._queue: List[ScheduledEvent] = []
         self._seq = 0
         self.now = 0.0
         self._running = False
         self._stopped = False
+        self._pending = 0
+        self._instr = instrumentation
 
     def schedule(
         self, time: float, callback: Callable[[], None], priority: int = 0
@@ -85,9 +107,12 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time:g} before now={self.now:g}"
             )
-        event = ScheduledEvent(time, priority, self._seq, callback)
+        event = ScheduledEvent(time, priority, self._seq, callback, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._pending += 1
+        if self._instr is not None:
+            self._instr.count(EVENTS_SCHEDULED)
         return event
 
     def schedule_after(
@@ -104,8 +129,18 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of non-cancelled events in the calendar."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of non-cancelled events in the calendar.
+
+        Maintained incrementally by ``schedule``/``cancel``/``step``,
+        so reading it is O(1) even mid-run with a large calendar.
+        """
+        return self._pending
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping callback from :meth:`ScheduledEvent.cancel`."""
+        self._pending -= 1
+        if self._instr is not None:
+            self._instr.count(EVENTS_CANCELLED)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if empty."""
@@ -120,10 +155,14 @@ class Engine:
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
+        event._engine = None  # executed: a later cancel() must not decrement
+        self._pending -= 1
         self.now = event.time
         callback = event.callback
         event.callback = None
         assert callback is not None
+        if self._instr is not None:
+            self._instr.count(EVENTS_EXECUTED)
         callback()
         return True
 

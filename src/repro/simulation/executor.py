@@ -40,10 +40,15 @@ from repro.maintenance.actions import MaintenanceAction
 from repro.maintenance.costs import CostModel
 from repro.maintenance.modules import InspectionModule, RepairModule
 from repro.maintenance.strategy import MaintenanceStrategy
+from repro.observability import instrumentation as _obs
+from repro.observability.instrumentation import Instrumentation
+from repro.observability.logging_setup import get_logger, kv
 from repro.simulation.engine import Engine, ScheduledEvent
 from repro.simulation.trace import ComponentEvent, Trajectory
 
 __all__ = ["FMTSimulator", "SimulationConfig"]
+
+logger = get_logger(__name__)
 
 # Same-time event ordering: component transitions first, then system
 # restoration, then time-based repairs, then inspections, then the
@@ -72,11 +77,21 @@ class SimulationConfig:
         :attr:`repro.simulation.trace.Trajectory.events` — needed by the
         synthetic incident database, expensive for large replication
         counts otherwise.
+    instrumentation:
+        Optional :class:`~repro.observability.instrumentation.Instrumentation`
+        receiving event/action counters and the per-trajectory
+        ``sim.simulate.seconds`` timer.  Purely observational: results
+        are bit-identical with or without it.  When None, the ambient
+        instrumentation (:func:`repro.observability.current`) is used
+        if one is active.
     """
 
     horizon: float
     cost_model: CostModel = field(default_factory=CostModel)
     record_events: bool = False
+    instrumentation: Optional[Instrumentation] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.horizon <= 0.0:
@@ -121,7 +136,8 @@ class FMTSimulator:
                 self._rdeps_by_target.setdefault(target, []).append(dep)
 
         # ----- per-run state (reset by _reset) -----
-        self._engine = Engine()
+        self._instr: Optional[Instrumentation] = config.instrumentation
+        self._engine = Engine(instrumentation=self._instr)
         self._rng: np.random.Generator = np.random.default_rng(0)
         self._phase: Dict[str, int] = {}
         self._accel: Dict[str, float] = {}
@@ -139,15 +155,36 @@ class FMTSimulator:
     def simulate(self, rng: np.random.Generator) -> Trajectory:
         """Run one trajectory to the horizon and return its record."""
         self._reset(rng)
-        self._engine.run_until(self.config.horizon)
-        self._finalize()
+        if self._instr is None:
+            self._engine.run_until(self.config.horizon)
+            self._finalize()
+        else:
+            with self._instr.timer(_obs.TIMER_SIMULATE).time():
+                self._engine.run_until(self.config.horizon)
+                self._finalize()
+            self._instr.count(_obs.SIM_TRAJECTORIES)
+        if logger.isEnabledFor(10):  # logging.DEBUG, avoided on the hot path
+            trajectory = self._trajectory
+            logger.debug(
+                kv(
+                    "trajectory done",
+                    horizon=trajectory.horizon,
+                    failures=trajectory.n_failures,
+                    downtime=trajectory.downtime,
+                    inspections=trajectory.n_inspections,
+                    preventive=trajectory.n_preventive_actions,
+                    corrective=trajectory.n_corrective_replacements,
+                )
+            )
         return self._trajectory
 
     # ------------------------------------------------------------------
     # Setup / teardown
     # ------------------------------------------------------------------
     def _reset(self, rng: np.random.Generator) -> None:
-        self._engine = Engine()
+        instr = self.config.instrumentation
+        self._instr = instr if instr is not None else _obs.current()
+        self._engine = Engine(instrumentation=self._instr)
         self._rng = rng
         self._phase = {name: 0 for name in self._events}
         self._accel = {name: 1.0 for name in self._events}
@@ -202,8 +239,12 @@ class FMTSimulator:
     def _on_phase_jump(self, name: str) -> None:
         event = self._events[name]
         self._phase[name] += 1
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_PHASE_JUMPS)
         if self._phase[name] >= event.phases:
             self._transition[name] = None
+            if self._instr is not None:
+                self._instr.count(_obs.SIM_COMPONENT_FAILURES)
             self._record(name, "failure", phase=self._phase[name])
             self._set_component_state(name, failed=True)
         else:
@@ -283,6 +324,8 @@ class FMTSimulator:
         if factor == self._accel[target]:
             return
         self._accel[target] = factor
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_RDEP_ACCELERATIONS)
         # Exponential sojourns are memoryless: rescheduling the pending
         # jump with the new rate realises the rate change exactly.
         if self._transition[target] is not None:
@@ -294,6 +337,8 @@ class FMTSimulator:
     # ------------------------------------------------------------------
     def _on_system_failure(self) -> None:
         now = self._engine.now
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_SYSTEM_FAILURES)
         self._trajectory.failure_times.append(now)
         self._record(self._top_name, "system_failure")
         cost_model = self.config.cost_model
@@ -325,6 +370,8 @@ class FMTSimulator:
 
     def _on_system_restored(self) -> None:
         now = self._engine.now
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_SYSTEM_RESTORATIONS)
         elapsed = now - self._down_since
         self._trajectory.downtime += elapsed
         self._charge_downtime(self._down_since, now)
@@ -357,6 +404,8 @@ class FMTSimulator:
             return
         cost_model = self.config.cost_model
         self._trajectory.n_inspections += 1
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_INSPECTIONS)
         self._trajectory.costs.inspections += cost_model.visit_cost(
             module.name
         ) * cost_model.discount_factor(self._engine.now)
@@ -375,6 +424,8 @@ class FMTSimulator:
                 and self._rng.random() >= module.detection_probability
             ):
                 continue  # imperfect inspection missed the degradation
+            if self._instr is not None:
+                self._instr.count(_obs.SIM_DETECTIONS)
             self._record(target, "detection", phase=self._phase[target])
             if module.name in self._pending_actions[target]:
                 continue
@@ -407,6 +458,8 @@ class FMTSimulator:
         ) * cost_model.discount_factor(self._engine.now)
         self._trajectory.costs.preventive += cost
         self._trajectory.n_preventive_actions += 1
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_PREVENTIVE_ACTIONS)
         new_phase = action.resulting_phase(self._phase[target])
         self._record(target, action.kind, phase=new_phase)
         self._set_phase(target, new_phase)
@@ -418,6 +471,8 @@ class FMTSimulator:
         ) * cost_model.discount_factor(self._engine.now)
         self._trajectory.costs.corrective += cost
         self._trajectory.n_corrective_replacements += 1
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_CORRECTIVE_REPLACEMENTS)
         self._record(target, "replace", corrective=True, phase=0)
         self._set_phase(target, 0)
 
@@ -435,6 +490,8 @@ class FMTSimulator:
         self._schedule_repair(module, self._next_tick(module))
         if self._system_down:
             return
+        if self._instr is not None:
+            self._instr.count(_obs.SIM_REPAIR_ROUNDS)
         for target in module.targets:
             self._perform_action(module, target)
 

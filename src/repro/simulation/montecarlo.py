@@ -22,6 +22,9 @@ from repro.core.tree import FaultMaintenanceTree
 from repro.errors import ValidationError
 from repro.maintenance.costs import CostModel
 from repro.maintenance.strategy import MaintenanceStrategy
+from repro.observability import instrumentation as _obs
+from repro.observability.instrumentation import Instrumentation
+from repro.observability.logging_setup import get_logger, kv
 from repro.simulation.executor import FMTSimulator, SimulationConfig
 from repro.simulation.metrics import KpiSummary, reliability_curve, summarize
 from repro.simulation.trace import Trajectory
@@ -29,6 +32,8 @@ from repro.stats.confidence import ConfidenceInterval
 from repro.stats.sequential import RelativePrecisionRule, RunningStatistics
 
 __all__ = ["MonteCarlo", "MonteCarloResult"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,13 @@ class MonteCarlo:
         Root seed; every trajectory gets an independent child stream.
     record_events:
         Forwarded to :class:`~repro.simulation.executor.SimulationConfig`.
+    instrumentation:
+        Optional :class:`~repro.observability.instrumentation.Instrumentation`
+        collecting simulation counters plus the ``sim.simulate.seconds``
+        and ``mc.summarize.seconds`` timers.  Observational only — KPIs
+        are bit-identical with or without it.  Falls back to the
+        ambient instrumentation (:func:`repro.observability.current`)
+        when None.
     """
 
     def __init__(
@@ -108,13 +120,16 @@ class MonteCarlo:
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
         record_events: bool = False,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         config = SimulationConfig(
             horizon=horizon,
             cost_model=cost_model if cost_model is not None else CostModel(),
             record_events=record_events,
+            instrumentation=instrumentation,
         )
         self.simulator = FMTSimulator(tree, strategy, config=config)
+        self.instrumentation = instrumentation
         self.seed = seed
         self._seed_sequence = np.random.SeedSequence(seed)
         self._streams_used = 0
@@ -129,6 +144,18 @@ class MonteCarlo:
         self._streams_used += 1
         return np.random.default_rng(child)
 
+    def _summarize(
+        self, trajectories: Sequence[Trajectory], confidence: float
+    ) -> KpiSummary:
+        """KPI aggregation, timed when instrumentation is active."""
+        instr = self.instrumentation
+        if instr is None:
+            instr = _obs.current()
+        if instr is None:
+            return summarize(trajectories, confidence)
+        with instr.timer(_obs.TIMER_SUMMARIZE).time():
+            return summarize(trajectories, confidence)
+
     def sample(self, n_runs: int) -> List[Trajectory]:
         """Simulate ``n_runs`` fresh trajectories and return them raw."""
         if n_runs < 1:
@@ -138,7 +165,7 @@ class MonteCarlo:
     def run_parallel(
         self,
         n_runs: int,
-        processes: int = 2,
+        processes: Optional[int] = None,
         confidence: float = 0.95,
         keep_trajectories: bool = False,
     ) -> MonteCarloResult:
@@ -147,15 +174,24 @@ class MonteCarlo:
         The child RNG streams are identical to a serial :meth:`run`
         from the same driver state, so the results are bit-identical —
         parallelism is purely a wall-clock optimization.
+
+        ``processes=None`` (the default) picks a sensible fan-out from
+        ``os.cpu_count()``, capped so a small study does not pay the
+        startup cost of idle workers; explicit values must be >= 1.
         """
-        from repro.simulation.parallel import sample_parallel
+        from repro.simulation.parallel import default_process_count, sample_parallel
 
         if n_runs < 1:
             raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+        if processes is None:
+            processes = default_process_count(n_runs)
+        elif processes < 1:
+            raise ValidationError(f"processes must be >= 1, got {processes}")
+        logger.info(kv("run_parallel fan-out", processes=processes, runs=n_runs))
         seeds = self._seed_sequence.spawn(n_runs)
         self._streams_used += n_runs
         trajectories = sample_parallel(self.simulator, seeds, processes)
-        summary = summarize(trajectories, confidence)
+        summary = self._summarize(trajectories, confidence)
         return MonteCarloResult(
             summary=summary,
             trajectories=tuple(trajectories) if keep_trajectories else None,
@@ -169,7 +205,7 @@ class MonteCarlo:
     ) -> MonteCarloResult:
         """Run a fixed number of replications and summarize KPIs."""
         trajectories = self.sample(n_runs)
-        summary = summarize(trajectories, confidence)
+        summary = self._summarize(trajectories, confidence)
         return MonteCarloResult(
             summary=summary,
             trajectories=tuple(trajectories) if keep_trajectories else None,
@@ -218,7 +254,7 @@ class MonteCarlo:
             for trajectory in batch:
                 statistics.add(extractor(trajectory))
             collected.extend(batch)
-        summary = summarize(collected, confidence)
+        summary = self._summarize(collected, confidence)
         return MonteCarloResult(
             summary=summary,
             trajectories=tuple(collected) if keep_trajectories else None,

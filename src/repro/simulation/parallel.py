@@ -8,25 +8,51 @@ to :meth:`repro.simulation.montecarlo.MonteCarlo.run` with the same
 seed (the test suite asserts this).
 
 The simulator object is pickled once per worker; per-trajectory work
-ships only a :class:`numpy.random.SeedSequence`.
+ships only a :class:`numpy.random.SeedSequence`.  A worker process
+dying (OOM-kill, segfault, ``os._exit``) surfaces as a
+:class:`~repro.errors.SimulationError` instead of a hang or an opaque
+pool exception.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import SimulationError, ValidationError
+from repro.observability.logging_setup import get_logger, kv
 from repro.simulation.executor import FMTSimulator
 from repro.simulation.trace import Trajectory
 
-__all__ = ["simulate_batch", "sample_parallel"]
+__all__ = ["simulate_batch", "sample_parallel", "default_process_count"]
+
+logger = get_logger(__name__)
+
+#: Default cap on the automatic fan-out: beyond this, per-worker
+#: simulator unpickling and IPC overhead outweigh extra cores for the
+#: replication counts this project runs.
+MAX_DEFAULT_PROCESSES = 8
 
 # Module-level worker state: initialised once per process, so the
 # (potentially large) simulator is unpickled a single time.
 _WORKER_SIMULATOR: Optional[FMTSimulator] = None
+
+
+def default_process_count(n_tasks: Optional[int] = None) -> int:
+    """Fan-out used when the caller does not pick one.
+
+    ``os.cpu_count()`` capped at :data:`MAX_DEFAULT_PROCESSES`, and at
+    ``n_tasks`` when given (no point spawning more workers than there
+    are trajectories).  Always >= 1.
+    """
+    count = min(os.cpu_count() or 1, MAX_DEFAULT_PROCESSES)
+    if n_tasks is not None:
+        count = min(count, n_tasks)
+    return max(1, count)
 
 
 def _init_worker(simulator: FMTSimulator) -> None:
@@ -58,6 +84,12 @@ def sample_parallel(
 
     Results are returned in seed order (hence identical to a serial
     run over the same seeds, regardless of worker scheduling).
+
+    Raises
+    ------
+    SimulationError
+        If a worker process dies (the pool is then unusable); the
+        original pool exception is chained as ``__cause__``.
     """
     if processes < 1:
         raise ValidationError(f"processes must be >= 1, got {processes}")
@@ -65,16 +97,42 @@ def sample_parallel(
         return simulate_batch(simulator, seeds)
     if chunk_size is None:
         chunk_size = max(1, len(seeds) // (processes * 4))
+    elif chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
     chunks = [
         seeds[start:start + chunk_size]
         for start in range(0, len(seeds), chunk_size)
     ]
+    logger.debug(
+        kv(
+            "sample_parallel dispatch",
+            trajectories=len(seeds),
+            processes=processes,
+            chunks=len(chunks),
+            chunk_size=chunk_size,
+        )
+    )
     results: List[Trajectory] = []
     with ProcessPoolExecutor(
         max_workers=processes,
         initializer=_init_worker,
         initargs=(simulator,),
     ) as pool:
-        for batch in pool.map(_worker_batch, chunks):
-            results.extend(batch)
+        try:
+            for batch in pool.map(_worker_batch, chunks):
+                results.extend(batch)
+        except BrokenProcessPool as exc:
+            logger.error(
+                kv(
+                    "worker process crashed",
+                    processes=processes,
+                    completed=len(results),
+                    total=len(seeds),
+                )
+            )
+            raise SimulationError(
+                "a Monte Carlo worker process terminated abruptly "
+                f"(completed {len(results)}/{len(seeds)} trajectories); "
+                "rerun with processes=1 to reproduce the failure in-process"
+            ) from exc
     return results

@@ -100,3 +100,100 @@ def test_parser_version():
     with pytest.raises(SystemExit) as excinfo:
         parser.parse_args(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_profile_and_metrics_out(tmp_path, capsys):
+    import json
+
+    metrics_path = tmp_path / "m.json"
+    code = main(
+        [
+            "fig5",
+            "--quick",
+            "--runs",
+            "100",
+            "--horizon",
+            "20",
+            "--profile",
+            "--metrics-out",
+            str(metrics_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "== profile ==" in out
+    assert "sim.simulate.seconds" in out
+    assert "wall time:" in out  # per-experiment timing surfaced as a note
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["sim.trajectories"] > 0
+    assert metrics["timers"]["experiment.fig5.seconds"]["count"] == 1
+
+
+def test_no_profile_keeps_output_clean(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "== profile ==" not in out
+    assert "wall time:" not in out
+
+
+def test_trace_writes_jsonl(tmp_path, capsys, maintained_tree):
+    import json
+
+    from repro.dsl import save_file
+
+    model = tmp_path / "model.fmt"
+    save_file(maintained_tree, model)
+    out_path = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "trace",
+            str(model),
+            "--runs",
+            "5",
+            "--horizon",
+            "10",
+            "--out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    lines = [json.loads(line) for line in out_path.read_text().splitlines()]
+    assert lines[0]["record"] == "header"
+    assert lines[0]["n_trajectories"] == 5
+    assert sum(1 for r in lines if r["record"] == "trajectory") == 5
+
+
+def test_trace_to_stdout(tmp_path, capsys, maintained_tree):
+    import json
+
+    from repro.dsl import save_file
+
+    model = tmp_path / "model.fmt"
+    save_file(maintained_tree, model)
+    assert main(["trace", str(model), "--runs", "2", "--horizon", "5"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert json.loads(lines[0])["record"] == "header"
+
+
+def test_trace_missing_path(capsys):
+    assert main(["trace"]) == 2
+    assert "missing model file" in capsys.readouterr().err
+
+
+def test_log_level_flag_emits_logs(tmp_path, capsys, maintained_tree):
+    import logging
+
+    from repro.dsl import save_file
+
+    model = tmp_path / "model.fmt"
+    save_file(maintained_tree, model)
+    try:
+        assert (
+            main(["trace", str(model), "--runs", "1", "--horizon", "2",
+                  "--out", str(tmp_path / "t.jsonl"), "--log-level", "info"])
+            == 0
+        )
+    finally:
+        logging.getLogger("repro").setLevel(logging.WARNING)
+    assert logging.getLogger("repro").handlers  # setup_logging installed one

@@ -71,6 +71,29 @@ def test_pending_counts_non_cancelled():
     assert engine.pending == 1
 
 
+def test_pending_tracks_execution_and_repeat_cancels():
+    engine = Engine()
+    first = engine.schedule(1.0, lambda: None)
+    second = engine.schedule(2.0, lambda: None)
+    second.cancel()
+    second.cancel()  # double cancel must not double-decrement
+    assert engine.pending == 1
+    assert engine.step() is True
+    assert engine.pending == 0
+    first.cancel()  # cancelling after execution must not go negative
+    assert engine.pending == 0
+
+
+def test_pending_stays_exact_through_a_run():
+    engine = Engine()
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+    handles[3].cancel()
+    engine.run_until(3.0)  # executes events at t=1, 2, 3
+    assert engine.pending == 1  # only t=5 remains live
+    engine.run_until(10.0)
+    assert engine.pending == 0
+
+
 def test_peek_time_skips_cancelled():
     engine = Engine()
     handle = engine.schedule(1.0, lambda: None)

@@ -1,13 +1,21 @@
 """Parallel Monte Carlo: correctness and serial equivalence."""
 
+import os
+import pickle
+
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
+from repro.errors import SimulationError, ValidationError
 from repro.maintenance.strategy import MaintenanceStrategy
 from repro.simulation.executor import FMTSimulator
 from repro.simulation.montecarlo import MonteCarlo
-from repro.simulation.parallel import sample_parallel, simulate_batch
+from repro.simulation.parallel import (
+    MAX_DEFAULT_PROCESSES,
+    default_process_count,
+    sample_parallel,
+    simulate_batch,
+)
 
 
 def test_simulate_batch_matches_individual(maintained_tree):
@@ -66,8 +74,82 @@ def test_run_parallel_validation(maintained_tree):
     mc = MonteCarlo(maintained_tree, None, horizon=5.0)
     with pytest.raises(ValidationError):
         mc.run_parallel(0)
+    with pytest.raises(ValidationError):
+        mc.run_parallel(4, processes=0)
     simulator = FMTSimulator(
         maintained_tree, MaintenanceStrategy.none(), horizon=5.0
     )
     with pytest.raises(ValidationError):
         sample_parallel(simulator, [], processes=0)
+    with pytest.raises(ValidationError):
+        sample_parallel(simulator, [], processes=2, chunk_size=0)
+
+
+@pytest.mark.parametrize("processes", [1, 2, 4])
+def test_bit_identity_across_process_counts(
+    maintained_tree, inspection_strategy, processes
+):
+    """Serial and parallel sampling agree bit-for-bit at any fan-out."""
+    simulator = FMTSimulator(
+        maintained_tree, inspection_strategy, horizon=25.0
+    )
+    seeds = np.random.SeedSequence(42).spawn(24)
+    serial = simulate_batch(simulator, seeds)
+    parallel = sample_parallel(simulator, seeds, processes=processes)
+    assert [t.failure_times for t in serial] == [
+        t.failure_times for t in parallel
+    ]
+    assert [t.downtime for t in serial] == [t.downtime for t in parallel]
+    assert [t.costs.total for t in serial] == [
+        t.costs.total for t in parallel
+    ]
+    assert [t.n_preventive_actions for t in serial] == [
+        t.n_preventive_actions for t in parallel
+    ]
+
+
+def test_simulator_pickle_roundtrip(maintained_tree, inspection_strategy):
+    """Workers receive the simulator by pickling; the copy must behave
+    identically to the original under the same seed."""
+    simulator = FMTSimulator(
+        maintained_tree, inspection_strategy, horizon=20.0
+    )
+    clone = pickle.loads(pickle.dumps(simulator))
+    seed = np.random.SeedSequence(9)
+    original = simulator.simulate(np.random.default_rng(seed))
+    copied = clone.simulate(np.random.default_rng(seed))
+    assert original.failure_times == copied.failure_times
+    assert original.costs.total == copied.costs.total
+    assert original.n_inspections == copied.n_inspections
+
+
+def test_default_process_count_bounds():
+    assert 1 <= default_process_count() <= MAX_DEFAULT_PROCESSES
+    assert default_process_count(1) == 1
+    assert default_process_count(0) == 1  # degenerate task count stays valid
+
+
+def test_run_parallel_default_processes(maintained_tree, inspection_strategy):
+    serial = MonteCarlo(
+        maintained_tree, inspection_strategy, horizon=10.0, seed=21
+    ).run(12)
+    parallel = MonteCarlo(
+        maintained_tree, inspection_strategy, horizon=10.0, seed=21
+    ).run_parallel(12, processes=None)
+    assert (
+        serial.summary.expected_failures.estimate
+        == parallel.summary.expected_failures.estimate
+    )
+
+
+class _CrashingSimulator:
+    """Stand-in whose worker dies abruptly (not a Python exception)."""
+
+    def simulate(self, rng):
+        os._exit(17)
+
+
+def test_worker_crash_raises_simulation_error():
+    seeds = np.random.SeedSequence(0).spawn(8)
+    with pytest.raises(SimulationError, match="worker process"):
+        sample_parallel(_CrashingSimulator(), seeds, processes=2, chunk_size=2)
