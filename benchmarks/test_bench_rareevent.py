@@ -1,0 +1,43 @@
+"""A6 — importance splitting vs crude Monte Carlo (rare events).
+
+Asserts the rare-event subsystem's two headline claims:
+
+* at moderate rarity all three estimators (crude MC, fixed effort,
+  RESTART) agree — overlapping confidence intervals;
+* at strong rarity (documented mean-preserving granularity
+  substitution, see EXPERIMENTS.md) fixed-effort splitting reaches its
+  relative CI half-width with >= 10x fewer simulated trajectory
+  segments than the crude-MC sample size of equal precision — i.e. at
+  least an order of magnitude more variance reduction per unit CPU.
+
+Set ``RAREEVENT_BENCH_QUICK=1`` to run a scaled-down sanity variant
+(used by CI); the speedup floor is relaxed there because the quick
+intervals are noisy.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import rareevent
+from repro.experiments.common import ExperimentConfig
+
+_QUICK = os.environ.get("RAREEVENT_BENCH_QUICK", "") not in ("", "0")
+
+
+def test_bench_rareevent(benchmark, bench_config):
+    config = ExperimentConfig(
+        n_runs=300 if _QUICK else 1200, horizon=1.0, seed=bench_config.seed
+    )
+    result = run_once(benchmark, rareevent.run, config)
+    assert any(
+        "agreement" in note and "yes" in note for note in result.notes
+    ), result.notes
+    # The strong-rarity row: crude-equivalent sample size vs segments.
+    speedup_cell = result.column("speedup")[-1]
+    assert speedup_cell.endswith("x") and speedup_cell != "n/a"
+    speedup = float(speedup_cell.rstrip("x"))
+    floor = 2.0 if _QUICK else 10.0
+    assert speedup >= floor, (
+        f"splitting speedup {speedup:.1f}x below the {floor:g}x floor"
+    )

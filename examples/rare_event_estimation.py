@@ -1,0 +1,74 @@
+"""Rare-event estimation: importance splitting vs crude Monte Carlo.
+
+This example reproduces the tightest inspection frequency the paper's
+cost grid considers (12 rounds/yr) with both unreliability estimators
+side by side:
+
+* crude Monte Carlo — the baseline, feasible but wasteful here;
+* fixed-effort importance splitting — the rare-event estimator, using
+  an importance function derived from the tree structure.
+
+Run with ``PYTHONPATH=src python examples/rare_event_estimation.py``.
+"""
+
+from repro.eijoint.model import build_ei_joint_fmt
+from repro.eijoint.parameters import default_parameters
+from repro.eijoint.strategies import inspection_policy
+from repro.rareevent import RareEventConfig, crude_equivalent_runs
+from repro.simulation.montecarlo import MonteCarlo
+
+INSPECTIONS_PER_YEAR = 12.0  # tightest point of the fig6 grid
+HORIZON = 1.0  # one-year mission
+SEED = 2016
+
+
+def build_study():
+    """The (model, strategy) pair of the high-inspection grid point."""
+    params = default_parameters()
+    tree = build_ei_joint_fmt(params)
+    strategy = inspection_policy(INSPECTIONS_PER_YEAR, parameters=params)
+    return tree, strategy
+
+
+def main() -> None:
+    tree, strategy = build_study()
+
+    print(f"EI joint, {INSPECTIONS_PER_YEAR:g} inspections/yr, "
+          f"{HORIZON:g} y mission\n")
+
+    # --- crude Monte Carlo -------------------------------------------
+    crude_n = 40_000
+    crude = MonteCarlo(tree, strategy, horizon=HORIZON, seed=SEED).run(crude_n)
+    u = crude.unreliability
+    print(f"crude MC        p = {u.estimate:.3e}  "
+          f"[{u.lower:.2e}, {u.upper:.2e}]  ({crude_n:,} trajectories)")
+
+    # --- fixed-effort importance splitting ---------------------------
+    splitting = MonteCarlo(
+        tree, strategy, horizon=HORIZON, seed=SEED + 1
+    ).run_rare_event(
+        RareEventConfig(
+            method="fixed_effort",
+            thresholds=(0.5, 2.0 / 3.0),
+            effort=800,
+            n_replications=6,
+        )
+    )
+    u = splitting.unreliability
+    print(f"fixed effort    p = {u.estimate:.3e}  "
+          f"[{u.lower:.2e}, {u.upper:.2e}]  "
+          f"({splitting.n_trajectories:,} segments)")
+
+    equivalent = crude_equivalent_runs(u)
+    if equivalent is not None:
+        print(f"\nthe splitting interval is as tight as a crude run of "
+              f"~{equivalent:,} trajectories "
+              f"({equivalent / splitting.n_trajectories:.1f}x the segments "
+              "it simulated)")
+    print("\nFor the genuinely rare regime (p ~ 1e-6, mean-preserving "
+          "granularity refinement)\nsee `python -m repro rareevent` and "
+          "docs/rare_events.md.")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig8_fleet,
     optimum,
     periodic_crossval,
+    rareevent,
     sensitivity,
     table1_model,
     table2_strategies,
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "ablation-detection": ablation_detection.run,
     "ctmc-crossval": ctmc_crossval.run,
     "periodic-crossval": periodic_crossval.run,
+    "rareevent": rareevent.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentConfig", "ExperimentResult"]

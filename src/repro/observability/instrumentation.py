@@ -50,6 +50,12 @@ SIM_SYSTEM_FAILURES = "sim.system_failures"
 SIM_SYSTEM_RESTORATIONS = "sim.system_restorations"
 TIMER_SIMULATE = "sim.simulate.seconds"
 TIMER_SUMMARIZE = "mc.summarize.seconds"
+# Rare-event splitting (repro.rareevent) counters.
+RARE_SEGMENTS = "rare.segments"
+RARE_CLONES = "rare.clones"
+RARE_LEVEL_UP = "rare.level_up"
+RARE_LEVEL_DOWN = "rare.level_down"
+RARE_PRUNES = "rare.prunes"
 
 
 class Instrumentation:

@@ -1,0 +1,54 @@
+"""Rare-event simulation: importance splitting for small unreliabilities.
+
+Crude Monte Carlo needs on the order of ``1/p`` trajectories to see a
+single failure of probability ``p``; once frequent inspection pushes
+the EI-joint's unreliability into the ``1e-4`` regime and below, that
+is millions of simulated railway-years per data point.  This package
+implements importance splitting — RESTART and fixed-effort — on top of
+the event engine's snapshot/restore capability, with importance
+functions derived automatically from the tree structure (Budde et al.,
+arXiv:1910.11672).
+
+Entry points:
+
+* :meth:`repro.simulation.montecarlo.MonteCarlo.run_rare_event` — the
+  integrated driver (seed management, parallel fan-out);
+* :class:`RareEventEstimator` — direct use on a configured simulator;
+* :class:`StructureImportance` — the derived importance function,
+  reusable for custom drivers.
+
+See ``docs/rare_events.md`` for the theory, the level-selection knobs,
+and the cases where crude Monte Carlo remains the better tool.
+"""
+
+from repro.rareevent.estimator import (
+    RareEventConfig,
+    RareEventEstimator,
+    RareEventResult,
+    crude_equivalent_runs,
+)
+from repro.rareevent.importance import (
+    StructureImportance,
+    candidate_thresholds,
+    select_thresholds,
+)
+from repro.rareevent.splitting import (
+    FixedEffortSplitting,
+    RestartRoot,
+    RestartSplitting,
+    SplittingRun,
+)
+
+__all__ = [
+    "RareEventConfig",
+    "RareEventEstimator",
+    "RareEventResult",
+    "crude_equivalent_runs",
+    "StructureImportance",
+    "candidate_thresholds",
+    "select_thresholds",
+    "FixedEffortSplitting",
+    "RestartSplitting",
+    "SplittingRun",
+    "RestartRoot",
+]

@@ -1,0 +1,186 @@
+"""Structure-derived importance functions for importance splitting.
+
+Importance splitting needs a scalar function of the simulator state
+that grows as the system approaches the rare event (the top-event
+failure).  Following Budde et al., *Rare Event Simulation for
+non-Markovian repairable Fault Trees* (arXiv:1910.11672), a good
+importance function can be derived automatically from the tree
+structure:
+
+* a basic event's local importance is its normalised degradation depth
+  ``phase / phases`` in ``[0, 1]`` (a failed event is exactly 1);
+* gates compose their children's importances — ``max`` for OR (any
+  child suffices), the arithmetic mean for AND-like gates (all
+  children must progress), and the mean of the ``k`` largest child
+  values for a VOT(k/n) gate.
+
+With the default (unit) weights the top value is **1.0 exactly when
+the static structure function of the tree fails**, so thresholds
+strictly inside ``(0, 1)`` partition the state space into levels that
+the splitting algorithms in :mod:`repro.rareevent.splitting` cross on
+the way to a failure.
+
+Per-event ``weights`` let the user reshape the function without
+writing one from scratch: the value of event ``e`` becomes
+``min(1, weights[e] * phase / phases)`` while it is alive (a failed
+event always maps to 1.0, keeping the failure ⇒ importance-1 property).
+Weights below 1 damp modes whose degradation carries little information
+about imminent system failure — e.g. well-inspected modes that
+maintenance almost always catches in time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.events import BasicEvent
+from repro.core.gates import Gate, OrGate, VotingGate
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import ValidationError
+
+__all__ = [
+    "StructureImportance",
+    "candidate_thresholds",
+    "select_thresholds",
+]
+
+
+class StructureImportance:
+    """Importance function derived from the tree structure.
+
+    Instances are callables mapping a phase assignment (the simulator's
+    live ``phases`` dict — basic-event name to current phase) to a
+    value in ``[0, 1]``.
+
+    Parameters
+    ----------
+    tree:
+        The fault maintenance tree the simulator runs.
+    weights:
+        Optional per-basic-event multipliers (> 0) on the normalised
+        degradation depth; see the module docstring.
+    """
+
+    #: Largest value the function can take (failure of the top event).
+    max_value = 1.0
+
+    def __init__(
+        self,
+        tree: FaultMaintenanceTree,
+        weights: Optional[Mapping[str, float]] = None,
+    ):
+        self._tree = tree
+        self._top = tree.top
+        events = tree.basic_events
+        weights = dict(weights) if weights else {}
+        unknown = sorted(set(weights) - set(events))
+        if unknown:
+            raise ValidationError(
+                f"importance weights name unknown basic events: {unknown}"
+            )
+        for name, weight in weights.items():
+            if not weight > 0.0:
+                raise ValidationError(
+                    f"importance weight for {name!r} must be > 0, got {weight}"
+                )
+        self._weights: Dict[str, float] = {
+            name: float(weights.get(name, 1.0)) for name in events
+        }
+        self._phases: Dict[str, int] = {
+            name: event.phases for name, event in events.items()
+        }
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """The effective per-event weights (copy)."""
+        return dict(self._weights)
+
+    def __call__(self, phases: Mapping[str, int]) -> float:
+        """Importance of the state described by ``phases``."""
+        return self._value(self._top, phases, {})
+
+    def of(self, simulator) -> float:
+        """Importance of an :class:`FMTSimulator`'s live state."""
+        return self(simulator.phases)
+
+    def _value(
+        self,
+        element,
+        phases: Mapping[str, int],
+        memo: Dict[str, float],
+    ) -> float:
+        name = element.name
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        if isinstance(element, BasicEvent):
+            total = self._phases[name]
+            phase = phases[name]
+            if phase >= total:
+                value = 1.0  # failed: unconditionally maximal
+            else:
+                value = min(1.0, self._weights[name] * phase / total)
+        else:
+            assert isinstance(element, Gate)
+            children = [
+                self._value(child, phases, memo) for child in element.children
+            ]
+            if isinstance(element, OrGate):
+                value = max(children)
+            elif isinstance(element, VotingGate):
+                top_k = sorted(children, reverse=True)[: element.k]
+                value = sum(top_k) / element.k
+            else:
+                # AND / PAND / INHIBIT: every child must fail, so track
+                # the joint progress.  (PAND ordering is ignored by the
+                # importance function — an over-approximation is fine,
+                # the estimator itself stays exact.)
+                value = sum(children) / len(children)
+        memo[name] = value
+        return value
+
+
+def candidate_thresholds(
+    tree: FaultMaintenanceTree,
+    weights: Optional[Mapping[str, float]] = None,
+) -> Tuple[float, ...]:
+    """All importance values a *single* basic event can produce.
+
+    For OR-dominated trees (like the EI-joint, an OR over failure
+    modes) the top importance is the maximum over per-event values, so
+    these are exactly the values the function steps through on the
+    most likely paths to failure — the natural places to put level
+    thresholds.  Values outside the open interval ``(0, 1)`` are
+    dropped (level 0 is the starting state; 1 is the failure itself,
+    detected directly by the simulator).
+    """
+    weights = dict(weights) if weights else {}
+    values = set()
+    for name, event in tree.basic_events.items():
+        weight = float(weights.get(name, 1.0))
+        for phase in range(1, event.phases):
+            value = min(1.0, weight * phase / event.phases)
+            if 0.0 < value < 1.0:
+                values.add(round(value, 12))
+    return tuple(sorted(values))
+
+
+def select_thresholds(
+    candidates: Sequence[float], n_levels: int
+) -> Tuple[float, ...]:
+    """Pick up to ``n_levels`` thresholds, evenly spread over ``candidates``.
+
+    The highest candidate is always kept (the last intermediate level
+    before failure is the one that matters most for variance).
+    """
+    if n_levels < 1:
+        raise ValidationError(f"n_levels must be >= 1, got {n_levels}")
+    ordered = tuple(sorted(set(candidates)))
+    if len(ordered) <= n_levels:
+        return ordered
+    picks = {
+        round((index + 1) * len(ordered) / n_levels) - 1
+        for index in range(n_levels)
+    }
+    picks.add(len(ordered) - 1)
+    return tuple(ordered[i] for i in sorted(picks))

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.observability.instrumentation import (
@@ -24,7 +24,7 @@ from repro.observability.instrumentation import (
     Instrumentation,
 )
 
-__all__ = ["Engine", "ScheduledEvent"]
+__all__ = ["Engine", "EngineSnapshot", "ScheduledEvent"]
 
 
 class ScheduledEvent:
@@ -74,6 +74,33 @@ class ScheduledEvent:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "cancelled" if self.cancelled else "pending"
         return f"ScheduledEvent(t={self.time:g}, prio={self.priority}, {state})"
+
+
+class EngineSnapshot:
+    """Frozen image of an :class:`Engine` calendar at one instant.
+
+    Produced by :meth:`Engine.snapshot` and consumed by
+    :meth:`Engine.restore`.  The callback of every live event is
+    captured *by reference at snapshot time*, so the snapshot stays
+    valid even after the originating run executes or cancels those
+    events.  The original :class:`ScheduledEvent` objects are retained
+    only as identity keys for handle rewiring (see ``restore``).
+    """
+
+    __slots__ = ("now", "seq", "events")
+
+    def __init__(
+        self,
+        now: float,
+        seq: int,
+        events: Tuple[Tuple[float, int, int, Callable[[], None], "ScheduledEvent"], ...],
+    ):
+        self.now = now
+        self.seq = seq
+        self.events = events
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EngineSnapshot(now={self.now:g}, |events|={len(self.events)})"
 
 
 class Engine:
@@ -128,6 +155,16 @@ class Engine:
         self._stopped = True
 
     @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` was requested since the last run/restore.
+
+        Stepwise drivers (importance splitting) check this between
+        :meth:`step` calls to honour an absorbing stop exactly like
+        :meth:`run_until` does.
+        """
+        return self._stopped
+
+    @property
     def pending(self) -> int:
         """Number of non-cancelled events in the calendar.
 
@@ -141,6 +178,57 @@ class Engine:
         self._pending -= 1
         if self._instr is not None:
             self._instr.count(EVENTS_CANCELLED)
+
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the calendar, clock and sequence counter.
+
+        The snapshot is independent of the engine's future: executing
+        or cancelling events afterwards does not invalidate it, so one
+        snapshot can seed many :meth:`restore` calls (trajectory
+        cloning for importance splitting).
+        """
+        events = tuple(
+            (event.time, event.priority, event.seq, event.callback, event)
+            for event in self._queue
+            if not event.cancelled and event.callback is not None
+        )
+        return EngineSnapshot(self.now, self._seq, events)
+
+    def restore(self, snapshot: EngineSnapshot) -> Dict[int, ScheduledEvent]:
+        """Reset the engine to ``snapshot``; returns a handle rewiring map.
+
+        Every live event of the snapshot is recreated as a *fresh*
+        :class:`ScheduledEvent` (same time/priority/seq/callback), so
+        cancelling a pre-restore handle afterwards cannot corrupt the
+        restored calendar: all events of the abandoned timeline are
+        detached from this engine first, which keeps the O(1)
+        :attr:`pending` count exact across restore+cancel sequences.
+
+        Returns
+        -------
+        dict
+            ``id(original_event) -> new_event`` for every event in the
+            snapshot, letting callers holding old handles (e.g. the
+            simulator's transition map) swap them for live ones.
+        """
+        for event in self._queue:
+            # Detach the abandoned timeline: a later cancel() on one of
+            # these stale handles must be a no-op for this engine.
+            event._engine = None
+        mapping: Dict[int, ScheduledEvent] = {}
+        queue: List[ScheduledEvent] = []
+        for time, priority, seq, callback, original in snapshot.events:
+            event = ScheduledEvent(time, priority, seq, callback, self)
+            queue.append(event)
+            mapping[id(original)] = event
+        heapq.heapify(queue)
+        self._queue = queue
+        self._pending = len(queue)
+        self.now = snapshot.now
+        self._seq = snapshot.seq
+        self._running = False
+        self._stopped = False
+        return mapping
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if empty."""

@@ -43,10 +43,10 @@ from repro.maintenance.strategy import MaintenanceStrategy
 from repro.observability import instrumentation as _obs
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logging_setup import get_logger, kv
-from repro.simulation.engine import Engine, ScheduledEvent
+from repro.simulation.engine import Engine, EngineSnapshot, ScheduledEvent
 from repro.simulation.trace import ComponentEvent, Trajectory
 
-__all__ = ["FMTSimulator", "SimulationConfig"]
+__all__ = ["FMTSimulator", "SimulationConfig", "SimulatorSnapshot"]
 
 logger = get_logger(__name__)
 
@@ -96,6 +96,30 @@ class SimulationConfig:
     def __post_init__(self) -> None:
         if self.horizon <= 0.0:
             raise ValidationError(f"horizon must be positive, got {self.horizon}")
+
+
+@dataclass(frozen=True)
+class SimulatorSnapshot:
+    """Frozen mid-run image of an :class:`FMTSimulator`.
+
+    Produced by :meth:`FMTSimulator.snapshot`, consumed by
+    :meth:`FMTSimulator.restore`.  One snapshot can seed any number of
+    restores — each restore gets its own trajectory copy and a freshly
+    rebuilt event calendar, so clones never share mutable state.  The
+    original :class:`ScheduledEvent` handles are kept only as identity
+    keys for rewiring (see :meth:`Engine.restore`).
+    """
+
+    engine: EngineSnapshot
+    phase: Dict[str, int]
+    accel: Dict[str, float]
+    state: Dict[str, bool]
+    fail_time: Dict[str, Optional[float]]
+    transition: Dict[str, Optional[ScheduledEvent]]
+    pending_actions: Dict[str, Dict[str, ScheduledEvent]]
+    system_down: bool
+    down_since: float
+    trajectory: Trajectory
 
 
 class FMTSimulator:
@@ -150,6 +174,49 @@ class FMTSimulator:
         self._trajectory = Trajectory(horizon=config.horizon)
 
     # ------------------------------------------------------------------
+    # Pickling (worker processes)
+    # ------------------------------------------------------------------
+    # Per-run state holds event-callback closures and ScheduledEvent
+    # handles, which do not pickle; a worker always starts its runs
+    # with _reset, so ship the static structure only and re-create
+    # pristine per-run state on the other side.
+    _PER_RUN_ATTRS = (
+        "_instr",
+        "_engine",
+        "_rng",
+        "_phase",
+        "_accel",
+        "_transition",
+        "_state",
+        "_fail_time",
+        "_pending_actions",
+        "_system_down",
+        "_down_since",
+        "_trajectory",
+    )
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for attr in self._PER_RUN_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._instr = self.config.instrumentation
+        self._engine = Engine(instrumentation=self._instr)
+        self._rng = np.random.default_rng(0)
+        self._phase = {}
+        self._accel = {}
+        self._transition = {}
+        self._state = {}
+        self._fail_time = {}
+        self._pending_actions = {}
+        self._system_down = False
+        self._down_since = 0.0
+        self._trajectory = Trajectory(horizon=self.config.horizon)
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def simulate(self, rng: np.random.Generator) -> Trajectory:
@@ -177,6 +244,144 @@ class FMTSimulator:
                 )
             )
         return self._trajectory
+
+    # ------------------------------------------------------------------
+    # Stepwise driving and state forking (importance splitting)
+    # ------------------------------------------------------------------
+    # None of the methods below are touched by simulate(); a crude
+    # Monte Carlo run draws exactly the same random numbers in the same
+    # order whether or not this block exists (bit-identity guarantee,
+    # regression-tested in tests/test_rareevent.py).
+
+    @property
+    def now(self) -> float:
+        """Current simulation clock of the active run."""
+        return self._engine.now
+
+    @property
+    def phases(self) -> Dict[str, int]:
+        """Live degradation phase per basic event (treat as read-only)."""
+        return self._phase
+
+    @property
+    def states(self) -> Dict[str, bool]:
+        """Live failed-state per tree node (treat as read-only)."""
+        return self._state
+
+    @property
+    def system_failed(self) -> bool:
+        """Whether the top event has occurred in the active run."""
+        return bool(self._trajectory.failure_times)
+
+    @property
+    def trajectory(self) -> Trajectory:
+        """The record of the active run (mutated as the run advances)."""
+        return self._trajectory
+
+    def begin(self, rng: np.random.Generator) -> None:
+        """Initialise a stepwise run; drive it with :meth:`step`.
+
+        Equivalent to the setup :meth:`simulate` performs before its
+        event loop.  Use :meth:`finish` to close the trajectory record.
+        """
+        self._reset(rng)
+
+    def step(self) -> bool:
+        """Execute the next event within the horizon.
+
+        Returns False once the calendar is exhausted, the next event
+        lies past the horizon, or an absorbing stop was requested —
+        i.e. exactly when :meth:`Engine.run_until` would have returned.
+        """
+        if self._engine.stopped:
+            return False
+        next_time = self._engine.peek_time()
+        if next_time is None or next_time > self.config.horizon:
+            return False
+        return self._engine.step()
+
+    def finish(self) -> Trajectory:
+        """Run the remaining events to the horizon and close the record."""
+        if not self._engine.stopped:
+            self._engine.run_until(self.config.horizon)
+        self._finalize()
+        return self._trajectory
+
+    def snapshot(self) -> SimulatorSnapshot:
+        """Capture the complete mid-run state of the simulator.
+
+        The snapshot is independent of the run's future: it stays valid
+        after the run advances, so a splitting driver can take one
+        snapshot at a level up-crossing and restore it several times.
+        """
+        return SimulatorSnapshot(
+            engine=self._engine.snapshot(),
+            phase=dict(self._phase),
+            accel=dict(self._accel),
+            state=dict(self._state),
+            fail_time=dict(self._fail_time),
+            transition=dict(self._transition),
+            pending_actions={
+                name: dict(handles)
+                for name, handles in self._pending_actions.items()
+            },
+            system_down=self._system_down,
+            down_since=self._down_since,
+            trajectory=self._trajectory.copy(),
+        )
+
+    def restore(
+        self,
+        snapshot: SimulatorSnapshot,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Rewind the simulator to ``snapshot`` (cloning a trajectory).
+
+        ``rng`` optionally swaps in a fresh random stream for the
+        resumed timeline; combine with :meth:`resample_transitions` so
+        the clone diverges from its parent.  All scheduled-event handles
+        (degradation transitions, pending work orders) are rewired to
+        the restored calendar; handles whose event already executed or
+        was cancelled before the snapshot resolve to None/are dropped.
+        """
+        mapping = self._engine.restore(snapshot.engine)
+        self._phase = dict(snapshot.phase)
+        self._accel = dict(snapshot.accel)
+        self._state = dict(snapshot.state)
+        self._fail_time = dict(snapshot.fail_time)
+        self._transition = {
+            name: (mapping.get(id(handle)) if handle is not None else None)
+            for name, handle in snapshot.transition.items()
+        }
+        self._pending_actions = {
+            name: {
+                module: new_handle
+                for module, handle in handles.items()
+                if (new_handle := mapping.get(id(handle))) is not None
+            }
+            for name, handles in snapshot.pending_actions.items()
+        }
+        self._system_down = snapshot.system_down
+        self._down_since = snapshot.down_since
+        self._trajectory = snapshot.trajectory.copy()
+        if rng is not None:
+            self._rng = rng
+
+    def resample_transitions(self) -> None:
+        """Redraw every pending degradation jump from the current RNG.
+
+        Exponential sojourns are memoryless, so replacing a pending
+        phase-jump time with a fresh draw at the same rate leaves the
+        trajectory distribution unchanged — this is how restored clones
+        are decorrelated from their parent (and from each other).
+        Deterministic events (inspections, repairs, work orders,
+        restoration) are *not* resampled: their times are part of the
+        schedule, not of the stochastic state.
+        """
+        for name in self._events:
+            if self._transition[name] is not None:
+                self._cancel_transition(name)
+                self._schedule_transition(name)
 
     # ------------------------------------------------------------------
     # Setup / teardown

@@ -92,7 +92,17 @@ def summarize(
     availabilities = [t.availability for t in trajectories]
     totals = [t.costs.total for t in trajectories]
 
-    expected_failures = mean_confidence_interval(failures, confidence)
+    if failed == 0:
+        # No failures observed: the t-interval degenerates to zero
+        # width at 0, claiming a certainty the data cannot support.
+        # Fall back to the Wilson zero-success upper bound on the
+        # failure indicator, which is exact for the mean as long as
+        # multiple failures per trajectory are (as here, unobserved)
+        # rare.
+        upper = wilson_interval(0, n, confidence).upper
+        expected_failures = ConfidenceInterval(0.0, 0.0, upper, confidence)
+    else:
+        expected_failures = mean_confidence_interval(failures, confidence)
     failures_per_year = ConfidenceInterval(
         expected_failures.estimate / horizon,
         expected_failures.lower / horizon,

@@ -13,8 +13,9 @@ model-checking workflow the paper's analyses used.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from repro.simulation.metrics import KpiSummary, reliability_curve, summarize
 from repro.simulation.trace import Trajectory
 from repro.stats.confidence import ConfidenceInterval
 from repro.stats.sequential import RelativePrecisionRule, RunningStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.rareevent.estimator import RareEventConfig, RareEventResult
 
 __all__ = ["MonteCarlo", "MonteCarloResult"]
 
@@ -121,6 +125,7 @@ class MonteCarlo:
         seed: int = 0,
         record_events: bool = False,
         instrumentation: Optional[Instrumentation] = None,
+        rare_event: Optional["RareEventConfig"] = None,
     ):
         config = SimulationConfig(
             horizon=horizon,
@@ -131,6 +136,10 @@ class MonteCarlo:
         self.simulator = FMTSimulator(tree, strategy, config=config)
         self.instrumentation = instrumentation
         self.seed = seed
+        # Stored only; consumed exclusively by run_rare_event().  The
+        # constructor performs no RNG activity for it, so crude-MC runs
+        # are bit-identical with the subsystem configured but unused.
+        self.rare_event = rare_event
         self._seed_sequence = np.random.SeedSequence(seed)
         self._streams_used = 0
 
@@ -211,6 +220,45 @@ class MonteCarlo:
             trajectories=tuple(trajectories) if keep_trajectories else None,
         )
 
+    def run_rare_event(
+        self,
+        config: Optional["RareEventConfig"] = None,
+        confidence: float = 0.95,
+        processes: int = 1,
+    ) -> "RareEventResult":
+        """Estimate the unreliability by importance splitting.
+
+        Uses ``config``, falling back to the ``rare_event`` configuration
+        given at construction, falling back to the defaults of
+        :class:`~repro.rareevent.estimator.RareEventConfig`.  One child
+        seed stream is consumed per independent unit (replication or
+        RESTART root); ``processes > 1`` fans units out to worker
+        processes with bit-identical results.
+
+        Returns a :class:`~repro.rareevent.estimator.RareEventResult`
+        whose ``unreliability`` interval is directly comparable to
+        ``run(...).unreliability``.
+        """
+        from repro.rareevent.estimator import RareEventConfig, RareEventEstimator
+
+        if config is None:
+            config = self.rare_event
+        if config is None:
+            config = RareEventConfig()
+        estimator = RareEventEstimator(self.simulator, config)
+        seeds = self._seed_sequence.spawn(config.n_units)
+        self._streams_used += config.n_units
+        logger.info(
+            kv(
+                "rare-event run",
+                method=config.method,
+                units=config.n_units,
+                levels=len(estimator.thresholds),
+                processes=processes,
+            )
+        )
+        return estimator.estimate(seeds, confidence=confidence, processes=processes)
+
     def run_to_precision(
         self,
         rule: Optional[RelativePrecisionRule] = None,
@@ -218,6 +266,7 @@ class MonteCarlo:
         confidence: float = 0.95,
         keep_trajectories: bool = True,
         target: str = "failures",
+        max_zero_samples: int = 10_000,
     ) -> MonteCarloResult:
         """Sequential estimation to a target relative precision.
 
@@ -231,6 +280,13 @@ class MonteCarlo:
         (number of system failures per trajectory, the default),
         ``"unreliability"`` (failure indicator), or ``"cost"`` (total
         trajectory cost — requires a cost model).
+
+        A stream on which the target statistic stays identically zero
+        can never satisfy a *relative* precision rule; rather than
+        simulate until the rule's full ``max_samples`` budget, the run
+        stops after ``max_zero_samples`` all-zero trajectories with a
+        :class:`RuntimeWarning` (consider :meth:`run_rare_event` —
+        rare-event estimation is what importance splitting is for).
         """
         extractors = {
             "failures": lambda t: float(t.n_failures),
@@ -247,9 +303,29 @@ class MonteCarlo:
             rule = RelativePrecisionRule()
         if batch_size < 1:
             raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        if max_zero_samples < 1:
+            raise ValidationError(
+                f"max_zero_samples must be >= 1, got {max_zero_samples}"
+            )
         statistics = RunningStatistics()
         collected: List[Trajectory] = []
         while not rule.should_stop(statistics):
+            if statistics.count >= max_zero_samples and statistics.mean == 0.0:
+                message = (
+                    f"run_to_precision: target {target!r} is zero on all "
+                    f"{statistics.count} trajectories; the relative "
+                    "precision rule cannot converge on an all-zero "
+                    "stream — stopping early (consider run_rare_event)"
+                )
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
+                logger.warning(
+                    kv(
+                        "run_to_precision all-zero cap hit",
+                        target=target,
+                        samples=statistics.count,
+                    )
+                )
+                break
             batch = self.sample(batch_size)
             for trajectory in batch:
                 statistics.add(extractor(trajectory))

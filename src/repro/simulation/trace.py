@@ -8,7 +8,7 @@ the synthetic incident database is built from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.maintenance.costs import CostBreakdown
@@ -84,3 +84,17 @@ class Trajectory:
         """Whether the system had no failure up to (and including) ``t``."""
         first = self.first_failure
         return first is None or first > t
+
+    def copy(self) -> "Trajectory":
+        """Independent copy (the event records themselves are shared —
+        :class:`ComponentEvent` is frozen, so sharing is safe)."""
+        return Trajectory(
+            horizon=self.horizon,
+            failure_times=list(self.failure_times),
+            downtime=self.downtime,
+            costs=replace(self.costs),
+            n_inspections=self.n_inspections,
+            n_preventive_actions=self.n_preventive_actions,
+            n_corrective_replacements=self.n_corrective_replacements,
+            events=list(self.events),
+        )

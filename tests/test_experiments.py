@@ -23,6 +23,7 @@ from repro.experiments import (
     fig8_fleet,
     optimum,
     periodic_crossval,
+    rareevent,
     sensitivity,
     table1_model,
     table2_strategies,
@@ -58,6 +59,7 @@ def test_registry_complete():
         "ablation-detection",
         "ctmc-crossval",
         "periodic-crossval",
+        "rareevent",
     }
 
 
@@ -212,6 +214,19 @@ def test_optimum_close_to_current():
 def test_periodic_crossval_all_within_ci():
     result = periodic_crossval.run(ExperimentConfig(n_runs=1500, seed=19))
     assert all(cell == "yes" for cell in result.column("within CI"))
+
+
+def test_rareevent_regimes_and_agreement():
+    result = rareevent.run(ExperimentConfig(n_runs=400, seed=21))
+    assert result.column("scenario") == [
+        "moderate", "moderate", "moderate", "rare (refined)"
+    ]
+    assert any("agreement" in note and "yes" in note for note in result.notes)
+    assert any("substitution" in note for note in result.notes)
+    # The strong-rarity row reports a genuine speedup over crude MC.
+    speedup = result.column("speedup")[-1]
+    assert speedup.endswith("x") and speedup != "n/a"
+    assert float(speedup.rstrip("x")) > 1.0
 
 
 def test_result_column_unknown_rejected():

@@ -55,6 +55,20 @@ def test_summarize_unreliability_counts_failed_runs():
     assert summary.reliability == pytest.approx(0.7)
 
 
+def test_summarize_zero_failures_wilson_fallback():
+    """An all-survivor sample must not claim a zero-width certainty."""
+    summary = summarize([_trajectory()] * 50)
+    interval = summary.expected_failures
+    assert interval.estimate == 0.0
+    assert interval.lower == 0.0
+    assert interval.upper > 0.0
+    # Matches the Wilson zero-success bound used for the unreliability.
+    assert interval.upper == pytest.approx(summary.unreliability.upper)
+    assert summary.failures_per_year.upper == pytest.approx(
+        interval.upper / 10.0
+    )
+
+
 def test_summarize_expected_failures():
     trajectories = [_trajectory(failures=[1.0, 2.0]), _trajectory()]
     summary = summarize(trajectories)

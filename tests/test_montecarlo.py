@@ -125,6 +125,27 @@ def test_run_to_precision_cost_target(maintained_tree):
     assert result.cost_per_year.estimate > 0.0
 
 
+def test_run_to_precision_all_zero_stream_stops_with_warning(simple_and_tree):
+    # A horizon so short that no failure is ever observed: the relative
+    # precision rule can never trigger, so the all-zero cap must.
+    rule = RelativePrecisionRule(
+        relative_error=0.1, min_samples=50, max_samples=1_000_000
+    )
+    mc = _mc(simple_and_tree, horizon=1e-9, seed=2)
+    with pytest.warns(RuntimeWarning, match="all-zero|zero on all"):
+        result = mc.run_to_precision(
+            rule, batch_size=100, max_zero_samples=300
+        )
+    assert 300 <= result.n_runs <= 400
+    assert result.summary.expected_failures.estimate == 0.0
+    assert result.summary.expected_failures.upper > 0.0
+
+
+def test_run_to_precision_rejects_bad_zero_cap(maintained_tree):
+    with pytest.raises(ValidationError):
+        _mc(maintained_tree).run_to_precision(max_zero_samples=0)
+
+
 def test_run_to_precision_unknown_target(maintained_tree):
     with pytest.raises(ValidationError):
         _mc(maintained_tree, horizon=5.0).run_to_precision(target="banana")

@@ -1,0 +1,174 @@
+"""Engine and simulator snapshot/restore: bookkeeping and determinism.
+
+The rare-event subsystem forks trajectories mid-flight, which stresses
+two invariants that crude simulation never exercises:
+
+* the O(1) pending-event count stays consistent through arbitrary
+  schedule / cancel / snapshot / restore interleavings (a cancelled or
+  stale handle must never corrupt it);
+* restoring a snapshot detaches the abandoned timeline — cancelling a
+  pre-restore handle afterwards is a no-op.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eijoint.model import build_ei_joint_fmt
+from repro.eijoint.parameters import default_parameters
+from repro.eijoint.strategies import inspection_policy
+from repro.simulation.engine import Engine
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+
+
+# ----------------------------------------------------------------------
+# Engine-level bookkeeping
+# ----------------------------------------------------------------------
+def test_snapshot_restore_roundtrip_executes_same_events():
+    fired = []
+    engine = Engine()
+    engine.schedule(1.0, lambda: fired.append("a"))
+    engine.schedule(2.0, lambda: fired.append("b"))
+    engine.schedule(3.0, lambda: fired.append("c"))
+    snap = engine.snapshot()
+    engine.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+    engine.restore(snap)
+    assert engine.pending == 3
+    assert engine.now == snap.now
+    engine.run_until(10.0)
+    assert fired == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_restore_detaches_abandoned_timeline():
+    engine = Engine()
+    stale = engine.schedule(5.0, lambda: None)
+    snap = engine.snapshot()
+    mapping = engine.restore(snap)
+    assert engine.pending == 1
+    # The pre-restore handle belongs to the abandoned timeline; its
+    # cancel must be a no-op on the restored queue.
+    stale.cancel()
+    assert engine.pending == 1
+    # The remapped handle is the live one.
+    mapping[id(stale)].cancel()
+    assert engine.pending == 0
+
+
+def test_cancelled_events_not_captured():
+    engine = Engine()
+    keep = engine.schedule(1.0, lambda: None)
+    drop = engine.schedule(2.0, lambda: None)
+    drop.cancel()
+    snap = engine.snapshot()
+    engine.restore(snap)
+    assert engine.pending == 1
+    assert id(keep) in engine.restore(snap)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["schedule", "cancel", "step", "snap", "restore"]),
+                  st.integers(0, 999)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_pending_count_consistent_under_random_interleavings(ops):
+    engine = Engine()
+    alive = []  # ground-truth list of live handles
+    saved = None  # (snapshot, count-at-snapshot, handles-at-snapshot)
+    stale = []  # handles invalidated by a restore
+    for op, value in ops:
+        if op == "schedule":
+            alive.append(engine.schedule(engine.now + 1.0 + value / 100.0,
+                                         lambda: None))
+        elif op == "cancel" and (alive or stale):
+            pool = alive + stale
+            handle = pool[value % len(pool)]
+            handle.cancel()
+            if handle in alive:
+                alive.remove(handle)
+        elif op == "step":
+            ran = engine.step()
+            if ran:
+                # The fired event is the (time, priority, seq) minimum.
+                alive.remove(
+                    min(alive, key=lambda h: (h.time, h.priority, h.seq))
+                )
+        elif op == "snap":
+            saved = (engine.snapshot(), list(alive))
+        elif op == "restore" and saved is not None:
+            snapshot, snapshot_alive = saved
+            mapping = engine.restore(snapshot)
+            stale.extend(alive)
+            alive = [mapping[id(h)] for h in snapshot_alive]
+        assert engine.pending == len(alive)
+    # Draining the queue executes exactly the live events.
+    engine.run_until(float("inf"))
+    assert engine.pending == 0
+
+
+# ----------------------------------------------------------------------
+# Simulator-level fork/restore
+# ----------------------------------------------------------------------
+@pytest.fixture
+def ei_simulator():
+    params = default_parameters()
+    tree = build_ei_joint_fmt(params)
+    strategy = inspection_policy(4.0, parameters=params)
+    return FMTSimulator(tree, strategy, config=SimulationConfig(horizon=25.0))
+
+
+def test_simulator_restore_is_deterministic(ei_simulator):
+    sim = ei_simulator
+    sim.begin(np.random.default_rng(3))
+    for _ in range(25):
+        if not sim.step():
+            break
+    snap = sim.snapshot()
+
+    def continuation(seed):
+        sim.restore(snap, rng=np.random.default_rng(seed))
+        sim.resample_transitions()
+        trajectory = sim.finish()
+        return (
+            trajectory.failure_times,
+            trajectory.n_inspections,
+            trajectory.costs.total,
+        )
+
+    first = continuation(7)
+    second = continuation(7)
+    assert first == second  # same continuation seed -> identical future
+
+
+def test_simulator_restore_preserves_clock_and_state(ei_simulator):
+    sim = ei_simulator
+    sim.begin(np.random.default_rng(5))
+    for _ in range(10):
+        sim.step()
+    snap = sim.snapshot()
+    now, phases = sim.now, dict(sim.phases)
+    sim.finish()
+    sim.restore(snap, rng=np.random.default_rng(0))
+    assert sim.now == now
+    assert sim.phases == phases
+    trajectory = sim.finish()
+    assert trajectory.horizon == 25.0
+    assert all(t <= 25.0 for t in trajectory.failure_times)
+
+
+def test_plain_simulate_unaffected_by_prior_fork(ei_simulator):
+    """A fork/restore cycle must not leak state into later simulate()."""
+    sim = ei_simulator
+    baseline = sim.simulate(np.random.default_rng(11))
+    sim.begin(np.random.default_rng(1))
+    for _ in range(8):
+        sim.step()
+    sim.restore(sim.snapshot(), rng=np.random.default_rng(2))
+    sim.finish()
+    again = sim.simulate(np.random.default_rng(11))
+    assert baseline.failure_times == again.failure_times
+    assert baseline.costs.total == again.costs.total
