@@ -20,7 +20,7 @@ from repro.core.tree import FaultMaintenanceTree
 from repro.errors import ValidationError
 from repro.maintenance.costs import CostModel
 from repro.maintenance.strategy import MaintenanceStrategy
-from repro.simulation.montecarlo import MonteCarlo, MonteCarloResult
+from repro.simulation.montecarlo import MonteCarloResult
 
 __all__ = ["SensitivityEntry", "tornado", "kpi_enf", "kpi_cost", "kpi_unreliability"]
 
@@ -91,16 +91,27 @@ def tornado(
     -------
     list of :class:`SensitivityEntry`, sorted by descending swing.
     """
+    from repro.studies import StudyRequest, get_runner
+
     if factor <= 1.0:
         raise ValidationError(f"factor must be > 1, got {factor}")
     if not parameters:
         raise ValidationError("no parameters to perturb")
 
+    runner = get_runner()
+
     def evaluate(name: str, multiplier: float) -> float:
         tree = model_factory(name, multiplier)
-        result = MonteCarlo(
-            tree, strategy, horizon=horizon, cost_model=cost_model, seed=seed
-        ).run(n_runs)
+        result = runner.result(
+            StudyRequest(
+                tree=tree,
+                strategy=strategy,
+                horizon=horizon,
+                cost_model=cost_model,
+                seed=seed,
+                n_runs=n_runs,
+            )
+        )
         return kpi(result)
 
     baseline = evaluate(parameters[0], 1.0)

@@ -15,6 +15,14 @@ Observability flags (all verbs): ``--log-level debug|info|warning|error``
 routes the library's structured logs to stderr; ``--profile`` prints a
 metrics/timing report after the run; ``--metrics-out PATH`` dumps the
 same registry as JSON.  See docs/observability.md.
+
+Caching flags: every experiment obtains its simulations through a
+:class:`~repro.studies.StudyRunner`, which dedupes identical studies
+within one invocation.  ``--cache-dir PATH`` additionally persists the
+results, so a rerun with the same configuration simulates nothing
+(bit-identical output either way); ``--no-cache`` disables the disk
+cache for one invocation; ``--processes N`` sizes the shared worker
+pool used for large studies.  See docs/api.md.
 """
 
 from __future__ import annotations
@@ -101,6 +109,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the collected metrics registry as JSON",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist simulation results here and reuse them across "
+        "invocations (results are bit-identical to a fresh run)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir for this invocation (in-process "
+        "deduplication of identical studies still applies)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes of the shared simulation pool "
+        "(default 1 = serial)",
+    )
     return parser
 
 
@@ -175,15 +204,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print("simulate: missing model file path", file=sys.stderr)
         return 2
     from repro.dsl import load_file
-    from repro.simulation.montecarlo import MonteCarlo
+    from repro.studies import StudyRequest, get_runner
 
     tree = load_file(args.path)
     strategy = _strategy_for_model_run(tree, args.absorbing)
     horizon = args.horizon if args.horizon is not None else 50.0
     n_runs = args.runs if args.runs is not None else 2000
     seed = args.seed if args.seed is not None else 0
-    result = MonteCarlo(tree, strategy, horizon=horizon, seed=seed).run(n_runs)
-    summary = result.summary
+    summary = get_runner().summary(
+        StudyRequest(
+            tree=tree, strategy=strategy, horizon=horizon, seed=seed,
+            n_runs=n_runs,
+        )
+    )
     print(tree)
     print(f"strategy: {strategy}")
     print(f"horizon {horizon:g}y, {n_runs} trajectories, seed {seed}")
@@ -285,11 +318,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             if problem is not None:
                 print(problem, file=sys.stderr)
                 return 2
+    if args.processes is not None and args.processes < 1:
+        print("--processes: must be >= 1", file=sys.stderr)
+        return 2
     instrumentation = (
         Instrumentation() if (args.profile or args.metrics_out) else None
     )
-    with use(instrumentation):
-        code = _dispatch(args)
+    from repro.studies import StudyRunner, use_runner
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    study_runner = StudyRunner(
+        cache_dir=cache_dir,
+        processes=args.processes if args.processes is not None else 1,
+        instrumentation=instrumentation,
+    )
+    try:
+        with use(instrumentation), use_runner(study_runner):
+            code = _dispatch(args)
+    finally:
+        study_runner.close()
     if instrumentation is not None:
         if args.profile:
             print()

@@ -22,7 +22,6 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import EIJointParameters, default_parameters
 from repro.errors import ValidationError
 from repro.maintenance.strategy import MaintenanceStrategy
-from repro.simulation.montecarlo import MonteCarlo
 from repro.stats.confidence import ConfidenceInterval
 
 __all__ = [
@@ -144,6 +143,8 @@ def fleet_failures_per_year(
         Per-class results and the expected number of service-affecting
         failures per year over the whole fleet.
     """
+    from repro.studies import StudyRequest, get_runner
+
     total_fraction = sum(cls.fraction for cls in mix)
     if abs(total_fraction - 1.0) > 1e-9:
         raise ValidationError(
@@ -158,9 +159,15 @@ def fleet_failures_per_year(
         class_parameters = scale_parameters(parameters, traffic_class.intensity)
         tree = build_ei_joint_fmt(class_parameters)
         strategy = strategy_factory(class_parameters)
-        sim = MonteCarlo(
-            tree, strategy, horizon=horizon, seed=seed + offset
-        ).run(n_runs)
+        sim = get_runner().result(
+            StudyRequest(
+                tree=tree,
+                strategy=strategy,
+                horizon=horizon,
+                seed=seed + offset,
+                n_runs=n_runs,
+            )
+        )
         results.append(
             FleetClassResult(
                 traffic_class=traffic_class,

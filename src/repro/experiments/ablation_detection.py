@@ -15,7 +15,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_cost_model, default_parameters
 from repro.eijoint.strategies import inspection_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "DETECTION_PROBABILITIES"]
 
@@ -45,13 +45,17 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         strategy = inspection_policy(
             4, parameters=parameters, detection_probability=probability
         )
-        sim = MonteCarlo(
-            tree,
-            strategy,
-            horizon=cfg.horizon,
-            cost_model=cost_model,
-            seed=cfg.seed,
-        ).run(cfg.n_runs, confidence=cfg.confidence)
+        sim = get_runner().result(
+            StudyRequest(
+                tree=tree,
+                strategy=strategy,
+                horizon=cfg.horizon,
+                cost_model=cost_model,
+                seed=cfg.seed,
+                n_runs=cfg.n_runs,
+                confidence=cfg.confidence,
+            )
+        )
         result.add_row(
             f"{probability:g}",
             format_ci(sim.failures_per_year),

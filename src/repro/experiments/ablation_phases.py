@@ -18,7 +18,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import inspection_policy, no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "PHASE_COUNTS"]
 
@@ -53,15 +53,27 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             _MODE, phases=phases, threshold=threshold
         )
         tree = build_ei_joint_fmt(parameters)
-        corrective = MonteCarlo(
-            tree, no_maintenance(parameters), horizon=cfg.horizon, seed=cfg.seed
-        ).run(cfg.n_runs, confidence=cfg.confidence)
-        current = MonteCarlo(
-            tree,
-            inspection_policy(4, parameters=parameters),
-            horizon=cfg.horizon,
-            seed=cfg.seed,
-        ).run(cfg.n_runs, confidence=cfg.confidence)
+        runner = get_runner()
+        corrective = runner.result(
+            StudyRequest(
+                tree=tree,
+                strategy=no_maintenance(parameters),
+                horizon=cfg.horizon,
+                seed=cfg.seed,
+                n_runs=cfg.n_runs,
+                confidence=cfg.confidence,
+            )
+        )
+        current = runner.result(
+            StudyRequest(
+                tree=tree,
+                strategy=inspection_policy(4, parameters=parameters),
+                horizon=cfg.horizon,
+                seed=cfg.seed,
+                n_runs=cfg.n_runs,
+                confidence=cfg.confidence,
+            )
+        )
         without = corrective.failures_per_year.estimate
         with_insp = current.failures_per_year.estimate
         prevented = (without - with_insp) / without * 100.0 if without > 0 else 0.0

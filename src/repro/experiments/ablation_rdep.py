@@ -18,7 +18,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "FACTORS"]
 
@@ -26,6 +26,15 @@ __all__ = ["run", "FACTORS"]
 FACTORS: Sequence[float] = (1.0, 3.0, 6.0, 10.0)
 
 _GLUE = "glue_failure"
+
+
+def _count_glue_failures(trajectories) -> int:
+    return sum(
+        1
+        for trajectory in trajectories
+        for event in trajectory.events
+        if event.kind == "failure" and event.component == _GLUE
+    )
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
@@ -46,24 +55,21 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             default_parameters(), bolt_glue_acceleration=factor
         )
         tree = build_ei_joint_fmt(parameters)
-        mc = MonteCarlo(
-            tree,
-            no_maintenance(parameters),
+        runner = get_runner()
+        request = StudyRequest(
+            tree=tree,
+            strategy=no_maintenance(parameters),
             horizon=cfg.horizon,
             seed=cfg.seed,
+            n_runs=cfg.n_runs,
+            confidence=cfg.confidence,
             record_events=True,
         )
-        trajectories = mc.sample(cfg.n_runs)
-        glue_failures = sum(
-            1
-            for trajectory in trajectories
-            for event in trajectory.events
-            if event.kind == "failure" and event.component == _GLUE
+        glue_failures = runner.statistic(
+            request, "glue_failure_count", _count_glue_failures
         )
         joint_years = cfg.n_runs * cfg.horizon
-        from repro.simulation.metrics import summarize
-
-        summary = summarize(trajectories, cfg.confidence)
+        summary = runner.summary(request)
         result.add_row(
             f"{factor:g}",
             f"{1000.0 * glue_failures / joint_years:.2f}",

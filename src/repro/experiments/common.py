@@ -42,8 +42,16 @@ class ExperimentConfig:
             raise ValidationError(f"horizon must be positive, got {self.horizon}")
 
     def quick(self) -> "ExperimentConfig":
-        """A cheap variant for smoke tests (same seed, fewer runs)."""
-        return replace(self, n_runs=max(100, self.n_runs // 20))
+        """A cheap variant for smoke tests (same seed, never more runs).
+
+        Scales the replication count down 20x with a floor of 100, but
+        never *above* the configured count: a config that already asks
+        for fewer than 100 runs stays put (``max(100, ...)`` alone
+        would silently make "quick" slower than the real run).
+        """
+        return replace(
+            self, n_runs=min(self.n_runs, max(100, self.n_runs // 20))
+        )
 
 
 @dataclass

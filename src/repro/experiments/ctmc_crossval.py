@@ -20,7 +20,7 @@ from repro.experiments.common import ExperimentConfig, ExperimentResult, format_
 from repro.maintenance.actions import clean
 from repro.maintenance.modules import InspectionModule
 from repro.maintenance.strategy import MaintenanceStrategy
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "build_submodel"]
 
@@ -68,17 +68,32 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         "absorbing", inspections=(inspection,), on_system_failure="none"
     )
     compiled = compile_fmt(tree, absorbing, mode="unreliability")
-    sim = MonteCarlo(tree, absorbing, horizon=_HORIZON, seed=cfg.seed).run(
-        cfg.n_runs, confidence=_CONFIDENCE
+    runner = get_runner()
+    sim = runner.result(
+        StudyRequest(
+            tree=tree,
+            strategy=absorbing,
+            horizon=_HORIZON,
+            seed=cfg.seed,
+            n_runs=cfg.n_runs,
+            confidence=_CONFIDENCE,
+        )
     )
     for t in (2.0, 5.0, _HORIZON):
         exact = compiled.unreliability(t)
         if t == _HORIZON:
             interval = sim.unreliability
         else:
-            curve = MonteCarlo(
-                tree, absorbing, horizon=t, seed=cfg.seed + int(t)
-            ).run(cfg.n_runs, confidence=_CONFIDENCE)
+            curve = runner.result(
+                StudyRequest(
+                    tree=tree,
+                    strategy=absorbing,
+                    horizon=t,
+                    seed=cfg.seed + int(t),
+                    n_runs=cfg.n_runs,
+                    confidence=_CONFIDENCE,
+                )
+            )
             interval = curve.unreliability
         result.add_row(
             f"unreliability({t:g}y)",
@@ -98,9 +113,16 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     exact_enf = compiled_avail.expected_failures(_HORIZON)
     # The ENF estimator has the widest variance of the compared KPIs;
     # quadruple the replication count so the comparison is sharp.
-    sim_enf = MonteCarlo(
-        tree, renewing, horizon=_HORIZON, seed=cfg.seed + 1013
-    ).run(4 * cfg.n_runs, confidence=_CONFIDENCE)
+    sim_enf = runner.result(
+        StudyRequest(
+            tree=tree,
+            strategy=renewing,
+            horizon=_HORIZON,
+            seed=cfg.seed + 1013,
+            n_runs=4 * cfg.n_runs,
+            confidence=_CONFIDENCE,
+        )
+    )
     interval = sim_enf.summary.expected_failures
     result.add_row(
         f"E[failures in {_HORIZON:g}y]",

@@ -15,7 +15,7 @@ import numpy as np
 from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint import strategies as s
 from repro.experiments.common import ExperimentConfig, ExperimentResult
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "CURVE_STRATEGIES"]
 
@@ -32,14 +32,21 @@ CURVE_STRATEGIES = (
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Estimate survival curves on a common time grid."""
     cfg = config if config is not None else ExperimentConfig()
+    runner = get_runner()
     tree = build_ei_joint_fmt()
     grid = [float(t) for t in np.linspace(0.0, cfg.horizon, 11)]
 
     curves: List[List[float]] = []
     for _, make_strategy in CURVE_STRATEGIES:
-        mc = MonteCarlo(tree, make_strategy(), horizon=cfg.horizon, seed=cfg.seed)
-        sim = mc.run(cfg.n_runs, confidence=cfg.confidence, keep_trajectories=True)
-        _, intervals = sim.reliability_at(grid, confidence=cfg.confidence)
+        request = StudyRequest(
+            tree=tree,
+            strategy=make_strategy(),
+            horizon=cfg.horizon,
+            seed=cfg.seed,
+            n_runs=cfg.n_runs,
+            confidence=cfg.confidence,
+        )
+        _, intervals = runner.reliability_curve(request, grid)
         curves.append([interval.estimate for interval in intervals])
 
     result = ExperimentResult(

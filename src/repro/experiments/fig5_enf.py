@@ -14,7 +14,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import inspection_policy, no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "FREQUENCIES"]
 
@@ -40,9 +40,16 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             if frequency == 0
             else inspection_policy(frequency, parameters=parameters)
         )
-        sim = MonteCarlo(
-            tree, strategy, horizon=cfg.horizon, seed=cfg.seed
-        ).run(cfg.n_runs, confidence=cfg.confidence)
+        sim = get_runner().result(
+            StudyRequest(
+                tree=tree,
+                strategy=strategy,
+                horizon=cfg.horizon,
+                seed=cfg.seed,
+                n_runs=cfg.n_runs,
+                confidence=cfg.confidence,
+            )
+        )
         result.add_row(
             f"{frequency:g}",
             format_ci(sim.failures_per_year),

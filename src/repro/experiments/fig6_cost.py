@@ -22,7 +22,7 @@ from repro.eijoint.strategies import (
 )
 from repro.experiments.common import ExperimentConfig, ExperimentResult
 from repro.experiments.fig5_enf import FREQUENCIES
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
 
@@ -54,13 +54,17 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             if frequency == 0
             else inspection_policy(frequency, parameters=parameters)
         )
-        sim = MonteCarlo(
-            tree,
-            strategy,
-            horizon=cfg.horizon,
-            cost_model=cost_model,
-            seed=cfg.seed,
-        ).run(cfg.n_runs, confidence=cfg.confidence)
+        sim = get_runner().result(
+            StudyRequest(
+                tree=tree,
+                strategy=strategy,
+                horizon=cfg.horizon,
+                cost_model=cost_model,
+                seed=cfg.seed,
+                n_runs=cfg.n_runs,
+                confidence=cfg.confidence,
+            )
+        )
         breakdown = sim.summary.cost_breakdown_per_year
         totals[frequency] = breakdown.total
         result.add_row(

@@ -18,7 +18,7 @@ from repro.eijoint.strategies import (
     inspection_policy,
 )
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "RENEWAL_PERIODS"]
 
@@ -50,13 +50,17 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             renewal_years=renewal,
             parameters=parameters,
         )
-        sim = MonteCarlo(
-            tree,
-            strategy,
-            horizon=cfg.horizon,
-            cost_model=cost_model,
-            seed=cfg.seed,
-        ).run(cfg.n_runs, confidence=cfg.confidence)
+        sim = get_runner().result(
+            StudyRequest(
+                tree=tree,
+                strategy=strategy,
+                horizon=cfg.horizon,
+                cost_model=cost_model,
+                seed=cfg.seed,
+                n_runs=cfg.n_runs,
+                confidence=cfg.confidence,
+            )
+        )
         breakdown = sim.summary.cost_breakdown_per_year
         result.add_row(
             "none" if renewal is None else f"{renewal:g}",

@@ -20,7 +20,7 @@ from repro.eijoint.strategies import (
 )
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
 from repro.maintenance.optimizer import optimize_frequency
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
 
@@ -43,13 +43,17 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         seed=cfg.seed,
         tolerance=0.25,
     )
-    current = MonteCarlo(
-        tree,
-        current_policy(parameters),
-        horizon=cfg.horizon,
-        cost_model=cost_model,
-        seed=cfg.seed,
-    ).run(cfg.n_runs, confidence=cfg.confidence)
+    current = get_runner().result(
+        StudyRequest(
+            tree=tree,
+            strategy=current_policy(parameters),
+            horizon=cfg.horizon,
+            cost_model=cost_model,
+            seed=cfg.seed,
+            n_runs=cfg.n_runs,
+            confidence=cfg.confidence,
+        )
+    )
 
     result = ExperimentResult(
         experiment_id="OPT",

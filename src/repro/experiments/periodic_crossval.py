@@ -21,7 +21,7 @@ from repro.experiments.common import ExperimentConfig, ExperimentResult, format_
 from repro.maintenance.actions import clean
 from repro.maintenance.modules import InspectionModule
 from repro.maintenance.strategy import MaintenanceStrategy
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
 
@@ -61,9 +61,16 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             "absorbing", inspections=(module,), on_system_failure="none"
         )
         exact_model = PeriodicInspectionModel(event, module)
-        sim = MonteCarlo(
-            tree, absorbing, horizon=_HORIZON, seed=cfg.seed
-        ).run(2 * cfg.n_runs, confidence=_CONFIDENCE)
+        sim = get_runner().result(
+            StudyRequest(
+                tree=tree,
+                strategy=absorbing,
+                horizon=_HORIZON,
+                seed=cfg.seed,
+                n_runs=2 * cfg.n_runs,
+                confidence=_CONFIDENCE,
+            )
+        )
         exact = exact_model.unreliability(_HORIZON)
         result.add_row(
             f"unreliability({_HORIZON:g}y){label}",
@@ -82,9 +89,16 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     exact_enf = PeriodicInspectionModel(
         event, module, renew_on_failure=True
     ).expected_failures(_HORIZON)
-    sim_enf = MonteCarlo(
-        tree, renewing, horizon=_HORIZON, seed=cfg.seed + 13
-    ).run(4 * cfg.n_runs, confidence=_CONFIDENCE)
+    sim_enf = get_runner().result(
+        StudyRequest(
+            tree=tree,
+            strategy=renewing,
+            horizon=_HORIZON,
+            seed=cfg.seed + 13,
+            n_runs=4 * cfg.n_runs,
+            confidence=_CONFIDENCE,
+        )
+    )
     interval = sim_enf.summary.expected_failures
     result.add_row(
         f"E[failures in {_HORIZON:g}y]",

@@ -34,7 +34,7 @@ from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import inspection_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
 from repro.rareevent import RareEventConfig, crude_equivalent_runs
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = [
     "run",
@@ -129,37 +129,57 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     tree = build_ei_joint_fmt(params)
     strategy = inspection_policy(INSPECTIONS_PER_YEAR, parameters=params)
 
+    runner = get_runner()
     crude_n = 25 * scale
-    crude = MonteCarlo(tree, strategy, horizon=HORIZON, seed=cfg.seed).run(
-        crude_n, confidence=cfg.confidence
+    crude = runner.result(
+        StudyRequest(
+            tree=tree,
+            strategy=strategy,
+            horizon=HORIZON,
+            seed=cfg.seed,
+            n_runs=crude_n,
+            confidence=cfg.confidence,
+        )
     )
     result.add_row(
         "moderate", "crude MC", format_ci(crude.unreliability, 3),
         f"{crude_n:,}", f"{crude_n:,}", "1.0x",
     )
 
-    fixed = MonteCarlo(tree, strategy, horizon=HORIZON, seed=cfg.seed + 1).run_rare_event(
+    fixed = runner.rare_event(
+        StudyRequest(
+            tree=tree,
+            strategy=strategy,
+            horizon=HORIZON,
+            seed=cfg.seed + 1,
+            confidence=cfg.confidence,
+        ),
         RareEventConfig(
             method="fixed_effort",
             thresholds=(0.5, 2.0 / 3.0),
             effort=max(50, scale // 2),
             n_replications=4,
         ),
-        confidence=cfg.confidence,
     )
     result.add_row(
         "moderate", "fixed effort", format_ci(fixed.unreliability, 3),
         f"{fixed.n_trajectories:,}", *_speedup_cells(fixed),
     )
 
-    restart = MonteCarlo(tree, strategy, horizon=HORIZON, seed=cfg.seed + 2).run_rare_event(
+    restart = runner.rare_event(
+        StudyRequest(
+            tree=tree,
+            strategy=strategy,
+            horizon=HORIZON,
+            seed=cfg.seed + 2,
+            confidence=cfg.confidence,
+        ),
         RareEventConfig(
             method="restart",
             thresholds=(1.0 / 3.0, 0.5, 2.0 / 3.0),
             splits=6,
             n_roots=max(200, 2 * scale),
         ),
-        confidence=cfg.confidence,
     )
     result.add_row(
         "moderate", "RESTART", format_ci(restart.unreliability, 3),
@@ -182,9 +202,14 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     rare_tree = build_ei_joint_fmt(rare_params)
     rare_strategy = inspection_policy(INSPECTIONS_PER_YEAR, parameters=rare_params)
 
-    rare = MonteCarlo(
-        rare_tree, rare_strategy, horizon=HORIZON, seed=cfg.seed + 3
-    ).run_rare_event(
+    rare = runner.rare_event(
+        StudyRequest(
+            tree=rare_tree,
+            strategy=rare_strategy,
+            horizon=HORIZON,
+            seed=cfg.seed + 3,
+            confidence=cfg.confidence,
+        ),
         RareEventConfig(
             method="fixed_effort",
             thresholds=RARE_THRESHOLDS,
@@ -192,7 +217,6 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             effort=max(100, (3 * scale) // 4),
             n_replications=5,
         ),
-        confidence=cfg.confidence,
     )
     result.add_row(
         "rare (refined)", "fixed effort", format_ci(rare.unreliability, 3),

@@ -31,7 +31,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
 
@@ -80,22 +80,28 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
             record.fitted_phases,
         )
 
+    runner = get_runner()
     tree_fitted = build_ei_joint_fmt(fitted)
-    predicted = (
-        MonteCarlo(
-            tree_fitted,
-            current_policy(fitted),
+    predicted = runner.result(
+        StudyRequest(
+            tree=tree_fitted,
+            strategy=current_policy(fitted),
             horizon=_WINDOW,
             seed=cfg.seed + 2,
+            n_runs=2 * n_joints,
+            confidence=cfg.confidence,
         )
-        .run(2 * n_joints, confidence=cfg.confidence)
-        .failures_per_year
-    )
-    truth_enf = (
-        MonteCarlo(tree_truth, strategy, horizon=_WINDOW, seed=cfg.seed + 3)
-        .run(2 * n_joints, confidence=cfg.confidence)
-        .failures_per_year
-    )
+    ).failures_per_year
+    truth_enf = runner.result(
+        StudyRequest(
+            tree=tree_truth,
+            strategy=strategy,
+            horizon=_WINDOW,
+            seed=cfg.seed + 3,
+            n_runs=2 * n_joints,
+            confidence=cfg.confidence,
+        )
+    ).failures_per_year
 
     result.notes.append(
         f"observed system failures: {database.count('system_failure')} over "

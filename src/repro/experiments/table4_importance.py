@@ -22,25 +22,37 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy, no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
 
 _IMPORTANCE_TIME = 5.0
 
 
-def _failure_shares(tree, strategy, cfg) -> Counter:
+def _count_failure_shares(trajectories) -> Counter:
     """Component failures that coincide with a system failure."""
-    mc = MonteCarlo(
-        tree, strategy, horizon=cfg.horizon, seed=cfg.seed, record_events=True
-    )
     shares: Counter = Counter()
-    for trajectory in mc.sample(max(200, cfg.n_runs // 4)):
+    for trajectory in trajectories:
         system_times = set(trajectory.failure_times)
         for event in trajectory.events:
             if event.kind == "failure" and event.time in system_times:
                 shares[event.component] += 1
     return shares
+
+
+def _failure_shares(tree, strategy, cfg) -> Counter:
+    request = StudyRequest(
+        tree=tree,
+        strategy=strategy,
+        horizon=cfg.horizon,
+        seed=cfg.seed,
+        n_runs=max(200, cfg.n_runs // 4),
+        confidence=cfg.confidence,
+        record_events=True,
+    )
+    return get_runner().statistic(
+        request, "failure_shares", _count_failure_shares
+    )
 
 
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:

@@ -23,7 +23,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
-from repro.simulation.montecarlo import MonteCarlo
+from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "N_BOOTSTRAP"]
 
@@ -57,16 +57,16 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for replicate in range(N_BOOTSTRAP):
         rng = np.random.default_rng(cfg.seed + 100 + replicate)
         fitted, _ = refit_parameters(database, truth, rng)
-        prediction = (
-            MonteCarlo(
-                build_ei_joint_fmt(fitted),
-                current_policy(fitted),
+        prediction = get_runner().result(
+            StudyRequest(
+                tree=build_ei_joint_fmt(fitted),
+                strategy=current_policy(fitted),
                 horizon=_WINDOW,
                 seed=cfg.seed + 200 + replicate,
+                n_runs=n_joints,
+                confidence=cfg.confidence,
             )
-            .run(n_joints, confidence=cfg.confidence)
-            .failures_per_year
-        )
+        ).failures_per_year
         predictions.append(prediction.estimate)
         ratio = (
             prediction.estimate / observed.estimate

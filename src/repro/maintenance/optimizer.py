@@ -27,7 +27,6 @@ from repro.core.tree import FaultMaintenanceTree
 from repro.errors import ValidationError
 from repro.maintenance.costs import CostModel
 from repro.maintenance.strategy import MaintenanceStrategy
-from repro.simulation.montecarlo import MonteCarlo
 from repro.stats.confidence import ConfidenceInterval
 
 __all__ = ["PolicyEvaluation", "evaluate_strategies", "optimize_frequency"]
@@ -70,13 +69,23 @@ def evaluate_strategies(
     differences between candidates are then far less noisy than their
     absolute values.
     """
+    from repro.studies import StudyRequest, get_runner
+
     if not strategies:
         raise ValidationError("no strategies to evaluate")
     evaluations = []
     for strategy in strategies:
-        result = MonteCarlo(
-            tree, strategy, horizon=horizon, cost_model=cost_model, seed=seed
-        ).run(n_runs, confidence=confidence)
+        result = get_runner().result(
+            StudyRequest(
+                tree=tree,
+                strategy=strategy,
+                horizon=horizon,
+                cost_model=cost_model,
+                seed=seed,
+                n_runs=n_runs,
+                confidence=confidence,
+            )
+        )
         evaluations.append(
             PolicyEvaluation(
                 strategy=strategy,
@@ -116,11 +125,14 @@ def optimize_frequency(
     PolicyEvaluation
         The best evaluated candidate, with its parameter filled in.
     """
+    from repro.studies import StudyRequest, get_runner
+
     if not lower < upper:
         raise ValidationError(f"need lower < upper, got [{lower}, {upper}]")
     if tolerance <= 0.0:
         raise ValidationError(f"tolerance must be positive, got {tolerance}")
 
+    runner = get_runner()
     evaluations: dict = {}
 
     def objective(x: float) -> float:
@@ -129,13 +141,16 @@ def optimize_frequency(
                 raise ValidationError(
                     f"optimizer exceeded {max_evaluations} evaluations"
                 )
-            result = MonteCarlo(
-                tree,
-                strategy_factory(x),
-                horizon=horizon,
-                cost_model=cost_model,
-                seed=seed,
-            ).run(n_runs)
+            result = runner.result(
+                StudyRequest(
+                    tree=tree,
+                    strategy=strategy_factory(x),
+                    horizon=horizon,
+                    cost_model=cost_model,
+                    seed=seed,
+                    n_runs=n_runs,
+                )
+            )
             evaluations[x] = result
         return evaluations[x].cost_per_year.estimate
 

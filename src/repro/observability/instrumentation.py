@@ -56,6 +56,16 @@ RARE_CLONES = "rare.clones"
 RARE_LEVEL_UP = "rare.level_up"
 RARE_LEVEL_DOWN = "rare.level_down"
 RARE_PRUNES = "rare.prunes"
+# Study runner (repro.studies) counters: cache behaviour of the
+# cross-experiment memoization layer.
+STUDY_REQUESTS = "study.requests"
+STUDY_MEMO_HITS = "study.memo_hits"
+STUDY_DISK_HITS = "study.disk_hits"
+STUDY_MISSES = "study.misses"
+STUDY_FRESH_TRAJECTORIES = "study.fresh_trajectories"
+STUDY_DISK_WRITES = "study.disk_writes"
+STUDY_DISK_CORRUPT = "study.disk_corrupt"
+STUDY_MEMO_EVICTIONS = "study.memo_evictions"
 
 
 class Instrumentation:

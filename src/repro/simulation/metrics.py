@@ -159,6 +159,8 @@ def reliability_curve(
         raise ValidationError("reliability_curve() needs at least one trajectory")
     grid = np.asarray(list(times), dtype=float)
     horizon = trajectories[0].horizon
+    if any(t.horizon != horizon for t in trajectories):
+        raise ValidationError("trajectories have inconsistent horizons")
     if np.any(grid < 0.0) or np.any(grid > horizon):
         raise ValidationError("time grid must lie within [0, horizon]")
     first_failures = np.array(
@@ -195,6 +197,8 @@ def availability_curve(
         raise ValidationError("availability_curve() needs trajectories")
     grid = np.asarray(list(times), dtype=float)
     horizon = trajectories[0].horizon
+    if any(t.horizon != horizon for t in trajectories):
+        raise ValidationError("trajectories have inconsistent horizons")
     if np.any(grid < 0.0) or np.any(grid > horizon):
         raise ValidationError("time grid must lie within [0, horizon]")
 
@@ -214,7 +218,12 @@ def availability_curve(
                 intervals.append((down_since, event.time))
                 down_since = None
         if down_since is not None:
-            intervals.append((down_since, trajectory.horizon))
+            # Still down when observation ends: the interval is
+            # right-censored, not closed at the horizon.  An open end
+            # keeps the half-open membership test below truthful at
+            # t == horizon (a closed end would count the system as
+            # restored at the very last grid point).
+            intervals.append((down_since, np.inf))
         down_intervals.append(intervals)
 
     n = len(trajectories)

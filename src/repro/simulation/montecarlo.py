@@ -34,6 +34,7 @@ from repro.stats.sequential import RelativePrecisionRule, RunningStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.rareevent.estimator import RareEventConfig, RareEventResult
+    from repro.simulation.parallel import SharedSimulationPool
 
 __all__ = ["MonteCarlo", "MonteCarloResult"]
 
@@ -177,6 +178,7 @@ class MonteCarlo:
         processes: Optional[int] = None,
         confidence: float = 0.95,
         keep_trajectories: bool = False,
+        pool: Optional["SharedSimulationPool"] = None,
     ) -> MonteCarloResult:
         """Like :meth:`run`, fanned out over worker processes.
 
@@ -187,19 +189,24 @@ class MonteCarlo:
         ``processes=None`` (the default) picks a sensible fan-out from
         ``os.cpu_count()``, capped so a small study does not pay the
         startup cost of idle workers; explicit values must be >= 1.
+        Passing a :class:`~repro.simulation.parallel.SharedSimulationPool`
+        reuses its workers instead of spawning a dedicated pool (the
+        pool's size then wins over ``processes``).
         """
         from repro.simulation.parallel import default_process_count, sample_parallel
 
         if n_runs < 1:
             raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
-        if processes is None:
+        if pool is not None:
+            processes = pool.processes
+        elif processes is None:
             processes = default_process_count(n_runs)
         elif processes < 1:
             raise ValidationError(f"processes must be >= 1, got {processes}")
         logger.info(kv("run_parallel fan-out", processes=processes, runs=n_runs))
         seeds = self._seed_sequence.spawn(n_runs)
         self._streams_used += n_runs
-        trajectories = sample_parallel(self.simulator, seeds, processes)
+        trajectories = sample_parallel(self.simulator, seeds, processes, pool=pool)
         summary = self._summarize(trajectories, confidence)
         return MonteCarloResult(
             summary=summary,

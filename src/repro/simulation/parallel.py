@@ -16,10 +16,12 @@ pool exception.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,7 +30,12 @@ from repro.observability.logging_setup import get_logger, kv
 from repro.simulation.executor import FMTSimulator
 from repro.simulation.trace import Trajectory
 
-__all__ = ["simulate_batch", "sample_parallel", "default_process_count"]
+__all__ = [
+    "simulate_batch",
+    "sample_parallel",
+    "default_process_count",
+    "SharedSimulationPool",
+]
 
 logger = get_logger(__name__)
 
@@ -74,16 +81,101 @@ def _worker_batch(seeds: Sequence[np.random.SeedSequence]) -> List[Trajectory]:
     return simulate_batch(_WORKER_SIMULATOR, seeds)
 
 
+# Shared-pool worker state: simulators cached by payload digest, so one
+# pool can serve many different studies and each worker unpickles a
+# given simulator at most once.
+_SHARED_SIMULATORS: Dict[str, FMTSimulator] = {}
+
+#: Cached simulators kept per shared-pool worker before the cache is
+#: cleared; a study sweep touches a handful of simulators, and an
+#: unbounded cache would pin every model a long-lived pool ever saw.
+MAX_CACHED_SIMULATORS = 16
+
+
+def _shared_worker_batch(
+    payload: Tuple[str, bytes, Sequence[np.random.SeedSequence]],
+) -> List[Trajectory]:
+    digest, blob, seeds = payload
+    simulator = _SHARED_SIMULATORS.get(digest)
+    if simulator is None:
+        if len(_SHARED_SIMULATORS) >= MAX_CACHED_SIMULATORS:
+            _SHARED_SIMULATORS.clear()
+        simulator = pickle.loads(blob)
+        _SHARED_SIMULATORS[digest] = simulator
+    return simulate_batch(simulator, seeds)
+
+
+class SharedSimulationPool:
+    """A process pool reusable across many (simulator, seeds) studies.
+
+    ``sample_parallel`` normally spins up a dedicated pool whose
+    workers are initialised with one pickled simulator — fine for a
+    single large run, wasteful when an experiment sweep performs many
+    medium runs back to back.  A shared pool is created once, sized
+    once, and serves every study of a sweep: tasks carry the pickled
+    simulator plus its digest, and workers cache unpickled simulators
+    by digest, so repeated studies of the same model pay the transfer
+    but not the unpickling.
+
+    Results are bit-identical to a dedicated pool and to a serial run
+    (the trajectories are functions of the seeds alone).  The pool is
+    lazy — no processes exist until the first parallel study — and a
+    worker crash poisons only the current executor: the next study
+    transparently gets a fresh one.
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        if processes is None:
+            processes = default_process_count()
+        elif processes < 1:
+            raise ValidationError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, created on first use."""
+        if self._executor is None:
+            logger.debug(kv("shared pool start", processes=self.processes))
+            self._executor = ProcessPoolExecutor(max_workers=self.processes)
+        return self._executor
+
+    def invalidate(self) -> None:
+        """Discard a (possibly broken) executor; next use starts fresh."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Terminate the workers (idempotent)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SharedSimulationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "idle" if self._executor is None else "running"
+        return f"SharedSimulationPool(processes={self.processes}, {state})"
+
+
 def sample_parallel(
     simulator: FMTSimulator,
     seeds: Sequence[np.random.SeedSequence],
     processes: int,
     chunk_size: Optional[int] = None,
+    pool: Optional[SharedSimulationPool] = None,
 ) -> List[Trajectory]:
     """Simulate one trajectory per seed across worker processes.
 
     Results are returned in seed order (hence identical to a serial
-    run over the same seeds, regardless of worker scheduling).
+    run over the same seeds, regardless of worker scheduling).  When a
+    :class:`SharedSimulationPool` is given its workers are reused and
+    ``processes`` is taken from the pool; otherwise a dedicated pool is
+    created for this call.
 
     Raises
     ------
@@ -91,6 +183,8 @@ def sample_parallel(
         If a worker process dies (the pool is then unusable); the
         original pool exception is chained as ``__cause__``.
     """
+    if pool is not None:
+        processes = pool.processes
     if processes < 1:
         raise ValidationError(f"processes must be >= 1, got {processes}")
     if processes == 1:
@@ -110,29 +204,39 @@ def sample_parallel(
             processes=processes,
             chunks=len(chunks),
             chunk_size=chunk_size,
+            shared=pool is not None,
         )
     )
     results: List[Trajectory] = []
-    with ProcessPoolExecutor(
-        max_workers=processes,
-        initializer=_init_worker,
-        initargs=(simulator,),
-    ) as pool:
-        try:
-            for batch in pool.map(_worker_batch, chunks):
+    try:
+        if pool is not None:
+            blob = pickle.dumps(simulator, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(blob).hexdigest()
+            payloads = [(digest, blob, chunk) for chunk in chunks]
+            for batch in pool.executor().map(_shared_worker_batch, payloads):
                 results.extend(batch)
-        except BrokenProcessPool as exc:
-            logger.error(
-                kv(
-                    "worker process crashed",
-                    processes=processes,
-                    completed=len(results),
-                    total=len(seeds),
-                )
+        else:
+            with ProcessPoolExecutor(
+                max_workers=processes,
+                initializer=_init_worker,
+                initargs=(simulator,),
+            ) as executor:
+                for batch in executor.map(_worker_batch, chunks):
+                    results.extend(batch)
+    except BrokenProcessPool as exc:
+        if pool is not None:
+            pool.invalidate()
+        logger.error(
+            kv(
+                "worker process crashed",
+                processes=processes,
+                completed=len(results),
+                total=len(seeds),
             )
-            raise SimulationError(
-                "a Monte Carlo worker process terminated abruptly "
-                f"(completed {len(results)}/{len(seeds)} trajectories); "
-                "rerun with processes=1 to reproduce the failure in-process"
-            ) from exc
+        )
+        raise SimulationError(
+            "a Monte Carlo worker process terminated abruptly "
+            f"(completed {len(results)}/{len(seeds)} trajectories); "
+            "rerun with processes=1 to reproduce the failure in-process"
+        ) from exc
     return results

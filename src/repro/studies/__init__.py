@@ -1,0 +1,35 @@
+"""Cross-experiment study runner with memoized simulation cache.
+
+Experiments describe the Monte Carlo study they need as a
+:class:`StudyRequest` and obtain results through a
+:class:`StudyRunner`, which dedupes identical requests within one
+``repro all`` invocation, optionally persists artifacts to a disk
+cache (``--cache-dir``), and serves every cache hit bit-identically to
+a fresh simulation.  See :mod:`repro.studies.runner` for the design
+notes and :mod:`repro.studies.key` for the content-addressing scheme.
+"""
+
+from repro.studies.cache import DiskCache
+from repro.studies.key import CODE_SALT, StudyKey, canonical, study_material
+from repro.studies.runner import (
+    StudyRequest,
+    StudyRunner,
+    current_runner,
+    get_runner,
+    set_default_runner,
+    use_runner,
+)
+
+__all__ = [
+    "CODE_SALT",
+    "DiskCache",
+    "StudyKey",
+    "StudyRequest",
+    "StudyRunner",
+    "canonical",
+    "current_runner",
+    "get_runner",
+    "set_default_runner",
+    "study_material",
+    "use_runner",
+]

@@ -1,0 +1,107 @@
+"""Disk persistence for study artifacts.
+
+One artifact per file, named by the artifact's SHA-256 digest.  Every
+file stores the full canonical key material next to the value, and a
+load only counts as a hit when the stored material matches the
+requested key exactly — a truncated write, a digest collision, a file
+from an older cache format, or plain garbage all read back as a miss
+and the study is silently recomputed (the instrumentation counters are
+the only place a corrupt entry is visible).
+
+Values are pickled: the cached objects (:class:`KpiSummary`,
+confidence intervals, trajectory statistics) are plain dataclasses of
+floats, which pickle round-trips bit-identically.  Writes go through a
+temp file + ``os.replace`` so a crash mid-write can never leave a
+half-written file under a valid name.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from repro.observability.logging_setup import get_logger, kv
+from repro.studies.key import StudyKey
+
+__all__ = ["DiskCache"]
+
+logger = get_logger(__name__)
+
+#: Layout version of the on-disk entry; bump on incompatible changes.
+_ENTRY_FORMAT = 1
+
+
+class DiskCache:
+    """Content-addressed artifact store under one directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: StudyKey) -> Path:
+        """The file that does (or would) hold ``key``'s artifact."""
+        return self.directory / f"{key.digest}.pkl"
+
+    def load(self, key: StudyKey) -> Tuple[bool, Any, bool]:
+        """Look up ``key``.
+
+        Returns
+        -------
+        (hit, value, corrupt):
+            ``hit`` tells whether a valid entry was found (``value`` is
+            only meaningful then); ``corrupt`` tells whether a file
+            existed but failed validation — the caller recomputes
+            either way, but corrupt entries are counted separately.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+        except FileNotFoundError:
+            return False, None, False
+        except Exception:
+            logger.warning(
+                kv("unreadable study cache entry", path=str(path))
+            )
+            return False, None, True
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != _ENTRY_FORMAT
+            or entry.get("material") != key.material
+        ):
+            logger.warning(
+                kv("stale/mismatched study cache entry", path=str(path))
+            )
+            return False, None, True
+        return True, entry.get("value"), False
+
+    def store(self, key: StudyKey, value: Any) -> None:
+        """Persist ``value`` under ``key`` atomically."""
+        entry = {
+            "format": _ENTRY_FORMAT,
+            "material": key.material,
+            "value": value,
+        }
+        path = self.path_for(key)
+        fd, temp_name = tempfile.mkstemp(
+            prefix=f".{key.digest[:12]}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskCache({str(self.directory)!r})"

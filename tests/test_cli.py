@@ -197,3 +197,43 @@ def test_log_level_flag_emits_logs(tmp_path, capsys, maintained_tree):
     finally:
         logging.getLogger("repro").setLevel(logging.WARNING)
     assert logging.getLogger("repro").handlers  # setup_logging installed one
+
+
+def test_cache_dir_warm_rerun_simulates_nothing(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    args = ["fig5", "--quick", "--runs", "60", "--horizon", "10",
+            "--cache-dir", str(cache)]
+    assert main(args + ["--metrics-out", str(tmp_path / "m1.json")]) == 0
+    first_out = capsys.readouterr().out
+    assert cache.is_dir() and any(cache.glob("*.pkl"))
+
+    assert main(args + ["--metrics-out", str(tmp_path / "m2.json")]) == 0
+    second_out = capsys.readouterr().out
+
+    m1 = json.loads((tmp_path / "m1.json").read_text())
+    m2 = json.loads((tmp_path / "m2.json").read_text())
+    assert m1["counters"]["study.fresh_trajectories"] > 0
+    assert "study.fresh_trajectories" not in m2["counters"]
+    assert m2["counters"]["study.disk_hits"] > 0
+    # The rendered table is identical modulo the wall-time note.
+    strip = lambda text: [
+        line for line in text.splitlines()
+        if not line.startswith("note: wall time")
+    ]
+    assert strip(first_out) == strip(second_out)
+
+
+def test_no_cache_flag_bypasses_disk(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    args = ["fig5", "--quick", "--runs", "60", "--horizon", "10",
+            "--cache-dir", str(cache), "--no-cache"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert not cache.exists()
+
+
+def test_processes_flag_validation(capsys):
+    assert main(["fig5", "--quick", "--processes", "0"]) == 2
+    assert "--processes" in capsys.readouterr().err

@@ -243,6 +243,15 @@ def test_config_quick_reduces_runs():
     assert config.quick().seed == config.seed
 
 
+def test_config_quick_never_increases_runs():
+    """Regression: quick() used to *raise* tiny configs to 100 runs."""
+    config = ExperimentConfig(n_runs=40)
+    assert config.quick().n_runs == 40
+    # At the floor boundary the 20x reduction clamps to 100.
+    assert ExperimentConfig(n_runs=100).quick().n_runs == 100
+    assert ExperimentConfig(n_runs=1999).quick().n_runs == 100
+
+
 def test_config_validation():
     from repro.errors import ValidationError
 

@@ -153,6 +153,42 @@ def test_availability_curve_absorbing_down_until_horizon():
     assert intervals[1].estimate == 0.0
 
 
+def test_availability_curve_down_at_horizon_endpoint():
+    """A trajectory that fails and is never restored is down at t=horizon.
+
+    Regression test: the down interval of a never-restored failure used
+    to be closed at the horizon, and the half-open membership test then
+    counted the system as *up* at exactly t == horizon.
+    """
+    trajectories = [_down_trajectory([(2.0, None)])]
+    _, intervals = availability_curve(trajectories, [9.9, 10.0])
+    assert intervals[0].estimate == 0.0
+    assert intervals[1].estimate == 0.0
+
+
+def test_availability_curve_restored_exactly_at_horizon_is_up():
+    # A genuine restoration at the horizon still counts as up there.
+    trajectories = [_down_trajectory([(2.0, 10.0)])]
+    _, intervals = availability_curve(trajectories, [5.0, 10.0])
+    assert intervals[0].estimate == 0.0
+    assert intervals[1].estimate == 1.0
+
+
+def test_reliability_curve_inconsistent_horizons_rejected():
+    trajectories = [_trajectory(horizon=10.0), _trajectory(horizon=20.0)]
+    with pytest.raises(ValidationError):
+        reliability_curve(trajectories, [1.0])
+
+
+def test_availability_curve_inconsistent_horizons_rejected():
+    trajectories = [
+        _down_trajectory([], horizon=10.0),
+        _down_trajectory([], horizon=20.0),
+    ]
+    with pytest.raises(ValidationError):
+        availability_curve(trajectories, [1.0])
+
+
 def test_availability_curve_needs_events():
     trajectory = _trajectory(failures=[1.0])  # failures but no events
     with pytest.raises(ValidationError):
