@@ -1,0 +1,140 @@
+"""Engine benchmark harness: measure the hot path, write ``BENCH_engine.json``.
+
+Runs the trajectory-simulation workloads that dominate every experiment
+of the paper's evaluation and records wall-clock statistics to a JSON
+baseline at the repository root, so performance PRs have a trajectory
+to compare against (see docs/performance.md).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out /tmp/bench.json
+
+The numbers are medians over repeated batches (p95 included to expose
+variance); ``trajectories_per_sec`` is derived from the median.  The
+workloads seed their RNG streams deterministically, so two runs on the
+same machine measure the same work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+
+def _simulate_workload(strategy_factory, horizon: float = 50.0):
+    """A closure simulating one batch of trajectories per call."""
+    from repro.eijoint import build_ei_joint_fmt
+    from repro.simulation.executor import FMTSimulator
+
+    simulator = FMTSimulator(build_ei_joint_fmt(), strategy_factory(), horizon=horizon)
+
+    def batch(seeds) -> None:
+        for seed in seeds:
+            simulator.simulate(np.random.default_rng(seed))
+
+    return batch
+
+
+def _montecarlo_workload(strategy_factory, horizon: float = 50.0):
+    """Full MonteCarlo.run() including KPI summarization."""
+    from repro.eijoint import build_ei_joint_fmt, default_cost_model
+    from repro.simulation.montecarlo import MonteCarlo
+
+    def batch(seeds) -> None:
+        mc = MonteCarlo(
+            build_ei_joint_fmt(),
+            strategy_factory(),
+            horizon=horizon,
+            cost_model=default_cost_model(),
+            seed=len(seeds),
+        )
+        mc.run(len(seeds))
+
+    return batch
+
+
+def build_workloads() -> Dict[str, Callable]:
+    from repro.eijoint import current_policy, unmaintained
+
+    return {
+        "eijoint-current-policy": _simulate_workload(current_policy),
+        "eijoint-unmaintained": _simulate_workload(unmaintained),
+        "eijoint-montecarlo": _montecarlo_workload(current_policy),
+    }
+
+
+def measure(
+    batch: Callable, batch_size: int, repeats: int, warmup: int = 1
+) -> Dict[str, float]:
+    """Time ``repeats`` batches of ``batch_size`` trajectories each."""
+    for _ in range(warmup):
+        batch(range(batch_size))
+    per_trajectory: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        batch(range(batch_size))
+        elapsed = time.perf_counter() - start
+        per_trajectory.append(elapsed / batch_size)
+    per_trajectory.sort()
+    median = statistics.median(per_trajectory)
+    p95 = per_trajectory[min(len(per_trajectory) - 1, int(0.95 * len(per_trajectory)))]
+    return {
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "median_s_per_trajectory": median,
+        "p95_s_per_trajectory": p95,
+        "trajectories_per_sec": 1.0 / median if median > 0 else float("inf"),
+    }
+
+
+def run(quick: bool = False) -> Dict[str, object]:
+    batch_size = 50 if quick else 200
+    repeats = 3 if quick else 9
+    results = {}
+    for name, batch in build_workloads().items():
+        results[name] = measure(batch, batch_size, repeats)
+        print(
+            f"{name}: median {results[name]['median_s_per_trajectory'] * 1e6:.1f} "
+            f"us/trajectory ({results[name]['trajectories_per_sec']:.0f} traj/s)"
+        )
+    from repro._version import __version__
+
+    return {
+        "schema": "repro-bench/1",
+        "suite": "engine",
+        "version": __version__,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,11 @@ The package provides:
   every table and figure of the evaluation;
 * an **observability layer** (:mod:`repro.observability`): metrics
   registry, structured logging, passive simulation instrumentation,
-  JSONL trace export, and profiling hooks.
+  JSONL trace export, and profiling hooks;
+* a **rare-event subsystem** (:mod:`repro.rareevent`): importance
+  splitting (RESTART / fixed effort) over simulator snapshots;
+* a memoizing **study runner** (:mod:`repro.studies`): content-addressed
+  caching of Monte Carlo studies across experiments and processes.
 
 Quickstart
 ----------
@@ -38,8 +42,10 @@ True
 
 from repro._version import __version__
 from repro import analysis, core, ctmc, data, dsl, eijoint, maintenance
-from repro import observability, simulation, stats, units
+from repro import observability, rareevent, simulation, stats, studies, units
 from repro.observability import Instrumentation, MetricsRegistry
+from repro.rareevent import RareEventConfig, RareEventResult
+from repro.studies import StudyRequest, StudyRunner, get_runner, use_runner
 from repro.core import (
     AndGate,
     BasicEvent,
@@ -97,11 +103,15 @@ __all__ = [
     "OrGate",
     "PandGate",
     "ParseError",
+    "RareEventConfig",
+    "RareEventResult",
     "RateDependency",
     "RepairModule",
     "ReproError",
     "SimulationConfig",
     "SimulationError",
+    "StudyRequest",
+    "StudyRunner",
     "UnsupportedModelError",
     "ValidationError",
     "VotingGate",
@@ -112,12 +122,16 @@ __all__ = [
     "data",
     "dsl",
     "eijoint",
+    "get_runner",
     "maintenance",
     "observability",
+    "rareevent",
     "repair",
     "replace",
     "simulation",
     "stats",
+    "studies",
     "units",
+    "use_runner",
     "__version__",
 ]

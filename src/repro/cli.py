@@ -32,8 +32,9 @@ import sys
 from typing import List, Optional
 
 from repro._version import __version__
-from repro.experiments import EXPERIMENTS, ExperimentConfig
+from repro.experiments import ExperimentConfig
 from repro.experiments.common import timed_run
+from repro.experiments.registry import experiment_ids, get_experiment, iter_experiments
 from repro.observability import Instrumentation, get_logger, kv, setup_logging, use
 
 __all__ = ["main", "build_parser"]
@@ -153,7 +154,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 def _cmd_list() -> int:
     print("available experiments:")
-    for key in EXPERIMENTS:
+    for key in experiment_ids():
         print(f"  {key}")
     print("  all           (run every experiment)")
     print("  analyze PATH  (static analysis of a Galileo model file)")
@@ -283,12 +284,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     config = _config_from_args(args)
     if args.experiment == "all":
-        for key, runner in EXPERIMENTS.items():
+        for key, runner in iter_experiments():
             print(timed_run(runner, config, experiment_id=key).to_text())
             print()
         return 0
-    runner = EXPERIMENTS.get(args.experiment)
-    if runner is None:
+    try:
+        runner = get_experiment(args.experiment)
+    except KeyError:
         print(
             f"unknown experiment {args.experiment!r}; try 'list'",
             file=sys.stderr,

@@ -1,54 +1,66 @@
 """Experiment harness: one module per table/figure of the evaluation.
 
-Every experiment module exposes ``run(config) -> ExperimentResult``;
-the CLI (``python -m repro <experiment>``) and the benchmark suite
-(``benchmarks/``) are thin wrappers around these functions.  The
+Every experiment module exposes ``run(config) -> ExperimentResult`` and
+registers it in :mod:`repro.experiments.registry` at import time; the
+CLI (``python -m repro <experiment>``) and the benchmark suite
+(``benchmarks/``) resolve experiments through the registry.  The
 mapping from experiment id to the paper's tables/figures is documented
 in DESIGN.md and the measured-vs-expected record in EXPERIMENTS.md.
+
+The modules are imported here in the paper's evaluation order, which
+fixes the registry's iteration order.
 """
 
+import warnings
+
 from repro.experiments.common import ExperimentConfig, ExperimentResult
-from repro.experiments import (
-    ablation_detection,
-    ablation_phases,
-    ablation_rdep,
-    ctmc_crossval,
-    fig4_reliability,
-    fig5_enf,
-    fig6_cost,
-    fig7_renewal,
-    fig8_fleet,
-    optimum,
-    periodic_crossval,
-    rareevent,
-    sensitivity,
-    table1_model,
-    table2_strategies,
-    table3_validation,
-    table4_importance,
-    uncertainty,
+from repro.experiments.registry import (
+    experiment_ids,
+    get_experiment,
+    iter_experiments,
+    register,
 )
 
-#: Registry used by the CLI; ordered as in the paper's evaluation.
-EXPERIMENTS = {
-    "table1": table1_model.run,
-    "table2": table2_strategies.run,
-    "table3": table3_validation.run,
-    "table4": table4_importance.run,
-    "fig4": fig4_reliability.run,
-    "fig5": fig5_enf.run,
-    "fig6": fig6_cost.run,
-    "fig7": fig7_renewal.run,
-    "fig8": fig8_fleet.run,
-    "optimum": optimum.run,
-    "sensitivity": sensitivity.run,
-    "uncertainty": uncertainty.run,
-    "ablation-rdep": ablation_rdep.run,
-    "ablation-phases": ablation_phases.run,
-    "ablation-detection": ablation_detection.run,
-    "ctmc-crossval": ctmc_crossval.run,
-    "periodic-crossval": periodic_crossval.run,
-    "rareevent": rareevent.run,
-}
+# Imported for their registration side effect, in paper order.
+from repro.experiments import table1_model  # noqa: F401  (table1)
+from repro.experiments import table2_strategies  # noqa: F401  (table2)
+from repro.experiments import table3_validation  # noqa: F401  (table3)
+from repro.experiments import table4_importance  # noqa: F401  (table4)
+from repro.experiments import fig4_reliability  # noqa: F401  (fig4)
+from repro.experiments import fig5_enf  # noqa: F401  (fig5)
+from repro.experiments import fig6_cost  # noqa: F401  (fig6)
+from repro.experiments import fig7_renewal  # noqa: F401  (fig7)
+from repro.experiments import fig8_fleet  # noqa: F401  (fig8)
+from repro.experiments import optimum  # noqa: F401
+from repro.experiments import sensitivity  # noqa: F401
+from repro.experiments import uncertainty  # noqa: F401
+from repro.experiments import ablation_rdep  # noqa: F401  (ablation-rdep)
+from repro.experiments import ablation_phases  # noqa: F401  (ablation-phases)
+from repro.experiments import ablation_detection  # noqa: F401  (ablation-detection)
+from repro.experiments import ctmc_crossval  # noqa: F401  (ctmc-crossval)
+from repro.experiments import periodic_crossval  # noqa: F401  (periodic-crossval)
+from repro.experiments import rareevent  # noqa: F401
 
-__all__ = ["EXPERIMENTS", "ExperimentConfig", "ExperimentResult"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "iter_experiments",
+    "experiment_ids",
+    "EXPERIMENTS",
+]
+
+
+def __getattr__(name: str):
+    if name == "EXPERIMENTS":
+        # Deprecated hard-coded registry dict (pre-registry API); the
+        # snapshot below is equivalent but no longer the source of truth.
+        warnings.warn(
+            "repro.experiments.EXPERIMENTS is deprecated; use "
+            "repro.experiments.registry (get_experiment / iter_experiments)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return dict(iter_experiments())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,6 +15,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_cost_model, default_parameters
 from repro.eijoint.strategies import inspection_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "DETECTION_PROBABILITIES"]
@@ -23,6 +24,7 @@ __all__ = ["run", "DETECTION_PROBABILITIES"]
 DETECTION_PROBABILITIES: Sequence[float] = (1.0, 0.9, 0.75, 0.5)
 
 
+@register("ablation-detection")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Sweep the detection probability at the current frequency."""
     cfg = config if config is not None else ExperimentConfig()

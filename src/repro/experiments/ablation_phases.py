@@ -18,6 +18,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import inspection_policy, no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "PHASE_COUNTS"]
@@ -28,6 +29,7 @@ PHASE_COUNTS: Sequence[int] = (1, 2, 4, 8)
 _MODE = "ferrous_dust"
 
 
+@register("ablation-phases")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Sweep the phase count of the ferrous-dust degradation model."""
     cfg = config if config is not None else ExperimentConfig()

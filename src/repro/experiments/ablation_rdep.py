@@ -18,6 +18,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "FACTORS"]
@@ -37,6 +38,7 @@ def _count_glue_failures(trajectories) -> int:
     )
 
 
+@register("ablation-rdep")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Sweep the bolt->glue acceleration factor."""
     cfg = config if config is not None else ExperimentConfig()

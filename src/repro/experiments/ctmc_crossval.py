@@ -17,6 +17,7 @@ from typing import Optional
 from repro.core.builder import FMTBuilder
 from repro.ctmc.compiler import compile_fmt
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.maintenance.actions import clean
 from repro.maintenance.modules import InspectionModule
 from repro.maintenance.strategy import MaintenanceStrategy
@@ -45,6 +46,7 @@ def build_submodel():
     return builder.build("top")
 
 
+@register("ctmc-crossval")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Compare CTMC and simulation on unreliability and ENF."""
     cfg = config if config is not None else ExperimentConfig()

@@ -15,6 +15,7 @@ import numpy as np
 from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint import strategies as s
 from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "CURVE_STRATEGIES"]
@@ -29,6 +30,7 @@ CURVE_STRATEGIES = (
 )
 
 
+@register("fig4")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Estimate survival curves on a common time grid."""
     cfg = config if config is not None else ExperimentConfig()

@@ -14,6 +14,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import inspection_policy, no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "FREQUENCIES"]
@@ -22,6 +23,7 @@ __all__ = ["run", "FREQUENCIES"]
 FREQUENCIES: Sequence[float] = (0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0)
 
 
+@register("fig5")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Sweep the inspection frequency and estimate ENF per year."""
     cfg = config if config is not None else ExperimentConfig()

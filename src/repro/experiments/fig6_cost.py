@@ -21,12 +21,14 @@ from repro.eijoint.strategies import (
     no_maintenance,
 )
 from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import register
 from repro.experiments.fig5_enf import FREQUENCIES
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
 
 
+@register("fig6")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Sweep inspection frequency and tabulate the cost breakdown."""
     cfg = config if config is not None else ExperimentConfig()

@@ -18,6 +18,7 @@ from repro.eijoint.strategies import (
     inspection_policy,
 )
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "RENEWAL_PERIODS"]
@@ -26,6 +27,7 @@ __all__ = ["run", "RENEWAL_PERIODS"]
 RENEWAL_PERIODS: Sequence[Optional[float]] = (None, 50.0, 35.0, 25.0, 15.0, 10.0, 5.0)
 
 
+@register("fig7")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Sweep the renewal period at the current inspection frequency."""
     cfg = config if config is not None else ExperimentConfig()

@@ -19,6 +19,7 @@ from repro.eijoint.fleet import (
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 
 __all__ = ["run", "FLEET_SIZE"]
 
@@ -26,6 +27,7 @@ __all__ = ["run", "FLEET_SIZE"]
 FLEET_SIZE = 50_000
 
 
+@register("fig8")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Aggregate per-class ENF into the fleet-level failure count."""
     cfg = config if config is not None else ExperimentConfig()

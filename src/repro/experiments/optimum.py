@@ -19,12 +19,14 @@ from repro.eijoint.strategies import (
     inspection_policy,
 )
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.maintenance.optimizer import optimize_frequency
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
 
 
+@register("optimum")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Search the frequency axis and compare with the current policy."""
     cfg = config if config is not None else ExperimentConfig()

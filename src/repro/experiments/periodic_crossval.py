@@ -18,6 +18,7 @@ from repro.analysis.periodic import PeriodicInspectionModel
 from repro.core.builder import FMTBuilder
 from repro.core.events import BasicEvent
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.maintenance.actions import clean
 from repro.maintenance.modules import InspectionModule
 from repro.maintenance.strategy import MaintenanceStrategy
@@ -46,6 +47,7 @@ def _setup(detection_probability: float):
     return event, module, builder.build("top")
 
 
+@register("periodic-crossval")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Compare exact periodic analysis and simulation on both KPIs."""
     cfg = config if config is not None else ExperimentConfig()

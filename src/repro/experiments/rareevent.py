@@ -33,6 +33,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import inspection_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.rareevent import RareEventConfig, crude_equivalent_runs
 from repro.studies import StudyRequest, get_runner
 
@@ -103,6 +104,7 @@ def _speedup_cells(result) -> tuple:
     return f"{equivalent:,}", f"{equivalent / result.n_trajectories:.1f}x"
 
 
+@register("rareevent")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Compare splitting against crude MC at two rarity regimes."""
     cfg = config if config is not None else ExperimentConfig()

@@ -1,0 +1,82 @@
+"""Registry of the paper's experiments.
+
+Experiment modules self-register their ``run`` function at import time::
+
+    from repro.experiments.registry import register
+
+    @register("fig4")
+    def run(config=None) -> ExperimentResult:
+        ...
+
+and consumers — the CLI, the test suite, benchmark harnesses — resolve
+experiments by id through :func:`get_experiment` / :func:`iter_experiments`
+instead of hard-coding module lists.  Importing :mod:`repro.experiments`
+imports every experiment module in the paper's evaluation order, which
+is therefore also the registry's iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+__all__ = ["register", "get_experiment", "iter_experiments", "experiment_ids"]
+
+#: Experiment id -> run function, in registration (paper) order.
+_REGISTRY: Dict[str, Callable[..., "ExperimentResult"]] = {}
+
+
+def register(
+    name: str,
+) -> Callable[[Callable[..., "ExperimentResult"]], Callable[..., "ExperimentResult"]]:
+    """Class a ``run(config) -> ExperimentResult`` function under ``name``.
+
+    Returns the function unchanged.  Registering the same id twice is a
+    programming error (two modules claiming one table/figure) and
+    raises :class:`~repro.errors.ValidationError` immediately.
+    """
+    if not name:
+        raise ValidationError("experiment id must be a non-empty string")
+
+    def decorator(
+        func: Callable[..., "ExperimentResult"],
+    ) -> Callable[..., "ExperimentResult"]:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not func:
+            raise ValidationError(
+                f"experiment {name!r} is already registered "
+                f"(by {existing.__module__})"
+            )
+        _REGISTRY[name] = func
+        return func
+
+    return decorator
+
+
+def get_experiment(name: str) -> Callable[..., "ExperimentResult"]:
+    """The run function registered under ``name``.
+
+    Raises :class:`KeyError` with the known ids when the experiment
+    does not exist — the CLI turns this into its usage error.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY) or "(none registered)"
+        raise KeyError(
+            f"unknown experiment {name!r}; known experiments: {known}"
+        ) from None
+
+
+def iter_experiments() -> Iterator[Tuple[str, Callable[..., "ExperimentResult"]]]:
+    """Yield ``(id, run)`` pairs in registration (paper) order."""
+    return iter(tuple(_REGISTRY.items()))
+
+
+def experiment_ids() -> Tuple[str, ...]:
+    """All registered experiment ids, in registration (paper) order."""
+    return tuple(_REGISTRY)

@@ -19,12 +19,14 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import register
 
 __all__ = ["run"]
 
 _FACTOR = 1.5
 
 
+@register("sensitivity")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Tornado of ENF/yr w.r.t. each mode's mean lifetime."""
     cfg = config if config is not None else ExperimentConfig()

@@ -13,10 +13,12 @@ from typing import Optional
 from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import register
 
 __all__ = ["run"]
 
 
+@register("table1")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Build the model and tabulate its failure modes."""
     parameters = default_parameters()

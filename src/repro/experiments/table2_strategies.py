@@ -10,6 +10,7 @@ from typing import Optional
 
 from repro.eijoint import strategies as s
 from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import register
 
 __all__ = ["run", "evaluated_strategies"]
 
@@ -29,6 +30,7 @@ def evaluated_strategies():
     ]
 
 
+@register("table2")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Tabulate the evaluated maintenance strategies."""
     result = ExperimentResult(

@@ -31,6 +31,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
@@ -39,6 +40,7 @@ __all__ = ["run"]
 _WINDOW = 10.0
 
 
+@register("table3")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run the calibration loop and tabulate fit + validation."""
     cfg = config if config is not None else ExperimentConfig()

@@ -22,6 +22,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy, no_maintenance
 from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run"]
@@ -55,6 +56,7 @@ def _failure_shares(tree, strategy, cfg) -> Counter:
     )
 
 
+@register("table4")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Tabulate importance measures and simulated failure shares."""
     cfg = config if config is not None else ExperimentConfig()

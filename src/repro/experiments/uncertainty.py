@@ -23,6 +23,7 @@ from repro.eijoint.model import build_ei_joint_fmt
 from repro.eijoint.parameters import default_parameters
 from repro.eijoint.strategies import current_policy
 from repro.experiments.common import ExperimentConfig, ExperimentResult, format_ci
+from repro.experiments.registry import register
 from repro.studies import StudyRequest, get_runner
 
 __all__ = ["run", "N_BOOTSTRAP"]
@@ -33,6 +34,7 @@ N_BOOTSTRAP = 10
 _WINDOW = 10.0
 
 
+@register("uncertainty")
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Bootstrap the calibration and tabulate the prediction spread."""
     cfg = config if config is not None else ExperimentConfig()

@@ -6,6 +6,14 @@ given the same schedule calls, execution order is identical, because
 ties on time are broken first by an explicit integer priority and then
 by insertion sequence.
 
+Hot-path design (see docs/performance.md): the heap holds plain
+``(time, priority, seq, handle)`` tuples, so every sift comparison is a
+C-level tuple comparison that is decided by the unique ``seq`` before
+ever touching the handle — no Python ``__lt__`` dispatch on the hot
+path.  Cancellation is lazy: a cancelled handle stays in the heap and
+is discarded when it surfaces.  ``run_until`` inlines the pop/execute
+loop instead of calling :meth:`step` per event.
+
 The engine knows nothing about fault trees; :mod:`repro.simulation.executor`
 builds FMT semantics on top of it.
 """
@@ -14,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -65,6 +74,19 @@ class ScheduledEvent:
             engine._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
+        """Deprecated: the calendar no longer orders events by handle.
+
+        Heap entries are plain ``(time, priority, seq, handle)`` tuples
+        whose unique ``seq`` decides every comparison, so this method is
+        never called by the engine anymore.  It is kept as a shim for
+        code that sorted handles directly.
+        """
+        warnings.warn(
+            "ScheduledEvent ordering is deprecated; compare "
+            "(event.time, event.priority, event.seq) tuples instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return (self.time, self.priority, self.seq) < (
             other.time,
             other.priority,
@@ -111,8 +133,30 @@ class Engine:
     the caller, never a condition to silently repair.
     """
 
+    __slots__ = ("_queue", "_seq", "now", "_running", "_stopped", "_pending", "_instr")
+
     def __init__(self, instrumentation: Optional[Instrumentation] = None):
-        self._queue: List[ScheduledEvent] = []
+        # Heap of (time, priority, seq, handle) tuples; `seq` is unique,
+        # so tuple comparison never reaches the handle.
+        self._queue: List[Tuple[float, int, int, ScheduledEvent]] = []
+        self._seq = 0
+        self.now = 0.0
+        self._running = False
+        self._stopped = False
+        self._pending = 0
+        self._instr = instrumentation
+
+    def reset(self, instrumentation: Optional[Instrumentation] = None) -> None:
+        """Return the engine to its pristine state, reusing the queue.
+
+        Equivalent to constructing a fresh :class:`Engine` but without
+        reallocating; the preallocated heap list is cleared in place.
+        Handles of the abandoned calendar are detached first, so a
+        stale ``cancel()`` cannot corrupt the new run's bookkeeping.
+        """
+        for entry in self._queue:
+            entry[3]._engine = None
+        self._queue.clear()
         self._seq = 0
         self.now = 0.0
         self._running = False
@@ -134,9 +178,10 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time:g} before now={self.now:g}"
             )
-        event = ScheduledEvent(time, priority, self._seq, callback, self)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time, priority, seq, callback, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         self._pending += 1
         if self._instr is not None:
             self._instr.count(EVENTS_SCHEDULED)
@@ -188,8 +233,8 @@ class Engine:
         cloning for importance splitting).
         """
         events = tuple(
-            (event.time, event.priority, event.seq, event.callback, event)
-            for event in self._queue
+            (time, priority, seq, event.callback, event)
+            for time, priority, seq, event in self._queue
             if not event.cancelled and event.callback is not None
         )
         return EngineSnapshot(self.now, self._seq, events)
@@ -211,15 +256,15 @@ class Engine:
             snapshot, letting callers holding old handles (e.g. the
             simulator's transition map) swap them for live ones.
         """
-        for event in self._queue:
+        for entry in self._queue:
             # Detach the abandoned timeline: a later cancel() on one of
             # these stale handles must be a no-op for this engine.
-            event._engine = None
+            entry[3]._engine = None
         mapping: Dict[int, ScheduledEvent] = {}
-        queue: List[ScheduledEvent] = []
+        queue: List[Tuple[float, int, int, ScheduledEvent]] = []
         for time, priority, seq, callback, original in snapshot.events:
             event = ScheduledEvent(time, priority, seq, callback, self)
-            queue.append(event)
+            queue.append((time, priority, seq, event))
             mapping[id(original)] = event
         heapq.heapify(queue)
         self._queue = queue
@@ -232,20 +277,24 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if empty."""
-        self._drop_cancelled()
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0][0]
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
-        self._drop_cancelled()
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+        if not queue:
             return False
-        event = heapq.heappop(self._queue)
+        time, _, _, event = heapq.heappop(queue)
         event._engine = None  # executed: a later cancel() must not decrement
         self._pending -= 1
-        self.now = event.time
+        self.now = time
         callback = event.callback
         event.callback = None
         assert callback is not None
@@ -268,12 +317,30 @@ class Engine:
             )
         self._running = True
         self._stopped = False
+        # The pop/execute loop is inlined (rather than calling step())
+        # and binds the queue and heappop locally: this loop bounds the
+        # throughput of every Monte Carlo study in the repo.  Callbacks
+        # push onto the same list object, so the local alias stays
+        # valid; only restore() rebinds self._queue, and it cannot run
+        # mid-loop (re-entrance is rejected above).
+        queue = self._queue
+        heappop = heapq.heappop
+        instr = self._instr
         try:
             while not self._stopped:
-                self._drop_cancelled()
-                if not self._queue or self._queue[0].time > t_end:
+                while queue and queue[0][3].cancelled:
+                    heappop(queue)
+                if not queue or queue[0][0] > t_end:
                     break
-                self.step()
+                time, _, _, event = heappop(queue)
+                event._engine = None
+                self._pending -= 1
+                self.now = time
+                callback = event.callback
+                event.callback = None
+                if instr is not None:
+                    instr.count(EVENTS_EXECUTED)
+                callback()
         finally:
             self._running = False
         if not self._stopped:
@@ -281,5 +348,5 @@ class Engine:
 
     def _drop_cancelled(self) -> None:
         queue = self._queue
-        while queue and queue[0].cancelled:
+        while queue and queue[0][3].cancelled:
             heapq.heappop(queue)

@@ -22,18 +22,29 @@
 
 Determinism: trajectories are a pure function of the model, strategy,
 configuration, and the :class:`numpy.random.Generator` passed in.
+
+Hot-path design (docs/performance.md): the constructor precomputes
+static lookup tables — per-phase rates and their reciprocals, per-gate
+failed-children thresholds for O(1) incremental re-evaluation, fully
+resolved inspection/repair plans with prices and callbacks — and
+:meth:`_reset` restores per-run state by copying prototype dicts.
+Every optimization is **bit-identical** to the reference
+implementation: the RNG stream is consumed in exactly the same order
+(regression-locked by ``tests/test_golden_trajectory.py``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.dependencies import RateDependency
 from repro.core.events import BasicEvent
-from repro.core.gates import Gate, PandGate
+from repro.core.gates import Gate, OrGate, PandGate, VotingGate
 from repro.core.tree import FaultMaintenanceTree
 from repro.errors import SimulationError, ValidationError
 from repro.maintenance.actions import MaintenanceAction
@@ -122,12 +133,71 @@ class SimulatorSnapshot:
     trajectory: Trajectory
 
 
+class _ModulePlan:
+    """Fully resolved execution plan of one inspection/repair module.
+
+    Everything the per-tick handler needs — period, prices after
+    cost-model resolution, target thresholds, the reschedule callback —
+    is resolved once at simulator construction instead of per visit.
+    """
+
+    __slots__ = (
+        "module",
+        "name",
+        "period",
+        "offset",
+        "exponential",
+        "delay",
+        "detect_failures",
+        "detection_probability",
+        "visit_cost",
+        "targets",
+        "action",
+        "action_kind",
+        "action_cost",
+        "callback",
+    )
+
+    def __init__(self, module, cost_model: CostModel, events: Dict[str, BasicEvent]):
+        self.module = module
+        self.name = module.name
+        self.period = module.period
+        self.offset = module.offset
+        self.exponential = module.timing == "exponential"
+        self.action: MaintenanceAction = module.action
+        self.action_kind = module.action.kind
+        self.action_cost = {
+            target: cost_model.action_cost(target, module.action.kind)
+            for target in module.targets
+        }
+        self.callback: Optional[Callable[[], None]] = None  # bound per simulator
+        if isinstance(module, InspectionModule):
+            self.delay = module.delay
+            self.detect_failures = module.detect_failures
+            self.detection_probability = module.detection_probability
+            self.visit_cost = cost_model.visit_cost(module.name)
+            # (target, detection threshold) pairs; thresholds are
+            # guaranteed non-None by tree validation.
+            self.targets = tuple(
+                (target, events[target].threshold) for target in module.targets
+            )
+        else:
+            self.delay = 0.0
+            self.detect_failures = False
+            self.detection_probability = 1.0
+            self.visit_cost = 0.0
+            self.targets = tuple((target, None) for target in module.targets)
+
+
 class FMTSimulator:
     """Simulates trajectories of one (tree, strategy) pair.
 
     The constructor precomputes the static structure (parent map, RDEP
-    index, module target lists); :meth:`simulate` then runs one
-    trajectory per call using only the provided RNG for randomness.
+    index, module target lists, hot-path lookup tables);
+    :meth:`simulate` then runs one trajectory per call using only the
+    provided RNG for randomness.  :meth:`clone` derives additional
+    simulators that share the validated static structure without
+    re-running strategy application or tree validation.
     """
 
     def __init__(
@@ -159,62 +229,196 @@ class FMTSimulator:
             for target in dep.targets:
                 self._rdeps_by_target.setdefault(target, []).append(dep)
 
-        # ----- per-run state (reset by _reset) -----
-        self._instr: Optional[Instrumentation] = config.instrumentation
-        self._engine = Engine(instrumentation=self._instr)
-        self._rng: np.random.Generator = np.random.default_rng(0)
-        self._phase: Dict[str, int] = {}
-        self._accel: Dict[str, float] = {}
-        self._transition: Dict[str, Optional[ScheduledEvent]] = {}
-        self._state: Dict[str, bool] = {}
-        self._fail_time: Dict[str, Optional[float]] = {}
-        self._pending_actions: Dict[str, Dict[str, ScheduledEvent]] = {}
-        self._system_down = False
-        self._down_since = 0.0
-        self._trajectory = Trajectory(horizon=config.horizon)
+        self._build_static_tables()
+        self._build_plans()
+        self._init_per_run_state()
 
     # ------------------------------------------------------------------
-    # Pickling (worker processes)
+    # Static precomputation (hot-path lookup tables)
+    # ------------------------------------------------------------------
+    def _build_static_tables(self) -> None:
+        """Derive the read-only tables the event handlers index into."""
+        events = self._events
+        self._rates: Dict[str, Tuple[float, ...]] = {
+            name: tuple(event.phase_rates) for name, event in events.items()
+        }
+        self._inv_rates: Dict[str, Tuple[float, ...]] = {
+            name: tuple(1.0 / rate for rate in rates)
+            for name, rates in self._rates.items()
+        }
+        self._n_phases: Dict[str, int] = {
+            name: event.phases for name, event in events.items()
+        }
+
+        # Incremental gate re-evaluation: every monotone gate (AND, OR,
+        # voting, inhibit) is summarised by the number of failed
+        # children that makes it fail; its live failed-children count
+        # is then maintained by the propagation pass, making each gate
+        # update O(1) instead of O(children).  Priority-AND is order
+        # sensitive and keeps exact full evaluation (threshold None).
+        gate_threshold: Dict[str, Optional[int]] = {}
+        count_children: Dict[str, Tuple[str, ...]] = {}
+        for name in self.tree.nodes:
+            element = self.tree.element(name)
+            if not isinstance(element, Gate):
+                continue
+            if isinstance(element, PandGate):
+                gate_threshold[name] = None
+            elif isinstance(element, VotingGate):
+                gate_threshold[name] = element.k
+            elif isinstance(element, OrGate):
+                gate_threshold[name] = 1
+            else:  # AND / inhibit: all children must have failed
+                gate_threshold[name] = len(element.children)
+            if gate_threshold[name] is not None:
+                count_children[name] = tuple(
+                    child.name for child in element.children
+                )
+        self._count_children = count_children
+        # Per node: the gates it feeds, with their update recipe.
+        self._parent_info: Dict[
+            str, Tuple[Tuple[str, Gate, Optional[int]], ...]
+        ] = {
+            name: tuple(
+                (parent, self.tree.element(parent), gate_threshold[parent])
+                for parent in self._parents[name]
+            )
+            for name in self.tree.nodes
+        }
+
+        cost_model = self.config.cost_model
+        self._discount_rate = cost_model.discount_rate
+        self._corrective_cost: Dict[str, float] = {
+            name: cost_model.action_cost(name, "replace", corrective=True)
+            for name in events
+        }
+        self._horizon = self.config.horizon
+        self._recording = self.config.record_events
+
+        # Per-run state prototypes: _reset() copies these (C-speed dict
+        # copy) instead of rebuilding comprehensions per trajectory.
+        self._phase0 = {name: 0 for name in events}
+        self._accel0 = {name: 1.0 for name in events}
+        self._transition0: Dict[str, Optional[ScheduledEvent]] = {
+            name: None for name in events
+        }
+        self._state0 = {name: False for name in self.tree.nodes}
+        self._fail0: Dict[str, Optional[float]] = {
+            name: None for name in self.tree.nodes
+        }
+        self._counts0 = {name: 0 for name in count_children}
+
+    def _build_plans(self) -> None:
+        """Resolve module plans and per-simulator callbacks.
+
+        Callbacks close over ``self``, so clones and unpickled copies
+        must rebuild them (a clone executing the prototype's bound
+        methods would corrupt the prototype's run state).
+        """
+        cost_model = self.config.cost_model
+        self._jump_cb: Dict[str, Callable[[], None]] = {
+            name: partial(self._on_phase_jump, name) for name in self._events
+        }
+        self._inspection_plans: List[_ModulePlan] = []
+        for module in self.tree.inspections:
+            plan = _ModulePlan(module, cost_model, self._events)
+            plan.callback = partial(self._on_inspection, plan)
+            self._inspection_plans.append(plan)
+        self._repair_plans: List[_ModulePlan] = []
+        for module in self.tree.repairs:
+            plan = _ModulePlan(module, cost_model, self._events)
+            plan.callback = partial(self._on_repair, plan)
+            self._repair_plans.append(plan)
+
+    def _init_per_run_state(self) -> None:
+        """Create pristine per-run state (no RNG activity)."""
+        self._instr: Optional[Instrumentation] = self.config.instrumentation
+        self._engine = Engine(instrumentation=self._instr)
+        # The engine lives as long as the simulator (reset in place per
+        # run), so its schedule entry points can be cached once.
+        self._schedule = self._engine.schedule
+        self._schedule_after = self._engine.schedule_after
+        self._set_rng(np.random.default_rng(0))
+        self._phase: Dict[str, int] = dict(self._phase0)
+        self._accel: Dict[str, float] = dict(self._accel0)
+        self._transition: Dict[str, Optional[ScheduledEvent]] = dict(
+            self._transition0
+        )
+        self._state: Dict[str, bool] = dict(self._state0)
+        self._fail_time: Dict[str, Optional[float]] = dict(self._fail0)
+        self._gate_counts: Dict[str, int] = dict(self._counts0)
+        self._pending_actions: Dict[str, Dict[str, ScheduledEvent]] = {
+            name: {} for name in self._events
+        }
+        self._system_down = False
+        self._down_since = 0.0
+        self._trajectory = Trajectory(horizon=self.config.horizon)
+
+    def _set_rng(self, rng: np.random.Generator) -> None:
+        """Install ``rng`` and cache its hot samplers.
+
+        The bound-method caches (``_rng_exponential``, ``_rng_random``)
+        are the "per-event distribution samplers": every draw goes
+        through them, so a swap here is the only thing needed to keep
+        draw order identical to direct ``self._rng.<dist>`` calls.
+        """
+        self._rng = rng
+        self._rng_exponential = rng.exponential
+        self._rng_random = rng.random
+
+    # ------------------------------------------------------------------
+    # Cloning and pickling (prototype reuse, worker processes)
     # ------------------------------------------------------------------
     # Per-run state holds event-callback closures and ScheduledEvent
     # handles, which do not pickle; a worker always starts its runs
     # with _reset, so ship the static structure only and re-create
-    # pristine per-run state on the other side.
+    # pristine per-run state on the other side.  The plan/callback
+    # tables are rebuilt rather than shipped: they close over self.
     _PER_RUN_ATTRS = (
         "_instr",
         "_engine",
+        "_schedule",
+        "_schedule_after",
         "_rng",
+        "_rng_exponential",
+        "_rng_random",
         "_phase",
         "_accel",
         "_transition",
         "_state",
         "_fail_time",
+        "_gate_counts",
         "_pending_actions",
         "_system_down",
         "_down_since",
         "_trajectory",
     )
 
+    _REBUILT_ATTRS = ("_jump_cb", "_inspection_plans", "_repair_plans")
+
     def __getstate__(self):
         state = dict(self.__dict__)
-        for attr in self._PER_RUN_ATTRS:
+        for attr in self._PER_RUN_ATTRS + self._REBUILT_ATTRS:
             state.pop(attr, None)
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        self._instr = self.config.instrumentation
-        self._engine = Engine(instrumentation=self._instr)
-        self._rng = np.random.default_rng(0)
-        self._phase = {}
-        self._accel = {}
-        self._transition = {}
-        self._state = {}
-        self._fail_time = {}
-        self._pending_actions = {}
-        self._system_down = False
-        self._down_since = 0.0
-        self._trajectory = Trajectory(horizon=self.config.horizon)
+        self._build_plans()
+        self._init_per_run_state()
+
+    def clone(self) -> "FMTSimulator":
+        """A fresh simulator sharing this one's validated structure.
+
+        Skips strategy application, tree validation and static-table
+        construction — the clone references the same immutable tables —
+        while per-run state and the ``self``-bound callbacks are its
+        own.  Behaviour is bit-identical to a newly constructed
+        simulator with the same arguments.
+        """
+        new = object.__new__(type(self))
+        new.__setstate__(self.__getstate__())
+        return new
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,11 +427,11 @@ class FMTSimulator:
         """Run one trajectory to the horizon and return its record."""
         self._reset(rng)
         if self._instr is None:
-            self._engine.run_until(self.config.horizon)
+            self._engine.run_until(self._horizon)
             self._finalize()
         else:
             with self._instr.timer(_obs.TIMER_SIMULATE).time():
-                self._engine.run_until(self.config.horizon)
+                self._engine.run_until(self._horizon)
                 self._finalize()
             self._instr.count(_obs.SIM_TRAJECTORIES)
         if logger.isEnabledFor(10):  # logging.DEBUG, avoided on the hot path
@@ -296,14 +500,14 @@ class FMTSimulator:
         if self._engine.stopped:
             return False
         next_time = self._engine.peek_time()
-        if next_time is None or next_time > self.config.horizon:
+        if next_time is None or next_time > self._horizon:
             return False
         return self._engine.step()
 
     def finish(self) -> Trajectory:
         """Run the remaining events to the horizon and close the record."""
         if not self._engine.stopped:
-            self._engine.run_until(self.config.horizon)
+            self._engine.run_until(self._horizon)
         self._finalize()
         return self._trajectory
 
@@ -349,6 +553,13 @@ class FMTSimulator:
         self._accel = dict(snapshot.accel)
         self._state = dict(snapshot.state)
         self._fail_time = dict(snapshot.fail_time)
+        # The incremental gate counters are derived state: rebuild them
+        # from the restored child states.
+        state = self._state
+        self._gate_counts = {
+            gate: sum(1 for child in children if state[child])
+            for gate, children in self._count_children.items()
+        }
         self._transition = {
             name: (mapping.get(id(handle)) if handle is not None else None)
             for name, handle in snapshot.transition.items()
@@ -365,7 +576,7 @@ class FMTSimulator:
         self._down_since = snapshot.down_since
         self._trajectory = snapshot.trajectory.copy()
         if rng is not None:
-            self._rng = rng
+            self._set_rng(rng)
 
     def resample_transitions(self) -> None:
         """Redraw every pending degradation jump from the current RNG.
@@ -389,41 +600,56 @@ class FMTSimulator:
     def _reset(self, rng: np.random.Generator) -> None:
         instr = self.config.instrumentation
         self._instr = instr if instr is not None else _obs.current()
-        self._engine = Engine(instrumentation=self._instr)
-        self._rng = rng
-        self._phase = {name: 0 for name in self._events}
-        self._accel = {name: 1.0 for name in self._events}
-        self._transition = {name: None for name in self._events}
-        self._state = {name: False for name in self.tree.nodes}
-        self._fail_time = {name: None for name in self.tree.nodes}
+        self._engine.reset(instrumentation=self._instr)
+        self._set_rng(rng)
+        self._phase = dict(self._phase0)
+        self._accel = dict(self._accel0)
+        self._transition = dict(self._transition0)
+        self._state = dict(self._state0)
+        self._fail_time = dict(self._fail0)
+        self._gate_counts = dict(self._counts0)
         self._pending_actions = {name: {} for name in self._events}
         self._system_down = False
         self._down_since = 0.0
-        self._trajectory = Trajectory(horizon=self.config.horizon)
+        self._trajectory = Trajectory(horizon=self._horizon)
 
         for name in self._events:
             self._schedule_transition(name)
-        for module in self.tree.inspections:
-            self._schedule_inspection(module, self._first_tick(module))
-        for module in self.tree.repairs:
-            self._schedule_repair(module, self._first_tick(module))
+        for plan in self._inspection_plans:
+            self._schedule_tick(plan, self._first_tick(plan), _PRIO_INSPECTION)
+        for plan in self._repair_plans:
+            self._schedule_tick(plan, self._first_tick(plan), _PRIO_REPAIR)
 
-    def _first_tick(self, module) -> float:
-        if module.timing == "exponential":
-            return self._rng.exponential(module.period)
-        return module.offset
+    def _first_tick(self, plan: _ModulePlan) -> float:
+        if plan.exponential:
+            return self._rng_exponential(plan.period)
+        return plan.offset
 
-    def _next_tick(self, module) -> float:
-        if module.timing == "exponential":
-            return self._engine.now + self._rng.exponential(module.period)
-        return self._engine.now + module.period
+    def _next_tick(self, plan: _ModulePlan) -> float:
+        if plan.exponential:
+            return self._engine.now + self._rng_exponential(plan.period)
+        return self._engine.now + plan.period
+
+    def _schedule_tick(self, plan: _ModulePlan, time: float, priority: int) -> None:
+        if time > self._horizon:
+            return
+        self._schedule(time, plan.callback, priority)
 
     def _finalize(self) -> None:
         if self._system_down:
-            elapsed = self.config.horizon - self._down_since
+            elapsed = self._horizon - self._down_since
             if elapsed > 0.0:
                 self._trajectory.downtime += elapsed
-                self._charge_downtime(self._down_since, self.config.horizon)
+                self._charge_downtime(self._down_since, self._horizon)
+
+    def _discount_factor(self, time: float) -> float:
+        # Mirrors CostModel.discount_factor exactly (bit-identity);
+        # inlined here so the undiscounted common case costs one
+        # comparison instead of a method call plus math.exp.
+        rate = self._discount_rate
+        if rate == 0.0:
+            return 1.0
+        return math.exp(-rate * time)
 
     # ------------------------------------------------------------------
     # Degradation dynamics
@@ -431,26 +657,34 @@ class FMTSimulator:
     def _schedule_transition(self, name: str) -> None:
         """Schedule the next phase jump of component ``name``."""
         phase = self._phase[name]
-        event = self._events[name]
-        if phase >= event.phases:
+        inv_rates = self._inv_rates[name]
+        if phase >= len(inv_rates):
             self._transition[name] = None
             return
-        rate = event.phase_rates[phase] * self._accel[name]
-        delay = self._rng.exponential(1.0 / rate)
-        self._transition[name] = self._engine.schedule_after(
-            delay, lambda n=name: self._on_phase_jump(n), _PRIO_TRANSITION
+        accel = self._accel[name]
+        if accel == 1.0:
+            # rate * 1.0 == rate exactly, so the precomputed reciprocal
+            # is bit-identical to 1.0 / (rate * accel).
+            scale = inv_rates[phase]
+        else:
+            scale = 1.0 / (self._rates[name][phase] * accel)
+        delay = self._rng_exponential(scale)
+        self._transition[name] = self._schedule_after(
+            delay, self._jump_cb[name], _PRIO_TRANSITION
         )
 
     def _on_phase_jump(self, name: str) -> None:
-        event = self._events[name]
-        self._phase[name] += 1
-        if self._instr is not None:
-            self._instr.count(_obs.SIM_PHASE_JUMPS)
-        if self._phase[name] >= event.phases:
+        phase = self._phase[name] + 1
+        self._phase[name] = phase
+        instr = self._instr
+        if instr is not None:
+            instr.count(_obs.SIM_PHASE_JUMPS)
+        if phase >= self._n_phases[name]:
             self._transition[name] = None
-            if self._instr is not None:
-                self._instr.count(_obs.SIM_COMPONENT_FAILURES)
-            self._record(name, "failure", phase=self._phase[name])
+            if instr is not None:
+                instr.count(_obs.SIM_COMPONENT_FAILURES)
+            if self._recording:
+                self._record(name, "failure", phase=phase)
             self._set_component_state(name, failed=True)
         else:
             self._schedule_transition(name)
@@ -463,14 +697,14 @@ class FMTSimulator:
 
     def _set_phase(self, name: str, phase: int) -> None:
         """Force component ``name`` to ``phase`` (maintenance restore)."""
-        event = self._events[name]
-        if not 0 <= phase <= event.phases:
+        n_phases = self._n_phases[name]
+        if not 0 <= phase <= n_phases:
             raise SimulationError(f"{name}: phase {phase} out of range")
-        was_failed = self._phase[name] >= event.phases
+        was_failed = self._phase[name] >= n_phases
         self._cancel_transition(name)
         self._phase[name] = phase
         self._schedule_transition(name)
-        now_failed = phase >= event.phases
+        now_failed = phase >= n_phases
         if was_failed != now_failed:
             self._set_component_state(name, failed=now_failed)
 
@@ -482,32 +716,63 @@ class FMTSimulator:
             return
         self._state[name] = failed
         self._fail_time[name] = self._engine.now if failed else None
-        self._propagate_from(name)
+        self._propagate_from(name, 1 if failed else -1)
 
-    def _propagate_from(self, origin: str) -> None:
-        """Recompute gate states upward from ``origin``; handle effects."""
-        changed = [origin]
+    def _propagate_from(self, origin: str, delta: int) -> None:
+        """Recompute gate states upward from ``origin``; handle effects.
+
+        ``delta`` is the origin's state change (+1 failed, -1 restored).
+        Monotone gates update their failed-children count in O(1); only
+        priority-AND gates re-evaluate their children.  Deltas are
+        recorded at flip time (not read back from the state dict), so
+        shared gates in a DAG that flip more than once during one
+        propagation stay exact.
+        """
+        state = self._state
+        fail_time = self._fail_time
+        counts = self._gate_counts
+        parent_info = self._parent_info
+        now = self._engine.now
+        top = self._top_name
+        changed: List[Tuple[str, int]] = [(origin, delta)]
         self._apply_rdep_effects(origin)
         index = 0
         while index < len(changed):
-            current = changed[index]
+            current, delta = changed[index]
             index += 1
-            for parent_name in self._parents[current]:
-                parent = self.tree.element(parent_name)
-                assert isinstance(parent, Gate)
-                new_state = self._evaluate_gate(parent)
-                if new_state == self._state[parent_name]:
+            for parent_name, gate, threshold in parent_info[current]:
+                if threshold is not None:
+                    count = counts[parent_name] + delta
+                    counts[parent_name] = count
+                    new_state = count >= threshold
+                else:
+                    new_state = self._evaluate_pand(gate)
+                if new_state == state[parent_name]:
                     continue
-                self._state[parent_name] = new_state
-                self._fail_time[parent_name] = (
-                    self._engine.now if new_state else None
-                )
+                state[parent_name] = new_state
+                fail_time[parent_name] = now if new_state else None
                 self._apply_rdep_effects(parent_name)
-                if parent_name == self._top_name and new_state:
+                if parent_name == top and new_state:
                     self._on_system_failure()
-                changed.append(parent_name)
+                changed.append((parent_name, 1 if new_state else -1))
+
+    def _evaluate_pand(self, gate: PandGate) -> bool:
+        """Exact order-sensitive priority-AND evaluation."""
+        state = self._state
+        fail_time = self._fail_time
+        previous = -math.inf
+        for child in gate.children:
+            child_name = child.name
+            if not state[child_name]:
+                return False
+            time = fail_time[child_name]
+            if time < previous:
+                return False
+            previous = time
+        return True
 
     def _evaluate_gate(self, gate: Gate) -> bool:
+        """Full (non-incremental) gate evaluation; kept for cross-checks."""
         if isinstance(gate, PandGate):
             times = [
                 self._fail_time[child.name] if self._state[child.name] else None
@@ -545,10 +810,11 @@ class FMTSimulator:
         if self._instr is not None:
             self._instr.count(_obs.SIM_SYSTEM_FAILURES)
         self._trajectory.failure_times.append(now)
-        self._record(self._top_name, "system_failure")
+        if self._recording:
+            self._record(self._top_name, "system_failure")
         cost_model = self.config.cost_model
         self._trajectory.costs.failures += (
-            cost_model.system_failure * cost_model.discount_factor(now)
+            cost_model.system_failure * self._discount_factor(now)
         )
 
         if self.strategy.on_system_failure == "none":
@@ -581,7 +847,8 @@ class FMTSimulator:
         self._trajectory.downtime += elapsed
         self._charge_downtime(self._down_since, now)
         self._system_down = False
-        self._record(self._top_name, "system_restored")
+        if self._recording:
+            self._record(self._top_name, "system_restored")
         for name in self._events:
             self._phase[name] = 0
             if self._state[name]:
@@ -596,56 +863,62 @@ class FMTSimulator:
     # ------------------------------------------------------------------
     # Inspection modules
     # ------------------------------------------------------------------
-    def _schedule_inspection(self, module: InspectionModule, time: float) -> None:
-        if time > self.config.horizon:
-            return
-        self._engine.schedule(
-            time, lambda m=module: self._on_inspection(m), _PRIO_INSPECTION
-        )
-
-    def _on_inspection(self, module: InspectionModule) -> None:
-        self._schedule_inspection(module, self._next_tick(module))
+    def _on_inspection(self, plan: _ModulePlan) -> None:
+        now = self._engine.now
+        # Reschedule first (inlined _next_tick/_schedule_tick): the
+        # exponential-timing RNG draw happens before any detection
+        # draws of this visit, exactly as in the reference code.
+        if plan.exponential:
+            next_time = now + self._rng_exponential(plan.period)
+        else:
+            next_time = now + plan.period
+        if next_time <= self._horizon:
+            self._schedule(next_time, plan.callback, _PRIO_INSPECTION)
         if self._system_down:
             return
-        cost_model = self.config.cost_model
-        self._trajectory.n_inspections += 1
-        if self._instr is not None:
-            self._instr.count(_obs.SIM_INSPECTIONS)
-        self._trajectory.costs.inspections += cost_model.visit_cost(
-            module.name
-        ) * cost_model.discount_factor(self._engine.now)
-        for target in module.targets:
-            if self._state[target]:
-                if module.detect_failures:
+        trajectory = self._trajectory
+        trajectory.n_inspections += 1
+        instr = self._instr
+        if instr is not None:
+            instr.count(_obs.SIM_INSPECTIONS)
+        rate = self._discount_rate
+        trajectory.costs.inspections += plan.visit_cost * (
+            1.0 if rate == 0.0 else math.exp(-rate * now)
+        )
+        state = self._state
+        phase = self._phase
+        pending_actions = self._pending_actions
+        detection_probability = plan.detection_probability
+        for target, threshold in plan.targets:
+            if state[target]:
+                if plan.detect_failures:
                     self._corrective_replace(target)
                 continue
-            event = self._events[target]
-            threshold = event.threshold
-            assert threshold is not None  # enforced by tree validation
-            if self._phase[target] < threshold:
+            if phase[target] < threshold:
                 continue
             if (
-                module.detection_probability < 1.0
-                and self._rng.random() >= module.detection_probability
+                detection_probability < 1.0
+                and self._rng_random() >= detection_probability
             ):
                 continue  # imperfect inspection missed the degradation
-            if self._instr is not None:
-                self._instr.count(_obs.SIM_DETECTIONS)
-            self._record(target, "detection", phase=self._phase[target])
-            if module.name in self._pending_actions[target]:
+            if instr is not None:
+                instr.count(_obs.SIM_DETECTIONS)
+            if self._recording:
+                self._record(target, "detection", phase=phase[target])
+            if plan.name in pending_actions[target]:
                 continue
-            if module.delay <= 0.0:
-                self._perform_action(module, target)
+            if plan.delay <= 0.0:
+                self._perform_action(plan, target)
             else:
-                handle = self._engine.schedule_after(
-                    module.delay,
-                    lambda m=module, t=target: self._on_delayed_action(m, t),
+                handle = self._schedule_after(
+                    plan.delay,
+                    partial(self._on_delayed_action, plan, target),
                     _PRIO_ACTION,
                 )
-                self._pending_actions[target][module.name] = handle
+                pending_actions[target][plan.name] = handle
 
-    def _on_delayed_action(self, module: InspectionModule, target: str) -> None:
-        self._pending_actions[target].pop(module.name, None)
+    def _on_delayed_action(self, plan: _ModulePlan, target: str) -> None:
+        self._pending_actions[target].pop(plan.name, None)
         if self._system_down:
             return
         if self._state[target]:
@@ -653,52 +926,50 @@ class FMTSimulator:
             # the crew replaces it instead.
             self._corrective_replace(target)
             return
-        self._perform_action(module, target)
+        self._perform_action(plan, target)
 
-    def _perform_action(self, module, target: str) -> None:
-        action: MaintenanceAction = module.action
-        cost_model = self.config.cost_model
-        cost = cost_model.action_cost(
-            target, action.kind
-        ) * cost_model.discount_factor(self._engine.now)
-        self._trajectory.costs.preventive += cost
-        self._trajectory.n_preventive_actions += 1
+    def _perform_action(self, plan: _ModulePlan, target: str) -> None:
+        trajectory = self._trajectory
+        trajectory.costs.preventive += plan.action_cost[
+            target
+        ] * self._discount_factor(self._engine.now)
+        trajectory.n_preventive_actions += 1
         if self._instr is not None:
             self._instr.count(_obs.SIM_PREVENTIVE_ACTIONS)
-        new_phase = action.resulting_phase(self._phase[target])
-        self._record(target, action.kind, phase=new_phase)
+        new_phase = plan.action.resulting_phase(self._phase[target])
+        if self._recording:
+            self._record(target, plan.action_kind, phase=new_phase)
         self._set_phase(target, new_phase)
 
     def _corrective_replace(self, target: str) -> None:
-        cost_model = self.config.cost_model
-        cost = cost_model.action_cost(
-            target, "replace", corrective=True
-        ) * cost_model.discount_factor(self._engine.now)
-        self._trajectory.costs.corrective += cost
-        self._trajectory.n_corrective_replacements += 1
+        trajectory = self._trajectory
+        trajectory.costs.corrective += self._corrective_cost[
+            target
+        ] * self._discount_factor(self._engine.now)
+        trajectory.n_corrective_replacements += 1
         if self._instr is not None:
             self._instr.count(_obs.SIM_CORRECTIVE_REPLACEMENTS)
-        self._record(target, "replace", corrective=True, phase=0)
+        if self._recording:
+            self._record(target, "replace", corrective=True, phase=0)
         self._set_phase(target, 0)
 
     # ------------------------------------------------------------------
     # Repair modules
     # ------------------------------------------------------------------
-    def _schedule_repair(self, module: RepairModule, time: float) -> None:
-        if time > self.config.horizon:
-            return
-        self._engine.schedule(
-            time, lambda m=module: self._on_repair(m), _PRIO_REPAIR
-        )
-
-    def _on_repair(self, module: RepairModule) -> None:
-        self._schedule_repair(module, self._next_tick(module))
+    def _on_repair(self, plan: _ModulePlan) -> None:
+        now = self._engine.now
+        if plan.exponential:
+            next_time = now + self._rng_exponential(plan.period)
+        else:
+            next_time = now + plan.period
+        if next_time <= self._horizon:
+            self._schedule(next_time, plan.callback, _PRIO_REPAIR)
         if self._system_down:
             return
         if self._instr is not None:
             self._instr.count(_obs.SIM_REPAIR_ROUNDS)
-        for target in module.targets:
-            self._perform_action(module, target)
+        for target, _ in plan.targets:
+            self._perform_action(plan, target)
 
     # ------------------------------------------------------------------
     # Recording
@@ -710,7 +981,7 @@ class FMTSimulator:
         corrective: bool = False,
         phase: Optional[int] = None,
     ) -> None:
-        if not self.config.record_events:
+        if not self._recording:
             return
         self._trajectory.events.append(
             ComponentEvent(

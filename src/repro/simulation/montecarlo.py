@@ -14,7 +14,7 @@ model-checking workflow the paper's analyses used.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -115,26 +115,64 @@ class MonteCarlo:
         are bit-identical with or without it.  Falls back to the
         ambient instrumentation (:func:`repro.observability.current`)
         when None.
+    simulator:
+        Validated :class:`~repro.simulation.executor.FMTSimulator`
+        prototype to clone instead of building one from ``tree`` and
+        ``strategy`` — skips strategy application and tree validation,
+        which dominate setup cost when many studies share one model
+        (see :class:`repro.studies.runner.StudyRunner`).  Mutually
+        exclusive with ``tree``/``strategy``/``cost_model``;
+        ``horizon``, if given, must agree with the prototype's.
+        Results are bit-identical to the equivalent ``tree`` +
+        ``strategy`` construction.
     """
 
     def __init__(
         self,
-        tree: FaultMaintenanceTree,
+        tree: Optional[FaultMaintenanceTree] = None,
         strategy: Optional[MaintenanceStrategy] = None,
-        horizon: float = 10.0,
+        horizon: Optional[float] = None,
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
         record_events: bool = False,
         instrumentation: Optional[Instrumentation] = None,
         rare_event: Optional["RareEventConfig"] = None,
+        simulator: Optional[FMTSimulator] = None,
     ):
-        config = SimulationConfig(
-            horizon=horizon,
-            cost_model=cost_model if cost_model is not None else CostModel(),
-            record_events=record_events,
-            instrumentation=instrumentation,
-        )
-        self.simulator = FMTSimulator(tree, strategy, config=config)
+        if simulator is not None:
+            if tree is not None or strategy is not None or cost_model is not None:
+                raise ValidationError(
+                    "simulator= is mutually exclusive with tree/strategy/cost_model"
+                )
+            config = simulator.config
+            if horizon is not None and horizon != config.horizon:
+                raise ValidationError(
+                    f"horizon={horizon:g} conflicts with the prototype's "
+                    f"horizon {config.horizon:g}"
+                )
+            if record_events and not config.record_events:
+                raise ValidationError(
+                    "record_events=True conflicts with the prototype's "
+                    "record_events=False configuration"
+                )
+            self.simulator = simulator.clone()
+            if (
+                instrumentation is not None
+                and instrumentation is not config.instrumentation
+            ):
+                self.simulator.config = replace(
+                    config, instrumentation=instrumentation
+                )
+        else:
+            if tree is None:
+                raise ValidationError("give either tree= or simulator=")
+            config = SimulationConfig(
+                horizon=horizon if horizon is not None else 10.0,
+                cost_model=cost_model if cost_model is not None else CostModel(),
+                record_events=record_events,
+                instrumentation=instrumentation,
+            )
+            self.simulator = FMTSimulator(tree, strategy, config=config)
         self.instrumentation = instrumentation
         self.seed = seed
         # Stored only; consumed exclusively by run_rare_event().  The

@@ -62,6 +62,7 @@ from repro.maintenance.strategy import MaintenanceStrategy
 from repro.observability import instrumentation as _obs
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logging_setup import get_logger, kv
+from repro.simulation.executor import FMTSimulator, SimulationConfig
 from repro.simulation.metrics import KpiSummary, reliability_curve
 from repro.simulation.montecarlo import MonteCarlo, MonteCarloResult
 from repro.simulation.trace import Trajectory
@@ -87,6 +88,11 @@ DEFAULT_PARALLEL_THRESHOLD = 1000
 
 #: In-memory artifact entries kept before least-recently-used eviction.
 DEFAULT_MAX_MEMO_ENTRIES = 512
+
+#: Validated simulator prototypes kept for clone-from-prototype reuse
+#: before least-recently-used eviction.  A handful of models covers a
+#: full ``repro all`` run; prototypes are cheap to rebuild on a miss.
+DEFAULT_MAX_PROTOTYPES = 32
 
 
 @dataclass(frozen=True)
@@ -131,12 +137,51 @@ class StudyRequest:
             )
         )
 
-    def driver(self) -> MonteCarlo:
+    def simulator_material(self) -> str:
+        """Canonical material of the simulator this request needs.
+
+        Excludes the replication knobs (seed, n_runs, confidence): two
+        requests that agree on this material can serve their runs from
+        clones of one validated simulator prototype.
+        """
+        return study_material(
+            tree=self.tree,
+            strategy=self.strategy,
+            horizon=self.horizon,
+            cost_model=self.cost_model,
+            seed=0,
+            n_runs=1,
+            confidence=0.95,
+            record_events=self.record_events,
+        )
+
+    def build_simulator(self) -> FMTSimulator:
+        """A validated simulator for this request (prototype material)."""
+        config = SimulationConfig(
+            horizon=self.horizon,
+            cost_model=(
+                self.cost_model if self.cost_model is not None else CostModel()
+            ),
+            record_events=self.record_events,
+        )
+        return FMTSimulator(self.tree, self.strategy, config=config)
+
+    def driver(self, simulator: Optional[FMTSimulator] = None) -> MonteCarlo:
         """A fresh Monte Carlo driver for this request.
 
         The driver starts from the root seed, so its child streams are
         exactly those of the historical per-experiment code path.
+        ``simulator`` optionally passes a validated prototype (built by
+        :meth:`build_simulator` for the same request material) that the
+        driver clones instead of re-validating the tree — bit-identical
+        either way.
         """
+        if simulator is not None:
+            return MonteCarlo(
+                seed=self.seed,
+                record_events=self.record_events,
+                simulator=simulator,
+            )
         return MonteCarlo(
             self.tree,
             self.strategy,
@@ -200,6 +245,7 @@ class StudyRunner:
         self.max_memo_entries = max_memo_entries
         self.instrumentation = instrumentation
         self._memo: "OrderedDict[str, Any]" = OrderedDict()
+        self._prototypes: "OrderedDict[str, FMTSimulator]" = OrderedDict()
         self._pool = (
             SharedSimulationPool(processes) if processes > 1 else None
         )
@@ -286,9 +332,8 @@ class StudyRunner:
         """
 
         def compute() -> Tuple[Any, Dict[StudyKey, Any], int]:
-            result = request.driver().run_rare_event(
-                config, confidence=request.confidence
-            )
+            driver = request.driver(simulator=self._prototype(request))
+            result = driver.run_rare_event(config, confidence=request.confidence)
             return result, {}, result.n_trajectories
 
         return self._artifact(
@@ -393,10 +438,29 @@ class StudyRunner:
                 self._store(sibling_key, sibling_value)
         return value
 
+    def _prototype(self, request: StudyRequest) -> FMTSimulator:
+        """The cached simulator prototype for the request's material.
+
+        Keyed by :meth:`StudyRequest.simulator_material`, so every
+        (tree, strategy, horizon, cost model) combination validates its
+        tree and builds its static tables once per runner; each study
+        then clones the prototype (per-run state is never shared).
+        """
+        digest = StudyKey.from_material(request.simulator_material()).digest
+        prototype = self._prototypes.get(digest)
+        if prototype is not None:
+            self._prototypes.move_to_end(digest)
+            return prototype
+        prototype = request.build_simulator()
+        while len(self._prototypes) >= DEFAULT_MAX_PROTOTYPES:
+            self._prototypes.popitem(last=False)
+        self._prototypes[digest] = prototype
+        return prototype
+
     def _simulate(
         self, request: StudyRequest, keep_trajectories: bool
     ) -> MonteCarloResult:
-        driver = request.driver()
+        driver = request.driver(simulator=self._prototype(request))
         if (
             self._pool is not None
             and request.n_runs >= self.parallel_threshold

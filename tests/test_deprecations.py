@@ -1,0 +1,86 @@
+"""Every active deprecation shim warns and still works.
+
+The deprecation policy (docs/api.md, "API stability & deprecation")
+keeps replaced surfaces behind shims for at least one release; this
+module pins each shim's warning *and* its behaviour, so a shim cannot
+silently rot before its removal release.
+"""
+
+import warnings
+
+import pytest
+
+from repro.simulation.engine import Engine, ScheduledEvent
+
+
+# ----------------------------------------------------------------------
+# ScheduledEvent ordering (tentpole: tuple-keyed event calendar)
+# ----------------------------------------------------------------------
+def test_scheduled_event_ordering_warns_and_orders():
+    engine = Engine()
+    early = engine.schedule(1.0, lambda: None, priority=0)
+    late = engine.schedule(2.0, lambda: None, priority=0)
+    with pytest.warns(DeprecationWarning, match="ScheduledEvent ordering"):
+        assert early < late
+    with pytest.warns(DeprecationWarning):
+        assert not (late < early)
+
+
+def test_scheduled_event_ordering_ties_break_by_priority_then_seq():
+    engine = Engine()
+    first = engine.schedule(1.0, lambda: None, priority=1)
+    second = engine.schedule(1.0, lambda: None, priority=0)
+    third = engine.schedule(1.0, lambda: None, priority=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert second < first  # lower priority value wins
+        assert first < third  # same priority: insertion order wins
+
+
+def test_engine_hot_path_emits_no_deprecation_warnings():
+    """The engine itself never trips its own shim."""
+    engine = Engine()
+    fired = []
+    engine.schedule(2.0, lambda: fired.append(2))
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(1.0, lambda: fired.append(0), priority=-1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        engine.run_until(10.0)
+    assert fired == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# repro.experiments.EXPERIMENTS (api_redesign: experiment registry)
+# ----------------------------------------------------------------------
+def test_experiments_dict_warns_and_matches_registry():
+    import repro.experiments as experiments
+    from repro.experiments.registry import iter_experiments
+
+    with pytest.warns(DeprecationWarning, match="repro.experiments.EXPERIMENTS"):
+        legacy = experiments.EXPERIMENTS
+    assert legacy == dict(iter_experiments())
+    assert list(legacy)[0] == "table1"
+
+
+def test_experiments_unknown_attribute_still_raises():
+    import repro.experiments as experiments
+
+    with pytest.raises(AttributeError):
+        experiments.NOT_A_REAL_NAME
+
+
+# ----------------------------------------------------------------------
+# Shims must not leak into ordinary library use
+# ----------------------------------------------------------------------
+def test_simulation_stack_is_warning_free():
+    import numpy as np
+
+    from repro.eijoint import build_ei_joint_fmt, current_policy
+    from repro.simulation.executor import FMTSimulator
+
+    simulator = FMTSimulator(build_ei_joint_fmt(), current_policy(), horizon=10.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        simulator.simulate(np.random.default_rng(3))
+        simulator.clone().simulate(np.random.default_rng(3))

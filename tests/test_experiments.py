@@ -10,7 +10,12 @@ import re
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, ExperimentConfig
+from repro.experiments import ExperimentConfig
+from repro.experiments.registry import (
+    experiment_ids,
+    get_experiment,
+    iter_experiments,
+)
 from repro.experiments import (
     ablation_detection,
     ablation_phases,
@@ -41,7 +46,7 @@ def _estimate(cell: str) -> float:
 
 
 def test_registry_complete():
-    assert set(EXPERIMENTS) == {
+    assert set(experiment_ids()) == {
         "table1",
         "table2",
         "table3",
@@ -65,10 +70,43 @@ def test_registry_complete():
 
 @pytest.mark.parametrize("key", ["table1", "table2"])
 def test_structural_tables_render(key):
-    result = EXPERIMENTS[key](None)
+    result = get_experiment(key)(None)
     text = result.to_text()
     assert result.rows
     assert result.experiment_id in text
+
+
+def test_registry_paper_order():
+    """iter_experiments() follows the paper's evaluation order."""
+    ids = [key for key, _ in iter_experiments()]
+    assert ids[:9] == [
+        "table1", "table2", "table3", "table4",
+        "fig4", "fig5", "fig6", "fig7", "fig8",
+    ]
+    assert ids == list(experiment_ids())
+
+
+def test_registry_resolves_registered_functions():
+    assert get_experiment("table1") is table1_model.run
+    assert get_experiment("rareevent") is rareevent.run
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_registry_rejects_duplicate_ids():
+    from repro.errors import ValidationError
+    from repro.experiments.registry import register
+
+    with pytest.raises(ValidationError, match="already registered"):
+        register("table1")(lambda config=None: None)
+
+
+def test_experiments_dict_shim_deprecated():
+    import repro.experiments as experiments
+
+    with pytest.warns(DeprecationWarning, match="EXPERIMENTS is deprecated"):
+        legacy = experiments.EXPERIMENTS
+    assert legacy == dict(iter_experiments())
 
 
 def test_table1_lists_all_modes():

@@ -1,0 +1,163 @@
+"""Golden-trajectory regression tests: the RNG stream must not drift.
+
+The hot-path optimizations of the simulation engine (tuple-keyed event
+calendar, incremental gate re-evaluation, cached samplers, prototype
+cloning) are required to be **bit-identical** to the reference
+implementation: same seed, same config -> same events in the same order
+at the same times with the same KPIs, down to the last float bit.
+
+The fixtures in ``tests/data/golden_eijoint.json`` were generated from
+the pre-optimization implementation (PR 3 state) and are compared with
+exact ``==`` — no tolerances.  Any change to the order in which the
+simulator consumes its RNG stream, to event scheduling semantics, or to
+cost accounting fails these tests.
+
+Regenerate (only when a *deliberate*, documented semantics change is
+made) with::
+
+    PYTHONPATH=src python tests/test_golden_trajectory.py
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.eijoint import (
+    build_ei_joint_fmt,
+    current_policy,
+    default_cost_model,
+    unmaintained,
+)
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+from repro.simulation.montecarlo import MonteCarlo
+
+DATA_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_eijoint.json")
+
+#: (scenario label, strategy factory) pairs frozen into the fixture.
+SCENARIOS = [
+    ("current_policy", current_policy),
+    ("unmaintained", unmaintained),
+]
+
+HORIZON = 50.0
+TRAJECTORY_SEEDS = [2016, 2017, 2018]
+SUMMARY_SEED = 2016
+SUMMARY_RUNS = 40
+
+
+def _trajectory_record(trajectory):
+    """Exact, JSON-serializable image of one trajectory."""
+    return {
+        "failure_times": list(trajectory.failure_times),
+        "downtime": trajectory.downtime,
+        "costs": trajectory.costs.as_dict(),
+        "n_inspections": trajectory.n_inspections,
+        "n_preventive_actions": trajectory.n_preventive_actions,
+        "n_corrective_replacements": trajectory.n_corrective_replacements,
+        "events": [
+            [e.time, e.component, e.kind, e.corrective, e.phase]
+            for e in trajectory.events
+        ],
+    }
+
+
+def _interval_record(interval):
+    return [interval.estimate, interval.lower, interval.upper]
+
+
+def _summary_record(summary):
+    return {
+        "n_runs": summary.n_runs,
+        "unreliability": _interval_record(summary.unreliability),
+        "failures_per_year": _interval_record(summary.failures_per_year),
+        "availability": _interval_record(summary.availability),
+        "cost_per_year": _interval_record(summary.cost_per_year),
+    }
+
+
+def collect_golden():
+    """Simulate every fixture scenario and return the golden image."""
+    golden = {}
+    for label, strategy_factory in SCENARIOS:
+        tree = build_ei_joint_fmt()
+        config = SimulationConfig(
+            horizon=HORIZON,
+            cost_model=default_cost_model(),
+            record_events=True,
+        )
+        simulator = FMTSimulator(tree, strategy_factory(), config=config)
+        trajectories = {
+            str(seed): _trajectory_record(
+                simulator.simulate(np.random.default_rng(seed))
+            )
+            for seed in TRAJECTORY_SEEDS
+        }
+        mc = MonteCarlo(
+            build_ei_joint_fmt(),
+            strategy_factory(),
+            horizon=HORIZON,
+            cost_model=default_cost_model(),
+            seed=SUMMARY_SEED,
+        )
+        summary = mc.run(SUMMARY_RUNS).summary
+        golden[label] = {
+            "trajectories": trajectories,
+            "summary": _summary_record(summary),
+        }
+    return golden
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(DATA_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def actual():
+    return collect_golden()
+
+
+@pytest.mark.parametrize("label", [label for label, _ in SCENARIOS])
+@pytest.mark.parametrize("seed", TRAJECTORY_SEEDS)
+def test_trajectory_bit_identical(golden, actual, label, seed):
+    expected = golden[label]["trajectories"][str(seed)]
+    got = actual[label]["trajectories"][str(seed)]
+    # Event stream: same events, same order, same times (exact floats).
+    assert got["events"] == expected["events"]
+    assert got["failure_times"] == expected["failure_times"]
+    assert got["downtime"] == expected["downtime"]
+    assert got["costs"] == expected["costs"]
+    for counter in (
+        "n_inspections",
+        "n_preventive_actions",
+        "n_corrective_replacements",
+    ):
+        assert got[counter] == expected[counter]
+
+
+@pytest.mark.parametrize("label", [label for label, _ in SCENARIOS])
+def test_kpi_summary_bit_identical(golden, actual, label):
+    expected = golden[label]["summary"]
+    got = actual[label]["summary"]
+    assert got["n_runs"] == expected["n_runs"]
+    for kpi in ("unreliability", "failures_per_year", "availability", "cost_per_year"):
+        assert got[kpi] == expected[kpi], f"{label}: {kpi} drifted"
+
+
+def test_event_stream_nonempty(actual):
+    """Sanity: the fixture scenarios actually exercise the hot path."""
+    for label, _ in SCENARIOS:
+        records = actual[label]["trajectories"].values()
+        assert any(r["events"] for r in records)
+        assert any(r["failure_times"] for r in records)
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration
+    os.makedirs(os.path.dirname(DATA_PATH), exist_ok=True)
+    with open(DATA_PATH, "w", encoding="utf-8") as handle:
+        json.dump(collect_golden(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {DATA_PATH}")
