@@ -1,0 +1,67 @@
+"""Memory-ceiling smoke test for the streaming Monte Carlo path.
+
+Runs a 50 000-trajectory EI-joint study with ``keep_trajectories=False``
+under :mod:`tracemalloc` and fails if the Python-heap peak exceeds a
+fixed budget.  The budget (16 MB) is calibrated so that the columnar
+streaming path passes with ~2.5x headroom while the historical
+keep-everything object path (~32 MB peak for the same study) fails it —
+a regression that silently reintroduces O(n_runs) object retention
+trips this check in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/memory_smoke.py            # 50k runs
+    PYTHONPATH=src python benchmarks/memory_smoke.py --runs 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tracemalloc
+
+#: Python-heap peak budget for the streaming study, in bytes.
+PEAK_BUDGET_BYTES = 16 * 1024 * 1024
+
+DEFAULT_RUNS = 50_000
+HORIZON = 50.0
+SEED = 2016
+
+
+def measure_peak(n_runs: int) -> int:
+    from repro.eijoint import build_ei_joint_fmt, default_cost_model, unmaintained
+    from repro.simulation.montecarlo import MonteCarlo
+
+    mc = MonteCarlo(
+        build_ei_joint_fmt(),
+        unmaintained(),
+        horizon=HORIZON,
+        cost_model=default_cost_model(),
+        seed=SEED,
+    )
+    tracemalloc.start()
+    result = mc.run(n_runs, keep_trajectories=False)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert result.batch is not None and result.batch.n_runs == n_runs
+    return peak
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=DEFAULT_RUNS)
+    parser.add_argument(
+        "--budget-bytes", type=int, default=PEAK_BUDGET_BYTES, metavar="N"
+    )
+    args = parser.parse_args(argv)
+    peak = measure_peak(args.runs)
+    verdict = "OK" if peak <= args.budget_bytes else "OVER BUDGET"
+    print(
+        f"streaming study ({args.runs} runs): peak {peak / 1e6:.2f} MB, "
+        f"budget {args.budget_bytes / 1e6:.2f} MB — {verdict}"
+    )
+    return 0 if peak <= args.budget_bytes else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

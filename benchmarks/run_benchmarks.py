@@ -66,14 +66,128 @@ def _montecarlo_workload(strategy_factory, horizon: float = 50.0):
     return batch
 
 
-def build_workloads() -> Dict[str, Callable]:
-    from repro.eijoint import current_policy, unmaintained
+def _synthetic_trajectories(n: int, horizon: float = 50.0, seed: int = 2016):
+    """Plain Trajectory objects with EI-joint-like KPI statistics.
+
+    The aggregation benchmarks isolate estimator cost from simulation
+    cost, so the raw material is drawn directly instead of simulated.
+    """
+    from repro.maintenance.costs import CostBreakdown
+    from repro.simulation.trace import Trajectory
+
+    rng = np.random.default_rng(seed)
+    n_failures = rng.poisson(0.8, size=n)
+    downtime = rng.exponential(0.05, size=n)
+    costs = rng.exponential(100.0, size=(5, n))
+    counts = rng.poisson(40, size=(3, n))
+    out = []
+    for i in range(n):
+        trajectory = Trajectory(horizon=horizon, events_recorded=False)
+        k = int(n_failures[i])
+        if k:
+            trajectory.failure_times = np.sort(
+                rng.uniform(0.0, horizon, size=k)
+            ).tolist()
+        trajectory.downtime = float(downtime[i])
+        trajectory.costs = CostBreakdown(
+            inspections=float(costs[0, i]),
+            preventive=float(costs[1, i]),
+            corrective=float(costs[2, i]),
+            failures=float(costs[3, i]),
+            downtime=float(costs[4, i]),
+        )
+        trajectory.n_inspections = int(counts[0, i])
+        trajectory.n_preventive_actions = int(counts[1, i])
+        trajectory.n_corrective_replacements = int(counts[2, i])
+        out.append(trajectory)
+    return out
+
+
+def _summarize_workloads(n: int) -> Dict[str, Callable]:
+    """KPI aggregation over the same material in both representations."""
+    from repro.simulation.batch import TrajectoryBatch
+    from repro.simulation.metrics import reliability_curve, summarize
+
+    objects = _synthetic_trajectories(n)
+    prebuilt = TrajectoryBatch.from_trajectories(objects)
+    grid = np.linspace(0.0, 50.0, 101)
 
     return {
-        "eijoint-current-policy": _simulate_workload(current_policy),
-        "eijoint-unmaintained": _simulate_workload(unmaintained),
-        "eijoint-montecarlo": _montecarlo_workload(current_policy),
+        "summarize-objects": lambda seeds: summarize(objects),
+        "summarize-batch": lambda seeds: summarize(prebuilt),
+        "reliability-curve-batch": lambda seeds: reliability_curve(
+            prebuilt, grid
+        ),
     }
+
+
+def _parallel_workload(strategy_factory, keep: bool, horizon: float = 50.0):
+    """End-to-end run_parallel: simulate + IPC + aggregate.
+
+    ``keep=True`` forces the historical object-shipping path;
+    ``keep=False`` takes the columnar worker IPC + streaming
+    aggregation path.
+    """
+    from repro.eijoint import build_ei_joint_fmt, default_cost_model
+    from repro.simulation.montecarlo import MonteCarlo
+
+    def batch(seeds) -> None:
+        mc = MonteCarlo(
+            build_ei_joint_fmt(),
+            strategy_factory(),
+            horizon=horizon,
+            cost_model=default_cost_model(),
+            seed=len(seeds),
+        )
+        mc.run_parallel(len(seeds), keep_trajectories=keep)
+
+    return batch
+
+
+def build_workloads(quick: bool = False) -> Dict[str, Dict[str, object]]:
+    """Workload name -> {batch, batch_size, repeats}."""
+    from repro.eijoint import current_policy, unmaintained
+
+    sim_size = 50 if quick else 200
+    sim_repeats = 3 if quick else 9
+    agg_size = 5_000 if quick else 50_000
+    agg_repeats = 3 if quick else 7
+    par_size = 2_000 if quick else 50_000
+    par_repeats = 2 if quick else 3
+
+    workloads: Dict[str, Dict[str, object]] = {
+        "eijoint-current-policy": {
+            "batch": _simulate_workload(current_policy),
+            "batch_size": sim_size,
+            "repeats": sim_repeats,
+        },
+        "eijoint-unmaintained": {
+            "batch": _simulate_workload(unmaintained),
+            "batch_size": sim_size,
+            "repeats": sim_repeats,
+        },
+        "eijoint-montecarlo": {
+            "batch": _montecarlo_workload(current_policy),
+            "batch_size": sim_size,
+            "repeats": sim_repeats,
+        },
+    }
+    for name, fn in _summarize_workloads(agg_size).items():
+        workloads[f"{name}-{agg_size // 1000}k"] = {
+            "batch": fn,
+            "batch_size": agg_size,
+            "repeats": agg_repeats,
+        }
+    for name, keep in (
+        ("parallel-objects", True),
+        ("parallel-batch", False),
+    ):
+        workloads[f"{name}-{par_size // 1000}k"] = {
+            "batch": _parallel_workload(unmaintained, keep=keep),
+            "batch_size": par_size,
+            "repeats": par_repeats,
+        }
+    return workloads
 
 
 def measure(
@@ -101,11 +215,11 @@ def measure(
 
 
 def run(quick: bool = False) -> Dict[str, object]:
-    batch_size = 50 if quick else 200
-    repeats = 3 if quick else 9
     results = {}
-    for name, batch in build_workloads().items():
-        results[name] = measure(batch, batch_size, repeats)
+    for name, spec in build_workloads(quick).items():
+        results[name] = measure(
+            spec["batch"], spec["batch_size"], spec["repeats"]
+        )
         print(
             f"{name}: median {results[name]['median_s_per_trajectory'] * 1e6:.1f} "
             f"us/trajectory ({results[name]['trajectories_per_sec']:.0f} traj/s)"

@@ -79,7 +79,13 @@ from repro.maintenance import (
     repair,
     replace,
 )
-from repro.simulation import MonteCarlo, MonteCarloResult, SimulationConfig
+from repro.simulation import (
+    MonteCarlo,
+    MonteCarloResult,
+    SimulationConfig,
+    TrajectoryAccumulator,
+    TrajectoryBatch,
+)
 
 __all__ = [
     "AnalysisError",
@@ -112,6 +118,8 @@ __all__ = [
     "SimulationError",
     "StudyRequest",
     "StudyRunner",
+    "TrajectoryAccumulator",
+    "TrajectoryBatch",
     "UnsupportedModelError",
     "ValidationError",
     "VotingGate",

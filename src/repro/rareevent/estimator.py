@@ -333,7 +333,9 @@ class RareEventEstimator:
     def _combine_fixed_effort(
         self, units: Sequence[SplittingRun], confidence: float
     ) -> RareEventResult:
-        estimates = [unit.estimate for unit in units]
+        estimates = np.fromiter(
+            (unit.estimate for unit in units), dtype=np.float64, count=len(units)
+        )
         n_segments = sum(unit.n_segments for unit in units)
         interval = self._fixed_effort_interval(units, estimates, confidence)
         return RareEventResult(
@@ -349,10 +351,10 @@ class RareEventEstimator:
     def _fixed_effort_interval(
         self,
         units: Sequence[SplittingRun],
-        estimates: Sequence[float],
+        estimates: np.ndarray,
         confidence: float,
     ) -> ConfidenceInterval:
-        if all(estimate == 0.0 for estimate in estimates):
+        if not np.any(estimates):
             # Zero everywhere: a Wilson zero-success fallback on the
             # first-stage trials gives an honest (conservative) upper
             # bound — p <= P(reach level 1) by construction.
@@ -360,7 +362,7 @@ class RareEventEstimator:
             upper = wilson_interval(0, trials, confidence).upper
             return ConfidenceInterval(0.0, 0.0, upper, confidence)
         if len(units) >= 2:
-            interval = mean_confidence_interval(list(estimates), confidence)
+            interval = mean_confidence_interval(estimates, confidence)
             return ConfidenceInterval(
                 interval.estimate,
                 max(0.0, interval.lower),
@@ -403,9 +405,11 @@ class RareEventEstimator:
     def _combine_restart(
         self, units: Sequence[RestartRoot], confidence: float
     ) -> RareEventResult:
-        weights = [unit.weight for unit in units]
+        weights = np.fromiter(
+            (unit.weight for unit in units), dtype=np.float64, count=len(units)
+        )
         n_segments = sum(unit.n_segments for unit in units)
-        if all(weight == 0.0 for weight in weights):
+        if not np.any(weights):
             upper = wilson_interval(0, len(weights), confidence).upper
             interval = ConfidenceInterval(0.0, 0.0, upper, confidence)
         else:

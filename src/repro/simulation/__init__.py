@@ -9,7 +9,10 @@ The layering is:
   acceleration, periodic inspections and repairs, system-failure
   response, full cost accounting;
 * :mod:`repro.simulation.trace` — the per-trajectory record;
-* :mod:`repro.simulation.metrics` — KPI estimators over trajectories;
+* :mod:`repro.simulation.batch` — columnar batches of trajectory KPI
+  material (packed numpy columns + streaming accumulator);
+* :mod:`repro.simulation.metrics` — KPI estimators over trajectories
+  or batches, vectorized and bit-identical either way;
 * :mod:`repro.simulation.montecarlo` — the replication driver with
   confidence intervals and sequential stopping;
 * :mod:`repro.simulation.parallel` — multiprocess fan-out with
@@ -20,6 +23,7 @@ Every layer accepts an optional
 counters, per-trajectory timers) — see :mod:`repro.observability`.
 """
 
+from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
 from repro.simulation.engine import Engine, ScheduledEvent
 from repro.simulation.executor import FMTSimulator, SimulationConfig
 from repro.simulation.metrics import (
@@ -32,7 +36,9 @@ from repro.simulation.montecarlo import MonteCarlo, MonteCarloResult
 from repro.simulation.parallel import (
     default_process_count,
     sample_parallel,
+    sample_parallel_batch,
     simulate_batch,
+    simulate_batch_columns,
 )
 from repro.simulation.trace import ComponentEvent, Trajectory
 
@@ -46,10 +52,14 @@ __all__ = [
     "ScheduledEvent",
     "SimulationConfig",
     "Trajectory",
+    "TrajectoryAccumulator",
+    "TrajectoryBatch",
     "availability_curve",
     "default_process_count",
     "reliability_curve",
     "sample_parallel",
+    "sample_parallel_batch",
     "simulate_batch",
+    "simulate_batch_columns",
     "summarize",
 ]

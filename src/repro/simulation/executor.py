@@ -352,7 +352,10 @@ class FMTSimulator:
         }
         self._system_down = False
         self._down_since = 0.0
-        self._trajectory = Trajectory(horizon=self.config.horizon)
+        self._trajectory = Trajectory(
+            horizon=self.config.horizon,
+            events_recorded=self.config.record_events,
+        )
 
     def _set_rng(self, rng: np.random.Generator) -> None:
         """Install ``rng`` and cache its hot samplers.
@@ -611,7 +614,10 @@ class FMTSimulator:
         self._pending_actions = {name: {} for name in self._events}
         self._system_down = False
         self._down_since = 0.0
-        self._trajectory = Trajectory(horizon=self._horizon)
+        self._trajectory = Trajectory(
+            horizon=self._horizon,
+            events_recorded=self.config.record_events,
+        )
 
         for name in self._events:
             self._schedule_transition(name)

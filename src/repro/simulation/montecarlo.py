@@ -26,8 +26,14 @@ from repro.maintenance.strategy import MaintenanceStrategy
 from repro.observability import instrumentation as _obs
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logging_setup import get_logger, kv
+from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
 from repro.simulation.executor import FMTSimulator, SimulationConfig
-from repro.simulation.metrics import KpiSummary, reliability_curve, summarize
+from repro.simulation.metrics import (
+    KpiSummary,
+    Trajectories,
+    reliability_curve,
+    summarize,
+)
 from repro.simulation.trace import Trajectory
 from repro.stats.confidence import ConfidenceInterval
 from repro.stats.sequential import RelativePrecisionRule, RunningStatistics
@@ -43,10 +49,19 @@ logger = get_logger(__name__)
 
 @dataclass(frozen=True)
 class MonteCarloResult:
-    """Result of a Monte Carlo study: KPIs plus optional raw material."""
+    """Result of a Monte Carlo study: KPIs plus optional raw material.
+
+    ``trajectories`` carries the full objects only when the study was
+    run with ``keep_trajectories=True``.  ``batch`` carries the packed
+    KPI columns (:class:`~repro.simulation.batch.TrajectoryBatch`)
+    whenever the driver took the streaming columnar path — enough for
+    :meth:`reliability_at` and further aggregation at a small fraction
+    of the object list's footprint.
+    """
 
     summary: KpiSummary
     trajectories: Optional[Tuple[Trajectory, ...]] = None
+    batch: Optional[TrajectoryBatch] = None
 
     # Convenience pass-throughs used everywhere in the experiments.
     @property
@@ -82,12 +97,15 @@ class MonteCarloResult:
     def reliability_at(
         self, times: Sequence[float], confidence: float = 0.95
     ) -> Tuple[np.ndarray, list]:
-        """Survival curve on a grid (requires kept trajectories)."""
-        if self.trajectories is None:
-            raise ValidationError(
-                "reliability_at() needs keep_trajectories=True in run()"
-            )
-        return reliability_curve(self.trajectories, times, confidence)
+        """Survival curve on a grid (from kept trajectories or the batch)."""
+        if self.trajectories is not None:
+            return reliability_curve(self.trajectories, times, confidence)
+        if self.batch is not None:
+            return reliability_curve(self.batch, times, confidence)
+        raise ValidationError(
+            "reliability_at() needs the run's raw material (a trajectory "
+            "batch or keep_trajectories=True in run())"
+        )
 
 
 class MonteCarlo:
@@ -193,7 +211,7 @@ class MonteCarlo:
         return np.random.default_rng(child)
 
     def _summarize(
-        self, trajectories: Sequence[Trajectory], confidence: float
+        self, trajectories: Trajectories, confidence: float
     ) -> KpiSummary:
         """KPI aggregation, timed when instrumentation is active."""
         instr = self.instrumentation
@@ -210,6 +228,22 @@ class MonteCarlo:
             raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
         return [self.simulator.simulate(self._next_rng()) for _ in range(n_runs)]
 
+    def sample_batch(self, n_runs: int) -> TrajectoryBatch:
+        """Simulate ``n_runs`` fresh trajectories as packed batch columns.
+
+        Consumes exactly the same child seed streams as :meth:`sample`,
+        and each trajectory object is folded into the accumulator as
+        soon as it is produced — resident memory stays O(columns)
+        instead of O(n_runs) objects.  The resulting batch yields
+        KPIs bit-identical to ``sample``'s object list.
+        """
+        if n_runs < 1:
+            raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+        accumulator = TrajectoryAccumulator(horizon=self.horizon)
+        for _ in range(n_runs):
+            accumulator.add(self.simulator.simulate(self._next_rng()))
+        return accumulator.finalize()
+
     def run_parallel(
         self,
         n_runs: int,
@@ -225,13 +259,22 @@ class MonteCarlo:
         parallelism is purely a wall-clock optimization.
 
         ``processes=None`` (the default) picks a sensible fan-out from
-        ``os.cpu_count()``, capped so a small study does not pay the
-        startup cost of idle workers; explicit values must be >= 1.
+        the schedulable CPU count, capped so a small study does not pay
+        the startup cost of idle workers; explicit values must be >= 1.
         Passing a :class:`~repro.simulation.parallel.SharedSimulationPool`
         reuses its workers instead of spawning a dedicated pool (the
         pool's size then wins over ``processes``).
+
+        Unless ``keep_trajectories=True``, the raw material comes back
+        as a :class:`~repro.simulation.batch.TrajectoryBatch` on the
+        result; with ``record_events=False`` (the default) the workers
+        themselves ship packed columns instead of pickled object lists.
         """
-        from repro.simulation.parallel import default_process_count, sample_parallel
+        from repro.simulation.parallel import (
+            default_process_count,
+            sample_parallel,
+            sample_parallel_batch,
+        )
 
         if n_runs < 1:
             raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
@@ -244,11 +287,26 @@ class MonteCarlo:
         logger.info(kv("run_parallel fan-out", processes=processes, runs=n_runs))
         seeds = self._seed_sequence.spawn(n_runs)
         self._streams_used += n_runs
+        if not keep_trajectories and not self.simulator.config.record_events:
+            # Compact IPC: workers reduce trajectories to KPI columns
+            # and the driver never materializes the object list.
+            batch = sample_parallel_batch(
+                self.simulator, seeds, processes, pool=pool
+            )
+            return MonteCarloResult(
+                summary=self._summarize(batch, confidence), batch=batch
+            )
         trajectories = sample_parallel(self.simulator, seeds, processes, pool=pool)
-        summary = self._summarize(trajectories, confidence)
+        if keep_trajectories:
+            summary = self._summarize(trajectories, confidence)
+            return MonteCarloResult(
+                summary=summary, trajectories=tuple(trajectories)
+            )
+        # Events were recorded but the objects are not kept: ship the
+        # objects (they carry the events) but hand back only the batch.
+        batch = TrajectoryBatch.from_trajectories(trajectories)
         return MonteCarloResult(
-            summary=summary,
-            trajectories=tuple(trajectories) if keep_trajectories else None,
+            summary=self._summarize(batch, confidence), batch=batch
         )
 
     def run(
@@ -257,12 +315,24 @@ class MonteCarlo:
         confidence: float = 0.95,
         keep_trajectories: bool = False,
     ) -> MonteCarloResult:
-        """Run a fixed number of replications and summarize KPIs."""
-        trajectories = self.sample(n_runs)
-        summary = self._summarize(trajectories, confidence)
+        """Run a fixed number of replications and summarize KPIs.
+
+        With ``keep_trajectories=False`` (the default) the trajectories
+        are streamed into a :class:`~repro.simulation.batch.
+        TrajectoryBatch` as they are simulated — peak memory is one
+        trajectory plus the packed columns, independent of ``n_runs`` —
+        and the batch rides along on the result for curve estimation.
+        KPIs are bit-identical between the two modes.
+        """
+        if keep_trajectories:
+            trajectories = self.sample(n_runs)
+            summary = self._summarize(trajectories, confidence)
+            return MonteCarloResult(
+                summary=summary, trajectories=tuple(trajectories)
+            )
+        batch = self.sample_batch(n_runs)
         return MonteCarloResult(
-            summary=summary,
-            trajectories=tuple(trajectories) if keep_trajectories else None,
+            summary=self._summarize(batch, confidence), batch=batch
         )
 
     def run_rare_event(
@@ -354,6 +424,14 @@ class MonteCarlo:
             )
         statistics = RunningStatistics()
         collected: List[Trajectory] = []
+        # With keep_trajectories=False the batches are folded straight
+        # into columnar form, so an open-ended sequential run keeps a
+        # bounded footprint no matter how many samples the rule needs.
+        accumulator = (
+            None
+            if keep_trajectories
+            else TrajectoryAccumulator(horizon=self.horizon)
+        )
         while not rule.should_stop(statistics):
             if statistics.count >= max_zero_samples and statistics.mean == 0.0:
                 message = (
@@ -374,9 +452,16 @@ class MonteCarlo:
             batch = self.sample(batch_size)
             for trajectory in batch:
                 statistics.add(extractor(trajectory))
-            collected.extend(batch)
-        summary = self._summarize(collected, confidence)
+            if accumulator is None:
+                collected.extend(batch)
+            else:
+                accumulator.extend(batch)
+        if accumulator is None:
+            summary = self._summarize(collected, confidence)
+            return MonteCarloResult(
+                summary=summary, trajectories=tuple(collected)
+            )
+        built = accumulator.finalize()
         return MonteCarloResult(
-            summary=summary,
-            trajectories=tuple(collected) if keep_trajectories else None,
+            summary=self._summarize(built, confidence), batch=built
         )

@@ -8,10 +8,22 @@ to :meth:`repro.simulation.montecarlo.MonteCarlo.run` with the same
 seed (the test suite asserts this).
 
 The simulator object is pickled once per worker; per-trajectory work
-ships only a :class:`numpy.random.SeedSequence`.  A worker process
-dying (OOM-kill, segfault, ``os._exit``) surfaces as a
-:class:`~repro.errors.SimulationError` instead of a hang or an opaque
-pool exception.
+ships only a :class:`numpy.random.SeedSequence`.  Results come back in
+one of two shapes:
+
+* :func:`sample_parallel` — full :class:`~repro.simulation.trace.
+  Trajectory` object lists (needed when events or the objects
+  themselves are kept);
+* :func:`sample_parallel_batch` — packed
+  :class:`~repro.simulation.batch.TrajectoryBatch` columns.  Workers
+  reduce each trajectory to its KPI scalars immediately, so the pipe
+  carries a few numpy arrays per chunk (~an order of magnitude fewer
+  bytes than pickled object lists) and the driver folds them into one
+  accumulator instead of materializing ``n_runs`` Python objects.
+
+A worker process dying (OOM-kill, segfault, ``os._exit``) surfaces as
+a :class:`~repro.errors.SimulationError` instead of a hang or an
+opaque pool exception.
 """
 
 from __future__ import annotations
@@ -21,18 +33,21 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError, ValidationError
 from repro.observability.logging_setup import get_logger, kv
+from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
 from repro.simulation.executor import FMTSimulator
 from repro.simulation.trace import Trajectory
 
 __all__ = [
     "simulate_batch",
+    "simulate_batch_columns",
     "sample_parallel",
+    "sample_parallel_batch",
     "default_process_count",
     "SharedSimulationPool",
 ]
@@ -49,14 +64,35 @@ MAX_DEFAULT_PROCESSES = 8
 _WORKER_SIMULATOR: Optional[FMTSimulator] = None
 
 
+def _available_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine's CPUs even when a cgroup
+    quota or CPU affinity mask (containers, CI runners, ``taskset``)
+    restricts the process to far fewer — spawning workers for CPUs we
+    cannot use only adds pickling and scheduling overhead.  The
+    affinity mask (where the platform exposes one) is authoritative.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = len(getaffinity(0))
+        except OSError:  # pragma: no cover - platform quirk
+            affinity = 0
+        if affinity:
+            return affinity
+    return os.cpu_count() or 1
+
+
 def default_process_count(n_tasks: Optional[int] = None) -> int:
     """Fan-out used when the caller does not pick one.
 
-    ``os.cpu_count()`` capped at :data:`MAX_DEFAULT_PROCESSES`, and at
-    ``n_tasks`` when given (no point spawning more workers than there
-    are trajectories).  Always >= 1.
+    The schedulable CPU count (see :func:`_available_cpu_count`) capped
+    at :data:`MAX_DEFAULT_PROCESSES`, and at ``n_tasks`` when given (no
+    point spawning more workers than there are trajectories).  Always
+    >= 1.
     """
-    count = min(os.cpu_count() or 1, MAX_DEFAULT_PROCESSES)
+    count = min(_available_cpu_count(), MAX_DEFAULT_PROCESSES)
     if n_tasks is not None:
         count = min(count, n_tasks)
     return max(1, count)
@@ -76,9 +112,33 @@ def simulate_batch(
     ]
 
 
+def simulate_batch_columns(
+    simulator: FMTSimulator, seeds: Sequence[np.random.SeedSequence]
+) -> TrajectoryBatch:
+    """Simulate one trajectory per seed, reduced to batch columns.
+
+    Each trajectory object is folded into the accumulator as soon as
+    it is produced and becomes garbage immediately — resident memory
+    is one trajectory plus the columns, regardless of ``len(seeds)``.
+    """
+    accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
+    simulate = simulator.simulate
+    add = accumulator.add
+    for seed in seeds:
+        add(simulate(np.random.default_rng(seed)))
+    return accumulator.finalize()
+
+
 def _worker_batch(seeds: Sequence[np.random.SeedSequence]) -> List[Trajectory]:
     assert _WORKER_SIMULATOR is not None
     return simulate_batch(_WORKER_SIMULATOR, seeds)
+
+
+def _worker_batch_columns(
+    seeds: Sequence[np.random.SeedSequence],
+) -> TrajectoryBatch:
+    assert _WORKER_SIMULATOR is not None
+    return simulate_batch_columns(_WORKER_SIMULATOR, seeds)
 
 
 # Shared-pool worker state: simulators cached by payload digest, so one
@@ -92,17 +152,28 @@ _SHARED_SIMULATORS: Dict[str, FMTSimulator] = {}
 MAX_CACHED_SIMULATORS = 16
 
 
-def _shared_worker_batch(
-    payload: Tuple[str, bytes, Sequence[np.random.SeedSequence]],
-) -> List[Trajectory]:
-    digest, blob, seeds = payload
+def _shared_simulator(digest: str, blob: bytes) -> FMTSimulator:
     simulator = _SHARED_SIMULATORS.get(digest)
     if simulator is None:
         if len(_SHARED_SIMULATORS) >= MAX_CACHED_SIMULATORS:
             _SHARED_SIMULATORS.clear()
         simulator = pickle.loads(blob)
         _SHARED_SIMULATORS[digest] = simulator
-    return simulate_batch(simulator, seeds)
+    return simulator
+
+
+def _shared_worker_batch(
+    payload: Tuple[str, bytes, Sequence[np.random.SeedSequence]],
+) -> List[Trajectory]:
+    digest, blob, seeds = payload
+    return simulate_batch(_shared_simulator(digest, blob), seeds)
+
+
+def _shared_worker_batch_columns(
+    payload: Tuple[str, bytes, Sequence[np.random.SeedSequence]],
+) -> TrajectoryBatch:
+    digest, blob, seeds = payload
+    return simulate_batch_columns(_shared_simulator(digest, blob), seeds)
 
 
 class SharedSimulationPool:
@@ -162,6 +233,88 @@ class SharedSimulationPool:
         return f"SharedSimulationPool(processes={self.processes}, {state})"
 
 
+def _chunk_seeds(
+    seeds: Sequence[np.random.SeedSequence],
+    processes: int,
+    chunk_size: Optional[int],
+) -> Tuple[List[Sequence[np.random.SeedSequence]], int]:
+    if chunk_size is None:
+        chunk_size = max(1, len(seeds) // (processes * 4))
+    elif chunk_size < 1:
+        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunks = [
+        seeds[start:start + chunk_size]
+        for start in range(0, len(seeds), chunk_size)
+    ]
+    return chunks, chunk_size
+
+
+def _dispatch_chunks(
+    simulator: FMTSimulator,
+    seeds: Sequence[np.random.SeedSequence],
+    processes: int,
+    chunk_size: Optional[int],
+    pool: Optional[SharedSimulationPool],
+    as_batch: bool,
+) -> Iterator:
+    """Yield per-chunk worker results in seed order.
+
+    Shared machinery behind :func:`sample_parallel` and
+    :func:`sample_parallel_batch`; ``as_batch`` selects the worker
+    entry point (object lists vs packed columns).
+    """
+    chunks, chunk_size = _chunk_seeds(seeds, processes, chunk_size)
+    logger.debug(
+        kv(
+            "sample_parallel dispatch",
+            trajectories=len(seeds),
+            processes=processes,
+            chunks=len(chunks),
+            chunk_size=chunk_size,
+            shared=pool is not None,
+            as_batch=as_batch,
+        )
+    )
+    completed = 0
+    try:
+        if pool is not None:
+            blob = pickle.dumps(simulator, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(blob).hexdigest()
+            payloads = [(digest, blob, chunk) for chunk in chunks]
+            worker = (
+                _shared_worker_batch_columns if as_batch else _shared_worker_batch
+            )
+            for index, result in enumerate(pool.executor().map(worker, payloads)):
+                completed += len(chunks[index])
+                yield result
+        else:
+            with ProcessPoolExecutor(
+                max_workers=processes,
+                initializer=_init_worker,
+                initargs=(simulator,),
+            ) as executor:
+                worker = _worker_batch_columns if as_batch else _worker_batch
+                for index, result in enumerate(executor.map(worker, chunks)):
+                    completed += len(chunks[index])
+                    yield result
+    except BrokenProcessPool as exc:
+        if pool is not None:
+            pool.invalidate()
+        logger.error(
+            kv(
+                "worker process crashed",
+                processes=processes,
+                completed=completed,
+                total=len(seeds),
+            )
+        )
+        raise SimulationError(
+            "a Monte Carlo worker process terminated abruptly "
+            f"(completed {completed}/{len(seeds)} trajectories); "
+            "rerun with processes=1 to reproduce the failure in-process"
+        ) from exc
+
+
 def sample_parallel(
     simulator: FMTSimulator,
     seeds: Sequence[np.random.SeedSequence],
@@ -189,54 +342,40 @@ def sample_parallel(
         raise ValidationError(f"processes must be >= 1, got {processes}")
     if processes == 1:
         return simulate_batch(simulator, seeds)
-    if chunk_size is None:
-        chunk_size = max(1, len(seeds) // (processes * 4))
-    elif chunk_size < 1:
-        raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
-    chunks = [
-        seeds[start:start + chunk_size]
-        for start in range(0, len(seeds), chunk_size)
-    ]
-    logger.debug(
-        kv(
-            "sample_parallel dispatch",
-            trajectories=len(seeds),
-            processes=processes,
-            chunks=len(chunks),
-            chunk_size=chunk_size,
-            shared=pool is not None,
-        )
-    )
     results: List[Trajectory] = []
-    try:
-        if pool is not None:
-            blob = pickle.dumps(simulator, protocol=pickle.HIGHEST_PROTOCOL)
-            digest = hashlib.sha256(blob).hexdigest()
-            payloads = [(digest, blob, chunk) for chunk in chunks]
-            for batch in pool.executor().map(_shared_worker_batch, payloads):
-                results.extend(batch)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=processes,
-                initializer=_init_worker,
-                initargs=(simulator,),
-            ) as executor:
-                for batch in executor.map(_worker_batch, chunks):
-                    results.extend(batch)
-    except BrokenProcessPool as exc:
-        if pool is not None:
-            pool.invalidate()
-        logger.error(
-            kv(
-                "worker process crashed",
-                processes=processes,
-                completed=len(results),
-                total=len(seeds),
-            )
-        )
-        raise SimulationError(
-            "a Monte Carlo worker process terminated abruptly "
-            f"(completed {len(results)}/{len(seeds)} trajectories); "
-            "rerun with processes=1 to reproduce the failure in-process"
-        ) from exc
+    for chunk in _dispatch_chunks(
+        simulator, seeds, processes, chunk_size, pool, as_batch=False
+    ):
+        results.extend(chunk)
     return results
+
+
+def sample_parallel_batch(
+    simulator: FMTSimulator,
+    seeds: Sequence[np.random.SeedSequence],
+    processes: int,
+    chunk_size: Optional[int] = None,
+    pool: Optional[SharedSimulationPool] = None,
+) -> TrajectoryBatch:
+    """Like :func:`sample_parallel`, returning packed batch columns.
+
+    Workers ship :class:`~repro.simulation.batch.TrajectoryBatch`
+    columns instead of pickled object lists, and the driver folds them
+    into one accumulator in seed order — the resulting batch's columns
+    (and hence every KPI computed from them) are bit-identical to
+    ``TrajectoryBatch.from_trajectories(sample_parallel(...))``, while
+    resident memory stays O(columns) and the pipe carries an order of
+    magnitude fewer bytes per trajectory.
+    """
+    if pool is not None:
+        processes = pool.processes
+    if processes < 1:
+        raise ValidationError(f"processes must be >= 1, got {processes}")
+    if processes == 1:
+        return simulate_batch_columns(simulator, seeds)
+    accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
+    for chunk in _dispatch_chunks(
+        simulator, seeds, processes, chunk_size, pool, as_batch=True
+    ):
+        accumulator.add_batch(chunk)
+    return accumulator.finalize()

@@ -50,6 +50,12 @@ class Trajectory:
     n_preventive_actions: int = 0
     n_corrective_replacements: int = 0
     events: List[ComponentEvent] = field(default_factory=list)
+    #: Whether component-level events were recorded for this trajectory
+    #: (``SimulationConfig.record_events``).  ``None`` means unknown
+    #: (hand-built or legacy records); event-dependent consumers such
+    #: as :func:`~repro.simulation.metrics.availability_curve` then
+    #: fall back to inferring it from the record itself.
+    events_recorded: Optional[bool] = None
 
     @property
     def n_failures(self) -> int:
@@ -97,4 +103,5 @@ class Trajectory:
             n_preventive_actions=self.n_preventive_actions,
             n_corrective_replacements=self.n_corrective_replacements,
             events=list(self.events),
+            events_recorded=self.events_recorded,
         )

@@ -279,9 +279,15 @@ class StudyRunner:
         base = request.key()
 
         def compute() -> Tuple[Any, Dict[StudyKey, Any], int]:
-            result = self._simulate(request, keep_trajectories=True)
+            # The curve only needs first-failure times, so the study
+            # streams into a columnar batch instead of keeping n_runs
+            # Trajectory objects alive (bit-identical intervals).
+            result = self._simulate(request, keep_trajectories=False)
+            material = (
+                result.batch if result.batch is not None else result.trajectories
+            )
             _, intervals = reliability_curve(
-                result.trajectories, grid, request.confidence
+                material, grid, request.confidence
             )
             extras = {base.derive("summary", None): result.summary}
             return tuple(intervals), extras, request.n_runs

@@ -1,0 +1,124 @@
+"""Golden KPI fixtures for the EI-joint model, object and batch paths.
+
+``tests/data/golden_eijoint.json`` pins the RNG stream and a subset of
+the KPIs; this fixture pins the **entire** :class:`KpiSummary` — every
+confidence-interval bound, the full annual cost breakdown, and the
+maintenance-action rates — and asserts it through *both* estimator
+paths (``Sequence[Trajectory]`` and the columnar
+:class:`~repro.simulation.batch.TrajectoryBatch`) with exact ``==``.
+This is the contract the columnar rewrite must honour: vectorizing the
+estimators must not move a single float bit.
+
+Regenerate (only for a deliberate, documented semantics change) with::
+
+    PYTHONPATH=src python tests/test_golden_kpis.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eijoint import (
+    build_ei_joint_fmt,
+    current_policy,
+    default_cost_model,
+    unmaintained,
+)
+from repro.simulation.batch import TrajectoryBatch
+from repro.simulation.metrics import summarize
+from repro.simulation.montecarlo import MonteCarlo
+
+DATA_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_kpis_eijoint.json"
+)
+
+SCENARIOS = [
+    ("current_policy", current_policy),
+    ("unmaintained", unmaintained),
+]
+
+HORIZON = 50.0
+SEED = 2016
+N_RUNS = 40
+
+
+def _interval_record(interval):
+    return [interval.estimate, interval.lower, interval.upper]
+
+
+def _summary_record(summary):
+    return {
+        "n_runs": summary.n_runs,
+        "horizon": summary.horizon,
+        "unreliability": _interval_record(summary.unreliability),
+        "expected_failures": _interval_record(summary.expected_failures),
+        "failures_per_year": _interval_record(summary.failures_per_year),
+        "availability": _interval_record(summary.availability),
+        "cost_per_year": _interval_record(summary.cost_per_year),
+        "cost_breakdown_per_year": summary.cost_breakdown_per_year.as_dict(),
+        "inspections_per_year": summary.inspections_per_year,
+        "preventive_actions_per_year": summary.preventive_actions_per_year,
+        "corrective_replacements_per_year": (
+            summary.corrective_replacements_per_year
+        ),
+    }
+
+
+def _sample(strategy_factory):
+    mc = MonteCarlo(
+        build_ei_joint_fmt(),
+        strategy_factory(),
+        horizon=HORIZON,
+        cost_model=default_cost_model(),
+        seed=SEED,
+    )
+    return mc.sample(N_RUNS)
+
+
+def collect_golden():
+    return {
+        label: _summary_record(summarize(_sample(strategy_factory)))
+        for label, strategy_factory in SCENARIOS
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(DATA_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("label,strategy_factory", SCENARIOS)
+def test_full_summary_bit_identical_both_paths(golden, label, strategy_factory):
+    trajectories = _sample(strategy_factory)
+    from_objects = _summary_record(summarize(trajectories))
+    from_batch = _summary_record(
+        summarize(TrajectoryBatch.from_trajectories(trajectories))
+    )
+    assert from_objects == golden[label], f"{label}: object path drifted"
+    assert from_batch == golden[label], f"{label}: batch path drifted"
+
+
+@pytest.mark.parametrize("label,strategy_factory", SCENARIOS)
+def test_streamed_run_matches_golden(golden, label, strategy_factory):
+    # The default (non-keeping) run streams through the accumulator;
+    # its summary must hit the same fixture.
+    mc = MonteCarlo(
+        build_ei_joint_fmt(),
+        strategy_factory(),
+        horizon=HORIZON,
+        cost_model=default_cost_model(),
+        seed=SEED,
+    )
+    result = mc.run(N_RUNS)
+    assert result.batch is not None
+    assert _summary_record(result.summary) == golden[label]
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration
+    os.makedirs(os.path.dirname(DATA_PATH), exist_ok=True)
+    with open(DATA_PATH, "w", encoding="utf-8") as handle:
+        json.dump(collect_golden(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {DATA_PATH}")

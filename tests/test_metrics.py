@@ -195,6 +195,39 @@ def test_availability_curve_needs_events():
         availability_curve([trajectory], [0.5])
 
 
+def test_availability_curve_rejects_unrecorded_even_without_failures():
+    """Regression: record_events=False must be rejected uniformly.
+
+    A zero-failure trajectory simulated without event recording used to
+    slip past the precondition check (which only inferred 'events
+    missing' from failure_times being non-empty) and was silently
+    counted as always-up alongside trajectories that *did* fail.
+    """
+    from repro.core.builder import FMTBuilder
+    from repro.maintenance.strategy import MaintenanceStrategy
+    from repro.simulation.montecarlo import MonteCarlo
+
+    builder = FMTBuilder("noev")
+    builder.basic_event("b", rate=1e-9)  # essentially never fails
+    builder.or_gate("top", ["b"])
+    tree = builder.build("top")
+    result = MonteCarlo(
+        tree, MaintenanceStrategy.none(), horizon=10.0, seed=1,
+        record_events=False,
+    ).run(5, keep_trajectories=True)
+    assert all(t.n_failures == 0 for t in result.trajectories)
+    with pytest.raises(ValidationError):
+        availability_curve(result.trajectories, [5.0])
+
+
+def test_availability_curve_rejects_batch_input():
+    from repro.simulation.batch import TrajectoryBatch
+
+    batch = TrajectoryBatch.from_trajectories([_trajectory()])
+    with pytest.raises(ValidationError):
+        availability_curve(batch, [5.0])
+
+
 def test_availability_curve_from_simulation():
     from repro.core.builder import FMTBuilder
     from repro.maintenance.strategy import MaintenanceStrategy

@@ -59,10 +59,28 @@ def test_result_properties(maintained_tree, inspection_strategy):
     assert result.cost_per_year.estimate == 0.0  # no cost model given
 
 
-def test_reliability_at_requires_kept_trajectories(maintained_tree):
-    result = _mc(maintained_tree, horizon=20.0).run(20)
+def test_reliability_at_requires_raw_material(maintained_tree):
+    # A result stripped of both the object list and the batch (e.g. a
+    # summary deserialized on its own) cannot produce a curve.
+    from repro.simulation.montecarlo import MonteCarloResult
+
+    summary = _mc(maintained_tree, horizon=20.0).run(5).summary
+    bare = MonteCarloResult(summary=summary)
     with pytest.raises(ValidationError):
-        result.reliability_at([1.0])
+        bare.reliability_at([1.0])
+
+
+def test_reliability_at_works_from_streamed_batch(maintained_tree):
+    kept = _mc(maintained_tree, horizon=20.0, seed=4).run(
+        60, keep_trajectories=True
+    )
+    streamed = _mc(maintained_tree, horizon=20.0, seed=4).run(60)
+    assert streamed.trajectories is None
+    assert streamed.batch is not None
+    grid = [0.0, 5.0, 10.0, 20.0]
+    _, from_objects = kept.reliability_at(grid)
+    _, from_batch = streamed.reliability_at(grid)
+    assert from_objects == from_batch
 
 
 def test_reliability_at_with_kept_trajectories(maintained_tree):

@@ -14,7 +14,9 @@ from repro.simulation.parallel import (
     MAX_DEFAULT_PROCESSES,
     default_process_count,
     sample_parallel,
+    sample_parallel_batch,
     simulate_batch,
+    simulate_batch_columns,
 )
 
 
@@ -129,6 +131,37 @@ def test_default_process_count_bounds():
     assert default_process_count(0) == 1  # degenerate task count stays valid
 
 
+def test_default_process_count_respects_affinity_mask(monkeypatch):
+    """A cgroup/affinity restriction wins over the raw machine count.
+
+    Regression: ``default_process_count`` used ``os.cpu_count()``
+    directly, oversubscribing containers pinned to a few cores.
+    """
+    from repro.simulation import parallel
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    monkeypatch.setattr(
+        os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+    )
+    assert parallel._available_cpu_count() == 3
+    assert default_process_count() == 3
+    assert default_process_count(2) == 2
+
+
+def test_default_process_count_without_affinity_support(monkeypatch):
+    """Platforms lacking sched_getaffinity fall back to cpu_count."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 6)
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    from repro.simulation import parallel
+
+    assert parallel._available_cpu_count() == 6
+    assert default_process_count() == 6
+    # And a None cpu_count still yields a valid fan-out.
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert parallel._available_cpu_count() == 1
+    assert default_process_count() == 1
+
+
 def test_run_parallel_default_processes(maintained_tree, inspection_strategy):
     serial = MonteCarlo(
         maintained_tree, inspection_strategy, horizon=10.0, seed=21
@@ -139,6 +172,67 @@ def test_run_parallel_default_processes(maintained_tree, inspection_strategy):
     assert (
         serial.summary.expected_failures.estimate
         == parallel.summary.expected_failures.estimate
+    )
+
+
+def _columns_equal(batch, other):
+    assert batch.horizon == other.horizon
+    np.testing.assert_array_equal(batch.failure_times, other.failure_times)
+    np.testing.assert_array_equal(batch.failure_offsets, other.failure_offsets)
+    np.testing.assert_array_equal(batch.downtime, other.downtime)
+    for field, column in batch.costs.items():
+        np.testing.assert_array_equal(column, other.costs[field])
+    np.testing.assert_array_equal(batch.n_inspections, other.n_inspections)
+
+
+def test_simulate_batch_columns_matches_objects(maintained_tree):
+    from repro.simulation.batch import TrajectoryBatch
+
+    simulator = FMTSimulator(
+        maintained_tree, MaintenanceStrategy.none(), horizon=20.0
+    )
+    seeds = np.random.SeedSequence(13).spawn(15)
+    columns = simulate_batch_columns(simulator, seeds)
+    objects = TrajectoryBatch.from_trajectories(simulate_batch(simulator, seeds))
+    _columns_equal(columns, objects)
+
+
+@pytest.mark.parametrize("processes", [1, 2, 3])
+def test_sample_parallel_batch_bit_identical(
+    maintained_tree, inspection_strategy, processes
+):
+    """Columnar worker IPC returns exactly the object path's columns."""
+    from repro.simulation.batch import TrajectoryBatch
+
+    simulator = FMTSimulator(
+        maintained_tree, inspection_strategy, horizon=25.0
+    )
+    seeds = np.random.SeedSequence(42).spawn(24)
+    reference = TrajectoryBatch.from_trajectories(
+        sample_parallel(simulator, seeds, processes=processes)
+    )
+    batch = sample_parallel_batch(
+        simulator, seeds, processes=processes, chunk_size=5
+    )
+    _columns_equal(batch, reference)
+
+
+def test_run_parallel_streams_batch(maintained_tree, inspection_strategy):
+    result = MonteCarlo(
+        maintained_tree, inspection_strategy, horizon=20.0, seed=11
+    ).run_parallel(30, processes=2)
+    assert result.trajectories is None
+    assert result.batch is not None
+    assert result.batch.n_runs == 30
+    serial = MonteCarlo(
+        maintained_tree, inspection_strategy, horizon=20.0, seed=11
+    ).run(30)
+    assert (
+        serial.summary.cost_per_year.estimate
+        == result.summary.cost_per_year.estimate
+    )
+    assert (
+        serial.summary.availability.upper == result.summary.availability.upper
     )
 
 
