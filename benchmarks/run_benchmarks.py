@@ -190,6 +190,29 @@ def build_workloads(quick: bool = False) -> Dict[str, Dict[str, object]]:
     return workloads
 
 
+def profile_phases(batch: Callable, batch_size: int) -> Dict[str, float]:
+    """Per-phase wall-time totals for one instrumented batch.
+
+    Runs one extra batch under an ambient
+    :class:`~repro.observability.Instrumentation` AFTER the timed
+    repeats, so the baseline numbers stay un-instrumented; the phase
+    breakdown (``sim.simulate.seconds``, ``mc.summarize.seconds``,
+    worker chunk timers, ...) comes from the run telemetry's timer
+    totals — the same numbers a ``--profile`` CLI run reports.
+    """
+    from repro.observability import Instrumentation
+    from repro.observability import instrumentation as obs
+
+    instrumentation = Instrumentation()
+    with obs.use(instrumentation):
+        batch(range(batch_size))
+    snapshot = instrumentation.registry.to_dict()
+    return {
+        name: stats["total_seconds"]
+        for name, stats in snapshot["timers"].items()
+    }
+
+
 def measure(
     batch: Callable, batch_size: int, repeats: int, warmup: int = 1
 ) -> Dict[str, float]:
@@ -219,6 +242,9 @@ def run(quick: bool = False) -> Dict[str, object]:
     for name, spec in build_workloads(quick).items():
         results[name] = measure(
             spec["batch"], spec["batch_size"], spec["repeats"]
+        )
+        results[name]["phase_wall_s"] = profile_phases(
+            spec["batch"], spec["batch_size"]
         )
         print(
             f"{name}: median {results[name]['median_s_per_trajectory'] * 1e6:.1f} "

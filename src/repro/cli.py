@@ -10,11 +10,17 @@ Usage::
     python -m repro simulate model.fmt --horizon 50 --runs 2000
     python -m repro render model.fmt --dot > model.dot
     python -m repro trace model.fmt --out trace.jsonl   # JSONL event trace
+    python -m repro metrics-serve metrics.json --port 9102   # /metrics
 
 Observability flags (all verbs): ``--log-level debug|info|warning|error``
 routes the library's structured logs to stderr; ``--profile`` prints a
 metrics/timing report after the run; ``--metrics-out PATH`` dumps the
-same registry as JSON.  See docs/observability.md.
+same registry as JSON; ``--progress`` shows a live rate/ETA/convergence
+line on stderr; ``--progress-out PATH`` appends the same events as
+JSONL; ``--trace-out PATH`` records the run's span tree (driver and
+worker processes) as JSONL.  ``metrics-serve`` exposes a
+``--metrics-out`` dump (re-read per scrape) in Prometheus text format.
+See docs/observability.md.
 
 Caching flags: every experiment obtains its simulations through a
 :class:`~repro.studies.StudyRunner`, which dedupes identical studies
@@ -55,13 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'), 'all', 'list', 'analyze', "
-        "'simulate', 'render', or 'trace'",
+        "'simulate', 'render', 'trace', or 'metrics-serve'",
     )
     parser.add_argument(
         "path",
         nargs="?",
         default=None,
-        help="model file for the analyze/simulate/render/trace commands",
+        help="model file for the analyze/simulate/render/trace commands; "
+        "metrics JSON file for metrics-serve",
     )
     parser.add_argument(
         "--runs", type=int, default=None, help="Monte Carlo replications"
@@ -109,6 +116,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the collected metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line on stderr: completed/total, rate, ETA, "
+        "and CI convergence for sequential runs",
+    )
+    parser.add_argument(
+        "--progress-out",
+        default=None,
+        metavar="PATH",
+        help="append progress/convergence events as JSONL",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's span tree (driver + worker chunks) as JSONL",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=9102,
+        metavar="N",
+        help="metrics-serve: port to bind (0 = ephemeral)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -161,6 +193,7 @@ def _cmd_list() -> int:
     print("  simulate PATH (Monte Carlo simulation of a model file)")
     print("  render PATH   (ASCII or --dot rendering of a model file)")
     print("  trace PATH    (JSONL component-event trace of simulated runs)")
+    print("  metrics-serve PATH  (serve a --metrics-out dump on /metrics)")
     return 0
 
 
@@ -271,6 +304,44 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_serve(args: argparse.Namespace) -> int:
+    if args.path is None:
+        print(
+            "metrics-serve: missing metrics JSON path (write one with "
+            "--metrics-out)",
+            file=sys.stderr,
+        )
+        return 2
+    import json
+
+    from repro.observability.exposition import MetricsServer
+
+    def snapshot():
+        # Re-read per scrape so a dashboard can watch a run that is
+        # still writing (or a file refreshed between runs).
+        with open(args.path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    try:
+        snapshot()
+    except (OSError, ValueError) as exc:
+        print(f"metrics-serve: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    server = MetricsServer(snapshot, port=args.port)
+    print(
+        f"serving {args.path} on http://{server.host}:{server.port}/metrics "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "list":
         return _cmd_list()
@@ -282,6 +353,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_render(args)
     if args.experiment == "trace":
         return _cmd_trace(args)
+    if args.experiment == "metrics-serve":
+        return _cmd_metrics_serve(args)
     config = _config_from_args(args)
     if args.experiment == "all":
         for key, runner in iter_experiments():
@@ -314,7 +387,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     setup_logging(args.log_level)
-    for path, flag in ((args.metrics_out, "--metrics-out"), (args.out, "--out")):
+    if args.experiment == "metrics-serve":
+        # Serving needs no study runner, telemetry, or writable outputs.
+        return _cmd_metrics_serve(args)
+    for path, flag in (
+        (args.metrics_out, "--metrics-out"),
+        (args.out, "--out"),
+        (args.progress_out, "--progress-out"),
+        (args.trace_out, "--trace-out"),
+    ):
         if path is not None:
             problem = _check_writable(path, flag)
             if problem is not None:
@@ -326,8 +407,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     instrumentation = (
         Instrumentation() if (args.profile or args.metrics_out) else None
     )
+    from repro.observability import spans as _spans
+    from repro.observability.progress import (
+        JsonlProgressReporter,
+        TerminalProgressReporter,
+        tee,
+    )
+    from repro.observability.progress import use_progress
+    from repro.observability.tracing import write_spans
     from repro.studies import StudyRunner, use_runner
 
+    reporters = []
+    if args.progress:
+        reporters.append(TerminalProgressReporter())
+    if args.progress_out is not None:
+        reporters.append(JsonlProgressReporter(path=args.progress_out))
+    reporter = tee(*reporters) if reporters else None
+    collector = _spans.SpanCollector() if args.trace_out is not None else None
     cache_dir = None if args.no_cache else args.cache_dir
     study_runner = StudyRunner(
         cache_dir=cache_dir,
@@ -335,10 +431,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         instrumentation=instrumentation,
     )
     try:
-        with use(instrumentation), use_runner(study_runner):
+        with use(instrumentation), use_runner(study_runner), use_progress(
+            reporter
+        ), _spans.use(collector):
             code = _dispatch(args)
     finally:
         study_runner.close()
+        if reporter is not None:
+            reporter.close()
+    if collector is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            lines = write_spans(collector.records, handle)
+        print(
+            f"trace: {lines} span records written to {args.trace_out}",
+            file=sys.stderr,
+        )
     if instrumentation is not None:
         if args.profile:
             print()

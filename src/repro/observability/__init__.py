@@ -3,14 +3,26 @@
 The layering is:
 
 * :mod:`repro.observability.metrics` — zero-dependency registry of
-  counters, gauges, and timers (p50/p95/max), rendering to text or
-  JSON;
+  counters, gauges (last/min/max), and timers (reservoir-sampled
+  p50/p95 + exact max), rendering to text, JSON, or Prometheus
+  exposition;
 * :mod:`repro.observability.logging_setup` — structured logging
   convention and the one place handlers are configured;
 * :mod:`repro.observability.instrumentation` — the
   :class:`Instrumentation` hook object the simulation stack reports
   into, attached explicitly or ambiently (:func:`use`/:func:`current`);
-* :mod:`repro.observability.tracing` — JSONL trajectory-trace export;
+* :mod:`repro.observability.spans` — hierarchical span tracing across
+  the request path, including worker processes
+  (:func:`span`/:class:`SpanCollector`, ambient via ``spans.use``);
+* :mod:`repro.observability.progress` — live progress/convergence
+  reporting at batch boundaries (terminal or JSONL reporters, ambient
+  via :func:`use_progress`);
+* :mod:`repro.observability.tracing` — JSONL trajectory/span trace
+  export;
+* :mod:`repro.observability.exposition` — Prometheus text exposition
+  (:func:`render_prometheus`) and the stdlib ``/metrics`` endpoint
+  (:class:`MetricsServer`, mounted by ``python -m repro
+  metrics-serve``);
 * :mod:`repro.observability.profiling` — cProfile wrappers for
   function-level deep dives.
 
@@ -19,6 +31,7 @@ draws, event ordering, or results.  Metric names and the trace schema
 are documented in ``docs/observability.md``.
 """
 
+from repro.observability.exposition import MetricsServer, render_prometheus
 from repro.observability.instrumentation import Instrumentation, current, use
 from repro.observability.logging_setup import get_logger, kv, setup_logging
 from repro.observability.metrics import (
@@ -29,9 +42,24 @@ from repro.observability.metrics import (
     percentile,
 )
 from repro.observability.profiling import profile_call, profiled
+from repro.observability.progress import (
+    JsonlProgressReporter,
+    ProgressEvent,
+    ProgressReporter,
+    TerminalProgressReporter,
+    current_progress,
+    use_progress,
+)
+from repro.observability.spans import (
+    Span,
+    SpanCollector,
+    SpanContext,
+    span,
+)
 from repro.observability.tracing import (
     TRACE_SCHEMA_VERSION,
     trace_records,
+    write_spans,
     write_trace,
     write_trace_file,
 )
@@ -40,18 +68,31 @@ __all__ = [
     "Counter",
     "Gauge",
     "Instrumentation",
+    "JsonlProgressReporter",
     "MetricsRegistry",
+    "MetricsServer",
+    "ProgressEvent",
+    "ProgressReporter",
+    "Span",
+    "SpanCollector",
+    "SpanContext",
     "TRACE_SCHEMA_VERSION",
+    "TerminalProgressReporter",
     "Timer",
     "current",
+    "current_progress",
     "get_logger",
     "kv",
     "percentile",
     "profile_call",
     "profiled",
+    "render_prometheus",
     "setup_logging",
+    "span",
     "trace_records",
     "use",
+    "use_progress",
+    "write_spans",
     "write_trace",
     "write_trace_file",
 ]

@@ -1,0 +1,232 @@
+"""Prometheus text exposition and the ``/metrics`` scrape endpoint.
+
+Renders a :class:`~repro.observability.metrics.MetricsRegistry`
+snapshot (the :meth:`~repro.observability.metrics.MetricsRegistry.
+to_dict` shape) to the Prometheus text exposition format, version
+0.0.4 — ``# HELP`` / ``# TYPE`` comment lines plus one sample per
+line — and serves it over a zero-dependency stdlib
+:mod:`http.server`:
+
+* counters → ``repro_<name>_total`` (type ``counter``);
+* gauges → ``repro_<name>`` (type ``gauge``, the ``last`` value) plus
+  ``_min`` / ``_max`` companions when the gauge was ever set;
+* timers → ``repro_<name>`` (type ``summary``): ``{quantile="0.5"}``,
+  ``{quantile="0.95"}``, ``_sum``, ``_count``, and a ``_max`` gauge.
+
+Name mangling is stable: dots and any other non-metric characters
+become underscores (``sim.worker.0.chunks`` →
+``repro_sim_worker_0_chunks``), so dashboards survive refactors of the
+dotted names.  ``python -m repro metrics-serve`` mounts
+:class:`MetricsServer` on a port; ROADMAP item 1's analysis service
+mounts the same handler on its own app.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "CONTENT_TYPE",
+    "mangle_metric_name",
+    "render_prometheus",
+    "MetricsServer",
+]
+
+#: Content type of the Prometheus text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_START = re.compile(r"^[^a-zA-Z_:]")
+
+#: HELP strings for the canonical metric families (keep in sync with
+#: docs/observability.md; unknown names get a generic line).
+_HELP: Dict[str, str] = {
+    "sim.events.scheduled": "events pushed onto the simulation calendar",
+    "sim.events.cancelled": "events cancelled before execution",
+    "sim.events.executed": "event callbacks run",
+    "sim.trajectories": "completed simulate() calls",
+    "sim.system_failures": "top-event occurrences",
+    "sim.simulate.seconds": "wall time per simulated trajectory",
+    "mc.summarize.seconds": "KPI aggregation time per run",
+    "sim.workers": "distinct worker processes that returned chunks",
+    "study.requests": "artifact requests seen by the study runner",
+    "study.fresh_trajectories": "trajectories simulated (not cache-served)",
+}
+
+
+def mangle_metric_name(name: str, namespace: str = "repro") -> str:
+    """Map a dotted registry name to a valid Prometheus metric name."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if _INVALID_START.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _help_and_type(
+    lines: List[str], dotted: str, exposed: str, kind: str
+) -> None:
+    help_text = _HELP.get(dotted, f"{kind} {dotted}")
+    lines.append(f"# HELP {exposed} {help_text}")
+    lines.append(f"# TYPE {exposed} {kind}")
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict], namespace: str = "repro"
+) -> str:
+    """Render a registry snapshot to Prometheus text exposition.
+
+    ``snapshot`` is the :meth:`MetricsRegistry.to_dict` shape (also
+    what ``--metrics-out`` writes), so a dump from a finished run can
+    be served without the live registry.  Gauges are accepted in both
+    the current ``{"last": ..., "min": ..., "max": ...}`` shape and
+    the pre-PR-6 bare-float shape.
+    """
+    lines: List[str] = []
+    for dotted, value in sorted(snapshot.get("counters", {}).items()):
+        exposed = mangle_metric_name(dotted, namespace) + "_total"
+        _help_and_type(lines, dotted, exposed, "counter")
+        lines.append(f"{exposed} {_format_value(value)}")
+    for dotted, value in sorted(snapshot.get("gauges", {}).items()):
+        exposed = mangle_metric_name(dotted, namespace)
+        _help_and_type(lines, dotted, exposed, "gauge")
+        if isinstance(value, dict):
+            lines.append(f"{exposed} {_format_value(value['last'])}")
+            if "min" in value:
+                lines.append(f"{exposed}_min {_format_value(value['min'])}")
+            if "max" in value:
+                lines.append(f"{exposed}_max {_format_value(value['max'])}")
+        else:
+            lines.append(f"{exposed} {_format_value(value)}")
+    for dotted, summary in sorted(snapshot.get("timers", {}).items()):
+        exposed = mangle_metric_name(dotted, namespace)
+        _help_and_type(lines, dotted, exposed, "summary")
+        lines.append(
+            f'{exposed}{{quantile="0.5"}} '
+            f"{_format_value(summary['p50_seconds'])}"
+        )
+        lines.append(
+            f'{exposed}{{quantile="0.95"}} '
+            f"{_format_value(summary['p95_seconds'])}"
+        )
+        lines.append(f"{exposed}_sum {_format_value(summary['total_seconds'])}")
+        lines.append(f"{exposed}_count {_format_value(summary['count'])}")
+        lines.append(f"{exposed}_max {_format_value(summary['max_seconds'])}")
+    return "\n".join(lines) + "\n"
+
+
+SnapshotProvider = Callable[[], Dict[str, Dict]]
+
+
+class MetricsServer:
+    """Stdlib HTTP server exposing ``/metrics`` and ``/healthz``.
+
+    ``source`` is either a live registry-like object (anything with a
+    ``to_dict()``) or a zero-argument callable returning a snapshot
+    dict — the callable form lets the CLI re-read a ``--metrics-out``
+    JSON file on every scrape, so a dashboard can watch a run that is
+    still writing.
+
+    ``port=0`` binds an ephemeral port (use :attr:`port` after
+    construction); :meth:`start` serves from a daemon thread,
+    :meth:`serve_forever` blocks (the CLI verb).
+    """
+
+    def __init__(
+        self,
+        source: Union[SnapshotProvider, object],
+        host: str = "127.0.0.1",
+        port: int = 9102,
+        namespace: str = "repro",
+    ):
+        if callable(source):
+            provider: SnapshotProvider = source  # type: ignore[assignment]
+        else:
+            provider = source.to_dict  # type: ignore[union-attr]
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    try:
+                        body = render_prometheus(
+                            provider(), namespace=namespace
+                        ).encode("utf-8")
+                    except Exception as exc:  # pragma: no cover - defensive
+                        self._reply(500, "text/plain; charset=utf-8",
+                                    f"scrape failed: {exc}\n".encode("utf-8"))
+                        return
+                    self._reply(200, CONTENT_TYPE, body)
+                elif path == "/healthz":
+                    body = json.dumps({"status": "ok"}).encode("utf-8") + b"\n"
+                    self._reply(200, "application/json", body)
+                else:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                b"try /metrics or /healthz\n")
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request noise
+                server.requests_served += 1
+
+        self.requests_served = 0
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolved when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        """Serve from a background daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsServer(http://{self.host}:{self.port})"

@@ -29,7 +29,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Iterator, Optional
 
-from repro.observability.metrics import MetricsRegistry, Timer
+from repro.observability.metrics import Gauge, MetricsRegistry, Timer
 
 __all__ = ["Instrumentation", "current", "use"]
 
@@ -50,6 +50,13 @@ SIM_SYSTEM_FAILURES = "sim.system_failures"
 SIM_SYSTEM_RESTORATIONS = "sim.system_restorations"
 TIMER_SIMULATE = "sim.simulate.seconds"
 TIMER_SUMMARIZE = "mc.summarize.seconds"
+# Worker-pool round-trip (repro.simulation.parallel): the driver folds
+# each returning chunk's worker-side registry into the parent one and
+# sets per-worker utilization gauges under SIM_WORKER_PREFIX
+# ("sim.worker.<n>.chunks" / ".trajectories" / ".busy_seconds").
+SIM_WORKERS = "sim.workers"
+SIM_WORKER_CHUNKS = "sim.worker_chunks"
+SIM_WORKER_PREFIX = "sim.worker"
 # Rare-event splitting (repro.rareevent) counters.
 RARE_SEGMENTS = "rare.segments"
 RARE_CLONES = "rare.clones"
@@ -72,9 +79,11 @@ class Instrumentation:
     """Counts and timings collected while simulating.
 
     Thin convenience facade over a registry; picklable, so it travels
-    with a simulator into worker processes (each worker accumulates
-    into its own copy — parallel runs report parent-side metrics only
-    unless worker registries are merged back explicitly).
+    with a simulator into worker processes.  Parallel runs collect a
+    fresh worker-side registry per chunk and fold it back into the
+    parent registry with the chunk result (see
+    :mod:`repro.simulation.parallel`), so parent-side metrics cover
+    worker-side work too.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -88,9 +97,17 @@ class Instrumentation:
         """Record one duration on timer ``name``."""
         self.registry.timer(name).observe(seconds)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the current value of gauge ``name``."""
+        self.registry.gauge(name).set(value)
+
     def timer(self, name: str) -> Timer:
         """The underlying timer ``name`` (use ``.time()`` to wrap a block)."""
         return self.registry.timer(name)
+
+    def gauge(self, name: str) -> Gauge:
+        """The underlying gauge ``name``."""
+        return self.registry.gauge(name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Instrumentation({self.registry!r})"

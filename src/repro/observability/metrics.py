@@ -16,8 +16,10 @@ its own copy; see :func:`MetricsRegistry.merge` for recombining).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
+import random
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Union
@@ -67,33 +69,86 @@ class Counter:
 
 
 class Gauge:
-    """Last-write-wins float value (e.g. a fan-out or queue depth)."""
+    """Float value tracking last/min/max across sets.
 
-    __slots__ = ("name", "value")
+    ``last`` is the conventional gauge reading (most recent ``set``);
+    ``min``/``max`` record the envelope, which is what makes merging
+    worker-side gauges lossless — folding registries keeps the extreme
+    readings instead of whichever worker's chunk happened to merge
+    last (the pre-PR-6 behaviour).
+    """
+
+    __slots__ = ("name", "last", "min", "max", "n_sets")
 
     def __init__(self, name: str):
         self.name = name
-        self.value = 0.0
+        self.last = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.n_sets = 0
 
     def set(self, value: float) -> None:
         """Record the current value."""
-        self.value = float(value)
+        value = float(value)
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.n_sets += 1
+
+    @property
+    def value(self) -> float:
+        """The most recent reading (alias of ``last``)."""
+        return self.last
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold another gauge's envelope into this one.
+
+        The other gauge's ``last`` wins (merge order = chunk completion
+        order, so the final reading is the most recent one seen);
+        min/max combine exactly.  A never-set gauge contributes
+        nothing.
+        """
+        if other.n_sets == 0:
+            return
+        self.last = other.last
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.n_sets += other.n_sets
+
+    def summary(self) -> Dict[str, float]:
+        """``{"last", "min", "max"}`` as a JSON-ready dict.
+
+        A created-but-never-set gauge reports zeros (its historical
+        reading) rather than infinities.
+        """
+        if self.n_sets == 0:
+            return {"last": self.last, "min": self.last, "max": self.last}
+        return {"last": self.last, "min": self.min, "max": self.max}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Gauge({self.name}={self.value:g})"
+        return f"Gauge({self.name}={self.last:g})"
 
 
 class Timer:
-    """Duration histogram: keeps raw samples, reports p50/p95/max.
+    """Duration histogram: bounded reservoir, reports p50/p95/max.
 
     Samples are seconds.  The raw list is bounded by ``max_samples``;
-    beyond that only count/total keep growing and quantiles describe
-    the first ``max_samples`` observations (good enough for the
-    replication workloads this instrument serves, and it keeps memory
-    bounded on million-trajectory runs).
+    beyond that the kept samples form a uniform random reservoir
+    (Vitter's algorithm R) over *everything* observed, so quantiles
+    describe the whole run rather than its first ``max_samples``
+    observations, while memory stays bounded on million-trajectory
+    runs.  The reservoir RNG is seeded from the timer name — fully
+    deterministic, independent of numpy streams, identical across
+    runs — and ``max`` tracks the true maximum separately so late-run
+    stragglers always surface even when the reservoir drops them.
     """
 
-    __slots__ = ("name", "count", "total", "max_samples", "_samples")
+    __slots__ = ("name", "count", "total", "max_samples", "_samples",
+                 "_max", "_reservoir_rng")
 
     def __init__(self, name: str, max_samples: int = 100_000):
         if max_samples < 1:
@@ -103,13 +158,24 @@ class Timer:
         self.total = 0.0
         self.max_samples = max_samples
         self._samples: List[float] = []
+        self._max = 0.0
+        seed = int.from_bytes(
+            hashlib.sha256(name.encode("utf-8")).digest()[:8], "big"
+        )
+        self._reservoir_rng = random.Random(seed)
 
     def observe(self, seconds: float) -> None:
         """Record one duration, in seconds."""
         self.count += 1
         self.total += seconds
+        if seconds > self._max:
+            self._max = seconds
         if len(self._samples) < self.max_samples:
             self._samples.append(seconds)
+        else:
+            slot = self._reservoir_rng.randrange(self.count)
+            if slot < self.max_samples:
+                self._samples[slot] = seconds
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -133,8 +199,12 @@ class Timer:
 
     @property
     def max(self) -> float:
-        """Largest recorded duration, 0.0 when nothing was observed."""
-        return max(self._samples) if self._samples else 0.0
+        """Largest observed duration, 0.0 when nothing was observed.
+
+        Tracked outside the reservoir, so it is exact over the whole
+        run even when the sample that produced it was evicted.
+        """
+        return self._max
 
     def summary(self) -> Dict[str, float]:
         """Count/total/mean/p50/p95/max as a JSON-ready dict."""
@@ -199,11 +269,17 @@ class MetricsRegistry:
 
     # -- aggregation ---------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry into this one (e.g. from a worker)."""
+        """Fold another registry into this one (e.g. from a worker).
+
+        Counters add; gauges fold their last/min/max envelopes
+        (:meth:`Gauge.merge_from`); timer samples replay through the
+        reservoir, count/total stay exact even past the sample cap, and
+        the true maximum is carried over explicitly.
+        """
         for name, counter in other._counters.items():
             self.counter(name).inc(counter.value)
         for name, gauge in other._gauges.items():
-            self.gauge(name).set(gauge.value)
+            self.gauge(name).merge_from(gauge)
         for name, timer in other._timers.items():
             mine = self.timer(name)
             for sample in timer._samples:
@@ -212,6 +288,8 @@ class MetricsRegistry:
             if extra > 0:
                 mine.count += extra
                 mine.total += timer.total - sum(timer._samples)
+            if timer._max > mine._max:
+                mine._max = timer._max
 
     def reset(self) -> None:
         """Drop every instrument."""
@@ -226,7 +304,9 @@ class MetricsRegistry:
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
             },
-            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "gauges": {
+                name: g.summary() for name, g in sorted(self._gauges.items())
+            },
             "timers": {
                 name: t.summary() for name, t in sorted(self._timers.items())
             },
@@ -242,6 +322,17 @@ class MetricsRegistry:
             handle.write(self.to_json())
             handle.write("\n")
 
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text exposition (0.0.4) of the registry.
+
+        Counters become ``<ns>_<name>_total``, gauges expose last with
+        ``_min``/``_max`` companions, timers render as summaries; see
+        :mod:`repro.observability.exposition` for the full mapping.
+        """
+        from repro.observability.exposition import render_prometheus
+
+        return render_prometheus(self.to_dict(), namespace=namespace)
+
     def render_text(self, title: str = "metrics") -> str:
         """Aligned human-readable rendering (the ``--profile`` report)."""
         lines = [f"== {title} =="]
@@ -254,7 +345,10 @@ class MetricsRegistry:
             lines.append("gauges:")
             width = max(len(name) for name in self._gauges)
             for name, gauge in sorted(self._gauges.items()):
-                lines.append(f"  {name.ljust(width)}  {gauge.value:g}")
+                line = f"  {name.ljust(width)}  {gauge.last:g}"
+                if gauge.n_sets > 1 and gauge.min != gauge.max:
+                    line += f" (min {gauge.min:g}, max {gauge.max:g})"
+                lines.append(line)
         if self._timers:
             lines.append("timers (seconds):")
             width = max(len(name) for name in self._timers)

@@ -1,0 +1,243 @@
+"""Live progress and convergence reporting for long Monte Carlo runs.
+
+The simulation drivers (:class:`~repro.simulation.montecarlo.MonteCarlo`
+and the rare-event estimator) emit a :class:`ProgressEvent` at batch
+boundaries; a :class:`ProgressReporter` turns the stream into something
+a human or a machine can watch:
+
+* :class:`TerminalProgressReporter` — a single self-overwriting status
+  line on stderr (rate, ETA, trajectories/sec, and — for
+  ``run_to_precision`` — the streaming CI half-width vs the target);
+* :class:`JsonlProgressReporter` — one JSON object per event, the
+  machine-readable feed a service or optimizer can tail.
+
+Reporters attach explicitly (``progress=`` on the driver methods) or
+ambiently (``with use_progress(reporter): ...``), mirroring
+:func:`repro.observability.instrumentation.use`; the CLI's
+``--progress`` / ``--progress-out`` flags use the ambient form.
+
+Reporting is strictly passive — events are derived from already-
+computed statistics, never from extra RNG draws — so runs with a
+reporter attached are bit-identical to silent runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field, fields
+from typing import IO, Iterator, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressReporter",
+    "TerminalProgressReporter",
+    "JsonlProgressReporter",
+    "current_progress",
+    "use_progress",
+]
+
+PROGRESS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One snapshot of a running estimation.
+
+    ``total`` is None for open-ended sequential runs; convergence
+    fields (``ci_half_width``, ``relative_half_width``, ``target``) are
+    populated by ``run_to_precision`` and stay None for fixed-count
+    runs.  ``done`` marks the final event of a phase.
+    """
+
+    phase: str
+    completed: int
+    total: Optional[int] = None
+    elapsed_seconds: float = 0.0
+    rate_per_sec: Optional[float] = None
+    eta_seconds: Optional[float] = None
+    estimate: Optional[float] = None
+    ci_half_width: Optional[float] = None
+    relative_half_width: Optional[float] = None
+    target: Optional[float] = None
+    done: bool = False
+
+    def to_dict(self) -> dict:
+        """JSONL-ready record (None fields dropped)."""
+        record = {"record": "progress", "schema_version": PROGRESS_SCHEMA_VERSION}
+        # Hand-rolled field walk: dataclasses.asdict() deep-copies via
+        # recursion and is slow enough to show up in per-batch reporting.
+        for key in _EVENT_FIELDS:
+            value = getattr(self, key)
+            if value is not None:
+                record[key] = value
+        return record
+
+
+_EVENT_FIELDS = tuple(field.name for field in fields(ProgressEvent))
+
+
+@runtime_checkable
+class ProgressReporter(Protocol):
+    """Anything that can consume a stream of :class:`ProgressEvent`\\ s."""
+
+    def update(self, event: ProgressEvent) -> None:
+        """Consume one event."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Flush and release any output resources."""
+        ...  # pragma: no cover - protocol
+
+
+class TerminalProgressReporter:
+    """Self-overwriting status line for interactive terminals.
+
+    Events are throttled to at most one repaint per ``min_interval``
+    seconds (final events always repaint), so per-batch reporting from
+    a tight loop stays cheap.  Output goes to ``stream`` (stderr by
+    default, keeping stdout pipeable).
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.1,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_paint = -math.inf  # first event always paints
+        self._dirty = False
+        self.events_seen = 0
+
+    def update(self, event: ProgressEvent) -> None:
+        self.events_seen += 1
+        now = time.monotonic()
+        if not event.done and now - self._last_paint < self.min_interval:
+            return
+        self._last_paint = now
+        self.stream.write("\r" + self.format(event) + "\x1b[K")
+        if event.done:
+            self.stream.write("\n")
+            self._dirty = False
+        else:
+            self._dirty = True
+        self.stream.flush()
+
+    @staticmethod
+    def format(event: ProgressEvent) -> str:
+        """The status line for one event (exposed for tests)."""
+        parts = [f"{event.phase}:"]
+        if event.total:
+            pct = 100.0 * event.completed / event.total
+            parts.append(f"{event.completed}/{event.total} ({pct:.0f}%)")
+        else:
+            parts.append(f"{event.completed} trajectories")
+        if event.rate_per_sec is not None:
+            parts.append(f"{event.rate_per_sec:,.0f} traj/s")
+        if event.eta_seconds is not None:
+            parts.append(f"eta {_format_seconds(event.eta_seconds)}")
+        if event.ci_half_width is not None:
+            parts.append(f"ci-half-width {event.ci_half_width:.3g}")
+        if event.relative_half_width is not None and event.target is not None:
+            parts.append(
+                f"rel {event.relative_half_width:.3g} -> target {event.target:g}"
+            )
+        if event.done:
+            parts.append("done")
+        return " ".join(parts)
+
+    def close(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+
+class JsonlProgressReporter:
+    """One JSON object per event, appended to a stream or file.
+
+    The event schema is documented in docs/observability.md; lines are
+    self-describing (``"record": "progress"``) so they can share a file
+    with span records.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None, path=None):
+        if (stream is None) == (path is None):
+            raise ValueError("give exactly one of stream= or path=")
+        self._owns_stream = path is not None
+        self.stream = (
+            open(path, "w", encoding="utf-8") if path is not None else stream
+        )
+        self.events_seen = 0
+
+    def update(self, event: ProgressEvent) -> None:
+        self.events_seen += 1
+        self.stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        self.stream.write("\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and not self.stream.closed:
+            self.stream.close()
+
+
+@dataclass
+class _Tee:
+    """Fan one event stream out to several reporters (CLI uses this
+    when both ``--progress`` and ``--progress-out`` are given)."""
+
+    reporters: list = field(default_factory=list)
+
+    def update(self, event: ProgressEvent) -> None:
+        for reporter in self.reporters:
+            reporter.update(event)
+
+    def close(self) -> None:
+        for reporter in self.reporters:
+            reporter.close()
+
+
+def tee(*reporters: ProgressReporter) -> ProgressReporter:
+    """Combine reporters; a single reporter passes through unchanged."""
+    live = [r for r in reporters if r is not None]
+    if len(live) == 1:
+        return live[0]
+    return _Tee(list(live))
+
+
+_AMBIENT: ContextVar[Optional[ProgressReporter]] = ContextVar(
+    "repro_progress_reporter", default=None
+)
+
+
+def current_progress() -> Optional[ProgressReporter]:
+    """The ambient progress reporter, or None when none is active."""
+    return _AMBIENT.get()
+
+
+@contextmanager
+def use_progress(
+    reporter: Optional[ProgressReporter],
+) -> Iterator[Optional[ProgressReporter]]:
+    """Make ``reporter`` ambient inside the block (None = passthrough)."""
+    if reporter is None:
+        yield None
+        return
+    token = _AMBIENT.set(reporter)
+    try:
+        yield reporter
+    finally:
+        _AMBIENT.reset(token)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 60.0:
+        return f"{seconds:.0f}s"
+    if seconds < 3600.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds / 3600.0:.1f}h"

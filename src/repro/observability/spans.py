@@ -1,0 +1,316 @@
+"""Hierarchical spans: trace the request path across the worker pool.
+
+A *span* measures one named operation — a study request, a Monte Carlo
+run, a worker chunk — with a monotonic duration, wall-clock start/end,
+free-form attributes, and parent/child links forming a trace tree.
+The API mirrors :func:`repro.observability.instrumentation.use`:
+
+* explicitly — create a :class:`SpanCollector` and pass
+  ``collector=`` to :func:`span`;
+* ambiently — wrap code in ``with use(collector): ...`` and every
+  :func:`span` block inside picks it up; nested blocks parent
+  themselves to the enclosing span automatically.
+
+When no collector is active (the default), :func:`span` yields a
+shared no-op span and allocates nothing — the hot path pays one
+context-variable read.
+
+Cross-process propagation: :class:`SpanContext` is a tiny picklable
+value; serialize it with a worker task (``context.to_dict()``), build
+the worker-side span with ``Span.start(name, parent=ctx)``, and ship
+``span.end(); span.to_dict()`` back with the chunk result.  The parent
+feeds the completed record into its collector via
+:meth:`SpanCollector.add_record`, so worker chunks appear as children
+of the dispatching span in one connected tree.
+
+Spans are strictly passive: ids come from :func:`os.urandom`, never
+from numpy RNG streams, so tracing cannot perturb simulation results
+(the bit-identity regression in ``tests/test_observability.py`` runs
+with a collector attached).  Records render to the JSONL trace sink
+via :func:`repro.observability.tracing.write_spans`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "SpanContext",
+    "SpanCollector",
+    "current_collector",
+    "current_context",
+    "span",
+    "use",
+]
+
+#: Version of the ``{"record": "span", ...}`` JSONL line schema; bump
+#: on any breaking change (see docs/observability.md).
+SPAN_SCHEMA_VERSION = 1
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: which trace, which node.
+
+    Small, immutable, and picklable — this is what crosses process
+    boundaries so worker-side spans can parent themselves correctly.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON/pickle-ready form for task payloads."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "SpanContext":
+        """Rebuild a context shipped via :meth:`to_dict`."""
+        return cls(trace_id=data["trace_id"], span_id=data["span_id"])
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    ``start_time``/``end_time`` are wall-clock (``time.time``) so spans
+    from different processes line up on one timeline;
+    ``duration_seconds`` comes from ``perf_counter`` so it is monotonic
+    and immune to clock steps.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_time",
+        "end_time",
+        "duration_seconds",
+        "attributes",
+        "status",
+        "_perf_start",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.status = "ok"
+        self.start_time = time.time()
+        self.end_time: Optional[float] = None
+        self.duration_seconds: Optional[float] = None
+        self._perf_start = time.perf_counter()
+
+    @classmethod
+    def start(
+        cls,
+        name: str,
+        parent: Optional[Union[SpanContext, Dict[str, str]]] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> "Span":
+        """Begin a span, optionally as a child of ``parent``.
+
+        ``parent`` accepts a :class:`SpanContext` or its
+        :meth:`~SpanContext.to_dict` form (the shape worker tasks
+        carry); with no parent a fresh trace is rooted.
+        """
+        if isinstance(parent, dict):
+            parent = SpanContext.from_dict(parent)
+        if parent is not None:
+            return cls(name, parent.trace_id, _new_span_id(), parent.span_id,
+                       attributes)
+        return cls(name, _new_trace_id(), _new_span_id(), None, attributes)
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's propagatable identity."""
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute (JSON-serializable values only)."""
+        self.attributes[key] = value
+
+    def end(self, status: Optional[str] = None) -> "Span":
+        """Close the span (idempotent); returns self for chaining."""
+        if self.duration_seconds is None:
+            self.duration_seconds = time.perf_counter() - self._perf_start
+            self.end_time = self.start_time + self.duration_seconds
+        if status is not None:
+            self.status = status
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL trace record for this span (ends it if still open)."""
+        self.end()
+        return {
+            "record": "span",
+            "schema_version": SPAN_SCHEMA_VERSION,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.duration_seconds is None else (
+            f"{self.duration_seconds:.3g}s"
+        )
+        return f"Span({self.name}, {state})"
+
+
+class _NullSpan:
+    """Shared no-op stand-in yielded when tracing is disabled."""
+
+    __slots__ = ()
+    context = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def end(self, status: Optional[str] = None) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanCollector:
+    """Sink accumulating completed span records (as dicts).
+
+    Thread-safe: the driver thread and e.g. a metrics HTTP server may
+    touch it concurrently.  Records arrive in completion order — a
+    child always precedes its parent, and worker records land when
+    their chunk result is folded.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        """Finish ``span`` and keep its record."""
+        self.add_record(span.to_dict())
+
+    def add_record(self, record: Dict[str, Any]) -> None:
+        """Keep an already-serialized span record (e.g. from a worker)."""
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Snapshot of the collected records."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Write every record as one JSON line; returns the line count."""
+        from repro.observability.tracing import write_spans
+
+        return write_spans(self.records, stream)
+
+    def write_jsonl_file(self, path) -> int:
+        """Like :meth:`write_jsonl`, to a file path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            return self.write_jsonl(handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanCollector({len(self)} spans)"
+
+
+_COLLECTOR: ContextVar[Optional[SpanCollector]] = ContextVar(
+    "repro_span_collector", default=None
+)
+_CURRENT: ContextVar[Optional[SpanContext]] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_collector() -> Optional[SpanCollector]:
+    """The ambient collector, or None when tracing is disabled."""
+    return _COLLECTOR.get()
+
+
+def current_context() -> Optional[SpanContext]:
+    """The context of the innermost open ambient span, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use(collector: Optional[SpanCollector]) -> Iterator[Optional[SpanCollector]]:
+    """Make ``collector`` the ambient span sink inside the block.
+
+    ``use(None)`` is a no-op passthrough, mirroring
+    :func:`repro.observability.instrumentation.use`.
+    """
+    if collector is None:
+        yield None
+        return
+    token = _COLLECTOR.set(collector)
+    try:
+        yield collector
+    finally:
+        _COLLECTOR.reset(token)
+
+
+@contextmanager
+def span(
+    name: str,
+    attributes: Optional[Dict[str, Any]] = None,
+    collector: Optional[SpanCollector] = None,
+) -> Iterator[Union[Span, _NullSpan]]:
+    """Trace the enclosed block as one span.
+
+    Parents itself to the innermost enclosing :func:`span` block and
+    becomes the ambient parent for blocks nested inside it.  With no
+    collector (explicit or ambient) the block runs untraced at
+    near-zero cost.  An exception ends the span with ``status="error"``
+    and propagates.
+    """
+    sink = collector if collector is not None else _COLLECTOR.get()
+    if sink is None:
+        yield NULL_SPAN
+        return
+    opened = Span.start(name, parent=_CURRENT.get(), attributes=attributes)
+    token = _CURRENT.set(opened.context)
+    try:
+        yield opened
+    except BaseException:
+        opened.status = "error"
+        raise
+    finally:
+        _CURRENT.reset(token)
+        sink.add(opened)

@@ -10,10 +10,16 @@ documented in ``docs/observability.md`` and versioned via
 * ``header`` — once per stream: schema version, trajectory count;
 * ``trajectory`` — per trajectory: index, horizon, KPI scalars;
 * ``event`` — per component-level event: time, component, kind,
-  phase, corrective flag, owning trajectory index.
+  phase, corrective flag, owning trajectory index;
+* ``span`` — one per completed :class:`~repro.observability.spans.
+  Span` when run-telemetry tracing is enabled (``--trace-out``):
+  trace/span/parent ids, wall-clock start/end, monotonic duration,
+  attributes.  Span lines share the sink so one file holds the whole
+  story of a run; :func:`write_spans` appends them.
 
 The CLI verb ``python -m repro trace model.fmt --out trace.jsonl``
-drives :func:`write_trace` end to end.
+drives :func:`write_trace` end to end; experiment verbs write span
+records via ``--trace-out``.
 """
 
 from __future__ import annotations
@@ -23,7 +29,13 @@ from typing import IO, Dict, Iterator, Sequence
 
 from repro.simulation.trace import Trajectory
 
-__all__ = ["TRACE_SCHEMA_VERSION", "trace_records", "write_trace", "write_trace_file"]
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "trace_records",
+    "write_trace",
+    "write_trace_file",
+    "write_spans",
+]
 
 TRACE_SCHEMA_VERSION = 1
 
@@ -74,3 +86,20 @@ def write_trace_file(trajectories: Sequence[Trajectory], path) -> int:
     """Write the JSONL trace to ``path``; returns line count."""
     with open(path, "w", encoding="utf-8") as handle:
         return write_trace(trajectories, handle)
+
+
+def write_spans(records: Sequence[Dict], stream: IO[str]) -> int:
+    """Write completed span records as JSONL; returns the line count.
+
+    ``records`` are :meth:`~repro.observability.spans.Span.to_dict`
+    dicts (what a :class:`~repro.observability.spans.SpanCollector`
+    holds); they carry their own ``"record": "span"`` discriminator and
+    schema version, so they can share a stream with :func:`write_trace`
+    output or stand alone.
+    """
+    count = 0
+    for record in records:
+        stream.write(json.dumps(record, sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count

@@ -30,6 +30,7 @@ pre-spawned seed, so serial and parallel runs are bit-identical.
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -40,6 +41,7 @@ from scipy import stats as sps
 
 from repro.errors import EstimationError, SimulationError, ValidationError
 from repro.observability.logging_setup import get_logger, kv
+from repro.observability.progress import ProgressEvent, current_progress
 from repro.rareevent.importance import (
     StructureImportance,
     candidate_thresholds,
@@ -261,9 +263,41 @@ class RareEventEstimator:
         self, seeds: Sequence[np.random.SeedSequence]
     ) -> List[Union[SplittingRun, RestartRoot]]:
         driver = self._driver()
-        if self.config.method == "fixed_effort":
-            return [driver.run(seed) for seed in seeds]
-        return [driver.run_root(seed) for seed in seeds]
+        run_one = (
+            driver.run
+            if self.config.method == "fixed_effort"
+            else driver.run_root
+        )
+        reporter = current_progress()
+        if reporter is None:
+            units = [run_one(seed) for seed in seeds]
+            # Splitting drives the simulator step-by-step, so the final
+            # segment's batched event tallies need an explicit fold.
+            self.simulator.flush_instrumentation()
+            return units
+        # Watched run: same seed order, one convergence-free progress
+        # event per unit (units are few and heavy, unlike trajectories).
+        units: List[Union[SplittingRun, RestartRoot]] = []
+        start = time.perf_counter()
+        for index, seed in enumerate(seeds, start=1):
+            units.append(run_one(seed))
+            elapsed = time.perf_counter() - start
+            rate = index / elapsed if elapsed > 0 else None
+            reporter.update(
+                ProgressEvent(
+                    phase="rare.units",
+                    completed=index,
+                    total=len(seeds),
+                    elapsed_seconds=elapsed,
+                    rate_per_sec=rate,
+                    eta_seconds=(
+                        (len(seeds) - index) / rate if rate else None
+                    ),
+                    done=index >= len(seeds),
+                )
+            )
+        self.simulator.flush_instrumentation()
+        return units
 
     # ------------------------------------------------------------------
     # Estimation

@@ -133,7 +133,11 @@ class Engine:
     the caller, never a condition to silently repair.
     """
 
-    __slots__ = ("_queue", "_seq", "now", "_running", "_stopped", "_pending", "_instr")
+    __slots__ = (
+        "_queue", "_seq", "now", "_running", "_stopped", "_pending",
+        "_instr", "_seq_base", "_pending_base", "_cancel_base",
+        "_n_cancelled", "_sched_carry", "_exec_carry",
+    )
 
     def __init__(self, instrumentation: Optional[Instrumentation] = None):
         # Heap of (time, priority, seq, handle) tuples; `seq` is unique,
@@ -145,6 +149,23 @@ class Engine:
         self._stopped = False
         self._pending = 0
         self._instr = instrumentation
+        # Event counters are *derived*, not tallied on the hot path:
+        # the scheduling sequence number and the O(1) pending count
+        # already move with every event, so flush_counts() recovers
+        #   scheduled = seq delta,
+        #   executed  = scheduled - cancelled - pending delta
+        # from baselines recorded at the previous flush.  Cancellation
+        # is the one genuinely rare operation that keeps an explicit
+        # tally; the *_carry fields absorb deltas that restore() would
+        # otherwise rewind away.  This is what keeps fully instrumented
+        # runs inside the 5% overhead budget enforced by
+        # tests/test_telemetry.py: zero extra work per event.
+        self._seq_base = 0
+        self._pending_base = 0
+        self._cancel_base = 0
+        self._n_cancelled = 0
+        self._sched_carry = 0
+        self._exec_carry = 0
 
     def reset(self, instrumentation: Optional[Instrumentation] = None) -> None:
         """Return the engine to its pristine state, reusing the queue.
@@ -153,7 +174,10 @@ class Engine:
         reallocating; the preallocated heap list is cleared in place.
         Handles of the abandoned calendar are detached first, so a
         stale ``cancel()`` cannot corrupt the new run's bookkeeping.
+        Pending event tallies are flushed to the outgoing
+        instrumentation before it is swapped out.
         """
+        self.flush_counts()
         for entry in self._queue:
             entry[3]._engine = None
         self._queue.clear()
@@ -162,7 +186,43 @@ class Engine:
         self._running = False
         self._stopped = False
         self._pending = 0
+        self._seq_base = 0
+        self._pending_base = 0
         self._instr = instrumentation
+
+    def flush_counts(self) -> None:
+        """Fold the event counters derived since the last flush into
+        the instrumentation.
+
+        Called automatically at the end of :meth:`run_until` and on
+        :meth:`reset`; stepwise drivers (importance splitting) that
+        abandon a run mid-calendar flush through
+        :meth:`~repro.simulation.executor.FMTSimulator.flush_instrumentation`.
+        """
+        scheduled = self._sched_carry + (self._seq - self._seq_base)
+        cancelled = self._n_cancelled
+        # pending moved by scheduled - cancelled - executed since the
+        # last flush, so executed falls out of the other three.
+        executed = (
+            self._exec_carry
+            + (self._seq - self._seq_base)
+            - (cancelled - self._cancel_base)
+            - (self._pending - self._pending_base)
+        )
+        instr = self._instr
+        if instr is not None:
+            if scheduled:
+                instr.count(EVENTS_SCHEDULED, scheduled)
+            if cancelled:
+                instr.count(EVENTS_CANCELLED, cancelled)
+            if executed:
+                instr.count(EVENTS_EXECUTED, executed)
+        self._seq_base = self._seq
+        self._pending_base = self._pending
+        self._cancel_base = 0
+        self._n_cancelled = 0
+        self._sched_carry = 0
+        self._exec_carry = 0
 
     def schedule(
         self, time: float, callback: Callable[[], None], priority: int = 0
@@ -183,8 +243,6 @@ class Engine:
         event = ScheduledEvent(time, priority, seq, callback, self)
         heapq.heappush(self._queue, (time, priority, seq, event))
         self._pending += 1
-        if self._instr is not None:
-            self._instr.count(EVENTS_SCHEDULED)
         return event
 
     def schedule_after(
@@ -222,7 +280,7 @@ class Engine:
         """Bookkeeping callback from :meth:`ScheduledEvent.cancel`."""
         self._pending -= 1
         if self._instr is not None:
-            self._instr.count(EVENTS_CANCELLED)
+            self._n_cancelled += 1
 
     def snapshot(self) -> EngineSnapshot:
         """Capture the calendar, clock and sequence counter.
@@ -256,6 +314,17 @@ class Engine:
             snapshot, letting callers holding old handles (e.g. the
             simulator's transition map) swap them for live ones.
         """
+        # The abandoned timeline's events really happened: fold its
+        # scheduled/executed deltas into the carries before seq and
+        # pending rewind to snapshot values.
+        scheduled = self._seq - self._seq_base
+        self._sched_carry += scheduled
+        self._exec_carry += (
+            scheduled
+            - (self._n_cancelled - self._cancel_base)
+            - (self._pending - self._pending_base)
+        )
+        self._cancel_base = self._n_cancelled
         for entry in self._queue:
             # Detach the abandoned timeline: a later cancel() on one of
             # these stale handles must be a no-op for this engine.
@@ -271,6 +340,8 @@ class Engine:
         self._pending = len(queue)
         self.now = snapshot.now
         self._seq = snapshot.seq
+        self._seq_base = snapshot.seq
+        self._pending_base = self._pending
         self._running = False
         self._stopped = False
         return mapping
@@ -298,8 +369,6 @@ class Engine:
         callback = event.callback
         event.callback = None
         assert callback is not None
-        if self._instr is not None:
-            self._instr.count(EVENTS_EXECUTED)
         callback()
         return True
 
@@ -338,11 +407,11 @@ class Engine:
                 self.now = time
                 callback = event.callback
                 event.callback = None
-                if instr is not None:
-                    instr.count(EVENTS_EXECUTED)
                 callback()
         finally:
             self._running = False
+            if instr is not None:
+                self.flush_counts()
         if not self._stopped:
             self.now = t_end
 

@@ -36,6 +36,7 @@ implementation: the RNG stream is consumed in exactly the same order
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
@@ -333,6 +334,10 @@ class FMTSimulator:
     def _init_per_run_state(self) -> None:
         """Create pristine per-run state (no RNG activity)."""
         self._instr: Optional[Instrumentation] = self.config.instrumentation
+        self._sim_timer = (
+            None if self._instr is None
+            else self._instr.timer(_obs.TIMER_SIMULATE)
+        )
         self._engine = Engine(instrumentation=self._instr)
         # The engine lives as long as the simulator (reset in place per
         # run), so its schedule entry points can be cached once.
@@ -356,6 +361,73 @@ class FMTSimulator:
             horizon=self.config.horizon,
             events_recorded=self.config.record_events,
         )
+        self._zero_tallies()
+
+    # Per-event counters are batched as plain int tallies and folded
+    # into the registry once per trajectory (flush_instrumentation):
+    # a registry.count() per event costs ~4x an int increment, which
+    # blows the <=5% instrumented-run overhead budget on models with
+    # hundreds of events per trajectory.  Inspections and preventive
+    # actions go one step further: the trajectory record already
+    # counts them unconditionally, so their flush values are derived
+    # from baselines instead of tallied — zero extra work per visit on
+    # the single hottest callback (_on_inspection).
+    _TALLY_COUNTERS = (
+        ("_n_phase_jumps", _obs.SIM_PHASE_JUMPS),
+        ("_n_component_failures", _obs.SIM_COMPONENT_FAILURES),
+        ("_n_rdep_accelerations", _obs.SIM_RDEP_ACCELERATIONS),
+        ("_n_system_failures", _obs.SIM_SYSTEM_FAILURES),
+        ("_n_system_restorations", _obs.SIM_SYSTEM_RESTORATIONS),
+        ("_n_detections", _obs.SIM_DETECTIONS),
+        ("_n_corrective", _obs.SIM_CORRECTIVE_REPLACEMENTS),
+        ("_n_repair_rounds", _obs.SIM_REPAIR_ROUNDS),
+    )
+
+    def _zero_tallies(self) -> None:
+        for attr, _ in self._TALLY_COUNTERS:
+            setattr(self, attr, 0)
+        # Carries + trajectory baselines for the derived counters
+        # (restore() folds pre-rewind deltas into the carries).
+        self._n_inspections = 0
+        self._n_preventive_actions = 0
+        self._insp_base = 0
+        self._prev_base = 0
+
+    def flush_instrumentation(self) -> None:
+        """Fold the batched event tallies into the attached registry.
+
+        ``simulate`` calls this automatically; step-driven runs (the
+        importance-splitting drivers) must call it once the stepping is
+        over, or the trailing tallies of the final segment would never
+        reach the registry.  Always safe to call: with no registry
+        attached or nothing tallied it is a no-op.
+        """
+        self._engine.flush_counts()
+        trajectory = self._trajectory
+        inspections = (
+            self._n_inspections + trajectory.n_inspections - self._insp_base
+        )
+        preventive = (
+            self._n_preventive_actions
+            + trajectory.n_preventive_actions
+            - self._prev_base
+        )
+        instr = self._instr
+        if instr is not None:
+            count = instr.count
+            if inspections:
+                count(_obs.SIM_INSPECTIONS, inspections)
+            if preventive:
+                count(_obs.SIM_PREVENTIVE_ACTIONS, preventive)
+            for attr, name in self._TALLY_COUNTERS:
+                n = getattr(self, attr)
+                if n:
+                    count(name, n)
+                    setattr(self, attr, 0)
+        self._n_inspections = 0
+        self._n_preventive_actions = 0
+        self._insp_base = trajectory.n_inspections
+        self._prev_base = trajectory.n_preventive_actions
 
     def _set_rng(self, rng: np.random.Generator) -> None:
         """Install ``rng`` and cache its hot samplers.
@@ -379,6 +451,7 @@ class FMTSimulator:
     # tables are rebuilt rather than shipped: they close over self.
     _PER_RUN_ATTRS = (
         "_instr",
+        "_sim_timer",
         "_engine",
         "_schedule",
         "_schedule_after",
@@ -395,6 +468,19 @@ class FMTSimulator:
         "_system_down",
         "_down_since",
         "_trajectory",
+        # batched event tallies, carries and baselines (_zero_tallies)
+        "_n_phase_jumps",
+        "_n_component_failures",
+        "_n_rdep_accelerations",
+        "_n_system_failures",
+        "_n_system_restorations",
+        "_n_inspections",
+        "_n_detections",
+        "_n_preventive_actions",
+        "_n_corrective",
+        "_n_repair_rounds",
+        "_insp_base",
+        "_prev_base",
     )
 
     _REBUILT_ATTRS = ("_jump_cb", "_inspection_plans", "_repair_plans")
@@ -433,10 +519,15 @@ class FMTSimulator:
             self._engine.run_until(self._horizon)
             self._finalize()
         else:
-            with self._instr.timer(_obs.TIMER_SIMULATE).time():
-                self._engine.run_until(self._horizon)
-                self._finalize()
+            # Timed inline (not via Timer.time()): the contextmanager
+            # plus the per-call registry lookup cost more than the
+            # whole rest of the per-trajectory telemetry.
+            start = _time.perf_counter()
+            self._engine.run_until(self._horizon)
+            self._finalize()
+            self._sim_timer.observe(_time.perf_counter() - start)
             self._instr.count(_obs.SIM_TRAJECTORIES)
+            self.flush_instrumentation()
         if logger.isEnabledFor(10):  # logging.DEBUG, avoided on the hot path
             trajectory = self._trajectory
             logger.debug(
@@ -551,6 +642,13 @@ class FMTSimulator:
         the restored calendar; handles whose event already executed or
         was cancelled before the snapshot resolve to None/are dropped.
         """
+        # The abandoned timeline's inspections/actions really happened:
+        # fold their deltas into the carries before the trajectory
+        # record rewinds to the snapshot's counts.
+        self._n_inspections += self._trajectory.n_inspections - self._insp_base
+        self._n_preventive_actions += (
+            self._trajectory.n_preventive_actions - self._prev_base
+        )
         mapping = self._engine.restore(snapshot.engine)
         self._phase = dict(snapshot.phase)
         self._accel = dict(snapshot.accel)
@@ -578,6 +676,8 @@ class FMTSimulator:
         self._system_down = snapshot.system_down
         self._down_since = snapshot.down_since
         self._trajectory = snapshot.trajectory.copy()
+        self._insp_base = self._trajectory.n_inspections
+        self._prev_base = self._trajectory.n_preventive_actions
         if rng is not None:
             self._set_rng(rng)
 
@@ -601,8 +701,15 @@ class FMTSimulator:
     # Setup / teardown
     # ------------------------------------------------------------------
     def _reset(self, rng: np.random.Generator) -> None:
+        # Fold any tallies stranded by an abandoned step-driven run
+        # into the *outgoing* registry before swapping in the new one.
+        self.flush_instrumentation()
         instr = self.config.instrumentation
         self._instr = instr if instr is not None else _obs.current()
+        self._sim_timer = (
+            None if self._instr is None
+            else self._instr.timer(_obs.TIMER_SIMULATE)
+        )
         self._engine.reset(instrumentation=self._instr)
         self._set_rng(rng)
         self._phase = dict(self._phase0)
@@ -618,6 +725,7 @@ class FMTSimulator:
             horizon=self._horizon,
             events_recorded=self.config.record_events,
         )
+        self._zero_tallies()
 
         for name in self._events:
             self._schedule_transition(name)
@@ -682,13 +790,12 @@ class FMTSimulator:
     def _on_phase_jump(self, name: str) -> None:
         phase = self._phase[name] + 1
         self._phase[name] = phase
-        instr = self._instr
-        if instr is not None:
-            instr.count(_obs.SIM_PHASE_JUMPS)
+        if self._instr is not None:
+            self._n_phase_jumps += 1
         if phase >= self._n_phases[name]:
             self._transition[name] = None
-            if instr is not None:
-                instr.count(_obs.SIM_COMPONENT_FAILURES)
+            if self._instr is not None:
+                self._n_component_failures += 1
             if self._recording:
                 self._record(name, "failure", phase=phase)
             self._set_component_state(name, failed=True)
@@ -801,7 +908,7 @@ class FMTSimulator:
             return
         self._accel[target] = factor
         if self._instr is not None:
-            self._instr.count(_obs.SIM_RDEP_ACCELERATIONS)
+            self._n_rdep_accelerations += 1
         # Exponential sojourns are memoryless: rescheduling the pending
         # jump with the new rate realises the rate change exactly.
         if self._transition[target] is not None:
@@ -814,7 +921,7 @@ class FMTSimulator:
     def _on_system_failure(self) -> None:
         now = self._engine.now
         if self._instr is not None:
-            self._instr.count(_obs.SIM_SYSTEM_FAILURES)
+            self._n_system_failures += 1
         self._trajectory.failure_times.append(now)
         if self._recording:
             self._record(self._top_name, "system_failure")
@@ -848,7 +955,7 @@ class FMTSimulator:
     def _on_system_restored(self) -> None:
         now = self._engine.now
         if self._instr is not None:
-            self._instr.count(_obs.SIM_SYSTEM_RESTORATIONS)
+            self._n_system_restorations += 1
         elapsed = now - self._down_since
         self._trajectory.downtime += elapsed
         self._charge_downtime(self._down_since, now)
@@ -885,8 +992,6 @@ class FMTSimulator:
         trajectory = self._trajectory
         trajectory.n_inspections += 1
         instr = self._instr
-        if instr is not None:
-            instr.count(_obs.SIM_INSPECTIONS)
         rate = self._discount_rate
         trajectory.costs.inspections += plan.visit_cost * (
             1.0 if rate == 0.0 else math.exp(-rate * now)
@@ -908,7 +1013,7 @@ class FMTSimulator:
             ):
                 continue  # imperfect inspection missed the degradation
             if instr is not None:
-                instr.count(_obs.SIM_DETECTIONS)
+                self._n_detections += 1
             if self._recording:
                 self._record(target, "detection", phase=phase[target])
             if plan.name in pending_actions[target]:
@@ -940,8 +1045,6 @@ class FMTSimulator:
             target
         ] * self._discount_factor(self._engine.now)
         trajectory.n_preventive_actions += 1
-        if self._instr is not None:
-            self._instr.count(_obs.SIM_PREVENTIVE_ACTIONS)
         new_phase = plan.action.resulting_phase(self._phase[target])
         if self._recording:
             self._record(target, plan.action_kind, phase=new_phase)
@@ -954,7 +1057,7 @@ class FMTSimulator:
         ] * self._discount_factor(self._engine.now)
         trajectory.n_corrective_replacements += 1
         if self._instr is not None:
-            self._instr.count(_obs.SIM_CORRECTIVE_REPLACEMENTS)
+            self._n_corrective += 1
         if self._recording:
             self._record(target, "replace", corrective=True, phase=0)
         self._set_phase(target, 0)
@@ -973,7 +1076,7 @@ class FMTSimulator:
         if self._system_down:
             return
         if self._instr is not None:
-            self._instr.count(_obs.SIM_REPAIR_ROUNDS)
+            self._n_repair_rounds += 1
         for target, _ in plan.targets:
             self._perform_action(plan, target)
 

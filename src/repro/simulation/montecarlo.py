@@ -13,6 +13,7 @@ model-checking workflow the paper's analyses used.
 
 from __future__ import annotations
 
+import time as _time
 import warnings
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
@@ -24,8 +25,14 @@ from repro.errors import ValidationError
 from repro.maintenance.costs import CostModel
 from repro.maintenance.strategy import MaintenanceStrategy
 from repro.observability import instrumentation as _obs
+from repro.observability import spans as _spans
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logging_setup import get_logger, kv
+from repro.observability.progress import (
+    ProgressEvent,
+    ProgressReporter,
+    current_progress,
+)
 from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
 from repro.simulation.executor import FMTSimulator, SimulationConfig
 from repro.simulation.metrics import (
@@ -210,6 +217,27 @@ class MonteCarlo:
         self._streams_used += 1
         return np.random.default_rng(child)
 
+    def _resolve_instrumentation(self) -> Optional[Instrumentation]:
+        """Explicit instrumentation, else the simulator's, else ambient."""
+        if self.instrumentation is not None:
+            return self.instrumentation
+        config_instrumentation = self.simulator.config.instrumentation
+        if config_instrumentation is not None:
+            return config_instrumentation
+        return _obs.current()
+
+    @staticmethod
+    def _resolve_progress(
+        progress: Optional[ProgressReporter],
+    ) -> Optional[ProgressReporter]:
+        """Explicit reporter, else the ambient one, else None."""
+        return progress if progress is not None else current_progress()
+
+    @staticmethod
+    def _progress_step(n_runs: int) -> int:
+        """Trajectories between progress events for an n-run study."""
+        return max(1, min(1000, n_runs // 50))
+
     def _summarize(
         self, trajectories: Trajectories, confidence: float
     ) -> KpiSummary:
@@ -251,6 +279,7 @@ class MonteCarlo:
         confidence: float = 0.95,
         keep_trajectories: bool = False,
         pool: Optional["SharedSimulationPool"] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> MonteCarloResult:
         """Like :meth:`run`, fanned out over worker processes.
 
@@ -269,8 +298,17 @@ class MonteCarlo:
         as a :class:`~repro.simulation.batch.TrajectoryBatch` on the
         result; with ``record_events=False`` (the default) the workers
         themselves ship packed columns instead of pickled object lists.
+
+        With telemetry attached — instrumentation (explicit or
+        ambient), an ambient span collector, or a progress reporter —
+        each worker chunk runs under a ``worker.chunk`` span parented
+        to this call's ``mc.run_parallel`` span and ships its metrics
+        registry back for merging, so parallel profiles report worker-
+        side counters and per-worker ``sim.worker.<n>.*`` utilization
+        gauges.  All of it is passive: results stay bit-identical.
         """
         from repro.simulation.parallel import (
+            WorkerTelemetry,
             default_process_count,
             sample_parallel,
             sample_parallel_batch,
@@ -285,35 +323,60 @@ class MonteCarlo:
         elif processes < 1:
             raise ValidationError(f"processes must be >= 1, got {processes}")
         logger.info(kv("run_parallel fan-out", processes=processes, runs=n_runs))
-        seeds = self._seed_sequence.spawn(n_runs)
-        self._streams_used += n_runs
-        if not keep_trajectories and not self.simulator.config.record_events:
-            # Compact IPC: workers reduce trajectories to KPI columns
-            # and the driver never materializes the object list.
-            batch = sample_parallel_batch(
-                self.simulator, seeds, processes, pool=pool
+        with _spans.span(
+            "mc.run_parallel", {"n_runs": n_runs, "processes": processes}
+        ) as run_span:
+            reporter = self._resolve_progress(progress)
+            instrumentation = self._resolve_instrumentation()
+            collector = _spans.current_collector()
+            telemetry = None
+            if (
+                instrumentation is not None
+                or collector is not None
+                or reporter is not None
+            ):
+                context = run_span.context
+                telemetry = WorkerTelemetry(
+                    instrumentation=instrumentation,
+                    collector=collector,
+                    span_parent=(
+                        context.to_dict() if context is not None else None
+                    ),
+                    progress=reporter,
+                )
+            seeds = self._seed_sequence.spawn(n_runs)
+            self._streams_used += n_runs
+            if not keep_trajectories and not self.simulator.config.record_events:
+                # Compact IPC: workers reduce trajectories to KPI columns
+                # and the driver never materializes the object list.
+                batch = sample_parallel_batch(
+                    self.simulator, seeds, processes, pool=pool,
+                    telemetry=telemetry,
+                )
+                return MonteCarloResult(
+                    summary=self._summarize(batch, confidence), batch=batch
+                )
+            trajectories = sample_parallel(
+                self.simulator, seeds, processes, pool=pool, telemetry=telemetry
             )
+            if keep_trajectories:
+                summary = self._summarize(trajectories, confidence)
+                return MonteCarloResult(
+                    summary=summary, trajectories=tuple(trajectories)
+                )
+            # Events were recorded but the objects are not kept: ship the
+            # objects (they carry the events) but hand back only the batch.
+            batch = TrajectoryBatch.from_trajectories(trajectories)
             return MonteCarloResult(
                 summary=self._summarize(batch, confidence), batch=batch
             )
-        trajectories = sample_parallel(self.simulator, seeds, processes, pool=pool)
-        if keep_trajectories:
-            summary = self._summarize(trajectories, confidence)
-            return MonteCarloResult(
-                summary=summary, trajectories=tuple(trajectories)
-            )
-        # Events were recorded but the objects are not kept: ship the
-        # objects (they carry the events) but hand back only the batch.
-        batch = TrajectoryBatch.from_trajectories(trajectories)
-        return MonteCarloResult(
-            summary=self._summarize(batch, confidence), batch=batch
-        )
 
     def run(
         self,
         n_runs: int,
         confidence: float = 0.95,
         keep_trajectories: bool = False,
+        progress: Optional[ProgressReporter] = None,
     ) -> MonteCarloResult:
         """Run a fixed number of replications and summarize KPIs.
 
@@ -323,17 +386,69 @@ class MonteCarlo:
         trajectory plus the packed columns, independent of ``n_runs`` —
         and the batch rides along on the result for curve estimation.
         KPIs are bit-identical between the two modes.
+
+        ``progress`` (or an ambient reporter installed with
+        :func:`repro.observability.use_progress`) receives
+        rate/ETA events at batch boundaries; reporting is passive, so
+        a watched run is bit-identical to a silent one.
         """
-        if keep_trajectories:
-            trajectories = self.sample(n_runs)
-            summary = self._summarize(trajectories, confidence)
-            return MonteCarloResult(
-                summary=summary, trajectories=tuple(trajectories)
+        reporter = self._resolve_progress(progress)
+        with _spans.span(
+            "mc.run", {"n_runs": n_runs, "keep_trajectories": keep_trajectories}
+        ):
+            if reporter is None:
+                if keep_trajectories:
+                    trajectories = self.sample(n_runs)
+                    summary = self._summarize(trajectories, confidence)
+                    return MonteCarloResult(
+                        summary=summary, trajectories=tuple(trajectories)
+                    )
+                batch = self.sample_batch(n_runs)
+                return MonteCarloResult(
+                    summary=self._summarize(batch, confidence), batch=batch
+                )
+            if n_runs < 1:
+                raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+            # Watched run: identical child-stream order, sliced into
+            # progress steps.  The sink (object list vs accumulator)
+            # mirrors the silent paths above exactly.
+            collected: List[Trajectory] = []
+            accumulator = (
+                None
+                if keep_trajectories
+                else TrajectoryAccumulator(horizon=self.horizon)
             )
-        batch = self.sample_batch(n_runs)
-        return MonteCarloResult(
-            summary=self._summarize(batch, confidence), batch=batch
-        )
+            sink = collected.append if accumulator is None else accumulator.add
+            step = self._progress_step(n_runs)
+            start = _time.perf_counter()
+            done = 0
+            while done < n_runs:
+                take = min(step, n_runs - done)
+                for _ in range(take):
+                    sink(self.simulator.simulate(self._next_rng()))
+                done += take
+                elapsed = _time.perf_counter() - start
+                rate = done / elapsed if elapsed > 0 else None
+                reporter.update(
+                    ProgressEvent(
+                        phase="mc.run",
+                        completed=done,
+                        total=n_runs,
+                        elapsed_seconds=elapsed,
+                        rate_per_sec=rate,
+                        eta_seconds=((n_runs - done) / rate) if rate else None,
+                        done=done >= n_runs,
+                    )
+                )
+            if accumulator is None:
+                summary = self._summarize(collected, confidence)
+                return MonteCarloResult(
+                    summary=summary, trajectories=tuple(collected)
+                )
+            batch = accumulator.finalize()
+            return MonteCarloResult(
+                summary=self._summarize(batch, confidence), batch=batch
+            )
 
     def run_rare_event(
         self,
@@ -372,7 +487,18 @@ class MonteCarlo:
                 processes=processes,
             )
         )
-        return estimator.estimate(seeds, confidence=confidence, processes=processes)
+        with _spans.span(
+            "mc.run_rare_event",
+            {
+                "method": config.method,
+                "n_units": config.n_units,
+                "levels": len(estimator.thresholds),
+                "processes": processes,
+            },
+        ):
+            return estimator.estimate(
+                seeds, confidence=confidence, processes=processes
+            )
 
     def run_to_precision(
         self,
@@ -382,6 +508,7 @@ class MonteCarlo:
         keep_trajectories: bool = True,
         target: str = "failures",
         max_zero_samples: int = 10_000,
+        progress: Optional[ProgressReporter] = None,
     ) -> MonteCarloResult:
         """Sequential estimation to a target relative precision.
 
@@ -402,6 +529,13 @@ class MonteCarlo:
         stops after ``max_zero_samples`` all-zero trajectories with a
         :class:`RuntimeWarning` (consider :meth:`run_rare_event` —
         rare-event estimation is what importance splitting is for).
+
+        ``progress`` (or an ambient reporter) receives one convergence
+        event per batch: the running estimate, its CI half-width (at
+        the rule's confidence), the relative half-width, and the
+        rule's target relative error — so a long sequential run shows
+        how far from convergence it is, not just how many samples it
+        has burned.
         """
         extractors = {
             "failures": lambda t: float(t.n_failures),
@@ -422,6 +556,7 @@ class MonteCarlo:
             raise ValidationError(
                 f"max_zero_samples must be >= 1, got {max_zero_samples}"
             )
+        reporter = self._resolve_progress(progress)
         statistics = RunningStatistics()
         collected: List[Trajectory] = []
         # With keep_trajectories=False the batches are folded straight
@@ -432,36 +567,88 @@ class MonteCarlo:
             if keep_trajectories
             else TrajectoryAccumulator(horizon=self.horizon)
         )
-        while not rule.should_stop(statistics):
-            if statistics.count >= max_zero_samples and statistics.mean == 0.0:
-                message = (
-                    f"run_to_precision: target {target!r} is zero on all "
-                    f"{statistics.count} trajectories; the relative "
-                    "precision rule cannot converge on an all-zero "
-                    "stream — stopping early (consider run_rare_event)"
-                )
-                warnings.warn(message, RuntimeWarning, stacklevel=2)
-                logger.warning(
-                    kv(
-                        "run_to_precision all-zero cap hit",
-                        target=target,
-                        samples=statistics.count,
+        with _spans.span(
+            "mc.run_to_precision",
+            {
+                "target": target,
+                "batch_size": batch_size,
+                "relative_error": rule.relative_error,
+            },
+        ) as run_span:
+            start = _time.perf_counter()
+            while not rule.should_stop(statistics):
+                if (
+                    statistics.count >= max_zero_samples
+                    and statistics.mean == 0.0
+                ):
+                    message = (
+                        f"run_to_precision: target {target!r} is zero on all "
+                        f"{statistics.count} trajectories; the relative "
+                        "precision rule cannot converge on an all-zero "
+                        "stream — stopping early (consider run_rare_event)"
                     )
+                    warnings.warn(message, RuntimeWarning, stacklevel=2)
+                    logger.warning(
+                        kv(
+                            "run_to_precision all-zero cap hit",
+                            target=target,
+                            samples=statistics.count,
+                        )
+                    )
+                    break
+                batch = self.sample(batch_size)
+                for trajectory in batch:
+                    statistics.add(extractor(trajectory))
+                if accumulator is None:
+                    collected.extend(batch)
+                else:
+                    accumulator.extend(batch)
+                if reporter is not None:
+                    reporter.update(
+                        self._convergence_event(
+                            statistics, rule, start, done=False
+                        )
+                    )
+            run_span.set_attribute("n_samples", statistics.count)
+            if reporter is not None:
+                reporter.update(
+                    self._convergence_event(statistics, rule, start, done=True)
                 )
-                break
-            batch = self.sample(batch_size)
-            for trajectory in batch:
-                statistics.add(extractor(trajectory))
             if accumulator is None:
-                collected.extend(batch)
-            else:
-                accumulator.extend(batch)
-        if accumulator is None:
-            summary = self._summarize(collected, confidence)
+                summary = self._summarize(collected, confidence)
+                return MonteCarloResult(
+                    summary=summary, trajectories=tuple(collected)
+                )
+            built = accumulator.finalize()
             return MonteCarloResult(
-                summary=summary, trajectories=tuple(collected)
+                summary=self._summarize(built, confidence), batch=built
             )
-        built = accumulator.finalize()
-        return MonteCarloResult(
-            summary=self._summarize(built, confidence), batch=built
+
+    @staticmethod
+    def _convergence_event(
+        statistics: RunningStatistics,
+        rule: RelativePrecisionRule,
+        start: float,
+        done: bool,
+    ) -> ProgressEvent:
+        """Progress event describing how converged a sequential run is."""
+        half_width = None
+        relative_half_width = None
+        if statistics.count >= 2:
+            interval = statistics.confidence_interval(rule.confidence)
+            half_width = interval.half_width
+            if statistics.mean != 0.0:
+                relative_half_width = interval.relative_half_width
+        elapsed = _time.perf_counter() - start
+        rate = statistics.count / elapsed if elapsed > 0 else None
+        return ProgressEvent(
+            phase="mc.run_to_precision",
+            completed=statistics.count,
+            elapsed_seconds=elapsed,
+            rate_per_sec=rate,
+            estimate=statistics.mean if statistics.count else None,
+            ci_half_width=half_width,
+            relative_half_width=relative_half_width,
+            target=rule.relative_error,
+            done=done,
         )

@@ -24,6 +24,24 @@ one of two shapes:
 A worker process dying (OOM-kill, segfault, ``os._exit``) surfaces as
 a :class:`~repro.errors.SimulationError` instead of a hang or an
 opaque pool exception.
+
+Telemetry round-trip
+--------------------
+When the driver runs with telemetry attached (metrics, spans, or a
+progress reporter — see :class:`WorkerTelemetry`), each task addition-
+ally carries a tiny :class:`ChunkExtras` and each worker wraps its
+chunk in a fresh per-chunk :class:`~repro.observability.
+instrumentation.Instrumentation` and a ``worker.chunk`` span parented
+to the dispatching span's shipped
+:class:`~repro.observability.spans.SpanContext`.  The chunk result
+then ships ``(payload, worker registry, span record, pid, wall
+seconds)`` back; the driver folds the registry into the parent one
+(:meth:`MetricsRegistry.merge`), feeds the span record to the ambient
+collector, emits a progress event, and finally publishes per-worker
+utilization gauges (``sim.worker.<n>.chunks`` / ``.trajectories`` /
+``.busy_seconds`` plus ``sim.workers``).  With no telemetry attached
+the legacy payload-only protocol is used — zero extra bytes on the
+pipe, zero worker-side overhead.
 """
 
 from __future__ import annotations
@@ -31,14 +49,23 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError, ValidationError
+from repro.observability.instrumentation import (
+    SIM_WORKER_PREFIX,
+    SIM_WORKERS,
+    Instrumentation,
+)
 from repro.observability.logging_setup import get_logger, kv
+from repro.observability.progress import ProgressEvent
+from repro.observability.spans import Span, SpanCollector
 from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
 from repro.simulation.executor import FMTSimulator
 from repro.simulation.trace import Trajectory
@@ -50,6 +77,7 @@ __all__ = [
     "sample_parallel_batch",
     "default_process_count",
     "SharedSimulationPool",
+    "WorkerTelemetry",
 ]
 
 logger = get_logger(__name__)
@@ -141,6 +169,120 @@ def _worker_batch_columns(
     return simulate_batch_columns(_WORKER_SIMULATOR, seeds)
 
 
+# ----------------------------------------------------------------------
+# Telemetry round-trip
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChunkExtras:
+    """Per-task telemetry envelope shipped to a worker.
+
+    Picklable and tiny: the parent span's serialized
+    :class:`~repro.observability.spans.SpanContext` (or None when
+    tracing is off), whether to collect a per-chunk metrics registry,
+    the chunk's ordinal, and the result representation.
+    """
+
+    span_parent: Optional[Dict[str, str]]
+    collect_metrics: bool
+    chunk_index: int
+    as_batch: bool
+
+
+@dataclass
+class ChunkResult:
+    """What a telemetry-enabled worker ships back per chunk."""
+
+    payload: Any  # List[Trajectory] or TrajectoryBatch
+    registry: Optional[Any]  # MetricsRegistry, when metrics were collected
+    span: Optional[Dict[str, Any]]  # completed span record
+    pid: int
+    n_trajectories: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """Driver-side telemetry configuration for one parallel dispatch.
+
+    Built by :meth:`MonteCarlo.run_parallel` from the explicit/ambient
+    instrumentation, span collector, and progress reporter; ``None``
+    everywhere means the dispatch uses the legacy payload-only
+    protocol.
+    """
+
+    instrumentation: Optional[Instrumentation] = None
+    collector: Optional[SpanCollector] = None
+    span_parent: Optional[Dict[str, str]] = None
+    progress: Optional[Any] = None  # ProgressReporter
+    phase: str = "mc.run_parallel"
+
+    @property
+    def active(self) -> bool:
+        """Whether any telemetry sink is attached."""
+        return (
+            self.instrumentation is not None
+            or self.collector is not None
+            or self.progress is not None
+        )
+
+
+def _run_chunk_with_telemetry(
+    simulator: FMTSimulator,
+    seeds: Sequence[np.random.SeedSequence],
+    extras: ChunkExtras,
+) -> ChunkResult:
+    """Worker-side chunk execution with per-chunk telemetry.
+
+    The chunk simulates into a *fresh* registry (temporarily swapped
+    into the simulator config) so long-lived workers ship deltas, not
+    cumulative totals — the driver can then fold every chunk without
+    double counting.  Strictly passive: the trajectories are the same
+    with or without collection.
+    """
+    span = None
+    if extras.span_parent is not None:
+        span = Span.start(
+            "worker.chunk",
+            parent=extras.span_parent,
+            attributes={
+                "chunk": extras.chunk_index,
+                "n_trajectories": len(seeds),
+                "pid": os.getpid(),
+            },
+        )
+    run = simulate_batch_columns if extras.as_batch else simulate_batch
+    start = time.perf_counter()
+    registry = None
+    if extras.collect_metrics:
+        instrumentation = Instrumentation()
+        registry = instrumentation.registry
+        original = simulator.config
+        simulator.config = replace(original, instrumentation=instrumentation)
+        try:
+            payload = run(simulator, seeds)
+        finally:
+            simulator.config = original
+    else:
+        payload = run(simulator, seeds)
+    seconds = time.perf_counter() - start
+    return ChunkResult(
+        payload=payload,
+        registry=registry,
+        span=span.end().to_dict() if span is not None else None,
+        pid=os.getpid(),
+        n_trajectories=len(seeds),
+        seconds=seconds,
+    )
+
+
+def _worker_chunk_telemetry(
+    task: Tuple[Sequence[np.random.SeedSequence], ChunkExtras],
+) -> ChunkResult:
+    assert _WORKER_SIMULATOR is not None
+    seeds, extras = task
+    return _run_chunk_with_telemetry(_WORKER_SIMULATOR, seeds, extras)
+
+
 # Shared-pool worker state: simulators cached by payload digest, so one
 # pool can serve many different studies and each worker unpickles a
 # given simulator at most once.
@@ -174,6 +316,13 @@ def _shared_worker_batch_columns(
 ) -> TrajectoryBatch:
     digest, blob, seeds = payload
     return simulate_batch_columns(_shared_simulator(digest, blob), seeds)
+
+
+def _shared_worker_chunk_telemetry(
+    payload: Tuple[str, bytes, Sequence[np.random.SeedSequence], ChunkExtras],
+) -> ChunkResult:
+    digest, blob, seeds, extras = payload
+    return _run_chunk_with_telemetry(_shared_simulator(digest, blob), seeds, extras)
 
 
 class SharedSimulationPool:
@@ -249,6 +398,64 @@ def _chunk_seeds(
     return chunks, chunk_size
 
 
+class _TelemetryFold:
+    """Driver-side accumulator folding returning chunk telemetry.
+
+    Merges worker registries into the parent instrumentation, routes
+    span records to the collector, emits progress events, and — once
+    the dispatch completes — publishes per-worker utilization gauges.
+    """
+
+    def __init__(self, telemetry: WorkerTelemetry, total: int):
+        self.telemetry = telemetry
+        self.total = total
+        self.completed = 0
+        self.start = time.perf_counter()
+        # pid -> [chunks, trajectories, busy seconds], ordinal by first
+        # appearance in (deterministic) seed-order completion.
+        self.workers: "Dict[int, List[float]]" = {}
+
+    def fold(self, result: ChunkResult) -> Any:
+        telemetry = self.telemetry
+        self.completed += result.n_trajectories
+        stats = self.workers.setdefault(result.pid, [0, 0, 0.0])
+        stats[0] += 1
+        stats[1] += result.n_trajectories
+        stats[2] += result.seconds
+        if telemetry.instrumentation is not None and result.registry is not None:
+            telemetry.instrumentation.registry.merge(result.registry)
+        if telemetry.collector is not None and result.span is not None:
+            telemetry.collector.add_record(result.span)
+        if telemetry.progress is not None:
+            elapsed = time.perf_counter() - self.start
+            rate = self.completed / elapsed if elapsed > 0 else None
+            remaining = self.total - self.completed
+            telemetry.progress.update(
+                ProgressEvent(
+                    phase=telemetry.phase,
+                    completed=self.completed,
+                    total=self.total,
+                    elapsed_seconds=elapsed,
+                    rate_per_sec=rate,
+                    eta_seconds=(remaining / rate) if rate else None,
+                    done=self.completed >= self.total,
+                )
+            )
+        return result.payload
+
+    def finish(self) -> None:
+        instrumentation = self.telemetry.instrumentation
+        if instrumentation is None or not self.workers:
+            return
+        instrumentation.set_gauge(SIM_WORKERS, len(self.workers))
+        for ordinal, pid in enumerate(self.workers):
+            chunks, trajectories, busy = self.workers[pid]
+            prefix = f"{SIM_WORKER_PREFIX}.{ordinal}"
+            instrumentation.set_gauge(f"{prefix}.chunks", chunks)
+            instrumentation.set_gauge(f"{prefix}.trajectories", trajectories)
+            instrumentation.set_gauge(f"{prefix}.busy_seconds", busy)
+
+
 def _dispatch_chunks(
     simulator: FMTSimulator,
     seeds: Sequence[np.random.SeedSequence],
@@ -256,13 +463,19 @@ def _dispatch_chunks(
     chunk_size: Optional[int],
     pool: Optional[SharedSimulationPool],
     as_batch: bool,
+    telemetry: Optional[WorkerTelemetry] = None,
 ) -> Iterator:
-    """Yield per-chunk worker results in seed order.
+    """Yield per-chunk worker payloads in seed order.
 
     Shared machinery behind :func:`sample_parallel` and
     :func:`sample_parallel_batch`; ``as_batch`` selects the worker
-    entry point (object lists vs packed columns).
+    representation (object lists vs packed columns).  With an active
+    :class:`WorkerTelemetry`, tasks carry :class:`ChunkExtras`, workers
+    return :class:`ChunkResult`, and the telemetry is folded driver-
+    side as each chunk completes.
     """
+    if telemetry is not None and not telemetry.active:
+        telemetry = None
     chunks, chunk_size = _chunk_seeds(seeds, processes, chunk_size)
     logger.debug(
         kv(
@@ -273,30 +486,61 @@ def _dispatch_chunks(
             chunk_size=chunk_size,
             shared=pool is not None,
             as_batch=as_batch,
+            telemetry=telemetry is not None,
         )
     )
+    fold = (
+        _TelemetryFold(telemetry, len(seeds)) if telemetry is not None else None
+    )
+    extras = None
+    if telemetry is not None:
+        extras = [
+            ChunkExtras(
+                span_parent=telemetry.span_parent,
+                collect_metrics=telemetry.instrumentation is not None,
+                chunk_index=index,
+                as_batch=as_batch,
+            )
+            for index in range(len(chunks))
+        ]
     completed = 0
     try:
         if pool is not None:
             blob = pickle.dumps(simulator, protocol=pickle.HIGHEST_PROTOCOL)
             digest = hashlib.sha256(blob).hexdigest()
-            payloads = [(digest, blob, chunk) for chunk in chunks]
-            worker = (
-                _shared_worker_batch_columns if as_batch else _shared_worker_batch
-            )
+            if extras is not None:
+                payloads: List[Tuple] = [
+                    (digest, blob, chunk, extra)
+                    for chunk, extra in zip(chunks, extras)
+                ]
+                worker = _shared_worker_chunk_telemetry
+            else:
+                payloads = [(digest, blob, chunk) for chunk in chunks]
+                worker = (
+                    _shared_worker_batch_columns
+                    if as_batch
+                    else _shared_worker_batch
+                )
             for index, result in enumerate(pool.executor().map(worker, payloads)):
                 completed += len(chunks[index])
-                yield result
+                yield fold.fold(result) if fold is not None else result
         else:
             with ProcessPoolExecutor(
                 max_workers=processes,
                 initializer=_init_worker,
                 initargs=(simulator,),
             ) as executor:
-                worker = _worker_batch_columns if as_batch else _worker_batch
-                for index, result in enumerate(executor.map(worker, chunks)):
+                if extras is not None:
+                    tasks: Sequence = list(zip(chunks, extras))
+                    worker = _worker_chunk_telemetry
+                else:
+                    tasks = chunks
+                    worker = _worker_batch_columns if as_batch else _worker_batch
+                for index, result in enumerate(executor.map(worker, tasks)):
                     completed += len(chunks[index])
-                    yield result
+                    yield fold.fold(result) if fold is not None else result
+        if fold is not None:
+            fold.finish()
     except BrokenProcessPool as exc:
         if pool is not None:
             pool.invalidate()
@@ -321,6 +565,7 @@ def sample_parallel(
     processes: int,
     chunk_size: Optional[int] = None,
     pool: Optional[SharedSimulationPool] = None,
+    telemetry: Optional[WorkerTelemetry] = None,
 ) -> List[Trajectory]:
     """Simulate one trajectory per seed across worker processes.
 
@@ -328,7 +573,9 @@ def sample_parallel(
     run over the same seeds, regardless of worker scheduling).  When a
     :class:`SharedSimulationPool` is given its workers are reused and
     ``processes`` is taken from the pool; otherwise a dedicated pool is
-    created for this call.
+    created for this call.  ``telemetry`` opts into the worker
+    metric/span/progress round-trip (see the module docstring) —
+    trajectories are bit-identical with or without it.
 
     Raises
     ------
@@ -344,7 +591,8 @@ def sample_parallel(
         return simulate_batch(simulator, seeds)
     results: List[Trajectory] = []
     for chunk in _dispatch_chunks(
-        simulator, seeds, processes, chunk_size, pool, as_batch=False
+        simulator, seeds, processes, chunk_size, pool, as_batch=False,
+        telemetry=telemetry,
     ):
         results.extend(chunk)
     return results
@@ -356,6 +604,7 @@ def sample_parallel_batch(
     processes: int,
     chunk_size: Optional[int] = None,
     pool: Optional[SharedSimulationPool] = None,
+    telemetry: Optional[WorkerTelemetry] = None,
 ) -> TrajectoryBatch:
     """Like :func:`sample_parallel`, returning packed batch columns.
 
@@ -375,7 +624,8 @@ def sample_parallel_batch(
         return simulate_batch_columns(simulator, seeds)
     accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
     for chunk in _dispatch_chunks(
-        simulator, seeds, processes, chunk_size, pool, as_batch=True
+        simulator, seeds, processes, chunk_size, pool, as_batch=True,
+        telemetry=telemetry,
     ):
         accumulator.add_batch(chunk)
     return accumulator.finalize()

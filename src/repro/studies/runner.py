@@ -60,6 +60,7 @@ from repro.errors import ValidationError
 from repro.maintenance.costs import CostModel
 from repro.maintenance.strategy import MaintenanceStrategy
 from repro.observability import instrumentation as _obs
+from repro.observability import spans as _spans
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logging_setup import get_logger, kv
 from repro.simulation.executor import FMTSimulator, SimulationConfig
@@ -415,34 +416,42 @@ class StudyRunner:
         """
         key = base.derive(artifact, extra)
         self._count(_obs.STUDY_REQUESTS)
-        hit, value = self._memo_get(key.digest)
-        if hit:
-            self._count(_obs.STUDY_MEMO_HITS)
-            return value
-        if self.disk is not None:
-            hit, value, corrupt = self.disk.load(key)
-            if corrupt:
-                self._count(_obs.STUDY_DISK_CORRUPT)
+        with _spans.span(
+            "study.request",
+            {"artifact": artifact, "digest": key.digest[:12]},
+        ) as request_span:
+            hit, value = self._memo_get(key.digest)
             if hit:
-                self._count(_obs.STUDY_DISK_HITS)
-                self._memo_put(key.digest, value)
+                self._count(_obs.STUDY_MEMO_HITS)
+                request_span.set_attribute("outcome", "memo_hit")
                 return value
-        self._count(_obs.STUDY_MISSES)
-        value, extras, fresh = compute()
-        self._count(_obs.STUDY_FRESH_TRAJECTORIES, fresh)
-        logger.debug(
-            kv(
-                "study simulated",
-                artifact=artifact,
-                digest=key.digest[:12],
-                trajectories=fresh,
+            if self.disk is not None:
+                hit, value, corrupt = self.disk.load(key)
+                if corrupt:
+                    self._count(_obs.STUDY_DISK_CORRUPT)
+                if hit:
+                    self._count(_obs.STUDY_DISK_HITS)
+                    request_span.set_attribute("outcome", "disk_hit")
+                    self._memo_put(key.digest, value)
+                    return value
+            self._count(_obs.STUDY_MISSES)
+            request_span.set_attribute("outcome", "miss")
+            value, extras, fresh = compute()
+            self._count(_obs.STUDY_FRESH_TRAJECTORIES, fresh)
+            request_span.set_attribute("fresh_trajectories", fresh)
+            logger.debug(
+                kv(
+                    "study simulated",
+                    artifact=artifact,
+                    digest=key.digest[:12],
+                    trajectories=fresh,
+                )
             )
-        )
-        self._store(key, value)
-        for sibling_key, sibling_value in extras.items():
-            if sibling_key.digest not in self._memo:
-                self._store(sibling_key, sibling_value)
-        return value
+            self._store(key, value)
+            for sibling_key, sibling_value in extras.items():
+                if sibling_key.digest not in self._memo:
+                    self._store(sibling_key, sibling_value)
+            return value
 
     def _prototype(self, request: StudyRequest) -> FMTSimulator:
         """The cached simulator prototype for the request's material.

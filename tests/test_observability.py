@@ -88,7 +88,82 @@ def test_timer_sample_cap_keeps_count_and_total():
         timer.observe(value)
     assert timer.count == 4
     assert timer.total == pytest.approx(10.0)
-    assert timer.max == pytest.approx(3.0)  # quantiles over kept samples
+    assert timer.max == pytest.approx(4.0)  # exact even past the cap
+
+
+def test_timer_reservoir_surfaces_late_run_outliers():
+    # The pre-PR-6 first-N policy froze the sample window on the first
+    # max_samples observations, so quantiles of a long run described
+    # only its warm-up.  The reservoir keeps a uniform sample of
+    # everything observed: a late regime change must show up.
+    timer = Timer("late-outliers", max_samples=64)
+    for _ in range(500):
+        timer.observe(0.001)
+    for _ in range(500):
+        timer.observe(1.0)
+    kept_late = sum(1 for sample in timer._samples if sample == 1.0)
+    assert kept_late > 0, "late observations never entered the reservoir"
+    # Half the stream is slow, so the reservoir should be roughly
+    # half slow too (exact count is fixed by the name-seeded RNG).
+    assert 16 <= kept_late <= 48
+    assert timer.quantile(95.0) == pytest.approx(1.0)
+    assert timer.max == pytest.approx(1.0)
+    assert timer.count == 1000 and len(timer._samples) == 64
+
+
+def test_timer_reservoir_is_deterministic_per_name():
+    def fill(timer):
+        for value in range(200):
+            timer.observe(value / 1000.0)
+        return timer
+
+    first = fill(Timer("same-name", max_samples=16))
+    second = fill(Timer("same-name", max_samples=16))
+    assert first._samples == second._samples
+    other = fill(Timer("other-name", max_samples=16))
+    assert other._samples != first._samples  # different seed, same data
+
+
+def test_gauge_tracks_last_min_max_envelope():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    for value in (5.0, 1.0, 3.0):
+        gauge.set(value)
+    assert gauge.value == 3.0
+    assert gauge.summary() == {"last": 3.0, "min": 1.0, "max": 5.0}
+    untouched = registry.gauge("idle")
+    assert untouched.summary() == {"last": 0.0, "min": 0.0, "max": 0.0}
+    snapshot = registry.to_dict()["gauges"]
+    assert snapshot["depth"]["max"] == 5.0
+
+
+def test_gauge_merge_keeps_envelope_not_last_writer():
+    parent, worker_a, worker_b = (
+        MetricsRegistry(), MetricsRegistry(), MetricsRegistry(),
+    )
+    parent.gauge("load").set(2.0)
+    worker_a.gauge("load").set(7.0)
+    worker_b.gauge("load").set(1.0)
+    worker_b.gauge("untouched")  # created but never set: contributes nothing
+    parent.merge(worker_a)
+    parent.merge(worker_b)
+    merged = parent.gauge("load")
+    assert merged.last == 1.0  # chunk completion order: b merged last
+    assert merged.min == 1.0 and merged.max == 7.0
+    assert parent.gauge("untouched").n_sets == 0
+
+
+def test_registry_merge_carries_exact_timer_max():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    worker_timer = worker.timer("t")
+    worker_timer.max_samples = 2
+    for value in (0.1, 0.2, 9.0, 0.3):
+        worker_timer.observe(value)
+    parent.merge(worker)
+    merged = parent.timer("t")
+    assert merged.count == 4
+    assert merged.total == pytest.approx(9.6)
+    assert merged.max == pytest.approx(9.0)  # survives reservoir eviction
 
 
 def test_registry_to_dict_json_roundtrip(tmp_path):
@@ -174,11 +249,11 @@ def test_simulator_counts_activity(maintained_tree, inspection_strategy, rng):
 # ----------------------------------------------------------------------
 # The bit-identity regression (the tentpole's acceptance criterion)
 # ----------------------------------------------------------------------
-def _ei_joint_trajectories(instrumentation):
+def _ei_joint_mc(instrumentation):
     from repro.eijoint.model import build_ei_joint_fmt
     from repro.eijoint.strategies import current_policy
 
-    mc = MonteCarlo(
+    return MonteCarlo(
         build_ei_joint_fmt(),
         current_policy(),
         horizon=15.0,
@@ -186,14 +261,13 @@ def _ei_joint_trajectories(instrumentation):
         record_events=True,
         instrumentation=instrumentation,
     )
-    return mc.sample(25)
 
 
-def test_instrumented_ei_joint_run_is_bit_identical():
-    plain = _ei_joint_trajectories(None)
-    instr = Instrumentation()
-    instrumented = _ei_joint_trajectories(instr)
-    assert instr.registry.counter(obs.SIM_TRAJECTORIES).value == 25
+def _ei_joint_trajectories(instrumentation):
+    return _ei_joint_mc(instrumentation).sample(25)
+
+
+def _assert_trajectories_identical(plain, instrumented):
     for a, b in zip(plain, instrumented):
         assert a.failure_times == b.failure_times
         assert a.downtime == b.downtime
@@ -206,6 +280,34 @@ def test_instrumented_ei_joint_run_is_bit_identical():
         ] == [
             (e.time, e.component, e.kind, e.corrective, e.phase) for e in b.events
         ]
+
+
+def test_instrumented_ei_joint_run_is_bit_identical():
+    plain = _ei_joint_trajectories(None)
+    instr = Instrumentation()
+    instrumented = _ei_joint_trajectories(instr)
+    assert instr.registry.counter(obs.SIM_TRAJECTORIES).value == 25
+    _assert_trajectories_identical(plain, instrumented)
+
+
+def test_full_telemetry_ei_joint_run_is_bit_identical():
+    """Metrics + spans + progress attached at once must stay passive."""
+    import io
+
+    from repro.observability import JsonlProgressReporter, SpanCollector
+    from repro.observability import spans as sp
+    from repro.observability.progress import use_progress
+
+    plain = _ei_joint_trajectories(None)
+    instr = Instrumentation()
+    collector = SpanCollector()
+    reporter = JsonlProgressReporter(stream=io.StringIO())
+    with sp.use(collector), use_progress(reporter):
+        watched = _ei_joint_mc(instr).run(25, keep_trajectories=True)
+    _assert_trajectories_identical(plain, watched.trajectories)
+    assert instr.registry.counter(obs.SIM_TRAJECTORIES).value == 25
+    assert [r["name"] for r in collector.records] == ["mc.run"]
+    assert reporter.events_seen > 0
 
 
 def test_ambient_instrumentation_is_bit_identical(maintained_tree, inspection_strategy):
