@@ -7,6 +7,12 @@ workload, and fails when any workload regressed by more than
 differences between the baseline host and CI runners, tight enough to
 catch a hot-path pessimisation).  Improvements never fail.
 
+``--require-speedup WORKLOAD:BASELINE:FACTOR`` (repeatable) gates a
+minimum speedup *within the fresh results file* — both medians come
+from the same host and run, so the committed baseline's hardware cannot
+fake or mask the ratio.  CI uses it to hold the vectorized kernel to
+its advertised edge over the object engine.
+
 With ``--max-overhead`` it additionally measures the fully-instrumented
 (spans + progress + metrics) throughput of the EI-joint current-policy
 workload against an uninstrumented run and fails when the telemetry
@@ -20,6 +26,8 @@ Usage::
     PYTHONPATH=src python benchmarks/compare_bench.py fresh.json \
         --baseline BENCH_engine.json --max-regression 0.25 \
         --max-overhead 0.05
+    PYTHONPATH=src python benchmarks/compare_bench.py fresh.json \
+        --require-speedup eijoint-unmaintained-vectorized:eijoint-unmaintained:10
     PYTHONPATH=src python benchmarks/compare_bench.py --max-overhead 0.05
 """
 
@@ -80,6 +88,62 @@ def compare(
         lines.append(f"  {name:32s} (not in fresh run)")
     for name in sorted(set(fresh) - set(baseline)):
         lines.append(f"  {name:32s} (new, no baseline)")
+    return lines, violations
+
+
+def parse_speedup_spec(spec: str) -> Tuple[str, str, float]:
+    """Parse ``WORKLOAD:BASELINE:FACTOR`` into its three parts."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"--require-speedup {spec!r}: expected WORKLOAD:BASELINE:FACTOR"
+        )
+    workload, baseline, factor_text = parts
+    try:
+        factor = float(factor_text)
+    except ValueError:
+        raise SystemExit(
+            f"--require-speedup {spec!r}: FACTOR must be a number"
+        ) from None
+    if factor <= 0.0:
+        raise SystemExit(f"--require-speedup {spec!r}: FACTOR must be > 0")
+    return workload, baseline, factor
+
+
+def check_speedups(
+    fresh: Dict[str, dict], specs: List[str]
+) -> Tuple[List[str], List[str]]:
+    """(report lines, violations) for ``--require-speedup`` gates.
+
+    Both workloads come from the SAME fresh results file — a fresh-vs-
+    fresh ratio on one host, so machine differences against the
+    committed baseline can neither mask nor fake a kernel speedup.
+    """
+    lines: List[str] = []
+    violations: List[str] = []
+    for spec in specs:
+        workload, baseline, factor = parse_speedup_spec(spec)
+        missing = [name for name in (workload, baseline) if name not in fresh]
+        if missing:
+            violations.append(
+                f"--require-speedup {spec}: missing workload(s) "
+                f"{', '.join(missing)} in fresh run"
+            )
+            continue
+        ratio = (
+            fresh[baseline]["median_s_per_trajectory"]
+            / fresh[workload]["median_s_per_trajectory"]
+        )
+        marker = " " if ratio >= factor else "!"
+        lines.append(
+            f"{marker} speedup {workload} vs {baseline}: {ratio:.1f}x "
+            f"(required {factor:g}x)"
+        )
+        if ratio < factor:
+            violations.append(
+                f"{workload} is only {ratio:.2f}x faster than {baseline} "
+                f"(required {factor:g}x)"
+            )
     return lines, violations
 
 
@@ -151,9 +215,18 @@ def main(argv=None) -> int:
         "--max-overhead", type=float, default=None, metavar="FRACTION",
         help="also measure full-telemetry overhead and fail above this",
     )
+    parser.add_argument(
+        "--require-speedup", action="append", default=[],
+        metavar="WORKLOAD:BASELINE:FACTOR",
+        help="fail unless WORKLOAD is at least FACTOR times faster than "
+        "BASELINE within the fresh results file (repeatable; e.g. "
+        "eijoint-unmaintained-vectorized:eijoint-unmaintained:10)",
+    )
     args = parser.parse_args(argv)
     if args.fresh is None and args.max_overhead is None:
         parser.error("give FRESH_JSON, --max-overhead, or both")
+    if args.require_speedup and args.fresh is None:
+        parser.error("--require-speedup needs FRESH_JSON")
 
     violations: List[str] = []
     if args.fresh is not None:
@@ -166,6 +239,13 @@ def main(argv=None) -> int:
         for line in lines:
             print(line)
         violations.extend(bench_violations)
+        if args.require_speedup:
+            speedup_lines, speedup_violations = check_speedups(
+                fresh, args.require_speedup
+            )
+            for line in speedup_lines:
+                print(line)
+            violations.extend(speedup_violations)
 
     if args.max_overhead is not None:
         overhead: Optional[float] = None

@@ -66,6 +66,31 @@ def _montecarlo_workload(strategy_factory, horizon: float = 50.0):
     return batch
 
 
+def _vectorized_workload(strategy_factory, horizon: float = 50.0):
+    """Full MonteCarlo.run() on the lockstep vectorized kernel.
+
+    End-to-end like :func:`_montecarlo_workload` (model build, kernel
+    compile, sampling, KPI summarization all inside the timed batch),
+    so the speedup vs the object workloads is what a study actually
+    sees, not an isolated kernel number.
+    """
+    from repro.eijoint import build_ei_joint_fmt, default_cost_model
+    from repro.simulation.montecarlo import MonteCarlo
+
+    def batch(seeds) -> None:
+        mc = MonteCarlo(
+            build_ei_joint_fmt(),
+            strategy_factory(),
+            horizon=horizon,
+            cost_model=default_cost_model(),
+            seed=len(seeds),
+            kernel="vectorized",
+        )
+        mc.run(len(seeds))
+
+    return batch
+
+
 def _synthetic_trajectories(n: int, horizon: float = 50.0, seed: int = 2016):
     """Plain Trajectory objects with EI-joint-like KPI statistics.
 
@@ -154,6 +179,13 @@ def build_workloads(quick: bool = False) -> Dict[str, Dict[str, object]]:
     agg_repeats = 3 if quick else 7
     par_size = 2_000 if quick else 50_000
     par_repeats = 2 if quick else 3
+    # The vectorized workloads keep full sizing even in quick mode: the
+    # lockstep kernel's per-chunk overhead amortizes by batch size, so a
+    # smaller quick batch would measure a different workload and trip
+    # the quick-vs-full-baseline regression compare in CI.  The kernel
+    # is fast enough that full sizing stays CI-friendly anyway.
+    vec_size = 20_000
+    vec_repeats = 3 if quick else 5
 
     workloads: Dict[str, Dict[str, object]] = {
         "eijoint-current-policy": {
@@ -170,6 +202,21 @@ def build_workloads(quick: bool = False) -> Dict[str, Dict[str, object]]:
             "batch": _montecarlo_workload(current_policy),
             "batch_size": sim_size,
             "repeats": sim_repeats,
+        },
+        # Vectorized-kernel counterparts of the object workloads.  The
+        # larger batch size reflects the kernel's lockstep chunking
+        # (DEFAULT_CHUNK_TRAJECTORIES = 4096); CI gates a minimum
+        # speedup of these over the object workloads via
+        # compare_bench.py --require-speedup.
+        "eijoint-unmaintained-vectorized": {
+            "batch": _vectorized_workload(unmaintained),
+            "batch_size": vec_size,
+            "repeats": vec_repeats,
+        },
+        "eijoint-current-policy-vectorized": {
+            "batch": _vectorized_workload(current_policy),
+            "batch_size": vec_size,
+            "repeats": vec_repeats,
         },
     }
     for name, fn in _summarize_workloads(agg_size).items():

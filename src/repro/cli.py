@@ -89,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(reliability study) instead of renewing the asset",
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=["object", "vectorized"],
+        help="simulate: sampling kernel ('object' is the event-loop "
+        "reference engine; 'vectorized' is the lockstep numpy kernel, "
+        "statistically equivalent but not bit-identical)",
+    )
+    parser.add_argument(
         "--dot",
         action="store_true",
         help="render: emit Graphviz DOT instead of an ASCII outline",
@@ -245,15 +253,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     horizon = args.horizon if args.horizon is not None else 50.0
     n_runs = args.runs if args.runs is not None else 2000
     seed = args.seed if args.seed is not None else 0
+    kernel = args.kernel if args.kernel is not None else "object"
     summary = get_runner().summary(
         StudyRequest(
             tree=tree, strategy=strategy, horizon=horizon, seed=seed,
-            n_runs=n_runs,
+            n_runs=n_runs, kernel=kernel,
         )
     )
     print(tree)
     print(f"strategy: {strategy}")
-    print(f"horizon {horizon:g}y, {n_runs} trajectories, seed {seed}")
+    print(
+        f"horizon {horizon:g}y, {n_runs} trajectories, seed {seed}, "
+        f"{kernel} kernel"
+    )
     print(f"  unreliability : {summary.unreliability}")
     print(f"  failures/yr   : {summary.failures_per_year}")
     print(f"  availability  : {summary.availability}")

@@ -8,6 +8,7 @@ benchmarks and the CLI only differ in the
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional
@@ -136,8 +137,13 @@ def timed_run(
 
 
 def format_ci(interval: ConfidenceInterval, digits: int = 4) -> str:
-    """Compact ``estimate ±half-width`` rendering of an interval."""
-    return (
-        f"{interval.estimate:.{digits}g} "
-        f"±{interval.half_width:.{max(2, digits - 1)}g}"
+    """Compact ``estimate ±half-width`` rendering of an interval.
+
+    Degenerate intervals (a single replication yields infinite t-bounds)
+    render their half-width as ``n/a`` rather than ``±inf``.
+    """
+    half = interval.half_width
+    half_text = (
+        f"{half:.{max(2, digits - 1)}g}" if math.isfinite(half) else "n/a"
     )
+    return f"{interval.estimate:.{digits}g} ±{half_text}"

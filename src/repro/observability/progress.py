@@ -67,14 +67,22 @@ class ProgressEvent:
     done: bool = False
 
     def to_dict(self) -> dict:
-        """JSONL-ready record (None fields dropped)."""
+        """JSONL-ready record (None and non-finite fields dropped).
+
+        Degenerate confidence intervals surface infinite half-widths;
+        ``json.dumps`` would emit the non-standard token ``Infinity``,
+        so non-finite floats are dropped like absent fields.
+        """
         record = {"record": "progress", "schema_version": PROGRESS_SCHEMA_VERSION}
         # Hand-rolled field walk: dataclasses.asdict() deep-copies via
         # recursion and is slow enough to show up in per-batch reporting.
         for key in _EVENT_FIELDS:
             value = getattr(self, key)
-            if value is not None:
-                record[key] = value
+            if value is None:
+                continue
+            if isinstance(value, float) and not math.isfinite(value):
+                continue
+            record[key] = value
         return record
 
 
@@ -101,14 +109,28 @@ class TerminalProgressReporter:
     seconds (final events always repaint), so per-batch reporting from
     a tight loop stays cheap.  Output goes to ``stream`` (stderr by
     default, keeping stdout pipeable).
+
+    When the stream is not a terminal (piped stderr, CI logs, a
+    StringIO in tests), carriage returns and erase-to-end-of-line
+    escapes would show up literally — one unreadable mega-line full of
+    ``\\x1b[K`` — so the reporter falls back to plain newline-terminated
+    status lines, throttled harder (once per second by default) to keep
+    logs from flooding.  An explicit ``min_interval`` overrides the
+    throttle in both modes.
     """
 
     def __init__(
         self,
         stream: Optional[IO[str]] = None,
-        min_interval: float = 0.1,
+        min_interval: Optional[float] = None,
     ):
         self.stream = stream if stream is not None else sys.stderr
+        try:
+            self.is_tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError, OSError):
+            self.is_tty = False
+        if min_interval is None:
+            min_interval = 0.1 if self.is_tty else 1.0
         self.min_interval = min_interval
         self._last_paint = -math.inf  # first event always paints
         self._dirty = False
@@ -120,12 +142,15 @@ class TerminalProgressReporter:
         if not event.done and now - self._last_paint < self.min_interval:
             return
         self._last_paint = now
-        self.stream.write("\r" + self.format(event) + "\x1b[K")
-        if event.done:
-            self.stream.write("\n")
-            self._dirty = False
+        if self.is_tty:
+            self.stream.write("\r" + self.format(event) + "\x1b[K")
+            if event.done:
+                self.stream.write("\n")
+                self._dirty = False
+            else:
+                self._dirty = True
         else:
-            self._dirty = True
+            self.stream.write(self.format(event) + "\n")
         self.stream.flush()
 
     @staticmethod

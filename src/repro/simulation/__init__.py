@@ -16,7 +16,12 @@ The layering is:
 * :mod:`repro.simulation.montecarlo` — the replication driver with
   confidence intervals and sequential stopping;
 * :mod:`repro.simulation.parallel` — multiprocess fan-out with
-  bit-identical results.
+  bit-identical results;
+* :mod:`repro.simulation.vectorized` — the lockstep struct-of-arrays
+  sampling kernel (``SimulationConfig(kernel="vectorized")``), with
+  the object engine as fallback and correctness oracle;
+* :mod:`repro.simulation.differential` — the kernel-equivalence
+  harness (same-seed distributional comparison of the two kernels).
 
 Every layer accepts an optional
 :class:`~repro.observability.instrumentation.Instrumentation` (event
@@ -24,6 +29,10 @@ counters, per-trajectory timers) — see :mod:`repro.observability`.
 """
 
 from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
+from repro.simulation.differential import (
+    KernelComparisonReport,
+    compare_kernels,
+)
 from repro.simulation.engine import Engine, ScheduledEvent
 from repro.simulation.executor import FMTSimulator, SimulationConfig
 from repro.simulation.metrics import (
@@ -41,11 +50,18 @@ from repro.simulation.parallel import (
     simulate_batch_columns,
 )
 from repro.simulation.trace import ComponentEvent, Trajectory
+from repro.simulation.vectorized import (
+    VectorizedKernel,
+    iter_vectorized_batches,
+    simulate_batch_columns_vectorized,
+    vectorized_fallback_reason,
+)
 
 __all__ = [
     "ComponentEvent",
     "Engine",
     "FMTSimulator",
+    "KernelComparisonReport",
     "KpiSummary",
     "MonteCarlo",
     "MonteCarloResult",
@@ -54,12 +70,17 @@ __all__ = [
     "Trajectory",
     "TrajectoryAccumulator",
     "TrajectoryBatch",
+    "VectorizedKernel",
     "availability_curve",
+    "compare_kernels",
     "default_process_count",
+    "iter_vectorized_batches",
     "reliability_curve",
     "sample_parallel",
     "sample_parallel_batch",
     "simulate_batch",
     "simulate_batch_columns",
+    "simulate_batch_columns_vectorized",
     "summarize",
+    "vectorized_fallback_reason",
 ]

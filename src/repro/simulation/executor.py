@@ -96,6 +96,16 @@ class SimulationConfig:
         are bit-identical with or without it.  When None, the ambient
         instrumentation (:func:`repro.observability.current`) is used
         if one is active.
+    kernel:
+        Trajectory sampler used by the batch drivers: ``"object"``
+        (default) walks the per-object event calendar of this class;
+        ``"vectorized"`` runs lockstep struct-of-arrays chunks
+        (:mod:`repro.simulation.vectorized`) where the model allows and
+        falls back to the object engine where it does not.  The
+        vectorized kernel is distributionally equivalent but not
+        bit-identical to the object path, and it produces no
+        component-level events (``record_events`` requires
+        ``"object"``).
     """
 
     horizon: float
@@ -104,10 +114,20 @@ class SimulationConfig:
     instrumentation: Optional[Instrumentation] = field(
         default=None, compare=False, repr=False
     )
+    kernel: str = "object"
 
     def __post_init__(self) -> None:
         if self.horizon <= 0.0:
             raise ValidationError(f"horizon must be positive, got {self.horizon}")
+        if self.kernel not in ("object", "vectorized"):
+            raise ValidationError(
+                f"kernel must be 'object' or 'vectorized', got {self.kernel!r}"
+            )
+        if self.kernel == "vectorized" and self.record_events:
+            raise ValidationError(
+                "record_events needs the object kernel: the vectorized "
+                "kernel does not produce component-level event streams"
+            )
 
 
 @dataclass(frozen=True)

@@ -308,13 +308,18 @@ def availability_curve(
             ends.append(np.inf)
 
     n = len(trajectories)
-    start_arr = np.asarray(starts, dtype=float)
-    end_arr = np.asarray(ends, dtype=float)
-    results = []
-    for t in grid:
-        # Down intervals of one trajectory never overlap (failure and
-        # restoration strictly alternate), so the number of covering
-        # intervals equals the number of down trajectories.
-        down = int(np.count_nonzero((start_arr <= t) & (t < end_arr)))
-        results.append(wilson_interval(n - down, n, confidence))
-    return grid, results
+    # Down intervals of one trajectory never overlap (failure and
+    # restoration strictly alternate), so the number of intervals
+    # covering t equals the number of down trajectories.  With sorted
+    # endpoints that count is #{start <= t} - #{end <= t} — membership
+    # is half-open (start <= t < end), so both ranks use side="right".
+    # Two searchsorted passes over the whole grid replace the per-point
+    # mask scan with identical integer counts.
+    start_arr = np.sort(np.asarray(starts, dtype=float))
+    end_arr = np.sort(np.asarray(ends, dtype=float))
+    down_counts = np.searchsorted(
+        start_arr, grid, side="right"
+    ) - np.searchsorted(end_arr, grid, side="right")
+    return grid, [
+        wilson_interval(n - int(down), n, confidence) for down in down_counts
+    ]

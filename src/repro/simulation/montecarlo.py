@@ -150,6 +150,14 @@ class MonteCarlo:
         ``horizon``, if given, must agree with the prototype's.
         Results are bit-identical to the equivalent ``tree`` +
         ``strategy`` construction.
+    kernel:
+        Trajectory sampler for the batch drivers (:meth:`run`,
+        :meth:`run_parallel`): ``"object"`` or ``"vectorized"`` (see
+        :class:`~repro.simulation.executor.SimulationConfig`).  ``None``
+        (the default) keeps the prototype's kernel, or ``"object"``
+        when building from a tree.  The per-trajectory entry points
+        (:meth:`sample`, :meth:`run_to_precision`, rare-event
+        estimation) always use the object engine.
     """
 
     def __init__(
@@ -163,6 +171,7 @@ class MonteCarlo:
         instrumentation: Optional[Instrumentation] = None,
         rare_event: Optional["RareEventConfig"] = None,
         simulator: Optional[FMTSimulator] = None,
+        kernel: Optional[str] = None,
     ):
         if simulator is not None:
             if tree is not None or strategy is not None or cost_model is not None:
@@ -181,13 +190,18 @@ class MonteCarlo:
                     "record_events=False configuration"
                 )
             self.simulator = simulator.clone()
+            overrides = {}
             if (
                 instrumentation is not None
                 and instrumentation is not config.instrumentation
             ):
-                self.simulator.config = replace(
-                    config, instrumentation=instrumentation
-                )
+                overrides["instrumentation"] = instrumentation
+            if kernel is not None and kernel != config.kernel:
+                overrides["kernel"] = kernel
+            if overrides:
+                # replace() re-runs config validation, so an invalid
+                # kernel or kernel/record_events conflict raises here.
+                self.simulator.config = replace(config, **overrides)
         else:
             if tree is None:
                 raise ValidationError("give either tree= or simulator=")
@@ -196,6 +210,7 @@ class MonteCarlo:
                 cost_model=cost_model if cost_model is not None else CostModel(),
                 record_events=record_events,
                 instrumentation=instrumentation,
+                kernel=kernel if kernel is not None else "object",
             )
             self.simulator = FMTSimulator(tree, strategy, config=config)
         self.instrumentation = instrumentation
@@ -346,16 +361,28 @@ class MonteCarlo:
                 )
             seeds = self._seed_sequence.spawn(n_runs)
             self._streams_used += n_runs
-            if not keep_trajectories and not self.simulator.config.record_events:
+            vectorized = self.simulator.config.kernel == "vectorized"
+            if vectorized or (
+                not keep_trajectories
+                and not self.simulator.config.record_events
+            ):
                 # Compact IPC: workers reduce trajectories to KPI columns
-                # and the driver never materializes the object list.
+                # and the driver never materializes the object list.  The
+                # vectorized kernel always takes this path (its native
+                # output is columns); kept trajectories are then rebuilt
+                # from the batch.
                 batch = sample_parallel_batch(
                     self.simulator, seeds, processes, pool=pool,
                     telemetry=telemetry,
                 )
-                return MonteCarloResult(
-                    summary=self._summarize(batch, confidence), batch=batch
-                )
+                summary = self._summarize(batch, confidence)
+                if keep_trajectories:
+                    return MonteCarloResult(
+                        summary=summary,
+                        trajectories=tuple(batch.to_trajectories()),
+                        batch=batch,
+                    )
+                return MonteCarloResult(summary=summary, batch=batch)
             trajectories = sample_parallel(
                 self.simulator, seeds, processes, pool=pool, telemetry=telemetry
             )
@@ -396,6 +423,10 @@ class MonteCarlo:
         with _spans.span(
             "mc.run", {"n_runs": n_runs, "keep_trajectories": keep_trajectories}
         ):
+            if self.simulator.config.kernel == "vectorized":
+                return self._run_vectorized(
+                    n_runs, confidence, keep_trajectories, reporter
+                )
             if reporter is None:
                 if keep_trajectories:
                     trajectories = self.sample(n_runs)
@@ -449,6 +480,86 @@ class MonteCarlo:
             return MonteCarloResult(
                 summary=self._summarize(batch, confidence), batch=batch
             )
+
+    def _run_vectorized(
+        self,
+        n_runs: int,
+        confidence: float,
+        keep_trajectories: bool,
+        reporter: Optional[ProgressReporter],
+    ) -> MonteCarloResult:
+        """:meth:`run` body for ``kernel="vectorized"``.
+
+        Fully vectorizable models consume one child seed stream per
+        lockstep *chunk* — spawning a stream per trajectory costs more
+        than the kernel spends simulating one.  Non-vectorizable models
+        spawn per trajectory exactly like the object path and loop the
+        object engine (bit-identical to ``kernel="object"``).  Chunks
+        stream straight into the accumulator; progress events fire at
+        chunk boundaries.
+        """
+        from repro.simulation.vectorized import (
+            DEFAULT_CHUNK_TRAJECTORIES,
+            VectorizedKernel,
+            iter_vectorized_batches,
+            vectorized_fallback_reason,
+        )
+
+        if n_runs < 1:
+            raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+        accumulator = TrajectoryAccumulator(horizon=self.horizon)
+        start = _time.perf_counter()
+        done = 0
+
+        def report(done: int) -> None:
+            if reporter is None:
+                return
+            elapsed = _time.perf_counter() - start
+            rate = done / elapsed if elapsed > 0 else None
+            reporter.update(
+                ProgressEvent(
+                    phase="mc.run",
+                    completed=done,
+                    total=n_runs,
+                    elapsed_seconds=elapsed,
+                    rate_per_sec=rate,
+                    eta_seconds=((n_runs - done) / rate) if rate else None,
+                    done=done >= n_runs,
+                )
+            )
+
+        if vectorized_fallback_reason(self.simulator) is None:
+            kernel = VectorizedKernel(self.simulator)
+            chunk = DEFAULT_CHUNK_TRAJECTORIES
+            n_chunks = -(-n_runs // chunk)
+            chunk_seeds = self._seed_sequence.spawn(n_chunks)
+            self._streams_used += n_chunks
+            instr = self._resolve_instrumentation()
+            for seed in chunk_seeds:
+                size = min(chunk, n_runs - done)
+                accumulator.add_batch(
+                    kernel.simulate_chunk(size, np.random.default_rng(seed))
+                )
+                if instr is not None:
+                    instr.count(_obs.SIM_TRAJECTORIES, size)
+                done += size
+                report(done)
+        else:
+            seeds = self._seed_sequence.spawn(n_runs)
+            self._streams_used += n_runs
+            for batch_chunk in iter_vectorized_batches(self.simulator, seeds):
+                accumulator.add_batch(batch_chunk)
+                done += len(batch_chunk)
+                report(done)
+        batch = accumulator.finalize()
+        summary = self._summarize(batch, confidence)
+        if keep_trajectories:
+            return MonteCarloResult(
+                summary=summary,
+                trajectories=tuple(batch.to_trajectories()),
+                batch=batch,
+            )
+        return MonteCarloResult(summary=summary, batch=batch)
 
     def run_rare_event(
         self,

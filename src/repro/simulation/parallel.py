@@ -148,7 +148,17 @@ def simulate_batch_columns(
     Each trajectory object is folded into the accumulator as soon as
     it is produced and becomes garbage immediately — resident memory
     is one trajectory plus the columns, regardless of ``len(seeds)``.
+
+    With ``SimulationConfig(kernel="vectorized")`` the chunk is routed
+    through the lockstep kernel instead (which itself falls back to the
+    object engine for non-vectorizable models) — this is the single
+    dispatch point shared by the in-process path and every worker
+    entrypoint.
     """
+    if simulator.config.kernel == "vectorized":
+        from repro.simulation.vectorized import simulate_batch_columns_vectorized
+
+        return simulate_batch_columns_vectorized(simulator, seeds)
     accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
     simulate = simulator.simulate
     add = accumulator.add

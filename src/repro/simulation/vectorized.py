@@ -1,0 +1,808 @@
+"""Lockstep vectorized trajectory kernel.
+
+The object engine (:class:`~repro.simulation.executor.FMTSimulator`)
+walks one trajectory at a time through a discrete-event calendar.  This
+module simulates N trajectories *in lockstep* as struct-of-arrays
+columns: phase-jump chains are batch-sampled as Erlang cumulative sums,
+gate evaluation is compiled into numpy selection kernels over
+per-component failure-time columns, and the only per-trajectory Python
+left is the chunk loop itself.
+
+The kernel exploits a structural property of the simulated process:
+between two *deterministic* calendar points (the merged inspection /
+repair tick epochs), the system evolves purely by component degradation
+— components only move toward failure, never away.  Over such an
+interval the entire future of each component is one pre-sampled jump
+chain, every monotone gate's failure time is a min/max/k-th-smallest
+selection over its children's failure times, a priority-AND fires at
+its last child's failure time iff the children's failure times are
+non-decreasing, and RDEP rate switches happen exactly at trigger
+failure times and are realised by memoryless re-draws of the target
+chains.  Everything stochastic therefore vectorizes; everything
+non-vectorizable is deterministic and shared across the batch.
+
+Models whose event times are *per-trajectory random* on the calendar —
+exponentially timed modules, inspection work-order delays — or whose
+failure-time composition needs historical gate flip times (PAND gates
+over subtrees, RDEPs triggered by gates, chained RDEPs) break the
+lockstep property.  :func:`vectorized_fallback_reason` classifies them
+up front, and the driver then runs the batch through the object engine
+instead — bit-identical to the plain object path, which stays the
+correctness oracle (see :mod:`repro.simulation.differential` for the
+distributional-equivalence harness).
+
+Determinism: for a fixed chunk layout the kernel is a pure function of
+the model and the seed sequence (chunk ``i`` draws from a child of its
+first seed).  Results are *distributionally* equivalent to — but not
+bit-identical with — the object engine, and they are not invariant to
+the chunk size.  Studies that need bit-level reproducibility against
+golden fixtures keep ``kernel="object"``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gates import OrGate, PandGate, VotingGate
+from repro.errors import SimulationError
+from repro.observability import instrumentation as _obs
+from repro.simulation.batch import COST_FIELDS, TrajectoryAccumulator, TrajectoryBatch
+from repro.simulation.executor import FMTSimulator
+
+__all__ = [
+    "DEFAULT_CHUNK_TRAJECTORIES",
+    "VectorizedKernel",
+    "iter_vectorized_batches",
+    "simulate_batch_columns_vectorized",
+    "vectorized_fallback_reason",
+]
+
+#: Default trajectories simulated per lockstep pass.  Large enough to
+#: amortize the per-epoch numpy dispatch overhead, small enough that the
+#: per-event jump matrices stay cache-friendly (~1 MB per 4096-row chunk
+#: on the EI-joint model).
+DEFAULT_CHUNK_TRAJECTORIES = 4096
+
+#: Hard cap on wave iterations per inter-epoch interval — each
+#: iteration commits at least one rate switch or system failure per
+#: stuck row, so hitting the cap means a logic error, not a big model.
+_MAX_WAVE_ITERATIONS = 10_000
+
+
+# ----------------------------------------------------------------------
+# Model classification
+# ----------------------------------------------------------------------
+def vectorized_fallback_reason(simulator: FMTSimulator) -> Optional[str]:
+    """Why ``simulator``'s model cannot run on the lockstep kernel.
+
+    Returns None when the model is fully vectorizable, otherwise a
+    human-readable reason.  The driver (:func:`iter_vectorized_batches`)
+    falls back to the object engine — the oracle — for any non-None
+    reason, so a conservative classification costs throughput, never
+    correctness.
+    """
+    tree = simulator.tree
+    events = simulator._events
+    for plan in simulator._inspection_plans + simulator._repair_plans:
+        if plan.exponential:
+            return (
+                f"module {plan.name!r} uses exponential timing "
+                "(per-trajectory tick times break the lockstep calendar)"
+            )
+        if plan.delay > 0.0:
+            return (
+                f"module {plan.name!r} schedules delayed work orders "
+                "(per-trajectory action times break the lockstep calendar)"
+            )
+    targets = set()
+    for dep in tree.dependencies:
+        targets.update(dep.targets)
+    for dep in tree.dependencies:
+        if dep.trigger not in events:
+            return (
+                f"RDEP trigger {dep.trigger!r} is a gate (composed gate "
+                "failure times do not track historical flip times)"
+            )
+        if dep.trigger in targets:
+            return (
+                f"RDEP trigger {dep.trigger!r} is itself rate-dependent "
+                "(chained RDEPs invalidate the switch fixed point)"
+            )
+    for gate in tree.gates.values():
+        if isinstance(gate, PandGate):
+            for child in gate.children:
+                if child.name not in events:
+                    return (
+                        f"PAND gate {gate.name!r} has gate child "
+                        f"{child.name!r} (order checks need historical "
+                        "flip times)"
+                    )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Compiled model tables
+# ----------------------------------------------------------------------
+class _GateOp:
+    """One compiled gate: a selection kernel over child value slots."""
+
+    __slots__ = ("slot", "kind", "children", "k")
+
+    # kind codes
+    PAND = 0
+    MIN = 1  # OR / VOT(k=1)
+    MAX = 2  # AND / inhibit / VOT(k=n)
+    KTH = 3  # VOT(1 < k < n)
+
+    def __init__(self, slot: int, kind: int, children: Tuple[int, ...], k: int = 0):
+        self.slot = slot
+        self.kind = kind
+        self.children = children
+        self.k = k
+
+
+class _PlanCols:
+    """One module plan with names resolved to event column indices."""
+
+    __slots__ = (
+        "name",
+        "is_inspection",
+        "visit_cost",
+        "detect_failures",
+        "detection_probability",
+        "restore_phases",
+        "targets",  # tuples (event index, threshold, action cost, corrective cost)
+    )
+
+    def __init__(self, plan, index: Dict[str, int], corrective_cost: Dict[str, float],
+                 is_inspection: bool):
+        self.name = plan.name
+        self.is_inspection = is_inspection
+        self.visit_cost = plan.visit_cost
+        self.detect_failures = plan.detect_failures
+        self.detection_probability = plan.detection_probability
+        self.restore_phases = plan.action.restore_phases
+        self.targets = tuple(
+            (
+                index[target],
+                threshold,
+                plan.action_cost[target],
+                corrective_cost[target],
+            )
+            for target, threshold in plan.targets
+        )
+
+
+class _ChunkState:
+    """Struct-of-arrays state of one lockstep chunk (n rows)."""
+
+    __slots__ = (
+        "n",
+        "jumps",  # per event: (n, K_e) absolute jump times, inf-padded
+        "p0",  # per event: (n,) phase at the chain's draw point
+        "F",  # (E, n) final-jump (component failure) times
+        "down_until",
+        "done",
+        "downtime",
+        "costs",
+        "n_insp",
+        "n_prev",
+        "n_corr",
+        "fail_rows",
+        "fail_times",
+        "path_t0",  # per RDEP target: (n,) draw time of the live chain
+        "factor",  # per RDEP target: (n,) acceleration baked into it
+    )
+
+    def __init__(self, n: int, n_events: int, rdep_targets: Sequence[int]):
+        self.n = n
+        self.jumps: List[np.ndarray] = [None] * n_events  # type: ignore[list-item]
+        self.p0: List[np.ndarray] = [None] * n_events  # type: ignore[list-item]
+        self.F = np.zeros((n_events, n))
+        self.down_until = np.zeros(n)
+        self.done = np.zeros(n, dtype=bool)
+        self.downtime = np.zeros(n)
+        self.costs = {field: np.zeros(n) for field in COST_FIELDS}
+        self.n_insp = np.zeros(n, dtype=np.int64)
+        self.n_prev = np.zeros(n, dtype=np.int64)
+        self.n_corr = np.zeros(n, dtype=np.int64)
+        self.fail_rows: List[np.ndarray] = []
+        self.fail_times: List[np.ndarray] = []
+        self.path_t0 = {e: np.zeros(n) for e in rdep_targets}
+        self.factor = {e: np.ones(n) for e in rdep_targets}
+
+
+class VectorizedKernel:
+    """Compiled lockstep sampler for one (tree, strategy, config).
+
+    Construction compiles the simulator's static tables into numpy form
+    (per-phase reciprocal-rate matrices, topologically ordered gate
+    selection ops, RDEP dependency columns, the merged tick-epoch
+    calendar); :meth:`simulate_chunk` then runs N trajectories per call
+    using only the provided RNG.
+
+    Raises
+    ------
+    SimulationError
+        If the model is not vectorizable — callers are expected to
+        check :func:`vectorized_fallback_reason` first.
+    """
+
+    def __init__(self, simulator: FMTSimulator):
+        reason = vectorized_fallback_reason(simulator)
+        if reason is not None:
+            raise SimulationError(f"model is not vectorizable: {reason}")
+        self.simulator = simulator
+        self.horizon = simulator.config.horizon
+        cost_model = simulator.config.cost_model
+        self.discount_rate = cost_model.discount_rate
+        self.downtime_per_year = cost_model.downtime_per_year
+        self.system_failure_cost = cost_model.system_failure
+        strategy = simulator.strategy
+        self.absorbing = strategy.on_system_failure == "none"
+        self.repair_time = strategy.system_repair_time
+        self._compile_events(simulator)
+        self._compile_gates(simulator)
+        self._compile_rdeps(simulator)
+        self._compile_calendar(simulator)
+
+    # -- compilation ----------------------------------------------------
+    def _compile_events(self, sim: FMTSimulator) -> None:
+        self.names: List[str] = list(sim._events)
+        self.index: Dict[str, int] = {
+            name: e for e, name in enumerate(self.names)
+        }
+        self.n_events = len(self.names)
+        self.K: List[int] = [sim._n_phases[name] for name in self.names]
+        # inv_from[e][p] = the reciprocal rates of the remaining phases
+        # p, p+1, ..., K-1, zero-padded: one row-indexed gather gives
+        # the Erlang scale matrix for a whole batch of re-draws.
+        self.inv_from: List[np.ndarray] = []
+        for name in self.names:
+            inv = np.asarray(sim._inv_rates[name])
+            K = len(inv)
+            table = np.zeros((K + 1, K))
+            for p in range(K):
+                table[p, : K - p] = inv[p:]
+            self.inv_from.append(table)
+
+    def _compile_gates(self, sim: FMTSimulator) -> None:
+        tree = sim.tree
+        slots = dict(self.index)
+        ops: List[_GateOp] = []
+        visiting: set = set()
+
+        def visit(node) -> int:
+            name = node.name
+            if name in slots:
+                return slots[name]
+            visiting.add(name)
+            children = tuple(visit(child) for child in node.children)
+            visiting.discard(name)
+            slot = self.n_events + len(ops)
+            slots[name] = slot
+            # isinstance dispatch mirrors the executor's threshold
+            # derivation: PAND -> order-sensitive, VOT -> k, OR -> 1,
+            # anything else (AND, inhibit) -> all children.
+            if isinstance(node, PandGate):
+                ops.append(_GateOp(slot, _GateOp.PAND, children))
+            elif isinstance(node, VotingGate):
+                if node.k == 1:
+                    ops.append(_GateOp(slot, _GateOp.MIN, children))
+                elif node.k == len(children):
+                    ops.append(_GateOp(slot, _GateOp.MAX, children))
+                else:
+                    ops.append(_GateOp(slot, _GateOp.KTH, children, node.k))
+            elif isinstance(node, OrGate):
+                ops.append(_GateOp(slot, _GateOp.MIN, children))
+            else:
+                ops.append(_GateOp(slot, _GateOp.MAX, children))
+            return slot
+
+        self.top_slot = visit(tree.top)
+        self.gate_ops = ops
+        self.n_slots = self.n_events + len(ops)
+
+    def _compile_rdeps(self, sim: FMTSimulator) -> None:
+        # Per target event index: [(trigger event index, factor), ...].
+        deps: Dict[int, List[Tuple[int, float]]] = {}
+        for dep in sim.tree.dependencies:
+            trig = self.index[dep.trigger]
+            for target in dep.targets:
+                deps.setdefault(self.index[target], []).append(
+                    (trig, dep.factor)
+                )
+        self.rdep_deps = deps
+
+    def _compile_calendar(self, sim: FMTSimulator) -> None:
+        plans: Dict[float, List[Tuple[Tuple[int, int], _PlanCols]]] = {}
+        groups = (
+            (0, sim._repair_plans, False),  # repairs before inspections
+            (1, sim._inspection_plans, True),  # (ties: engine priority)
+        )
+        for prio, plan_list, is_inspection in groups:
+            for j, plan in enumerate(plan_list):
+                cols = _PlanCols(
+                    plan, self.index, sim._corrective_cost, is_inspection
+                )
+                # Tick times by repeated addition, exactly as the object
+                # engine reschedules (now + period): the epochs of the
+                # two paths are the same floats, so tick *counts* per
+                # trajectory agree exactly.
+                t = plan.offset
+                while t <= self.horizon:
+                    plans.setdefault(t, []).append(((prio, j), cols))
+                    t += plan.period
+        self.epochs: List[Tuple[float, List[_PlanCols]]] = [
+            (t, [cols for _, cols in sorted(plans[t], key=lambda item: item[0])])
+            for t in sorted(plans)
+        ]
+
+    # -- sampling primitives --------------------------------------------
+    def _redraw(
+        self,
+        st: _ChunkState,
+        e: int,
+        rows: np.ndarray,
+        t,
+        phases: np.ndarray,
+        factor: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Re-sample event ``e``'s remaining jump chain for ``rows``.
+
+        ``t`` (scalar or per-row array) is the draw point, ``phases``
+        the phase there, ``factor`` the acceleration in force.  Sojourn
+        of phase p at acceleration a is Exp(rate_p * a), realised as
+        ``standard_exponential() * inv_rate_p / a`` — memorylessness
+        makes re-drawing at any point distributionally exact.
+        """
+        K = self.K[e]
+        m = len(rows)
+        scales = self.inv_from[e][phases]
+        sojourns = rng.standard_exponential((m, K)) * scales
+        if factor is not None:
+            sojourns /= factor[:, None]
+        cums = np.cumsum(sojourns, axis=1)
+        t_arr = np.asarray(t, dtype=float)
+        base = t_arr[:, None] if t_arr.ndim else t_arr
+        jumps = base + cums
+        remaining = K - phases
+        # Pad the columns past the remaining phases with +inf — leaving
+        # the zero-sojourn duplicates in place would overcount phases in
+        # _phase_at.
+        jumps[np.arange(K)[None, :] >= remaining[:, None]] = np.inf
+        st.jumps[e][rows] = jumps
+        st.p0[e][rows] = phases
+        st.F[e][rows] = jumps[np.arange(m), remaining - 1]
+        if e in self.rdep_deps:
+            st.path_t0[e][rows] = t_arr
+            st.factor[e][rows] = factor
+
+    def _phase_at(self, st: _ChunkState, e: int, rows: np.ndarray, t) -> np.ndarray:
+        """Degradation phase of event ``e`` at time ``t`` for ``rows``."""
+        t_arr = np.asarray(t, dtype=float)
+        bound = t_arr[:, None] if t_arr.ndim else t_arr
+        return st.p0[e][rows] + np.count_nonzero(
+            st.jumps[e][rows] <= bound, axis=1
+        )
+
+    def _current_factor(
+        self, st: _ChunkState, e: int, rows: np.ndarray, t
+    ) -> np.ndarray:
+        """Acceleration of target ``e`` at time ``t``: the product over
+        its dependencies whose trigger is failed (trigger failure times
+        are the F column — triggers are pure basic events)."""
+        fac = np.ones(len(rows))
+        for trig, f in self.rdep_deps[e]:
+            fac = fac * np.where(st.F[trig][rows] <= t, f, 1.0)
+        return fac
+
+    # -- cost mirrors ---------------------------------------------------
+    def _discount(self, t: float) -> float:
+        if self.discount_rate == 0.0:
+            return 1.0
+        return math.exp(-self.discount_rate * t)
+
+    def _discount_arr(self, t: np.ndarray):
+        if self.discount_rate == 0.0:
+            return 1.0
+        return np.exp(-self.discount_rate * t)
+
+    def _downtime_cost(self, start, end):
+        r = self.discount_rate
+        if r == 0.0:
+            return self.downtime_per_year * (np.asarray(end) - start)
+        return (
+            self.downtime_per_year
+            * (np.exp(-r * np.asarray(start)) - np.exp(-r * np.asarray(end)))
+            / r
+        )
+
+    # -- composition ----------------------------------------------------
+    def _compose_top(self, st: _ChunkState) -> np.ndarray:
+        """System failure time per row, given the current jump chains.
+
+        Component slots carry the failure-time columns; each gate op
+        selects from its children: OR = min, AND/inhibit = max, VOT(k)
+        = k-th smallest, PAND = last child's failure time where the
+        children's failure times are non-decreasing, else +inf.  All
+        selections propagate *actual component failure times*, so a
+        finite top value is the exact instant the object engine would
+        raise the top event on the same chains.
+        """
+        vals: List[np.ndarray] = [None] * self.n_slots  # type: ignore[list-item]
+        for e in range(self.n_events):
+            vals[e] = st.F[e]
+        for op in self.gate_ops:
+            children = [vals[c] for c in op.children]
+            if op.kind == _GateOp.MIN:
+                v = np.minimum.reduce(children)
+            elif op.kind == _GateOp.MAX:
+                v = np.maximum.reduce(children)
+            elif op.kind == _GateOp.KTH:
+                v = np.partition(np.stack(children), op.k - 1, axis=0)[op.k - 1]
+            else:  # PAND: non-decreasing order, fires at the last child
+                ok = children[0] <= children[1]
+                for a, b in zip(children[1:-1], children[2:]):
+                    ok &= a <= b
+                v = np.where(ok, children[-1], np.inf)
+            vals[op.slot] = v
+        return vals[self.top_slot]
+
+    # -- inter-epoch advancement ----------------------------------------
+    def _apply_switches(
+        self, st: _ChunkState, live: np.ndarray, T: np.ndarray, t1: float,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Apply each live row's earliest pending RDEP rate switch.
+
+        A switch candidate for a target is a trigger failure strictly
+        after the target chain's draw point and no later than
+        ``min(T, t1)`` — later triggers are preempted by the system
+        failure at T (renewal re-draws everything) or belong to the
+        next interval.  Only the earliest candidate per row is applied
+        (simultaneously across targets sharing it); the caller then
+        recomposes and calls again, which keeps the factor product
+        exact when several triggers fail in sequence.
+        """
+        if not self.rdep_deps:
+            return False
+        bound = np.minimum(T, t1)
+        taus: Dict[int, np.ndarray] = {}
+        for tgt, deps in self.rdep_deps.items():
+            cand = np.full(st.n, np.inf)
+            t0 = st.path_t0[tgt]
+            for trig, _ in deps:
+                Ft = st.F[trig]
+                eligible = live & (Ft > t0) & (Ft <= bound)
+                cand = np.where(eligible & (Ft < cand), Ft, cand)
+            taus[tgt] = cand
+        row_min = np.minimum.reduce(list(taus.values()))
+        hit = live & np.isfinite(row_min)
+        if not hit.any():
+            return False
+        for tgt, cand in taus.items():
+            apply = hit & (cand == row_min)
+            if not apply.any():
+                continue
+            rows = np.flatnonzero(apply)
+            tau = row_min[rows]
+            fac = self._current_factor(st, tgt, rows, tau)
+            up = st.F[tgt][rows] > tau
+            if up.any():
+                up_rows = rows[up]
+                phases = self._phase_at(st, tgt, up_rows, tau[up])
+                self._redraw(st, tgt, up_rows, tau[up], phases, fac[up], rng)
+            # Failed targets get no re-draw (no pending transition to
+            # reschedule) but must still advance their switch point, or
+            # the same trigger would be re-found forever.
+            down_rows = rows[~up]
+            if len(down_rows):
+                st.path_t0[tgt][down_rows] = tau[~up]
+                st.factor[tgt][down_rows] = fac[~up]
+        return True
+
+    def _commit_failures(
+        self, st: _ChunkState, live: np.ndarray, T: np.ndarray, t1: float,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Commit system failures at T <= t1 and apply the strategy's
+        failure response (absorbing stop or corrective renewal)."""
+        fail = live & (T <= t1)
+        if not fail.any():
+            return False
+        rows = np.flatnonzero(fail)
+        tf = T[rows]
+        st.fail_rows.append(rows)
+        st.fail_times.append(tf)
+        st.costs["failures"][rows] += (
+            self.system_failure_cost * self._discount_arr(tf)
+        )
+        if self.absorbing:
+            st.done[rows] = True
+            st.downtime[rows] += self.horizon - tf
+            st.costs["downtime"][rows] += self._downtime_cost(tf, self.horizon)
+            return True
+        st.n_corr[rows] += 1
+        du = tf + self.repair_time
+        over = du > self.horizon
+        over_rows = rows[over]
+        if len(over_rows):
+            # Repair completes past the horizon: the trajectory ends
+            # down (the object path books this in _finalize).
+            st.done[over_rows] = True
+            st.downtime[over_rows] += self.horizon - tf[over]
+            st.costs["downtime"][over_rows] += self._downtime_cost(
+                tf[over], self.horizon
+            )
+        in_rows = rows[~over]
+        if len(in_rows):
+            du_in = du[~over]
+            st.downtime[in_rows] += du_in - tf[~over]
+            st.costs["downtime"][in_rows] += self._downtime_cost(
+                tf[~over], du_in
+            )
+            st.down_until[in_rows] = du_in
+            # Corrective renewal: the whole asset restarts as new.
+            zeros = np.zeros(len(in_rows), dtype=np.int64)
+            ones = np.ones(len(in_rows))
+            for e in range(self.n_events):
+                self._redraw(st, e, in_rows, du_in, zeros, ones, rng)
+        return True
+
+    def _advance(
+        self, st: _ChunkState, t1: float, rng: np.random.Generator
+    ) -> None:
+        """Run all rows forward until no event remains at or before
+        ``t1``: alternate earliest-switch application and failure
+        commits until the composed system failure times clear ``t1``."""
+        for _ in range(_MAX_WAVE_ITERATIONS):
+            live = ~st.done
+            if not live.any():
+                return
+            T = self._compose_top(st)
+            if self._apply_switches(st, live, T, t1, rng):
+                continue
+            if self._commit_failures(st, live, T, t1, rng):
+                continue
+            return
+        raise SimulationError(
+            "vectorized kernel failed to converge advancing the chunk "
+            f"to t={t1!r} (wave iteration cap exceeded)"
+        )
+
+    # -- epoch (tick) processing ----------------------------------------
+    def _process_epoch(
+        self,
+        st: _ChunkState,
+        t: float,
+        plans: List[_PlanCols],
+        rng: np.random.Generator,
+    ) -> None:
+        # System restoration (priority 1) precedes repair/inspection
+        # ticks at the same instant, so rows restored exactly at t are
+        # active; rows still down skip the visit (the object handlers
+        # return early but the tick itself was still scheduled).
+        active = ~st.done & (st.down_until <= t)
+        if not active.any():
+            return
+        disc = self._discount(t)
+        act_rows = np.flatnonzero(active)
+        for plan in plans:
+            if plan.is_inspection:
+                self._inspect(st, t, plan, active, act_rows, disc, rng)
+            else:
+                self._repair(st, t, plan, act_rows, disc, rng)
+        # End-of-epoch RDEP reconciliation: replacements above may have
+        # un-failed trigger components, decelerating their targets.  The
+        # object engine reschedules the pending target transition at the
+        # very instant the trigger flips; by memorylessness, re-drawing
+        # the chain at the same instant t with the settled factor is
+        # distributionally identical.
+        for tgt in self.rdep_deps:
+            fac = self._current_factor(st, tgt, act_rows, t)
+            changed = fac != st.factor[tgt][act_rows]
+            if not changed.any():
+                continue
+            rows = act_rows[changed]
+            new_fac = fac[changed]
+            up = st.F[tgt][rows] > t
+            if up.any():
+                up_rows = rows[up]
+                phases = self._phase_at(st, tgt, up_rows, t)
+                self._redraw(st, tgt, up_rows, t, phases, new_fac[up], rng)
+            down_rows = rows[~up]
+            if len(down_rows):
+                st.factor[tgt][down_rows] = new_fac[~up]
+                st.path_t0[tgt][down_rows] = t
+
+    def _inspect(
+        self,
+        st: _ChunkState,
+        t: float,
+        plan: _PlanCols,
+        active: np.ndarray,
+        act_rows: np.ndarray,
+        disc: float,
+        rng: np.random.Generator,
+    ) -> None:
+        st.n_insp[act_rows] += 1
+        st.costs["inspections"][act_rows] += plan.visit_cost * disc
+        dp = plan.detection_probability
+        for e, threshold, action_cost, corrective_cost in plan.targets:
+            failed = active & (st.F[e] <= t)
+            if plan.detect_failures and failed.any():
+                rows = np.flatnonzero(failed)
+                st.costs["corrective"][rows] += corrective_cost * disc
+                st.n_corr[rows] += 1
+                fac = self._current_factor_or_ones(st, e, rows, t)
+                self._redraw(
+                    st, e, rows, t, np.zeros(len(rows), dtype=np.int64), fac, rng
+                )
+            candidates = np.flatnonzero(active & ~failed)
+            if not len(candidates):
+                continue
+            phases = self._phase_at(st, e, candidates, t)
+            selected = phases >= threshold
+            if dp < 1.0:
+                # Object draw: a visit *misses* when random() >= dp.
+                selected &= rng.random(len(candidates)) < dp
+            if not selected.any():
+                continue
+            rows = candidates[selected]
+            st.costs["preventive"][rows] += action_cost * disc
+            st.n_prev[rows] += 1
+            self._apply_action(
+                st, e, rows, t, phases[selected], plan.restore_phases, rng
+            )
+
+    def _repair(
+        self,
+        st: _ChunkState,
+        t: float,
+        plan: _PlanCols,
+        act_rows: np.ndarray,
+        disc: float,
+        rng: np.random.Generator,
+    ) -> None:
+        # Time-based repairs apply the action to every target regardless
+        # of condition — including failed ones, which come back at
+        # phase K - restore_phases (restore_phases >= 1, so always < K).
+        for e, _, action_cost, _ in plan.targets:
+            st.costs["preventive"][act_rows] += action_cost * disc
+            st.n_prev[act_rows] += 1
+            phases = self._phase_at(st, e, act_rows, t)
+            self._apply_action(
+                st, e, act_rows, t, phases, plan.restore_phases, rng
+            )
+
+    def _apply_action(
+        self,
+        st: _ChunkState,
+        e: int,
+        rows: np.ndarray,
+        t: float,
+        phases: np.ndarray,
+        restore_phases: Optional[int],
+        rng: np.random.Generator,
+    ) -> None:
+        """Mirror of _perform_action: restore the phase, re-draw the
+        chain from ``t``.  The object engine re-draws the pending jump
+        even when the phase is numerically unchanged (_set_phase always
+        cancels and reschedules), so an unconditional re-draw matches."""
+        if restore_phases is None:
+            new_phases = np.zeros(len(rows), dtype=np.int64)
+        else:
+            new_phases = np.maximum(phases - restore_phases, 0)
+        fac = self._current_factor_or_ones(st, e, rows, t)
+        self._redraw(st, e, rows, t, new_phases, fac, rng)
+
+    def _current_factor_or_ones(
+        self, st: _ChunkState, e: int, rows: np.ndarray, t
+    ) -> np.ndarray:
+        if e in self.rdep_deps:
+            return self._current_factor(st, e, rows, t)
+        return np.ones(len(rows))
+
+    # -- chunk driver ---------------------------------------------------
+    def simulate_chunk(self, n: int, rng: np.random.Generator) -> TrajectoryBatch:
+        """Simulate ``n`` trajectories in lockstep; returns their batch."""
+        st = _ChunkState(n, self.n_events, tuple(self.rdep_deps))
+        zeros = np.zeros(n, dtype=np.int64)
+        ones = np.ones(n)
+        all_rows = np.arange(n)
+        for e in range(self.n_events):
+            st.jumps[e] = np.empty((n, self.K[e]))
+            st.p0[e] = np.zeros(n, dtype=np.int64)
+            self._redraw(st, e, all_rows, 0.0, zeros, ones, rng)
+        for t, plans in self.epochs:
+            self._advance(st, t, rng)
+            self._process_epoch(st, t, plans, rng)
+        self._advance(st, self.horizon, rng)
+        return self._build_batch(st)
+
+    def _build_batch(self, st: _ChunkState) -> TrajectoryBatch:
+        n = st.n
+        if st.fail_rows:
+            rows = np.concatenate(st.fail_rows)
+            times = np.concatenate(st.fail_times)
+            # Stable sort: appends are chronological per row, so the
+            # per-trajectory failure-time slices come out ordered.
+            order = np.argsort(rows, kind="stable")
+            times = times[order]
+            counts = np.bincount(rows, minlength=n)
+        else:
+            times = np.empty(0)
+            counts = np.zeros(n, dtype=np.int64)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return TrajectoryBatch(
+            horizon=self.horizon,
+            failure_times=times,
+            failure_offsets=offsets,
+            downtime=st.downtime,
+            costs=st.costs,
+            n_inspections=st.n_insp,
+            n_preventive_actions=st.n_prev,
+            n_corrective_replacements=st.n_corr,
+        )
+
+
+# ----------------------------------------------------------------------
+# Batch drivers
+# ----------------------------------------------------------------------
+def iter_vectorized_batches(
+    simulator: FMTSimulator,
+    seeds: Sequence[np.random.SeedSequence],
+    chunk_size: int = DEFAULT_CHUNK_TRAJECTORIES,
+) -> Iterator[TrajectoryBatch]:
+    """Yield one :class:`TrajectoryBatch` per lockstep chunk of seeds.
+
+    Non-vectorizable models transparently run each seed through the
+    object engine instead (bit-identical to ``kernel="object"``); fully
+    vectorizable models derive each chunk's RNG from a child of the
+    chunk's first seed, so results are deterministic for a fixed chunk
+    layout but not bit-comparable with the object path.
+    """
+    n_total = len(seeds)
+    if n_total == 0:
+        return
+    instr = simulator.config.instrumentation
+    if instr is None:
+        instr = _obs.current()
+    reason = vectorized_fallback_reason(simulator)
+    kernel = None if reason is not None else VectorizedKernel(simulator)
+    for start in range(0, n_total, chunk_size):
+        chunk = seeds[start : start + chunk_size]
+        if kernel is None:
+            accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
+            for seed in chunk:
+                accumulator.add(simulator.simulate(np.random.default_rng(seed)))
+            batch = accumulator.finalize()
+        else:
+            rng = np.random.default_rng(chunk[0].spawn(1)[0])
+            batch = kernel.simulate_chunk(len(chunk), rng)
+            if instr is not None:
+                instr.count(_obs.SIM_TRAJECTORIES, len(chunk))
+        yield batch
+
+
+def simulate_batch_columns_vectorized(
+    simulator: FMTSimulator,
+    seeds: Sequence[np.random.SeedSequence],
+    chunk_size: int = DEFAULT_CHUNK_TRAJECTORIES,
+) -> TrajectoryBatch:
+    """Columnar results for ``seeds`` via the lockstep kernel.
+
+    Drop-in counterpart of
+    :func:`repro.simulation.parallel.simulate_batch_columns` for
+    ``SimulationConfig(kernel="vectorized")`` simulators.
+    """
+    accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
+    for batch in iter_vectorized_batches(simulator, seeds, chunk_size):
+        accumulator.add_batch(batch)
+    return accumulator.finalize()

@@ -58,8 +58,13 @@ class ConfidenceInterval:
         return self.lower <= value <= self.upper
 
     def __str__(self) -> str:
+        # Degenerate intervals (n <= 1) carry infinite bounds so the
+        # sequential stopping rules keep iterating; reports render them
+        # as "n/a" instead of leaking "-inf" into tables and exports.
         pct = 100.0 * self.confidence
-        return f"{self.estimate:.6g} [{self.lower:.6g}, {self.upper:.6g}] @{pct:.0f}%"
+        lower = f"{self.lower:.6g}" if math.isfinite(self.lower) else "n/a"
+        upper = f"{self.upper:.6g}" if math.isfinite(self.upper) else "n/a"
+        return f"{self.estimate:.6g} [{lower}, {upper}] @{pct:.0f}%"
 
 
 def mean_confidence_interval(

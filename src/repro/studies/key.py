@@ -122,21 +122,31 @@ def study_material(
     n_runs: int,
     confidence: float,
     record_events: bool,
+    kernel: str = "object",
 ) -> str:
-    """The full canonical material of one study request."""
-    return canonical(
-        {
-            "salt": CODE_SALT,
-            "model": tree,
-            "strategy": strategy_signature(strategy),
-            "horizon": float(horizon),
-            "cost_model": cost_model,
-            "seed": int(seed),
-            "n_runs": int(n_runs),
-            "confidence": float(confidence),
-            "record_events": bool(record_events),
-        }
-    )
+    """The full canonical material of one study request.
+
+    The sampling kernel is part of the material only when it deviates
+    from the default: the vectorized kernel draws its random variates
+    in a different order, so its results are not bit-identical to the
+    object engine's and must not alias its cache entries — but folding
+    ``"object"`` into every key would invalidate all caches written
+    before the kernel knob existed.
+    """
+    material = {
+        "salt": CODE_SALT,
+        "model": tree,
+        "strategy": strategy_signature(strategy),
+        "horizon": float(horizon),
+        "cost_model": cost_model,
+        "seed": int(seed),
+        "n_runs": int(n_runs),
+        "confidence": float(confidence),
+        "record_events": bool(record_events),
+    }
+    if kernel != "object":
+        material["kernel"] = str(kernel)
+    return canonical(material)
 
 
 @dataclasses.dataclass(frozen=True)

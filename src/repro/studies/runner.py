@@ -114,6 +114,7 @@ class StudyRequest:
     n_runs: int = 1
     confidence: float = 0.95
     record_events: bool = False
+    kernel: str = "object"
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -135,6 +136,7 @@ class StudyRequest:
                 n_runs=self.n_runs,
                 confidence=self.confidence,
                 record_events=self.record_events,
+                kernel=self.kernel,
             )
         )
 
@@ -154,6 +156,7 @@ class StudyRequest:
             n_runs=1,
             confidence=0.95,
             record_events=self.record_events,
+            kernel=self.kernel,
         )
 
     def build_simulator(self) -> FMTSimulator:
@@ -164,6 +167,7 @@ class StudyRequest:
                 self.cost_model if self.cost_model is not None else CostModel()
             ),
             record_events=self.record_events,
+            kernel=self.kernel,
         )
         return FMTSimulator(self.tree, self.strategy, config=config)
 
@@ -190,6 +194,7 @@ class StudyRequest:
             cost_model=self.cost_model,
             seed=self.seed,
             record_events=self.record_events,
+            kernel=self.kernel,
         )
 
 

@@ -59,6 +59,26 @@ def test_simulate_absorbing_flag(tmp_path, capsys, maintained_tree):
     assert "unreliability" in capsys.readouterr().out
 
 
+def test_simulate_kernel_flag(tmp_path, capsys, maintained_tree):
+    path = tmp_path / "model.fmt"
+    save_file(maintained_tree, path)
+    code = main(
+        ["simulate", str(path), "--runs", "50", "--horizon", "10",
+         "--kernel", "vectorized"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "vectorized kernel" in out
+    assert "failures/yr" in out
+
+
+def test_simulate_kernel_flag_rejects_unknown(tmp_path, maintained_tree):
+    path = tmp_path / "model.fmt"
+    save_file(maintained_tree, path)
+    with pytest.raises(SystemExit):
+        main(["simulate", str(path), "--kernel", "warp"])
+
+
 def test_simulate_missing_path(capsys):
     assert main(["simulate"]) == 2
     assert "missing model file" in capsys.readouterr().err

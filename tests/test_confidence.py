@@ -48,6 +48,44 @@ def test_interval_str_mentions_confidence():
     assert "@95%" in str(ConfidenceInterval(0.5, 0.4, 0.6, 0.95))
 
 
+def test_interval_str_renders_non_finite_bounds_as_na():
+    """Regression: degenerate (n <= 1) intervals keep their infinite
+    bounds for the stopping rules, but reports must say "n/a", not
+    leak "-inf"/"inf" into tables and exports."""
+    degenerate = mean_confidence_interval([3.0])
+    text = str(degenerate)
+    assert "inf" not in text
+    assert text == "3 [n/a, n/a] @95%"
+    # Finite intervals are unaffected.
+    assert str(ConfidenceInterval(0.5, 0.4, 0.6, 0.95)) == "0.5 [0.4, 0.6] @95%"
+
+
+def test_format_ci_renders_infinite_half_width_as_na():
+    from repro.experiments.common import format_ci
+
+    degenerate = mean_confidence_interval([3.0])
+    assert format_ci(degenerate) == "3 ±n/a"
+    assert format_ci(ConfidenceInterval(0.5, 0.4, 0.6, 0.95)) == "0.5 ±0.1"
+
+
+def test_summarize_single_run_has_no_inf_in_rendering():
+    """One replication end to end: the KPI table text stays inf-free."""
+    from repro.core.builder import FMTBuilder
+    from repro.maintenance.strategy import MaintenanceStrategy
+    from repro.simulation.montecarlo import MonteCarlo
+
+    builder = FMTBuilder("single")
+    builder.degraded_event("w", phases=2, mean=2.0, threshold=1)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    summary = MonteCarlo(
+        tree, MaintenanceStrategy.none(), horizon=10.0, seed=0
+    ).run(1).summary
+    assert summary.failures_per_year.lower == -math.inf  # kept for stopping
+    for name in ("failures_per_year", "cost_per_year", "expected_failures"):
+        assert "inf" not in str(getattr(summary, name))
+
+
 def test_mean_ci_centers_on_mean():
     interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
     assert interval.estimate == pytest.approx(2.5)

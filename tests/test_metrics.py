@@ -249,6 +249,55 @@ def test_availability_curve_from_simulation():
         assert interval.estimate == pytest.approx(2.0 / 3.0, abs=0.1)
 
 
+def test_availability_curve_matches_per_point_reference_counts():
+    """Regression: the searchsorted rank formulation must reproduce the
+    per-grid-point interval-membership counts exactly (the Wilson
+    intervals are a pure function of the integer counts)."""
+    import numpy as np
+
+    from repro.core.builder import FMTBuilder
+    from repro.maintenance.strategy import MaintenanceStrategy
+    from repro.simulation.montecarlo import MonteCarlo
+    from repro.stats.confidence import wilson_interval
+
+    builder = FMTBuilder("avail")
+    builder.degraded_event("w", phases=2, mean=2.0, threshold=1)
+    builder.or_gate("top", ["w"])
+    tree = builder.build("top")
+    strategy = MaintenanceStrategy(
+        "s", on_system_failure="replace", system_repair_time=0.7
+    )
+    result = MonteCarlo(
+        tree, strategy, horizon=20.0, seed=9, record_events=True
+    ).run(200, keep_trajectories=True)
+    grid = [0.0, 1.3, 4.9, 7.0, 13.37, 19.99, 20.0]
+    _, intervals = availability_curve(result.trajectories, grid)
+
+    # Reference: the historical O(grid * intervals) membership scan.
+    starts, ends = [], []
+    for trajectory in result.trajectories:
+        down_since = None
+        for event in trajectory.events:
+            if event.kind == "system_failure" and down_since is None:
+                down_since = event.time
+            elif event.kind == "system_restored" and down_since is not None:
+                starts.append(down_since)
+                ends.append(event.time)
+                down_since = None
+        if down_since is not None:
+            starts.append(down_since)
+            ends.append(np.inf)
+    start_arr = np.asarray(starts)
+    end_arr = np.asarray(ends)
+    n = len(result.trajectories)
+    downs = []
+    for t, interval in zip(grid, intervals):
+        down = int(np.count_nonzero((start_arr <= t) & (t < end_arr)))
+        downs.append(down)
+        assert interval == wilson_interval(n - down, n, 0.95)
+    assert max(downs) > 0  # the fixture exercises real downtime
+
+
 def test_reliability_curve_grid_validation():
     with pytest.raises(ValidationError):
         reliability_curve([_trajectory()], [-1.0])

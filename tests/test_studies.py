@@ -97,6 +97,25 @@ def test_key_sensitivity(request_for, maintained_tree):
     assert request_for().key().digest == base
 
 
+def test_key_kernel_sensitivity(request_for):
+    """The sampling kernel changes results, so it must change the key —
+    but the default must not perturb digests minted before the knob
+    existed (the material only gains a "kernel" entry when it deviates
+    from "object")."""
+    base = request_for().key()
+    assert request_for(kernel="object").key().digest == base.digest
+    assert "kernel" not in base.material
+    vectorized = request_for(kernel="vectorized").key()
+    assert vectorized.digest != base.digest
+    assert "kernel" in vectorized.material
+
+
+def test_request_kernel_builds_matching_simulator(request_for):
+    assert request_for().build_simulator().config.kernel == "object"
+    simulator = request_for(kernel="vectorized").build_simulator()
+    assert simulator.config.kernel == "vectorized"
+
+
 def test_derived_artifact_keys_differ(request_for):
     key = request_for().key()
     summary = key.derive("summary", None)

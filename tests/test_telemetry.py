@@ -9,6 +9,7 @@ text endpoint, and the instrumentation overhead budget.
 
 import io
 import json
+import math
 import pickle
 import urllib.request
 from collections import Counter as TallyCounter
@@ -138,8 +139,15 @@ def test_terminal_reporter_formats_convergence_line():
     assert "5/5 (100%)" in done and done.endswith("done")
 
 
+class _TtyStringIO(io.StringIO):
+    """A StringIO that claims to be an interactive terminal."""
+
+    def isatty(self):
+        return True
+
+
 def test_terminal_reporter_throttles_but_always_paints_done():
-    buffer = io.StringIO()
+    buffer = _TtyStringIO()
     reporter = TerminalProgressReporter(stream=buffer, min_interval=3600.0)
     for completed in (1, 2, 3):
         reporter.update(ProgressEvent(phase="p", completed=completed, total=4))
@@ -149,6 +157,39 @@ def test_terminal_reporter_throttles_but_always_paints_done():
     assert reporter.events_seen == 4
     assert text.count("\r") == 2  # first paint + forced done paint
     assert text.endswith("done\x1b[K\n")
+
+
+def test_terminal_reporter_non_tty_emits_plain_lines():
+    """Piped/captured streams must never see \\r or ANSI escapes."""
+    buffer = io.StringIO()  # StringIO.isatty() is False
+    reporter = TerminalProgressReporter(stream=buffer, min_interval=3600.0)
+    for completed in (1, 2, 3):
+        reporter.update(ProgressEvent(phase="p", completed=completed, total=4))
+    reporter.update(ProgressEvent(phase="p", completed=4, total=4, done=True))
+    reporter.close()
+    text = buffer.getvalue()
+    assert reporter.is_tty is False
+    assert "\r" not in text and "\x1b" not in text
+    lines = text.splitlines()
+    assert len(lines) == 2  # first paint + forced done paint (throttled)
+    assert lines[0].startswith("p: 1/4")
+    assert lines[-1].endswith("done")
+
+
+def test_terminal_reporter_non_tty_default_throttle_is_coarser():
+    assert TerminalProgressReporter(stream=io.StringIO()).min_interval == 1.0
+
+
+def test_progress_event_to_dict_drops_non_finite_floats():
+    event = ProgressEvent(
+        phase="p", completed=1, ci_half_width=math.inf,
+        relative_half_width=math.nan, estimate=2.5,
+    )
+    record = event.to_dict()
+    assert "ci_half_width" not in record
+    assert "relative_half_width" not in record
+    assert record["estimate"] == 2.5
+    json.dumps(record, allow_nan=False)  # strict-JSON serializable
 
 
 def test_jsonl_reporter_requires_exactly_one_sink(tmp_path):
