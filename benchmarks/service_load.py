@@ -1,0 +1,260 @@
+"""Service load harness: concurrent clients, write ``BENCH_service.json``.
+
+Boots the analysis service in-process (``repro.serve_app`` on an
+ephemeral port), then drives it with many concurrent HTTP clients in
+two phases:
+
+* **cached** — every client POSTs the *same* study whose result is
+  already resident, so each request is a synchronous StudyKey cache
+  hit.  This measures the HTTP + wire + cache-lookup overhead alone.
+* **uncached** — each client POSTs a distinct study (unique seed) and
+  polls until done, so every request simulates.  This measures
+  end-to-end job latency under queue contention, with the submission
+  loop retrying on 429 backpressure.
+
+Latency statistics (p50/p99, req/s) for both phases land in
+``BENCH_service.json`` at the repository root, ``repro-bench/1``
+schema like the engine baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_load.py                # full
+    PYTHONPATH=src python benchmarks/service_load.py --quick        # CI smoke
+    PYTHONPATH=src python benchmarks/service_load.py --clients 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+
+def _study_payload(seed: int, n_runs: int) -> bytes:
+    from repro.eijoint import build_ei_joint_fmt, current_policy
+    from repro.service.wire import dumps
+    from repro.studies.runner import StudyRequest
+
+    request = StudyRequest(
+        tree=build_ei_joint_fmt(),
+        strategy=current_policy(),
+        horizon=10.0,
+        seed=seed,
+        n_runs=n_runs,
+    )
+    return dumps(request).encode("utf-8")
+
+
+def _post(base: str, payload: bytes):
+    request = urllib.request.Request(
+        f"{base}/v1/studies", data=payload, method="POST"
+    )
+    request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(f"{base}{path}", timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _stats(latencies: List[float], wall: float, errors: int) -> Dict:
+    return {
+        "requests": len(latencies),
+        "errors": errors,
+        "p50_latency_s": statistics.median(latencies),
+        "p99_latency_s": _percentile(latencies, 0.99),
+        "max_latency_s": max(latencies),
+        "wall_s": wall,
+        "requests_per_sec": len(latencies) / wall if wall > 0 else float("inf"),
+    }
+
+
+def _fan_out(clients: int, work) -> "tuple[List[float], float, int]":
+    """Run ``work(client_index) -> latency_seconds`` on N threads at once."""
+    latencies: List[float] = []
+    errors = [0]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        barrier.wait()
+        try:
+            latency = work(index)
+        except Exception:
+            with lock:
+                errors[0] += 1
+            return
+        with lock:
+            latencies.append(latency)
+
+    threads = [
+        threading.Thread(target=client, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if not latencies:
+        raise SystemExit("every client errored; no latencies to report")
+    return latencies, wall, errors[0]
+
+
+def _cached_phase(base: str, clients: int, n_runs: int) -> Dict:
+    payload = _study_payload(seed=7, n_runs=n_runs)
+    # Prime: submit once and wait until the result is cached.
+    status, body = _post(base, payload)
+    if status == 202:
+        location = body["location"]
+        deadline = time.time() + 120.0
+        while time.time() < deadline:
+            status, body = _get(base, location)
+            if body["status"] in ("done", "failed"):
+                break
+            time.sleep(0.02)
+        assert body["status"] == "done", body
+    status, body = _post(base, payload)
+    assert status == 200 and body["cached"], (status, body)
+
+    def work(index: int) -> float:
+        started = time.perf_counter()
+        status, body = _post(base, payload)
+        assert status == 200 and body["cached"], (status, body)
+        return time.perf_counter() - started
+
+    latencies, wall, errors = _fan_out(clients, work)
+    return _stats(latencies, wall, errors)
+
+
+def _uncached_phase(base: str, clients: int, n_runs: int) -> Dict:
+    payloads = [
+        _study_payload(seed=1000 + index, n_runs=n_runs)
+        for index in range(clients)
+    ]
+
+    def work(index: int) -> float:
+        started = time.perf_counter()
+        while True:  # submit, honoring 429 backpressure
+            status, body = _post(base, payloads[index])
+            if status == 202:
+                break
+            if status == 200 and body.get("cached"):
+                return time.perf_counter() - started
+            assert status == 429, (status, body)
+            time.sleep(min(0.1, float(body.get("retry_after", 0.1))))
+        location = body["location"]
+        while True:
+            status, body = _get(base, location)
+            if body["status"] == "done":
+                return time.perf_counter() - started
+            assert body["status"] != "failed", body
+            time.sleep(0.01)
+
+    latencies, wall, errors = _fan_out(clients, work)
+    return _stats(latencies, wall, errors)
+
+
+def run(clients: int, n_runs: int, workers: int, quick: bool) -> Dict:
+    from repro import serve_app
+    from repro._version import __version__
+
+    server = serve_app(port=0, workers=workers, max_pending=max(16, clients // 4))
+    server.start()
+    try:
+        base = server.url
+        uncached = _uncached_phase(base, clients, n_runs)
+        print(
+            f"uncached: {uncached['requests']} ok, "
+            f"p50 {uncached['p50_latency_s'] * 1e3:.1f} ms, "
+            f"p99 {uncached['p99_latency_s'] * 1e3:.1f} ms, "
+            f"{uncached['requests_per_sec']:.1f} req/s"
+        )
+        cached = _cached_phase(base, clients, n_runs)
+        print(
+            f"cached:   {cached['requests']} ok, "
+            f"p50 {cached['p50_latency_s'] * 1e3:.1f} ms, "
+            f"p99 {cached['p99_latency_s'] * 1e3:.1f} ms, "
+            f"{cached['requests_per_sec']:.1f} req/s"
+        )
+    finally:
+        server.stop()
+    return {
+        "schema": "repro-bench/1",
+        "suite": "service",
+        "version": __version__,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "concurrent_clients": clients,
+            "n_runs_per_study": n_runs,
+            "workers": workers,
+        },
+        "workloads": {
+            "submit-cached": cached,
+            "submit-uncached": uncached,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=100,
+        help="concurrent HTTP clients per phase (default 100)",
+    )
+    parser.add_argument(
+        "--n-runs",
+        type=int,
+        default=200,
+        help="trajectories per submitted study",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="service worker threads"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizing (fewer clients, tiny studies)",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH")
+    args = parser.parse_args(argv)
+    clients = 25 if args.quick else args.clients
+    n_runs = 20 if args.quick else args.n_runs
+    payload = run(clients, n_runs, args.workers, args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

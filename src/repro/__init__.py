@@ -28,7 +28,11 @@ The package provides:
 * a **rare-event subsystem** (:mod:`repro.rareevent`): importance
   splitting (RESTART / fixed effort) over simulator snapshots;
 * a memoizing **study runner** (:mod:`repro.studies`): content-addressed
-  caching of Monte Carlo studies across experiments and processes.
+  caching of Monte Carlo studies across experiments and processes;
+* an **analysis service** (:mod:`repro.service`): a stdlib-only HTTP
+  API over the study runner (``POST /v1/studies``) with a versioned
+  JSON wire schema (:func:`encode_wire` / :func:`decode_wire`) —
+  ``python -m repro serve``, reference in docs/service.md.
 
 Quickstart
 ----------
@@ -87,6 +91,17 @@ from repro.simulation import (
     TrajectoryBatch,
 )
 
+# Imported last: repro.service.app reaches back into repro.studies and
+# repro.observability, which the lines above have already initialised.
+from repro import service
+from repro.service.app import StudyService, serve_app
+from repro.service.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    decode_wire,
+    encode_wire,
+)
+
 __all__ = [
     "AnalysisError",
     "AndGate",
@@ -118,24 +133,31 @@ __all__ = [
     "SimulationError",
     "StudyRequest",
     "StudyRunner",
+    "StudyService",
     "TrajectoryAccumulator",
     "TrajectoryBatch",
     "UnsupportedModelError",
     "ValidationError",
     "VotingGate",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
     "analysis",
     "clean",
     "core",
     "ctmc",
     "data",
+    "decode_wire",
     "dsl",
     "eijoint",
+    "encode_wire",
     "get_runner",
     "maintenance",
     "observability",
     "rareevent",
     "repair",
     "replace",
+    "serve_app",
+    "service",
     "simulation",
     "stats",
     "studies",

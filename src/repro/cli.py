@@ -11,6 +11,13 @@ Usage::
     python -m repro render model.fmt --dot > model.dot
     python -m repro trace model.fmt --out trace.jsonl   # JSONL event trace
     python -m repro metrics-serve metrics.json --port 9102   # /metrics
+    python -m repro serve --port 8177    # the analysis HTTP service
+
+Every command is a real argparse subcommand — ``python -m repro
+simulate --help`` prints the options of *that* verb.  The historical
+form with global options before the command (``python -m repro --quick
+fig5``) still works but emits a :class:`DeprecationWarning`; write the
+command first.
 
 Observability flags (all verbs): ``--log-level debug|info|warning|error``
 routes the library's structured logs to stderr; ``--profile`` prints a
@@ -28,14 +35,17 @@ within one invocation.  ``--cache-dir PATH`` additionally persists the
 results, so a rerun with the same configuration simulates nothing
 (bit-identical output either way); ``--no-cache`` disables the disk
 cache for one invocation; ``--processes N`` sizes the shared worker
-pool used for large studies.  See docs/api.md.
+pool used for large studies.  ``serve`` shares the same flags: a
+service started with ``--cache-dir`` answers previously computed
+studies synchronously.  See docs/api.md and docs/service.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import warnings
+from typing import List, Optional, Sequence
 
 from repro._version import __version__
 from repro.experiments import ExperimentConfig
@@ -47,9 +57,114 @@ __all__ = ["main", "build_parser"]
 
 logger = get_logger(__name__)
 
+#: Verbs that are not experiment ids (the registry provides those).
+_VERBS = (
+    "all",
+    "list",
+    "analyze",
+    "simulate",
+    "render",
+    "trace",
+    "metrics-serve",
+    "serve",
+)
+
+
+def _known_commands() -> List[str]:
+    return list(experiment_ids()) + list(_VERBS)
+
+
+def _observability_parent() -> argparse.ArgumentParser:
+    """Flags shared by every command (logging, metrics, caching)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="verbosity of the structured logs on stderr",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect simulation metrics/timers and print a profile "
+        "report after the run",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the collected metrics registry as JSON",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="live progress line on stderr: completed/total, rate, ETA, "
+        "and CI convergence for sequential runs",
+    )
+    group.add_argument(
+        "--progress-out",
+        default=None,
+        metavar="PATH",
+        help="append progress/convergence events as JSONL",
+    )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's span tree (driver + worker chunks) as JSONL",
+    )
+    cache = parent.add_argument_group("caching")
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist simulation results here and reuse them across "
+        "invocations (results are bit-identical to a fresh run)",
+    )
+    cache.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir for this invocation (in-process "
+        "deduplication of identical studies still applies)",
+    )
+    cache.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes of the shared simulation pool "
+        "(default 1 = serial)",
+    )
+    return parent
+
+
+def _replication_parent() -> argparse.ArgumentParser:
+    """Flags of every command that simulates."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("replication")
+    group.add_argument(
+        "--runs", type=int, default=None, help="Monte Carlo replications"
+    )
+    group.add_argument(
+        "--horizon", type=float, default=None, help="simulation horizon, years"
+    )
+    group.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    group.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced replication count (smoke-test mode)",
+    )
+    return parent
+
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argument parser (exposed for the test suite)."""
+    """The argument parser (exposed for the test suite).
+
+    Real subparsers: one per experiment id plus the verbs ``all``,
+    ``list``, ``analyze``, ``simulate``, ``render``, ``trace``,
+    ``metrics-serve`` and ``serve``, each with per-verb ``--help``.
+    """
     parser = argparse.ArgumentParser(
         prog="fmt-repro",
         description="Fault-maintenance-tree analysis of the EI-joint "
@@ -58,118 +173,135 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment id (see 'list'), 'all', 'list', 'analyze', "
-        "'simulate', 'render', 'trace', or 'metrics-serve'",
+    obs = _observability_parent()
+    runs = _replication_parent()
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    for key in experiment_ids():
+        sub.add_parser(
+            key,
+            parents=[obs, runs],
+            help=f"regenerate {key} from the paper",
+        )
+    sub.add_parser(
+        "all", parents=[obs, runs], help="run every experiment in paper order"
     )
-    parser.add_argument(
-        "path",
-        nargs="?",
-        default=None,
-        help="model file for the analyze/simulate/render/trace commands; "
-        "metrics JSON file for metrics-serve",
+    sub.add_parser("list", parents=[obs], help="list the available commands")
+
+    analyze = sub.add_parser(
+        "analyze",
+        parents=[obs],
+        help="static analysis (cut sets, unreliability) of a model file",
     )
-    parser.add_argument(
-        "--runs", type=int, default=None, help="Monte Carlo replications"
+    analyze.add_argument(
+        "path", nargs="?", default=None, help="Galileo model file"
     )
-    parser.add_argument(
-        "--horizon", type=float, default=None, help="simulation horizon, years"
+
+    simulate = sub.add_parser(
+        "simulate",
+        parents=[obs, runs],
+        help="Monte Carlo simulation of a model file",
     )
-    parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="reduced replication count (smoke-test mode)",
+    simulate.add_argument(
+        "path", nargs="?", default=None, help="Galileo model file"
     )
-    parser.add_argument(
+    simulate.add_argument(
         "--absorbing",
         action="store_true",
-        help="simulate: treat the first system failure as absorbing "
-        "(reliability study) instead of renewing the asset",
+        help="treat the first system failure as absorbing (reliability "
+        "study) instead of renewing the asset",
     )
-    parser.add_argument(
+    simulate.add_argument(
         "--kernel",
         default=None,
         choices=["object", "vectorized"],
-        help="simulate: sampling kernel ('object' is the event-loop "
-        "reference engine; 'vectorized' is the lockstep numpy kernel, "
+        help="sampling kernel ('object' is the event-loop reference "
+        "engine; 'vectorized' is the lockstep numpy kernel, "
         "statistically equivalent but not bit-identical)",
     )
-    parser.add_argument(
+
+    render = sub.add_parser(
+        "render",
+        parents=[obs],
+        help="ASCII or Graphviz rendering of a model file",
+    )
+    render.add_argument(
+        "path", nargs="?", default=None, help="Galileo model file"
+    )
+    render.add_argument(
         "--dot",
         action="store_true",
-        help="render: emit Graphviz DOT instead of an ASCII outline",
+        help="emit Graphviz DOT instead of an ASCII outline",
     )
-    parser.add_argument(
+
+    trace = sub.add_parser(
+        "trace",
+        parents=[obs, runs],
+        help="JSONL component-event trace of simulated runs",
+    )
+    trace.add_argument(
+        "path", nargs="?", default=None, help="Galileo model file"
+    )
+    trace.add_argument(
+        "--absorbing",
+        action="store_true",
+        help="treat the first system failure as absorbing",
+    )
+    trace.add_argument(
         "--out",
         default=None,
         metavar="PATH",
-        help="trace: write the JSONL event trace here (default: stdout)",
+        help="write the JSONL event trace here (default: stdout)",
     )
-    parser.add_argument(
-        "--log-level",
+
+    metrics_serve = sub.add_parser(
+        "metrics-serve",
+        parents=[obs],
+        help="serve a --metrics-out dump on /metrics (Prometheus format)",
+    )
+    metrics_serve.add_argument(
+        "path",
+        nargs="?",
         default=None,
-        choices=["debug", "info", "warning", "error", "critical"],
-        help="verbosity of the structured logs on stderr",
+        help="metrics JSON file (written with --metrics-out)",
     )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="collect simulation metrics/timers and print a profile "
-        "report after the run",
-    )
-    parser.add_argument(
-        "--metrics-out",
-        default=None,
-        metavar="PATH",
-        help="write the collected metrics registry as JSON",
-    )
-    parser.add_argument(
-        "--progress",
-        action="store_true",
-        help="live progress line on stderr: completed/total, rate, ETA, "
-        "and CI convergence for sequential runs",
-    )
-    parser.add_argument(
-        "--progress-out",
-        default=None,
-        metavar="PATH",
-        help="append progress/convergence events as JSONL",
-    )
-    parser.add_argument(
-        "--trace-out",
-        default=None,
-        metavar="PATH",
-        help="write the run's span tree (driver + worker chunks) as JSONL",
-    )
-    parser.add_argument(
+    metrics_serve.add_argument(
         "--port",
         type=int,
         default=9102,
         metavar="N",
-        help="metrics-serve: port to bind (0 = ephemeral)",
+        help="port to bind (0 = ephemeral)",
     )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="PATH",
-        help="persist simulation results here and reuse them across "
-        "invocations (results are bit-identical to a fresh run)",
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[obs],
+        help="the analysis HTTP service: POST JSON studies, poll results "
+        "(docs/service.md)",
     )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="ignore --cache-dir for this invocation (in-process "
-        "deduplication of identical studies still applies)",
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind"
     )
-    parser.add_argument(
-        "--processes",
+    serve.add_argument(
+        "--port",
         type=int,
-        default=None,
+        default=8177,
         metavar="N",
-        help="worker processes of the shared simulation pool "
-        "(default 1 = serial)",
+        help="port to bind (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads simulating queued studies",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued studies accepted before submissions get 429",
     )
     return parser
 
@@ -202,6 +334,7 @@ def _cmd_list() -> int:
     print("  render PATH   (ASCII or --dot rendering of a model file)")
     print("  trace PATH    (JSONL component-event trace of simulated runs)")
     print("  metrics-serve PATH  (serve a --metrics-out dump on /metrics)")
+    print("  serve         (analysis HTTP service: POST studies as JSON)")
     return 0
 
 
@@ -354,34 +487,64 @@ def _cmd_metrics_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, study_runner, instrumentation) -> int:
+    from repro.service.app import serve_app
+
+    if args.workers < 1:
+        print("serve: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_pending < 1:
+        print("serve: --max-pending must be >= 1", file=sys.stderr)
+        return 2
+    server = serve_app(
+        study_runner,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        instrumentation=instrumentation,
+    )
+    print(
+        f"serving studies on {server.url} "
+        "(POST /v1/studies; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    logger.info(
+        kv(
+            "service started",
+            url=server.url,
+            workers=args.workers,
+            max_pending=args.max_pending,
+        )
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
-    if args.experiment == "list":
+    if args.command == "list":
         return _cmd_list()
-    if args.experiment == "analyze":
+    if args.command == "analyze":
         return _cmd_analyze(args.path)
-    if args.experiment == "simulate":
+    if args.command == "simulate":
         return _cmd_simulate(args)
-    if args.experiment == "render":
+    if args.command == "render":
         return _cmd_render(args)
-    if args.experiment == "trace":
+    if args.command == "trace":
         return _cmd_trace(args)
-    if args.experiment == "metrics-serve":
-        return _cmd_metrics_serve(args)
     config = _config_from_args(args)
-    if args.experiment == "all":
+    if args.command == "all":
         for key, runner in iter_experiments():
             print(timed_run(runner, config, experiment_id=key).to_text())
             print()
         return 0
-    try:
-        runner = get_experiment(args.experiment)
-    except KeyError:
-        print(
-            f"unknown experiment {args.experiment!r}; try 'list'",
-            file=sys.stderr,
-        )
-        return 2
-    print(timed_run(runner, config, experiment_id=args.experiment).to_text())
+    runner = get_experiment(args.command)
+    print(timed_run(runner, config, experiment_id=args.command).to_text())
     return 0
 
 
@@ -395,16 +558,59 @@ def _check_writable(path: str, flag: str) -> Optional[str]:
     return None
 
 
+def _normalize_argv(argv: Sequence[str]) -> List[str]:
+    """Back-compat shim for the pre-subparser CLI.
+
+    The historical hand-rolled parser accepted global options *before*
+    the command (``repro --quick fig5``); subparsers require the
+    command first.  When the first token is an option but a known
+    command appears later, the command is rotated to the front and a
+    :class:`DeprecationWarning` is emitted.  Command-first invocations
+    (every documented form) pass through untouched.
+    """
+    argv = list(argv)
+    if not argv or not argv[0].startswith("-"):
+        return argv
+    if argv[0] in ("-h", "--help", "--version"):
+        return argv
+    known = set(_known_commands())
+    for index, token in enumerate(argv):
+        if token in known:
+            warnings.warn(
+                "passing options before the command is deprecated; write "
+                f"'python -m repro {token} [options]' instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return [token] + argv[:index] + argv[index + 1:]
+    return argv
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    argv = _normalize_argv(sys.argv[1:] if argv is None else argv)
+    parser = build_parser()
+    if not argv:
+        parser.print_usage(sys.stderr)
+        print("error: missing command; try 'list'", file=sys.stderr)
+        return 2
+    if not argv[0].startswith("-") and argv[0] not in _known_commands():
+        print(
+            f"unknown experiment {argv[0]!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        return 2
     setup_logging(args.log_level)
-    if args.experiment == "metrics-serve":
+    if args.command == "metrics-serve":
         # Serving needs no study runner, telemetry, or writable outputs.
         return _cmd_metrics_serve(args)
     for path, flag in (
         (args.metrics_out, "--metrics-out"),
-        (args.out, "--out"),
+        (getattr(args, "out", None), "--out"),
         (args.progress_out, "--progress-out"),
         (args.trace_out, "--trace-out"),
     ):
@@ -429,6 +635,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.observability.tracing import write_spans
     from repro.studies import StudyRunner, use_runner
 
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.command == "serve":
+        # The service owns its lifecycle: it always carries an
+        # instrumentation (backing /metrics) and closes the runner when
+        # the server stops.
+        instrumentation = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
+        study_runner = StudyRunner(
+            cache_dir=cache_dir,
+            processes=args.processes if args.processes is not None else 1,
+            instrumentation=instrumentation,
+        )
+        return _cmd_serve(args, study_runner, instrumentation)
     reporters = []
     if args.progress:
         reporters.append(TerminalProgressReporter())
@@ -436,7 +656,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         reporters.append(JsonlProgressReporter(path=args.progress_out))
     reporter = tee(*reporters) if reporters else None
     collector = _spans.SpanCollector() if args.trace_out is not None else None
-    cache_dir = None if args.no_cache else args.cache_dir
     study_runner = StudyRunner(
         cache_dir=cache_dir,
         processes=args.processes if args.processes is not None else 1,

@@ -117,6 +117,52 @@ class CostModel:
             / r
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe description (inverse of :meth:`from_dict`).
+
+        ``event_action_costs`` is keyed by ``(event, kind)`` tuples,
+        which JSON objects cannot express; it serializes as a list of
+        ``[event, kind, cost]`` triples instead, sorted so the
+        rendering is deterministic.
+        """
+        return {
+            "inspection_visit": self.inspection_visit,
+            "discount_rate": self.discount_rate,
+            "module_visit_costs": dict(self.module_visit_costs),
+            "action_costs": dict(self.action_costs),
+            "event_action_costs": [
+                [event, kind, cost]
+                for (event, kind), cost in sorted(
+                    self.event_action_costs.items()
+                )
+            ],
+            "system_failure": self.system_failure,
+            "corrective_factor": self.corrective_factor,
+            "downtime_per_year": self.downtime_per_year,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostModel":
+        """Inverse of :meth:`to_dict`."""
+        triples = data.get("event_action_costs", [])
+        if isinstance(triples, Mapping):  # tolerate the in-memory shape
+            event_action_costs = dict(triples)
+        else:
+            event_action_costs = {
+                (str(event), str(kind)): float(cost)
+                for event, kind, cost in triples
+            }
+        return cls(
+            inspection_visit=data.get("inspection_visit", 0.0),
+            discount_rate=data.get("discount_rate", 0.0),
+            module_visit_costs=dict(data.get("module_visit_costs", {})),
+            action_costs=dict(data.get("action_costs", {})),
+            event_action_costs=event_action_costs,
+            system_failure=data.get("system_failure", 0.0),
+            corrective_factor=data.get("corrective_factor", 1.0),
+            downtime_per_year=data.get("downtime_per_year", 0.0),
+        )
+
     def action_cost(self, event_name: str, kind: str, corrective: bool = False) -> float:
         """Cost of performing ``kind`` on ``event_name``.
 
@@ -203,3 +249,14 @@ class CostBreakdown:
             "downtime": self.downtime,
             "total": self.total,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "CostBreakdown":
+        """Inverse of :meth:`as_dict` (the derived total is ignored)."""
+        return cls(
+            inspections=data.get("inspections", 0.0),
+            preventive=data.get("preventive", 0.0),
+            corrective=data.get("corrective", 0.0),
+            failures=data.get("failures", 0.0),
+            downtime=data.get("downtime", 0.0),
+        )

@@ -111,6 +111,40 @@ class MaintenanceStrategy:
             description=self.description if description is None else description,
         )
 
+    def to_dict(self) -> dict:
+        """Serializable description (inverse of :meth:`from_dict`).
+
+        The modules serialize themselves; the round trip preserves the
+        strategy's physical content exactly, so a reconstructed
+        strategy yields the same study key as the original.
+        """
+        return {
+            "name": self.name,
+            "inspections": [module.to_dict() for module in self.inspections],
+            "repairs": [module.to_dict() for module in self.repairs],
+            "on_system_failure": self.on_system_failure,
+            "system_repair_time": self.system_repair_time,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MaintenanceStrategy":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            inspections=tuple(
+                InspectionModule.from_dict(spec)
+                for spec in data.get("inspections", [])
+            ),
+            repairs=tuple(
+                RepairModule.from_dict(spec)
+                for spec in data.get("repairs", [])
+            ),
+            on_system_failure=data.get("on_system_failure", "replace"),
+            system_repair_time=data.get("system_repair_time", 0.0),
+            description=data.get("description", ""),
+        )
+
     @classmethod
     def none(cls, name: str = "no-maintenance") -> "MaintenanceStrategy":
         """The do-nothing strategy (corrective renewal on failure only)."""

@@ -17,22 +17,23 @@ Name mangling is stable: dots and any other non-metric characters
 become underscores (``sim.worker.0.chunks`` →
 ``repro_sim_worker_0_chunks``), so dashboards survive refactors of the
 dotted names.  ``python -m repro metrics-serve`` mounts
-:class:`MetricsServer` on a port; ROADMAP item 1's analysis service
-mounts the same handler on its own app.
+:class:`MetricsServer` on a port; the analysis service
+(``python -m repro serve``) renders the same exposition from its own
+``/metrics`` route — both run on the one shared server implementation
+in :mod:`repro.service.http`.
 """
 
 from __future__ import annotations
 
 import json
 import re
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Union
 
 __all__ = [
     "CONTENT_TYPE",
     "mangle_metric_name",
     "render_prometheus",
+    "MetricsApp",
     "MetricsServer",
 ]
 
@@ -131,8 +132,49 @@ def render_prometheus(
 SnapshotProvider = Callable[[], Dict[str, Dict]]
 
 
+class MetricsApp:
+    """The scrape application: ``/metrics`` + ``/healthz``.
+
+    Transport-free (mountable on :class:`repro.service.http.AppServer`
+    next to the analysis service, or driven directly in tests).
+    ``provider`` is a zero-argument callable returning a registry
+    snapshot dict.
+    """
+
+    def __init__(self, provider: SnapshotProvider, namespace: str = "repro"):
+        self.provider = provider
+        self.namespace = namespace
+
+    def handle(self, method: str, path: str, query: Dict, body: bytes):
+        from repro.service.http import HttpResponse
+
+        if path == "/metrics" and method == "GET":
+            try:
+                text = render_prometheus(
+                    self.provider(), namespace=self.namespace
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                return HttpResponse(
+                    500,
+                    f"scrape failed: {exc}\n".encode("utf-8"),
+                    "text/plain; charset=utf-8",
+                )
+            return HttpResponse(200, text.encode("utf-8"), CONTENT_TYPE)
+        if path == "/healthz" and method == "GET":
+            body_bytes = json.dumps({"status": "ok"}).encode("utf-8") + b"\n"
+            return HttpResponse(200, body_bytes, "application/json")
+        return HttpResponse(
+            404, b"try /metrics or /healthz\n", "text/plain; charset=utf-8"
+        )
+
+
 class MetricsServer:
-    """Stdlib HTTP server exposing ``/metrics`` and ``/healthz``.
+    """HTTP server exposing ``/metrics`` and ``/healthz``.
+
+    A :class:`MetricsApp` mounted on the package's one server
+    implementation (:class:`repro.service.http.AppServer` — the same
+    stack behind ``python -m repro serve``); this class remains as the
+    stable convenience entry point of the ``metrics-serve`` verb.
 
     ``source`` is either a live registry-like object (anything with a
     ``to_dict()``) or a zero-argument callable returning a snapshot
@@ -152,75 +194,43 @@ class MetricsServer:
         port: int = 9102,
         namespace: str = "repro",
     ):
+        from repro.service.http import AppServer
+
         if callable(source):
             provider: SnapshotProvider = source  # type: ignore[assignment]
         else:
             provider = source.to_dict  # type: ignore[union-attr]
-        server = self
+        self._server = AppServer(
+            MetricsApp(provider, namespace=namespace), host=host, port=port
+        )
 
-        class _Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 - http.server API
-                path = self.path.split("?", 1)[0]
-                if path == "/metrics":
-                    try:
-                        body = render_prometheus(
-                            provider(), namespace=namespace
-                        ).encode("utf-8")
-                    except Exception as exc:  # pragma: no cover - defensive
-                        self._reply(500, "text/plain; charset=utf-8",
-                                    f"scrape failed: {exc}\n".encode("utf-8"))
-                        return
-                    self._reply(200, CONTENT_TYPE, body)
-                elif path == "/healthz":
-                    body = json.dumps({"status": "ok"}).encode("utf-8") + b"\n"
-                    self._reply(200, "application/json", body)
-                else:
-                    self._reply(404, "text/plain; charset=utf-8",
-                                b"try /metrics or /healthz\n")
-
-            def _reply(self, code: int, ctype: str, body: bytes) -> None:
-                self.send_response(code)
-                self.send_header("Content-Type", ctype)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-
-            def log_message(self, *args) -> None:  # silence per-request noise
-                server.requests_served += 1
-
-        self.requests_served = 0
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._thread: Optional[threading.Thread] = None
+    @property
+    def requests_served(self) -> int:
+        """Requests handled since the server was created."""
+        return self._server.requests_served
 
     @property
     def host(self) -> str:
         """Bound host address."""
-        return self._httpd.server_address[0]
+        return self._server.host
 
     @property
     def port(self) -> int:
         """Bound port (resolved when constructed with ``port=0``)."""
-        return self._httpd.server_address[1]
+        return self._server.port
 
     def start(self) -> "MetricsServer":
         """Serve from a background daemon thread; returns self."""
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
-        )
-        self._thread.start()
+        self._server.start()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted."""
-        self._httpd.serve_forever()
+        self._server.serve_forever()
 
     def stop(self) -> None:
         """Shut the server down (idempotent)."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        self._server.stop()
 
     def __enter__(self) -> "MetricsServer":
         return self

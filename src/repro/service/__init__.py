@@ -1,0 +1,73 @@
+"""Analysis-as-a-service: HTTP API + JSON wire schema over the runner.
+
+* :mod:`repro.service.wire` — the versioned JSON wire schema
+  (``encode_wire`` / ``decode_wire``, ``WIRE_SCHEMA_VERSION``);
+* :mod:`repro.service.http` — the one stdlib HTTP server
+  implementation shared with ``metrics-serve``;
+* :mod:`repro.service.jobs` — bounded job queue, warm-start workers,
+  in-flight deduplication;
+* :mod:`repro.service.app` — the endpoints and :func:`serve_app`.
+
+See docs/service.md for the endpoint and wire-schema reference.
+
+Attribute access is lazy (PEP 562): :mod:`repro.observability.
+exposition` imports :mod:`repro.service.http` at package-import time,
+and an eager ``from repro.service.app import ...`` here would close an
+import cycle through :mod:`repro.studies`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "AppServer",
+    "HttpResponse",
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "StudyService",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "decode_wire",
+    "encode_wire",
+    "serve_app",
+]
+
+_LOCATIONS = {
+    "AppServer": "repro.service.http",
+    "HttpResponse": "repro.service.http",
+    "Job": "repro.service.jobs",
+    "JobQueue": "repro.service.jobs",
+    "QueueFull": "repro.service.jobs",
+    "StudyService": "repro.service.app",
+    "WIRE_SCHEMA_VERSION": "repro.service.wire",
+    "WireError": "repro.service.wire",
+    "decode_wire": "repro.service.wire",
+    "encode_wire": "repro.service.wire",
+    "serve_app": "repro.service.app",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports
+    from repro.service.app import StudyService, serve_app
+    from repro.service.http import AppServer, HttpResponse
+    from repro.service.jobs import Job, JobQueue, QueueFull
+    from repro.service.wire import (
+        WIRE_SCHEMA_VERSION,
+        WireError,
+        decode_wire,
+        encode_wire,
+    )
+
+
+def __getattr__(name: str):
+    location = _LOCATIONS.get(name)
+    if location is None:
+        raise AttributeError(f"module 'repro.service' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(location), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,156 @@
+"""The one stdlib HTTP server implementation behind every endpoint.
+
+``python -m repro serve`` (the analysis service) and ``python -m repro
+metrics-serve`` (the Prometheus exposition verb) mount different *apps*
+on the same :class:`AppServer`: a threaded :mod:`http.server` wrapper
+that parses the request line, reads the body, and hands
+``(method, path, query, body)`` to the app's :meth:`handle`, which
+returns an :class:`HttpResponse`.  Apps stay plain objects — routable,
+testable without sockets — and the server stays free of any knowledge
+of studies or metrics.
+
+This module is deliberately stdlib-only and imports nothing from the
+rest of the package, so :mod:`repro.observability.exposition` can build
+on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Protocol, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpResponse", "WireApp", "AppServer"]
+
+
+@dataclass
+class HttpResponse:
+    """What an app returns for one request."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+
+class WireApp(Protocol):
+    """Anything mountable on an :class:`AppServer`."""
+
+    def handle(
+        self, method: str, path: str, query: Dict[str, str], body: bytes
+    ) -> HttpResponse:
+        """Serve one request."""
+        ...  # pragma: no cover - protocol
+
+
+class AppServer:
+    """Threaded stdlib HTTP server for a :class:`WireApp`.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    construction).  :meth:`start` serves from a daemon thread (tests,
+    the load harness); :meth:`serve_forever` blocks (the CLI verbs).
+    Each request runs on its own thread, so a long poll never blocks a
+    health check.
+    """
+
+    def __init__(self, app: WireApp, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _serve(self, method: str) -> None:
+                split = urlsplit(self.path)
+                query = dict(parse_qsl(split.query))
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                try:
+                    response = server.app.handle(
+                        method, split.path, query, body
+                    )
+                except Exception as exc:  # pragma: no cover - defensive
+                    response = HttpResponse(
+                        500,
+                        f'{{"error": "internal error: {type(exc).__name__}"}}\n'.encode("utf-8"),
+                    )
+                self.send_response(response.status)
+                self.send_header("Content-Type", response.content_type)
+                self.send_header("Content-Length", str(len(response.body)))
+                for name, value in response.headers:
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(response.body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                self._serve("GET")
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                self._serve("POST")
+
+            def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+                self._serve("DELETE")
+
+            def log_message(self, *args) -> None:  # silence request noise
+                server.requests_served += 1
+
+        class _Server(ThreadingHTTPServer):
+            daemon_threads = True
+            # socketserver's default listen backlog of 5 drops
+            # connections under a concurrent-client burst (the dropped
+            # SYN retries after ~1s, wrecking tail latency); size it
+            # for the load the service is benchmarked at.
+            request_queue_size = 256
+
+        self.requests_served = 0
+        self._httpd = _Server((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolved when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AppServer":
+        """Serve from a background daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        close = getattr(self.app, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "AppServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AppServer({type(self.app).__name__} @ {self.url})"

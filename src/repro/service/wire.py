@@ -1,0 +1,307 @@
+"""The versioned JSON wire schema of the analysis service.
+
+One payload format drives the HTTP API, the CLI, and future warehouse
+persistence: every object that crosses a process boundary is wrapped
+in an *envelope* ::
+
+    {"schema_version": 1, "kind": "study_request", "payload": {...}}
+
+``kind`` names the object type; ``payload`` is the object's own
+``to_dict()`` rendering.  :func:`encode_wire` / :func:`decode_wire`
+are the codec entry points; :func:`dumps` / :func:`loads` add strict,
+deterministic JSON on top (sorted keys, no NaN/Infinity tokens) so two
+encodes of the same object are byte-identical — which is what lets the
+service prove a cached HTTP response equals an in-process result.
+
+Compatibility policy
+--------------------
+``WIRE_SCHEMA_VERSION`` is a single integer, bumped whenever a change
+would not be decodable by an existing decoder (a removed field, a
+changed meaning, a new required field).  Decoders:
+
+* reject a payload whose ``schema_version`` is missing, non-integer,
+  or **newer** than what they support (fail loud, never guess);
+* accept every older version they know how to read (additive fields
+  carry defaults in the ``from_dict`` codecs, so version 1 decoders
+  remain correct for version-1 payloads forever);
+* reject unknown ``kind`` values and structurally malformed payloads
+  with :class:`WireError`.
+
+Adding an optional field with a default does **not** require a bump;
+anything else does.  The envelope is also deliberately independent of
+the study-cache ``CODE_SALT``: a payload stays decodable across
+releases even when the cache key changes underneath it.
+
+Round-trip guarantee
+--------------------
+``decode_wire(encode_wire(request))`` reconstructs a
+:class:`~repro.studies.runner.StudyRequest` with the identical
+:class:`~repro.studies.key.StudyKey` digest, so wire-submitted studies
+share cache entries (and bit-identical results) with in-process ones.
+The hypothesis suite in ``tests/test_wire.py`` pins this property.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, Tuple
+
+from repro.core.tree import FaultMaintenanceTree
+from repro.errors import ModelError, ValidationError
+from repro.maintenance.costs import CostBreakdown, CostModel
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.simulation.metrics import KpiSummary
+from repro.stats.confidence import ConfidenceInterval
+from repro.studies.runner import StudyRequest
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "encode_wire",
+    "decode_wire",
+    "dumps",
+    "loads",
+    "summary_to_dict",
+    "summary_from_dict",
+]
+
+#: Current wire schema version (see the compatibility policy above).
+WIRE_SCHEMA_VERSION = 1
+
+
+class WireError(ValidationError):
+    """A wire payload that cannot be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# Floats: strict JSON has no NaN/Infinity tokens, but confidence
+# intervals legitimately carry infinite bounds (degenerate n<=1
+# intervals).  Non-finite floats travel as sentinel strings.
+# ----------------------------------------------------------------------
+def _encode_float(value: float) -> Any:
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "NaN"
+    return "Infinity" if value > 0 else "-Infinity"
+
+
+def _decode_float(value: Any) -> float:
+    if isinstance(value, str):
+        if value == "NaN":
+            return math.nan
+        if value == "Infinity":
+            return math.inf
+        if value == "-Infinity":
+            return -math.inf
+        raise WireError(f"not a wire float: {value!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"not a wire float: {value!r}")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Result codecs (ConfidenceInterval / KpiSummary) — these objects have
+# no to_dict of their own because they never needed one before the
+# service; the codec lives here with the rest of the wire format.
+# ----------------------------------------------------------------------
+def _ci_to_dict(ci: ConfidenceInterval) -> dict:
+    return {
+        "estimate": _encode_float(ci.estimate),
+        "lower": _encode_float(ci.lower),
+        "upper": _encode_float(ci.upper),
+        "confidence": _encode_float(ci.confidence),
+    }
+
+
+def _ci_from_dict(data: dict) -> ConfidenceInterval:
+    return ConfidenceInterval(
+        estimate=_decode_float(data["estimate"]),
+        lower=_decode_float(data["lower"]),
+        upper=_decode_float(data["upper"]),
+        confidence=_decode_float(data["confidence"]),
+    )
+
+
+_SUMMARY_CIS = (
+    "unreliability",
+    "expected_failures",
+    "failures_per_year",
+    "availability",
+    "cost_per_year",
+)
+_SUMMARY_FLOATS = (
+    "inspections_per_year",
+    "preventive_actions_per_year",
+    "corrective_replacements_per_year",
+)
+
+
+def summary_to_dict(summary: KpiSummary) -> dict:
+    """JSON-safe rendering of a :class:`KpiSummary` (inverse of
+    :func:`summary_from_dict`)."""
+    data: Dict[str, Any] = {
+        "n_runs": summary.n_runs,
+        "horizon": _encode_float(summary.horizon),
+        "cost_breakdown_per_year": {
+            key: _encode_float(value)
+            for key, value in summary.cost_breakdown_per_year.as_dict().items()
+            if key != "total"  # derived, recomputed on decode
+        },
+    }
+    for name in _SUMMARY_CIS:
+        data[name] = _ci_to_dict(getattr(summary, name))
+    for name in _SUMMARY_FLOATS:
+        data[name] = _encode_float(getattr(summary, name))
+    return data
+
+
+def summary_from_dict(data: dict) -> KpiSummary:
+    """Inverse of :func:`summary_to_dict`."""
+    breakdown = CostBreakdown.from_dict(
+        {
+            key: _decode_float(value)
+            for key, value in data["cost_breakdown_per_year"].items()
+        }
+    )
+    kwargs: Dict[str, Any] = {
+        "n_runs": int(data["n_runs"]),
+        "horizon": _decode_float(data["horizon"]),
+        "cost_breakdown_per_year": breakdown,
+    }
+    for name in _SUMMARY_CIS:
+        kwargs[name] = _ci_from_dict(data[name])
+    for name in _SUMMARY_FLOATS:
+        kwargs[name] = _decode_float(data[name])
+    return KpiSummary(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# The envelope
+# ----------------------------------------------------------------------
+_Codec = Tuple[Callable[[Any], dict], Callable[[dict], Any]]
+
+_CODECS: Dict[str, _Codec] = {
+    "tree": (
+        lambda obj: obj.to_dict(),
+        FaultMaintenanceTree.from_dict,
+    ),
+    "strategy": (
+        lambda obj: obj.to_dict(),
+        MaintenanceStrategy.from_dict,
+    ),
+    "cost_model": (
+        lambda obj: obj.to_dict(),
+        CostModel.from_dict,
+    ),
+    "study_request": (
+        lambda obj: obj.to_dict(),
+        StudyRequest.from_dict,
+    ),
+    "kpi_summary": (summary_to_dict, summary_from_dict),
+}
+
+_KIND_BY_TYPE = {
+    FaultMaintenanceTree: "tree",
+    MaintenanceStrategy: "strategy",
+    CostModel: "cost_model",
+    StudyRequest: "study_request",
+    KpiSummary: "kpi_summary",
+}
+
+
+def encode_wire(obj: Any) -> dict:
+    """Wrap ``obj`` in a versioned wire envelope.
+
+    Supported kinds: :class:`FaultMaintenanceTree`,
+    :class:`MaintenanceStrategy`, :class:`CostModel`,
+    :class:`StudyRequest`, :class:`KpiSummary`.
+    """
+    kind = _KIND_BY_TYPE.get(type(obj))
+    if kind is None:
+        for cls, name in _KIND_BY_TYPE.items():  # subclasses
+            if isinstance(obj, cls):
+                kind = name
+                break
+    if kind is None:
+        raise WireError(
+            f"no wire codec for {type(obj).__name__!r}; supported kinds: "
+            f"{sorted(_CODECS)}"
+        )
+    encode, _ = _CODECS[kind]
+    return {
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "kind": kind,
+        "payload": encode(obj),
+    }
+
+
+def decode_wire(data: Any, expect: str = None) -> Any:
+    """Decode a wire envelope back into the object it describes.
+
+    ``expect`` optionally pins the ``kind`` (the service requires
+    ``study_request`` on submissions).  Raises :class:`WireError` for
+    anything malformed: non-dict input, missing/unsupported
+    ``schema_version``, unknown ``kind``, or a payload the codec
+    cannot reconstruct.
+    """
+    if not isinstance(data, dict):
+        raise WireError(
+            f"wire envelope must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise WireError(
+            "wire envelope is missing an integer 'schema_version' field"
+        )
+    if version < 1 or version > WIRE_SCHEMA_VERSION:
+        raise WireError(
+            f"unsupported schema_version {version} (this build speaks "
+            f"1..{WIRE_SCHEMA_VERSION})"
+        )
+    kind = data.get("kind")
+    codec = _CODECS.get(kind)
+    if codec is None:
+        raise WireError(
+            f"unknown wire kind {kind!r}; supported: {sorted(_CODECS)}"
+        )
+    if expect is not None and kind != expect:
+        raise WireError(f"expected a {expect!r} payload, got {kind!r}")
+    payload = data.get("payload")
+    if not isinstance(payload, dict):
+        raise WireError("wire envelope is missing the 'payload' object")
+    _, decode = codec
+    try:
+        return decode(payload)
+    except WireError:
+        raise
+    except (KeyError, IndexError, TypeError, AttributeError) as exc:
+        raise WireError(f"malformed {kind} payload: {exc!r}") from exc
+    except (ValidationError, ModelError, ValueError) as exc:
+        raise WireError(f"invalid {kind} payload: {exc}") from exc
+
+
+def dumps(obj: Any) -> str:
+    """Deterministic JSON text of ``obj``'s wire envelope.
+
+    Keys are sorted and separators fixed, so encoding the same object
+    twice yields byte-identical text — the service's cache-equality
+    checks rely on this.
+    """
+    return json.dumps(
+        encode_wire(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def loads(text: str, expect: str = None) -> Any:
+    """Inverse of :func:`dumps` (accepts any wire-envelope JSON text)."""
+    try:
+        data = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"not valid JSON: {exc}") from exc
+    return decode_wire(data, expect=expect)

@@ -37,6 +37,7 @@ asserts that a warm-cache rerun simulates nothing.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -159,6 +160,60 @@ class StudyRequest:
             kernel=self.kernel,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe description of the request (inverse of
+        :meth:`from_dict`).
+
+        Every constituent serializes through its own ``to_dict``, so
+        the round trip reconstructs a request with the identical
+        :meth:`key` digest — which is what lets a JSON payload
+        submitted over the wire share cache entries with in-process
+        studies.  The service wire format wraps this dict in a
+        versioned envelope (:mod:`repro.service.wire`).
+        """
+        return {
+            "tree": self.tree.to_dict(),
+            "strategy": (
+                self.strategy.to_dict() if self.strategy is not None else None
+            ),
+            "horizon": self.horizon,
+            "cost_model": (
+                self.cost_model.to_dict()
+                if self.cost_model is not None
+                else None
+            ),
+            "seed": self.seed,
+            "n_runs": self.n_runs,
+            "confidence": self.confidence,
+            "record_events": self.record_events,
+            "kernel": self.kernel,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyRequest":
+        """Inverse of :meth:`to_dict`."""
+        strategy = data.get("strategy")
+        cost_model = data.get("cost_model")
+        return cls(
+            tree=FaultMaintenanceTree.from_dict(data["tree"]),
+            strategy=(
+                MaintenanceStrategy.from_dict(strategy)
+                if strategy is not None
+                else None
+            ),
+            horizon=float(data.get("horizon", 10.0)),
+            cost_model=(
+                CostModel.from_dict(cost_model)
+                if cost_model is not None
+                else None
+            ),
+            seed=int(data.get("seed", 0)),
+            n_runs=int(data.get("n_runs", 1)),
+            confidence=float(data.get("confidence", 0.95)),
+            record_events=bool(data.get("record_events", False)),
+            kernel=str(data.get("kernel", "object")),
+        )
+
     def build_simulator(self) -> FMTSimulator:
         """A validated simulator for this request (prototype material)."""
         config = SimulationConfig(
@@ -252,6 +307,11 @@ class StudyRunner:
         self.instrumentation = instrumentation
         self._memo: "OrderedDict[str, Any]" = OrderedDict()
         self._prototypes: "OrderedDict[str, FMTSimulator]" = OrderedDict()
+        # The HTTP service shares one runner across worker threads;
+        # the LRU bookkeeping (move_to_end + eviction) is not atomic,
+        # so cache-structure mutations take this lock.  Simulation
+        # itself runs outside the lock and stays concurrent.
+        self._lock = threading.RLock()
         self._pool = (
             SharedSimulationPool(processes) if processes > 1 else None
         )
@@ -267,6 +327,33 @@ class StudyRunner:
             return result.summary, {}, request.n_runs
 
         return self._artifact(request.key(), "summary", None, compute)
+
+    def peek_summary(self, request: StudyRequest) -> Optional[KpiSummary]:
+        """The cached summary of the study, or ``None`` — never simulates.
+
+        The HTTP service uses this as its cache fast path: a request
+        whose summary is already memoized (or on disk) is answered
+        synchronously without touching the job queue.  A hit counts in
+        the usual ``study.*`` instrumentation; a miss counts nothing,
+        because the caller is expected to follow up with
+        :meth:`summary` (which records the miss).
+        """
+        key = request.key().derive("summary", None)
+        hit, value = self._memo_get(key.digest)
+        if hit:
+            self._count(_obs.STUDY_REQUESTS)
+            self._count(_obs.STUDY_MEMO_HITS)
+            return value
+        if self.disk is not None:
+            hit, value, corrupt = self.disk.load(key)
+            if corrupt:
+                self._count(_obs.STUDY_DISK_CORRUPT)
+            if hit:
+                self._count(_obs.STUDY_REQUESTS)
+                self._count(_obs.STUDY_DISK_HITS)
+                self._memo_put(key.digest, value)
+                return value
+        return None
 
     def result(self, request: StudyRequest) -> MonteCarloResult:
         """Like :meth:`summary`, wrapped in a :class:`MonteCarloResult`.
@@ -384,20 +471,22 @@ class StudyRunner:
             instr.count(name, amount)
 
     def _memo_get(self, digest: str) -> Tuple[bool, Any]:
-        if digest not in self._memo:
-            return False, None
-        self._memo.move_to_end(digest)
-        return True, self._memo[digest]
+        with self._lock:
+            if digest not in self._memo:
+                return False, None
+            self._memo.move_to_end(digest)
+            return True, self._memo[digest]
 
     def _memo_put(self, digest: str, value: Any) -> None:
-        if digest in self._memo:
-            self._memo.move_to_end(digest)
+        with self._lock:
+            if digest in self._memo:
+                self._memo.move_to_end(digest)
+                self._memo[digest] = value
+                return
+            while len(self._memo) >= self.max_memo_entries:
+                self._memo.popitem(last=False)
+                self._count(_obs.STUDY_MEMO_EVICTIONS)
             self._memo[digest] = value
-            return
-        while len(self._memo) >= self.max_memo_entries:
-            self._memo.popitem(last=False)
-            self._count(_obs.STUDY_MEMO_EVICTIONS)
-        self._memo[digest] = value
 
     def _store(self, key: StudyKey, value: Any) -> None:
         self._memo_put(key.digest, value)
@@ -467,14 +556,16 @@ class StudyRunner:
         then clones the prototype (per-run state is never shared).
         """
         digest = StudyKey.from_material(request.simulator_material()).digest
-        prototype = self._prototypes.get(digest)
-        if prototype is not None:
-            self._prototypes.move_to_end(digest)
-            return prototype
+        with self._lock:
+            prototype = self._prototypes.get(digest)
+            if prototype is not None:
+                self._prototypes.move_to_end(digest)
+                return prototype
         prototype = request.build_simulator()
-        while len(self._prototypes) >= DEFAULT_MAX_PROTOTYPES:
-            self._prototypes.popitem(last=False)
-        self._prototypes[digest] = prototype
+        with self._lock:
+            while len(self._prototypes) >= DEFAULT_MAX_PROTOTYPES:
+                self._prototypes.popitem(last=False)
+            self._prototypes[digest] = prototype
         return prototype
 
     def _simulate(

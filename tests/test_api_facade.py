@@ -69,3 +69,41 @@ def test_facade_runs_a_study():
     assert 0.0 <= summary.unreliability.estimate <= 1.0
     # Same request again is a memo hit, bit-identical.
     assert runner.summary(request) is summary
+
+
+def test_service_surface_reexported():
+    from repro.service.app import StudyService, serve_app
+    from repro.service.wire import (
+        WIRE_SCHEMA_VERSION,
+        WireError,
+        decode_wire,
+        encode_wire,
+    )
+
+    assert repro.serve_app is serve_app
+    assert repro.StudyService is StudyService
+    assert repro.encode_wire is encode_wire
+    assert repro.decode_wire is decode_wire
+    assert repro.WireError is WireError
+    assert repro.WIRE_SCHEMA_VERSION == WIRE_SCHEMA_VERSION
+    assert repro.service.serve_app is serve_app  # lazy submodule attr
+
+
+def test_wire_error_is_a_validation_error():
+    # Wire rejections participate in the package's error taxonomy, so
+    # callers catching repro.ValidationError keep working.
+    assert issubclass(repro.WireError, repro.ValidationError)
+
+
+def test_facade_roundtrips_a_request_through_the_wire():
+    request = repro.StudyRequest(
+        tree=repro.eijoint.build_ei_joint_fmt(),
+        strategy=repro.eijoint.current_policy(),
+        horizon=10.0,
+        seed=7,
+        n_runs=20,
+    )
+    decoded = repro.decode_wire(
+        repro.encode_wire(request), expect="study_request"
+    )
+    assert decoded.key().digest == request.key().digest

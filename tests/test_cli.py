@@ -257,3 +257,64 @@ def test_no_cache_flag_bypasses_disk(tmp_path, capsys):
 def test_processes_flag_validation(capsys):
     assert main(["fig5", "--quick", "--processes", "0"]) == 2
     assert "--processes" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Subparser CLI (PR 8): per-verb help, deprecation shim, serve verb
+# ----------------------------------------------------------------------
+
+
+def test_per_verb_help_is_scoped(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["simulate", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--kernel" in out and "--absorbing" in out
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["render", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--dot" in out and "--kernel" not in out
+
+
+def test_serve_verb_exists_with_service_flags(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(["serve", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--max-pending" in out and "--workers" in out and "--port" in out
+
+
+def test_serve_validates_worker_count(capsys):
+    assert main(["serve", "--workers", "0", "--port", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
+    assert main(["serve", "--max-pending", "0", "--port", "0"]) == 2
+    assert "--max-pending" in capsys.readouterr().err
+
+
+def test_options_before_command_rotate_with_deprecation(capsys):
+    with pytest.warns(DeprecationWarning, match="before the command"):
+        assert main(["--quick", "table1"]) == 0
+    assert "ferrous_dust" in capsys.readouterr().out
+
+
+def test_command_first_form_warns_nothing(recwarn, capsys):
+    assert main(["table1"]) == 0
+    capsys.readouterr()
+    deprecations = [
+        w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+    ]
+    assert not deprecations
+
+
+def test_missing_command_is_an_error(capsys):
+    assert main([]) == 2
+    assert "missing command" in capsys.readouterr().err
+
+
+def test_list_mentions_serve(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "serve" in out and "metrics-serve" in out

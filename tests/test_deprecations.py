@@ -84,3 +84,23 @@ def test_simulation_stack_is_warning_free():
         warnings.simplefilter("error", DeprecationWarning)
         simulator.simulate(np.random.default_rng(3))
         simulator.clone().simulate(np.random.default_rng(3))
+
+
+# ----------------------------------------------------------------------
+# CLI options before the command (api_redesign: argparse subparsers)
+# ----------------------------------------------------------------------
+def test_cli_leading_options_warn_and_rotate(capsys):
+    from repro.cli import main
+
+    with pytest.warns(DeprecationWarning, match="before the command"):
+        assert main(["--quick", "table1"]) == 0
+    assert "ferrous_dust" in capsys.readouterr().out
+
+
+def test_cli_command_first_is_warning_free(capsys):
+    from repro.cli import main
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert main(["table1", "--quick"]) == 0
+    capsys.readouterr()

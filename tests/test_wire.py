@@ -1,0 +1,328 @@
+"""The JSON wire schema: round trips, versioning, malformed payloads.
+
+The contract under test (docs/service.md): any study request encoded
+to the wire, parsed back, and re-submitted must address the *same*
+cache entry — i.e. the round trip preserves the
+:class:`~repro.studies.key.StudyKey` digest exactly.  Hypothesis
+drives the round-trip property over random trees, strategies and cost
+models; the rejection tests pin the error behavior for unknown schema
+versions and malformed envelopes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import FMTBuilder
+from repro.core.tree import FaultMaintenanceTree
+from repro.maintenance.actions import clean, repair, replace
+from repro.maintenance.costs import CostBreakdown, CostModel
+from repro.maintenance.modules import InspectionModule, RepairModule
+from repro.maintenance.strategy import MaintenanceStrategy
+from repro.service.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    decode_wire,
+    dumps,
+    encode_wire,
+    loads,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.studies.runner import StudyRequest
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+_ACTIONS = st.sampled_from([None, clean(), repair(2), replace()])
+
+
+@st.composite
+def trees(draw) -> FaultMaintenanceTree:
+    """A small random maintained fault tree."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    builder = FMTBuilder(draw(st.sampled_from(["m1", "m2", "joint"])))
+    names = []
+    for i in range(n):
+        name = f"e{i}"
+        phases = draw(st.integers(min_value=1, max_value=4))
+        threshold = (
+            draw(st.integers(min_value=1, max_value=phases - 1))
+            if phases > 1 and draw(st.booleans())
+            else None
+        )
+        builder.degraded_event(
+            name,
+            phases=phases,
+            mean=draw(st.floats(min_value=0.5, max_value=30.0)),
+            threshold=threshold,
+        )
+        names.append(name)
+    kind = draw(st.sampled_from(["and", "or", "vot"]))
+    if kind == "and":
+        builder.and_gate("top", names)
+    elif kind == "or":
+        builder.or_gate("top", names)
+    else:
+        builder.voting_gate(
+            "top", draw(st.integers(min_value=1, max_value=n)), names
+        )
+    return builder.build("top")
+
+
+@st.composite
+def strategies_for(draw, tree: FaultMaintenanceTree) -> MaintenanceStrategy:
+    """A random maintenance strategy whose targets exist in ``tree``."""
+    inspectable = sorted(
+        event.name
+        for event in tree.basic_events.values()
+        if event.threshold is not None
+    )
+    modules = []
+    if inspectable and draw(st.booleans()):
+        modules.append(
+            InspectionModule(
+                "insp",
+                period=draw(st.floats(min_value=0.25, max_value=5.0)),
+                targets=inspectable,
+                action=draw(_ACTIONS),
+                delay=draw(st.floats(min_value=0.0, max_value=0.5)),
+                detection_probability=draw(
+                    st.floats(min_value=0.5, max_value=1.0)
+                ),
+            )
+        )
+    repairs = []
+    if draw(st.booleans()):
+        repairs.append(
+            RepairModule(
+                "renew",
+                period=draw(st.floats(min_value=1.0, max_value=10.0)),
+                targets=sorted(tree.basic_events),
+            )
+        )
+    return MaintenanceStrategy(
+        name=tree.name,
+        inspections=tuple(modules),
+        repairs=tuple(repairs),
+        on_system_failure=draw(st.sampled_from(["replace", "none"])),
+        system_repair_time=draw(st.floats(min_value=0.0, max_value=0.2)),
+    )
+
+
+@st.composite
+def cost_models(draw) -> CostModel:
+    money = st.floats(min_value=0.0, max_value=1e4)
+    return CostModel(
+        inspection_visit=draw(money),
+        action_costs={"replace": draw(money), "clean": draw(money)},
+        event_action_costs=(
+            {("e0", "replace"): draw(money)} if draw(st.booleans()) else {}
+        ),
+        system_failure=draw(money),
+        corrective_factor=draw(st.floats(min_value=1.0, max_value=3.0)),
+        downtime_per_year=draw(money),
+        discount_rate=draw(st.floats(min_value=0.0, max_value=0.1)),
+    )
+
+
+@st.composite
+def study_requests(draw) -> StudyRequest:
+    tree = draw(trees())
+    return StudyRequest(
+        tree=tree,
+        strategy=draw(st.one_of(st.none(), strategies_for(tree))),
+        horizon=draw(st.floats(min_value=1.0, max_value=50.0)),
+        cost_model=draw(st.one_of(st.none(), cost_models())),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        n_runs=draw(st.integers(min_value=1, max_value=500)),
+        record_events=draw(st.booleans()),
+        kernel=draw(st.sampled_from(["object", "vectorized"])),
+    )
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(study_requests())
+def test_request_roundtrip_preserves_study_key(request):
+    """wire → JSON text → wire must address the same cache entry."""
+    text = dumps(request)
+    decoded = loads(text, expect="study_request")
+    assert decoded.key().digest == request.key().digest
+    # And the re-encoding is byte-identical (canonical JSON).
+    assert dumps(decoded) == text
+
+
+@settings(max_examples=25, deadline=None)
+@given(trees())
+def test_tree_roundtrip(tree):
+    decoded = loads(dumps(tree), expect="tree")
+    assert decoded.to_dict() == tree.to_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(trees().flatmap(lambda t: strategies_for(t)))
+def test_strategy_roundtrip(strategy):
+    decoded = loads(dumps(strategy), expect="strategy")
+    assert decoded.to_dict() == strategy.to_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(cost_models())
+def test_cost_model_roundtrip(model):
+    decoded = loads(dumps(model), expect="cost_model")
+    assert decoded.to_dict() == model.to_dict()
+
+
+def test_summary_wire_roundtrip(simple_or_tree):
+    from repro.studies.runner import StudyRunner
+
+    runner = StudyRunner()
+    try:
+        summary = runner.summary(
+            StudyRequest(
+                tree=simple_or_tree,
+                strategy=MaintenanceStrategy.none(),
+                horizon=5.0,
+                seed=3,
+                n_runs=1,  # degenerate CIs: ±inf half-widths
+            )
+        )
+    finally:
+        runner.close()
+    text = dumps(summary)
+    assert "Infinity" in text or math.isfinite(summary.unreliability.lower)
+    decoded = loads(text, expect="kpi_summary")
+    assert summary_to_dict(decoded) == summary_to_dict(summary)
+    assert decoded.unreliability.estimate == summary.unreliability.estimate
+    # Strict JSON throughout: the text parses with parse_constant
+    # forbidden (no bare NaN/Infinity tokens).
+    json.loads(text, parse_constant=lambda s: pytest.fail(f"bare {s}"))
+
+
+def test_summary_dict_roundtrip_direct(simple_or_tree):
+    from repro.studies.runner import StudyRunner
+
+    runner = StudyRunner()
+    try:
+        summary = runner.summary(
+            StudyRequest(
+                tree=simple_or_tree,
+                strategy=MaintenanceStrategy.none(),
+                horizon=5.0,
+                seed=3,
+                n_runs=50,
+                cost_model=CostModel(system_failure=100.0),
+            )
+        )
+    finally:
+        runner.close()
+    again = summary_from_dict(summary_to_dict(summary))
+    assert summary_to_dict(again) == summary_to_dict(summary)
+    assert isinstance(again.cost_breakdown_per_year, CostBreakdown)
+
+
+# ----------------------------------------------------------------------
+# Envelope validation
+# ----------------------------------------------------------------------
+
+
+def _envelope(simple_or_tree) -> dict:
+    return encode_wire(
+        StudyRequest(tree=simple_or_tree, horizon=2.0, n_runs=5)
+    )
+
+
+def test_unknown_schema_version_rejected(simple_or_tree):
+    envelope = _envelope(simple_or_tree)
+    envelope["schema_version"] = WIRE_SCHEMA_VERSION + 1
+    with pytest.raises(WireError, match="schema_version"):
+        decode_wire(envelope)
+
+
+@pytest.mark.parametrize(
+    "version", ["1", 1.5, None, -1, 0], ids=["str", "float", "none", "neg", "zero"]
+)
+def test_non_integer_or_out_of_range_version_rejected(simple_or_tree, version):
+    envelope = _envelope(simple_or_tree)
+    envelope["schema_version"] = version
+    with pytest.raises(WireError):
+        decode_wire(envelope)
+
+
+def test_unknown_kind_rejected(simple_or_tree):
+    envelope = _envelope(simple_or_tree)
+    envelope["kind"] = "banana"
+    with pytest.raises(WireError, match="kind"):
+        decode_wire(envelope)
+
+
+def test_expect_mismatch_rejected(simple_or_tree):
+    envelope = encode_wire(simple_or_tree)
+    with pytest.raises(WireError, match="expected"):
+        decode_wire(envelope, expect="study_request")
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {},
+        {"tree": None},
+        {"tree": {"name": "x"}},
+        {"tree": 42},
+        "not-a-dict",
+        [],
+    ],
+)
+def test_malformed_payloads_rejected(payload):
+    envelope = {
+        "schema_version": WIRE_SCHEMA_VERSION,
+        "kind": "study_request",
+        "payload": payload,
+    }
+    with pytest.raises(WireError):
+        decode_wire(envelope)
+
+
+def test_non_dict_envelope_rejected():
+    for bad in (None, [], "x", 7):
+        with pytest.raises(WireError):
+            decode_wire(bad)
+
+
+def test_missing_envelope_fields_rejected(simple_or_tree):
+    envelope = _envelope(simple_or_tree)
+    for field in ("schema_version", "kind", "payload"):
+        broken = dict(envelope)
+        del broken[field]
+        with pytest.raises(WireError, match=field):
+            decode_wire(broken)
+
+
+def test_older_versions_accepted(simple_or_tree):
+    # Compatibility policy: the service accepts every version it has
+    # ever emitted.  Version 1 is the oldest, so this is currently the
+    # identity case — the pin exists so a future bump keeps the branch.
+    envelope = _envelope(simple_or_tree)
+    envelope["schema_version"] = 1
+    assert decode_wire(envelope).key().digest is not None
+
+
+def test_encode_unknown_object_raises():
+    with pytest.raises(WireError, match="no wire codec"):
+        encode_wire(object())
+
+
+def test_dumps_is_canonical(simple_or_tree):
+    request = StudyRequest(tree=simple_or_tree, horizon=2.0, n_runs=5)
+    assert dumps(request) == dumps(request)
+    assert ": " not in dumps(request)  # compact separators
