@@ -66,18 +66,24 @@ def _montecarlo_workload(strategy_factory, horizon: float = 50.0):
     return batch
 
 
-def _vectorized_workload(strategy_factory, horizon: float = 50.0):
+def _vectorized_workload(strategy_factory, horizon: float = 50.0, chunk=None):
     """Full MonteCarlo.run() on the lockstep vectorized kernel.
 
     End-to-end like :func:`_montecarlo_workload` (model build, kernel
     compile, sampling, KPI summarization all inside the timed batch),
     so the speedup vs the object workloads is what a study actually
-    sees, not an isolated kernel number.
+    sees, not an isolated kernel number.  ``chunk`` tunes
+    ``chunk_trajectories`` (the per-stream lockstep chunk size); the
+    headline workload runs one chunk per batch, which is how a
+    throughput-sensitive study would configure it.
     """
     from repro.eijoint import build_ei_joint_fmt, default_cost_model
     from repro.simulation.montecarlo import MonteCarlo
 
     def batch(seeds) -> None:
+        kwargs = {}
+        if chunk is not None:
+            kwargs["chunk_trajectories"] = chunk
         mc = MonteCarlo(
             build_ei_joint_fmt(),
             strategy_factory(),
@@ -85,6 +91,68 @@ def _vectorized_workload(strategy_factory, horizon: float = 50.0):
             cost_model=default_cost_model(),
             seed=len(seeds),
             kernel="vectorized",
+            **kwargs,
+        )
+        mc.run(len(seeds))
+
+    return batch
+
+
+def _vectorized_parallel_workload(
+    strategy_factory, horizon: float = 50.0, chunk=None, processes: int = 2
+):
+    """Vectorized kernel fanned out over the shared-memory worker path.
+
+    Workers run the lockstep kernel on their seed chunks and scatter
+    packed KPI columns straight into a shared-memory segment (zero-copy
+    fold); the driver gathers once.  End-to-end including pool startup,
+    so the number is what ``run_parallel`` actually delivers.
+    """
+    from repro.eijoint import build_ei_joint_fmt, default_cost_model
+    from repro.simulation.montecarlo import MonteCarlo
+
+    def batch(seeds) -> None:
+        kwargs = {}
+        if chunk is not None:
+            kwargs["chunk_trajectories"] = chunk
+        mc = MonteCarlo(
+            build_ei_joint_fmt(),
+            strategy_factory(),
+            horizon=horizon,
+            cost_model=default_cost_model(),
+            seed=len(seeds),
+            kernel="vectorized",
+            **kwargs,
+        )
+        mc.run_parallel(len(seeds), processes=processes)
+
+    return batch
+
+
+def _compaction_workload(horizon: float = 50.0, chunk=None):
+    """Epoch-compaction stress: a densely inspected maintained model.
+
+    Monthly inspection rounds put ~600 epochs on the 50-year calendar;
+    epoch skipping (the per-row next-event lower bound) is what keeps
+    the kernel from paying a full advance pass per epoch, so this
+    workload regresses first if compaction breaks.
+    """
+    from repro.eijoint import build_ei_joint_fmt, default_cost_model
+    from repro.eijoint.strategies import inspection_policy
+    from repro.simulation.montecarlo import MonteCarlo
+
+    def batch(seeds) -> None:
+        kwargs = {}
+        if chunk is not None:
+            kwargs["chunk_trajectories"] = chunk
+        mc = MonteCarlo(
+            build_ei_joint_fmt(),
+            inspection_policy(12.0),
+            horizon=horizon,
+            cost_model=default_cost_model(),
+            seed=len(seeds),
+            kernel="vectorized",
+            **kwargs,
         )
         mc.run(len(seeds))
 
@@ -213,8 +281,30 @@ def build_workloads(quick: bool = False) -> Dict[str, Dict[str, object]]:
             "batch_size": vec_size,
             "repeats": vec_repeats,
         },
+        # The headline workload runs the whole batch as one lockstep
+        # chunk (chunk_trajectories = batch size): epoch compaction
+        # amortizes over rows, so the tuned chunk is where the kernel's
+        # advertised throughput lives.  The study-level knob is
+        # StudyRequest(chunk_trajectories=...) / --chunk-size.
         "eijoint-current-policy-vectorized": {
-            "batch": _vectorized_workload(current_policy),
+            "batch": _vectorized_workload(current_policy, chunk=vec_size),
+            "batch_size": vec_size,
+            "repeats": vec_repeats,
+        },
+        # Zero-copy shared-memory fan-out of the same workload: workers
+        # scatter packed columns into one segment, the driver gathers
+        # once.  Fixed full sizing (like the other vectorized
+        # workloads) so quick CI measures the same fan-out.
+        "eijoint-current-policy-vectorized-parallel": {
+            "batch": _vectorized_parallel_workload(
+                current_policy, chunk=vec_size
+            ),
+            "batch_size": vec_size,
+            "repeats": vec_repeats,
+        },
+        # Maintained-model compaction stress: ~600 inspection epochs.
+        "eijoint-monthly-inspect-vectorized": {
+            "batch": _compaction_workload(chunk=vec_size),
             "batch_size": vec_size,
             "repeats": vec_repeats,
         },

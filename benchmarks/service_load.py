@@ -43,7 +43,7 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_service.json")
 
 def _study_payload(seed: int, n_runs: int) -> bytes:
     from repro.eijoint import build_ei_joint_fmt, current_policy
-    from repro.service.wire import dumps
+    from repro.service.wire import encode_wire
     from repro.studies.runner import StudyRequest
 
     request = StudyRequest(
@@ -53,7 +53,13 @@ def _study_payload(seed: int, n_runs: int) -> bytes:
         seed=seed,
         n_runs=n_runs,
     )
-    return dumps(request).encode("utf-8")
+    # Submit like a client that does not care about engine internals:
+    # no kernel field, so the service routes eligible studies to the
+    # vectorized kernel (the ``kernel`` key in the response says which
+    # one actually ran).
+    envelope = encode_wire(request)
+    envelope["payload"].pop("kernel", None)
+    return json.dumps(envelope).encode("utf-8")
 
 
 def _post(base: str, payload: bytes):

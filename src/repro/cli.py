@@ -219,6 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
         "engine; 'vectorized' is the lockstep numpy kernel, "
         "statistically equivalent but not bit-identical)",
     )
+    simulate.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trajectories simulated per vectorized chunk (default "
+        "4096; one RNG stream per chunk, so a non-default size "
+        "changes the sampled trajectories and the study cache key)",
+    )
 
     render = sub.add_parser(
         "render",
@@ -387,12 +396,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     n_runs = args.runs if args.runs is not None else 2000
     seed = args.seed if args.seed is not None else 0
     kernel = args.kernel if args.kernel is not None else "object"
-    summary = get_runner().summary(
-        StudyRequest(
-            tree=tree, strategy=strategy, horizon=horizon, seed=seed,
-            n_runs=n_runs, kernel=kernel,
-        )
-    )
+    request = {
+        "tree": tree, "strategy": strategy, "horizon": horizon,
+        "seed": seed, "n_runs": n_runs, "kernel": kernel,
+    }
+    if args.chunk_size is not None:
+        request["chunk_trajectories"] = args.chunk_size
+    summary = get_runner().summary(StudyRequest(**request))
     print(tree)
     print(f"strategy: {strategy}")
     print(

@@ -61,8 +61,11 @@ class Job:
 
     Status moves ``queued`` → ``running`` → ``done`` | ``failed``.
     ``result`` holds the :class:`KpiSummary` once done; ``events`` the
-    progress records collected while running.  All fields are written
-    by exactly one worker thread and read by HTTP threads; the
+    progress records collected while running.  ``kernel`` is the
+    sampling kernel the job runs on (after any service-side routing)
+    and ``kernel_fallback`` the reason a vectorized run will fall back
+    to the object engine, when known.  All fields are written by
+    exactly one worker thread and read by HTTP threads; the
     ``threading.Event`` publishes the final state safely.
     """
 
@@ -74,16 +77,26 @@ class Job:
         "result",
         "error",
         "events",
+        "kernel",
+        "kernel_fallback",
         "created_at",
         "started_at",
         "finished_at",
         "_finished",
     )
 
-    def __init__(self, job_id: str, request: StudyRequest, digest: str):
+    def __init__(
+        self,
+        job_id: str,
+        request: StudyRequest,
+        digest: str,
+        kernel_fallback: Optional[str] = None,
+    ):
         self.id = job_id
         self.request = request
         self.digest = digest
+        self.kernel = request.kernel
+        self.kernel_fallback = kernel_fallback
         self.status = "queued"
         self.result: Optional[KpiSummary] = None
         self.error: Optional[str] = None
@@ -155,13 +168,19 @@ class JobQueue:
     # ------------------------------------------------------------------
     # Submission and lookup
     # ------------------------------------------------------------------
-    def submit(self, request: StudyRequest) -> "tuple[Job, bool]":
+    def submit(
+        self,
+        request: StudyRequest,
+        kernel_fallback: Optional[str] = None,
+    ) -> "tuple[Job, bool]":
         """Enqueue ``request``; returns ``(job, created)``.
 
         ``created`` is False when an identical request (same study-key
         digest) is already queued or running — the caller gets that
         job instead, so N clients asking the same question cost one
-        simulation.
+        simulation.  ``kernel_fallback`` annotates the job with the
+        reason a vectorized run will use the object engine (surfaced
+        by the status endpoint).
 
         Raises
         ------
@@ -173,7 +192,12 @@ class JobQueue:
             existing = self._inflight.get(digest)
             if existing is not None:
                 return existing, False
-            job = Job(f"job-{next(self._ids):06d}-{digest[:8]}", request, digest)
+            job = Job(
+                f"job-{next(self._ids):06d}-{digest[:8]}",
+                request,
+                digest,
+                kernel_fallback=kernel_fallback,
+            )
             try:
                 self._queue.put_nowait(job)
             except queue.Full:

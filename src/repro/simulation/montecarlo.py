@@ -34,7 +34,11 @@ from repro.observability.progress import (
     current_progress,
 )
 from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
-from repro.simulation.executor import FMTSimulator, SimulationConfig
+from repro.simulation.executor import (
+    DEFAULT_CHUNK_TRAJECTORIES,
+    FMTSimulator,
+    SimulationConfig,
+)
 from repro.simulation.metrics import (
     KpiSummary,
     Trajectories,
@@ -158,6 +162,10 @@ class MonteCarlo:
         when building from a tree.  The per-trajectory entry points
         (:meth:`sample`, :meth:`run_to_precision`, rare-event
         estimation) always use the object engine.
+    chunk_trajectories:
+        Lockstep chunk size for the vectorized kernel (see
+        :class:`~repro.simulation.executor.SimulationConfig`).  ``None``
+        (the default) keeps the prototype's / config default value.
     """
 
     def __init__(
@@ -172,6 +180,7 @@ class MonteCarlo:
         rare_event: Optional["RareEventConfig"] = None,
         simulator: Optional[FMTSimulator] = None,
         kernel: Optional[str] = None,
+        chunk_trajectories: Optional[int] = None,
     ):
         if simulator is not None:
             if tree is not None or strategy is not None or cost_model is not None:
@@ -198,6 +207,11 @@ class MonteCarlo:
                 overrides["instrumentation"] = instrumentation
             if kernel is not None and kernel != config.kernel:
                 overrides["kernel"] = kernel
+            if (
+                chunk_trajectories is not None
+                and chunk_trajectories != config.chunk_trajectories
+            ):
+                overrides["chunk_trajectories"] = chunk_trajectories
             if overrides:
                 # replace() re-runs config validation, so an invalid
                 # kernel or kernel/record_events conflict raises here.
@@ -211,6 +225,11 @@ class MonteCarlo:
                 record_events=record_events,
                 instrumentation=instrumentation,
                 kernel=kernel if kernel is not None else "object",
+                chunk_trajectories=(
+                    chunk_trajectories
+                    if chunk_trajectories is not None
+                    else DEFAULT_CHUNK_TRAJECTORIES
+                ),
             )
             self.simulator = FMTSimulator(tree, strategy, config=config)
         self.instrumentation = instrumentation
@@ -491,15 +510,19 @@ class MonteCarlo:
         """:meth:`run` body for ``kernel="vectorized"``.
 
         Fully vectorizable models consume one child seed stream per
-        lockstep *chunk* — spawning a stream per trajectory costs more
-        than the kernel spends simulating one.  Non-vectorizable models
-        spawn per trajectory exactly like the object path and loop the
-        object engine (bit-identical to ``kernel="object"``).  Chunks
-        stream straight into the accumulator; progress events fire at
-        chunk boundaries.
+        lockstep *chunk* (of the configured ``chunk_trajectories``) —
+        spawning a stream per trajectory costs more than the kernel
+        spends simulating one.  Non-vectorizable models spawn per
+        trajectory exactly like the object path and loop the object
+        engine (bit-identical to ``kernel="object"``).  Chunks stream
+        straight into the accumulator; progress events fire at chunk
+        boundaries and, for watched runs, from inside the chunk loop at
+        calendar-fraction granularity, throttled to the same cadence as
+        the object path (:meth:`_progress_step`).  The in-chunk
+        callback never touches the RNG, so watched and silent runs are
+        bit-identical.
         """
         from repro.simulation.vectorized import (
-            DEFAULT_CHUNK_TRAJECTORIES,
             VectorizedKernel,
             iter_vectorized_batches,
             vectorized_fallback_reason,
@@ -530,15 +553,32 @@ class MonteCarlo:
 
         if vectorized_fallback_reason(self.simulator) is None:
             kernel = VectorizedKernel(self.simulator)
-            chunk = DEFAULT_CHUNK_TRAJECTORIES
+            chunk = self.simulator.config.chunk_trajectories
             n_chunks = -(-n_runs // chunk)
             chunk_seeds = self._seed_sequence.spawn(n_chunks)
             self._streams_used += n_chunks
             instr = self._resolve_instrumentation()
+            step = self._progress_step(n_runs)
             for seed in chunk_seeds:
                 size = min(chunk, n_runs - done)
+                callback = None
+                if reporter is not None:
+                    # Map the kernel's calendar fraction to equivalent
+                    # completed trajectories; emit at the object path's
+                    # cadence, leaving the boundary event to report().
+                    state = {"next": done + step}
+                    base, span = done, size
+
+                    def callback(frac, state=state, base=base, span=span):
+                        equivalent = base + int(span * frac)
+                        if equivalent >= state["next"] and equivalent < base + span:
+                            state["next"] = equivalent + step
+                            report(equivalent)
+
                 accumulator.add_batch(
-                    kernel.simulate_chunk(size, np.random.default_rng(seed))
+                    kernel.simulate_chunk(
+                        size, np.random.default_rng(seed), progress=callback
+                    )
                 )
                 if instr is not None:
                     instr.count(_obs.SIM_TRAJECTORIES, size)

@@ -16,10 +16,14 @@ one of two shapes:
   themselves are kept);
 * :func:`sample_parallel_batch` — packed
   :class:`~repro.simulation.batch.TrajectoryBatch` columns.  Workers
-  reduce each trajectory to its KPI scalars immediately, so the pipe
-  carries a few numpy arrays per chunk (~an order of magnitude fewer
-  bytes than pickled object lists) and the driver folds them into one
-  accumulator instead of materializing ``n_runs`` Python objects.
+  reduce each trajectory to its KPI scalars immediately, and — where
+  POSIX shared memory is available — scatter the columns straight into
+  one pre-sized ``multiprocessing.shared_memory`` segment at their
+  chunk's row offset (:mod:`repro.simulation.shm`), so the result pipe
+  carries only a tiny per-chunk handle and the driver materializes the
+  final batch with a single copy out of the segment (zero-copy fold;
+  bit-identical to the pickled fallback, which remains for hosts
+  without ``/dev/shm``).
 
 A worker process dying (OOM-kill, segfault, ``os._exit``) surfaces as
 a :class:`~repro.errors.SimulationError` instead of a hang or an
@@ -68,6 +72,12 @@ from repro.observability.progress import ProgressEvent
 from repro.observability.spans import Span, SpanCollector
 from repro.simulation.batch import TrajectoryAccumulator, TrajectoryBatch
 from repro.simulation.executor import FMTSimulator
+from repro.simulation.shm import (
+    ShmBatchWriter,
+    ShmChunkSpec,
+    shared_memory_available,
+    write_chunk_batch,
+)
 from repro.simulation.trace import Trajectory
 
 __all__ = [
@@ -179,6 +189,16 @@ def _worker_batch_columns(
     return simulate_batch_columns(_WORKER_SIMULATOR, seeds)
 
 
+def _worker_batch_columns_shm(
+    task: Tuple[Sequence[np.random.SeedSequence], ShmChunkSpec],
+):
+    assert _WORKER_SIMULATOR is not None
+    seeds, spec = task
+    return write_chunk_batch(
+        simulate_batch_columns(_WORKER_SIMULATOR, seeds), spec
+    )
+
+
 # ----------------------------------------------------------------------
 # Telemetry round-trip
 # ----------------------------------------------------------------------
@@ -196,6 +216,9 @@ class ChunkExtras:
     collect_metrics: bool
     chunk_index: int
     as_batch: bool
+    #: Shared-memory write window for this chunk's columns; None keeps
+    #: the pickled result representation.
+    shm: Optional[ShmChunkSpec] = None
 
 
 @dataclass
@@ -274,6 +297,10 @@ def _run_chunk_with_telemetry(
             simulator.config = original
     else:
         payload = run(simulator, seeds)
+    if extras.shm is not None and extras.as_batch:
+        # Columns go through the shared segment; only the tiny handle
+        # rides the result pipe.
+        payload = write_chunk_batch(payload, extras.shm)
     seconds = time.perf_counter() - start
     return ChunkResult(
         payload=payload,
@@ -326,6 +353,15 @@ def _shared_worker_batch_columns(
 ) -> TrajectoryBatch:
     digest, blob, seeds = payload
     return simulate_batch_columns(_shared_simulator(digest, blob), seeds)
+
+
+def _shared_worker_batch_columns_shm(
+    payload: Tuple[str, bytes, Sequence[np.random.SeedSequence], ShmChunkSpec],
+):
+    digest, blob, seeds, spec = payload
+    return write_chunk_batch(
+        simulate_batch_columns(_shared_simulator(digest, blob), seeds), spec
+    )
 
 
 def _shared_worker_chunk_telemetry(
@@ -474,6 +510,8 @@ def _dispatch_chunks(
     pool: Optional[SharedSimulationPool],
     as_batch: bool,
     telemetry: Optional[WorkerTelemetry] = None,
+    prechunked: Optional[List[Sequence[np.random.SeedSequence]]] = None,
+    shm_writer: Optional[ShmBatchWriter] = None,
 ) -> Iterator:
     """Yield per-chunk worker payloads in seed order.
 
@@ -482,21 +520,29 @@ def _dispatch_chunks(
     representation (object lists vs packed columns).  With an active
     :class:`WorkerTelemetry`, tasks carry :class:`ChunkExtras`, workers
     return :class:`ChunkResult`, and the telemetry is folded driver-
-    side as each chunk completes.
+    side as each chunk completes.  With a :class:`ShmBatchWriter`
+    (batch representation only) each task carries its chunk's
+    :class:`~repro.simulation.shm.ShmChunkSpec`, workers scatter their
+    columns into the shared segment, and the yielded payloads are
+    :class:`~repro.simulation.shm.ShmChunkHandle` records.
     """
     if telemetry is not None and not telemetry.active:
         telemetry = None
-    chunks, chunk_size = _chunk_seeds(seeds, processes, chunk_size)
+    if prechunked is not None:
+        chunks = prechunked
+    else:
+        chunks, chunk_size = _chunk_seeds(seeds, processes, chunk_size)
     logger.debug(
         kv(
             "sample_parallel dispatch",
             trajectories=len(seeds),
             processes=processes,
             chunks=len(chunks),
-            chunk_size=chunk_size,
+            chunk_size=max(len(chunk) for chunk in chunks) if chunks else 0,
             shared=pool is not None,
             as_batch=as_batch,
             telemetry=telemetry is not None,
+            shm=shm_writer is not None,
         )
     )
     fold = (
@@ -510,6 +556,9 @@ def _dispatch_chunks(
                 collect_metrics=telemetry.instrumentation is not None,
                 chunk_index=index,
                 as_batch=as_batch,
+                shm=(
+                    shm_writer.spec(index) if shm_writer is not None else None
+                ),
             )
             for index in range(len(chunks))
         ]
@@ -524,6 +573,12 @@ def _dispatch_chunks(
                     for chunk, extra in zip(chunks, extras)
                 ]
                 worker = _shared_worker_chunk_telemetry
+            elif shm_writer is not None:
+                payloads = [
+                    (digest, blob, chunk, shm_writer.spec(index))
+                    for index, chunk in enumerate(chunks)
+                ]
+                worker = _shared_worker_batch_columns_shm
             else:
                 payloads = [(digest, blob, chunk) for chunk in chunks]
                 worker = (
@@ -543,6 +598,12 @@ def _dispatch_chunks(
                 if extras is not None:
                     tasks: Sequence = list(zip(chunks, extras))
                     worker = _worker_chunk_telemetry
+                elif shm_writer is not None:
+                    tasks = [
+                        (chunk, shm_writer.spec(index))
+                        for index, chunk in enumerate(chunks)
+                    ]
+                    worker = _worker_batch_columns_shm
                 else:
                     tasks = chunks
                     worker = _worker_batch_columns if as_batch else _worker_batch
@@ -615,16 +676,25 @@ def sample_parallel_batch(
     chunk_size: Optional[int] = None,
     pool: Optional[SharedSimulationPool] = None,
     telemetry: Optional[WorkerTelemetry] = None,
+    use_shared_memory: Optional[bool] = None,
 ) -> TrajectoryBatch:
     """Like :func:`sample_parallel`, returning packed batch columns.
 
     Workers ship :class:`~repro.simulation.batch.TrajectoryBatch`
-    columns instead of pickled object lists, and the driver folds them
-    into one accumulator in seed order — the resulting batch's columns
-    (and hence every KPI computed from them) are bit-identical to
-    ``TrajectoryBatch.from_trajectories(sample_parallel(...))``, while
-    resident memory stays O(columns) and the pipe carries an order of
-    magnitude fewer bytes per trajectory.
+    columns instead of pickled object lists — the resulting batch's
+    columns (and hence every KPI computed from them) are bit-identical
+    to ``TrajectoryBatch.from_trajectories(sample_parallel(...))``,
+    while resident memory stays O(columns).
+
+    By default (``use_shared_memory=None`` → on where supported) the
+    columns never ride the result pipe at all: the driver pre-sizes one
+    ``multiprocessing.shared_memory`` segment from the chunk plan,
+    workers scatter their columns into it at their chunk's row offset,
+    and the driver materializes the final batch with a single copy out
+    of the segment (see :mod:`repro.simulation.shm`).  The segment is
+    unlinked in a ``finally`` even when a worker crashes.  Pass
+    ``use_shared_memory=False`` to force the pickled fold — the result
+    is bit-identical either way (the test suite asserts it).
     """
     if pool is not None:
         processes = pool.processes
@@ -632,10 +702,50 @@ def sample_parallel_batch(
         raise ValidationError(f"processes must be >= 1, got {processes}")
     if processes == 1:
         return simulate_batch_columns(simulator, seeds)
-    accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
-    for chunk in _dispatch_chunks(
-        simulator, seeds, processes, chunk_size, pool, as_batch=True,
-        telemetry=telemetry,
-    ):
-        accumulator.add_batch(chunk)
-    return accumulator.finalize()
+    if chunk_size is None and simulator.config.kernel == "vectorized":
+        from repro.simulation.vectorized import vectorized_fallback_reason
+
+        if vectorized_fallback_reason(simulator) is None:
+            # Lockstep workers amortize per-chunk costs (kernel
+            # compile, epoch table walk) over chunk rows, so the 4x
+            # oversubscription that load-balances object workers only
+            # shrinks their chunks.  One chunk per worker, capped at
+            # the configured lockstep chunk size.
+            chunk_size = min(
+                simulator.config.chunk_trajectories,
+                -(-len(seeds) // processes),
+            ) or 1
+    chunks, _ = _chunk_seeds(seeds, processes, chunk_size)
+    writer = None
+    if use_shared_memory is None:
+        use_shared_memory = shared_memory_available()
+    if use_shared_memory and shared_memory_available():
+        try:
+            writer = ShmBatchWriter(
+                simulator.config.horizon, [len(chunk) for chunk in chunks]
+            )
+        except OSError as exc:  # pragma: no cover - constrained /dev/shm
+            logger.warning(
+                kv("shared-memory segment unavailable", error=repr(exc))
+            )
+            writer = None
+    try:
+        if writer is not None:
+            handles = list(
+                _dispatch_chunks(
+                    simulator, seeds, processes, chunk_size, pool,
+                    as_batch=True, telemetry=telemetry, prechunked=chunks,
+                    shm_writer=writer,
+                )
+            )
+            return writer.finalize(handles)
+        accumulator = TrajectoryAccumulator(horizon=simulator.config.horizon)
+        for chunk in _dispatch_chunks(
+            simulator, seeds, processes, chunk_size, pool, as_batch=True,
+            telemetry=telemetry, prechunked=chunks,
+        ):
+            accumulator.add_batch(chunk)
+        return accumulator.finalize()
+    finally:
+        if writer is not None:
+            writer.close()

@@ -42,7 +42,7 @@ golden fixtures keep ``kernel="object"``.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.core.gates import OrGate, PandGate, VotingGate
 from repro.errors import SimulationError
 from repro.observability import instrumentation as _obs
 from repro.simulation.batch import COST_FIELDS, TrajectoryAccumulator, TrajectoryBatch
-from repro.simulation.executor import FMTSimulator
+from repro.simulation.executor import DEFAULT_CHUNK_TRAJECTORIES, FMTSimulator
 
 __all__ = [
     "DEFAULT_CHUNK_TRAJECTORIES",
@@ -60,16 +60,15 @@ __all__ = [
     "vectorized_fallback_reason",
 ]
 
-#: Default trajectories simulated per lockstep pass.  Large enough to
-#: amortize the per-epoch numpy dispatch overhead, small enough that the
-#: per-event jump matrices stay cache-friendly (~1 MB per 4096-row chunk
-#: on the EI-joint model).
-DEFAULT_CHUNK_TRAJECTORIES = 4096
-
 #: Hard cap on wave iterations per inter-epoch interval — each
 #: iteration commits at least one rate switch or system failure per
 #: stuck row, so hitting the cap means a logic error, not a big model.
 _MAX_WAVE_ITERATIONS = 10_000
+
+#: Rows per refill block of the pre-drawn RNG pools.  Re-draws after
+#: chunk initialisation touch tens of rows at a time, so one block
+#: amortizes hundreds of generator calls.
+_POOL_REFILL = 1024
 
 
 # ----------------------------------------------------------------------
@@ -176,6 +175,80 @@ class _PlanCols:
         )
 
 
+class _FusedInspect:
+    """One epoch's inspection plans compiled into a single pass.
+
+    When every inspected event appears at most once across the epoch's
+    inspection plans, the per-target failed / threshold-crossed scans
+    collapse into two stacked 2-D comparisons (one over the F rows of
+    the inspected events, one over the crossing-time rows), and the
+    per-plan visit bookkeeping folds into one masked add each.  Targets
+    whose threshold equals the phase count are *detect-only* — crossing
+    the threshold is failing — and are excluded from the condition
+    block entirely.
+    """
+
+    __slots__ = (
+        "n_visits",  # number of inspection plans ticking this epoch
+        "visit_cost",  # their summed visit cost
+        "targets",  # flat (e, action_cost, corrective_cost, dp,
+        #             detect, renew, restore_phases, cond_pos) tuples
+        "tidx",  # (m,) event index per target (failed-scan rows)
+        "xsel",  # (c,) Xmat row per condition target
+        "cond_sel",  # (c,) target position per condition target
+    )
+
+
+class _ExpPool:
+    """Pre-drawn standard-exponential columns served in call order.
+
+    Replaces per-re-draw generator calls with slices of one large
+    batch: the RNG is still consumed in a deterministic order (the
+    kernel stays a pure function of the seed), but hundreds of small
+    ``standard_exponential`` dispatches collapse into a few block
+    draws.  Leftover rows of a block too small for a request are
+    discarded — distributionally irrelevant, and keeping them would
+    complicate the accounting for no measurable gain.
+    """
+
+    __slots__ = ("_rng", "_k", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator, k: int, capacity: int):
+        self._rng = rng
+        self._k = k
+        self._buf = rng.standard_exponential((capacity, k))
+        self._pos = 0
+
+    def take(self, m: int) -> np.ndarray:
+        if self._pos + m > len(self._buf):
+            self._buf = self._rng.standard_exponential(
+                (max(m, _POOL_REFILL), self._k)
+            )
+            self._pos = 0
+        out = self._buf[self._pos : self._pos + m]
+        self._pos += m
+        return out
+
+
+class _UniformPool:
+    """Pre-drawn uniform [0, 1) column for detection-probability rolls."""
+
+    __slots__ = ("_rng", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._buf = np.empty(0)
+        self._pos = 0
+
+    def take(self, m: int) -> np.ndarray:
+        if self._pos + m > len(self._buf):
+            self._buf = self._rng.random(max(m, _POOL_REFILL))
+            self._pos = 0
+        out = self._buf[self._pos : self._pos + m]
+        self._pos += m
+        return out
+
+
 class _ChunkState:
     """Struct-of-arrays state of one lockstep chunk (n rows)."""
 
@@ -184,6 +257,13 @@ class _ChunkState:
         "jumps",  # per event: (n, K_e) absolute jump times, inf-padded
         "p0",  # per event: (n,) phase at the chain's draw point
         "F",  # (E, n) final-jump (component failure) times
+        "Xmat",  # (n_thresholds, n) threshold crossing times
+        "X",  # per (event, threshold): view of the Xmat row
+        "T",  # (n,) cached composed system failure times
+        "S",  # (n,) cached earliest eligible RDEP switch candidate
+        "dirty",  # (n,) rows whose T/S caches are stale
+        "pools",  # per event: _ExpPool feeding its re-draws
+        "upool",  # _UniformPool feeding detection rolls
         "down_until",
         "done",
         "downtime",
@@ -197,11 +277,27 @@ class _ChunkState:
         "factor",  # per RDEP target: (n,) acceleration baked into it
     )
 
-    def __init__(self, n: int, n_events: int, rdep_targets: Sequence[int]):
+    def __init__(
+        self,
+        n: int,
+        n_events: int,
+        rdep_targets: Sequence[int],
+        threshold_keys: Sequence[Tuple[int, int]] = (),
+    ):
         self.n = n
         self.jumps: List[np.ndarray] = [None] * n_events  # type: ignore[list-item]
         self.p0: List[np.ndarray] = [None] * n_events  # type: ignore[list-item]
         self.F = np.zeros((n_events, n))
+        # Row views of one contiguous matrix: scatter writes go through
+        # the per-key views, while the fused inspection pass compares
+        # whole row blocks of Xmat in a single 2-D op.
+        self.Xmat = np.full((len(threshold_keys), n), np.inf)
+        self.X = {key: self.Xmat[i] for i, key in enumerate(threshold_keys)}
+        self.T = np.full(n, np.inf)
+        self.S = np.full(n, np.inf)
+        self.dirty = np.ones(n, dtype=bool)
+        self.pools: List[_ExpPool] = []
+        self.upool: Optional[_UniformPool] = None
         self.down_until = np.zeros(n)
         self.done = np.zeros(n, dtype=bool)
         self.downtime = np.zeros(n)
@@ -268,6 +364,8 @@ class VectorizedKernel:
             for p in range(K):
                 table[p, : K - p] = inv[p:]
             self.inv_from.append(table)
+        # Phase-0 scale rows, pre-sliced for the renewal fast path.
+        self.inv0: List[np.ndarray] = [table[0] for table in self.inv_from]
 
     def _compile_gates(self, sim: FMTSimulator) -> None:
         tree = sim.tree
@@ -336,10 +434,94 @@ class VectorizedKernel:
                 while t <= self.horizon:
                     plans.setdefault(t, []).append(((prio, j), cols))
                     t += plan.period
-        self.epochs: List[Tuple[float, List[_PlanCols]]] = [
+        self.epochs: List[Tuple[float, List[_PlanCols], Optional[_FusedInspect]]] = [
             (t, [cols for _, cols in sorted(plans[t], key=lambda item: item[0])])
             for t in sorted(plans)
-        ]
+        ]  # fused descriptors appended below
+        # Thresholds inspected per event: each (event, threshold) pair
+        # gets a cached crossing-time column in the chunk state, so the
+        # per-epoch condition check is one comparison instead of a
+        # phase count over the whole jump matrix.
+        thresholds: Dict[int, set] = {}
+        for _, plan_list, is_inspection in groups:
+            if not is_inspection:
+                continue
+            for plan in plan_list:
+                for target, threshold in plan.targets:
+                    thresholds.setdefault(self.index[target], set()).add(
+                        threshold
+                    )
+        self.plan_thresholds: Dict[int, Tuple[int, ...]] = {
+            e: tuple(sorted(ts)) for e, ts in thresholds.items()
+        }
+        self.threshold_keys: Tuple[Tuple[int, int], ...] = tuple(
+            (e, thr)
+            for e, ts in sorted(self.plan_thresholds.items())
+            for thr in ts
+        )
+        # Compile each distinct plan line-up into a fused inspection
+        # pass where eligible (every inspected event unique within the
+        # epoch); the epochs of a periodic policy all share one line-up,
+        # so the cache usually holds a single entry.
+        fused_cache: Dict[Tuple[int, ...], Optional[_FusedInspect]] = {}
+        epochs_fused = []
+        for t, plan_list in self.epochs:
+            key = tuple(id(cols) for cols in plan_list)
+            if key not in fused_cache:
+                fused_cache[key] = self._fuse_inspections(plan_list)
+            epochs_fused.append((t, plan_list, fused_cache[key]))
+        self.epochs = epochs_fused
+
+    def _fuse_inspections(
+        self, plan_list: List[_PlanCols]
+    ) -> Optional[_FusedInspect]:
+        insp = [p for p in plan_list if p.is_inspection]
+        if not insp:
+            return None
+        seen: set = set()
+        for p in insp:
+            for e, _, _, _ in p.targets:
+                if e in seen:
+                    # Sequential semantics (a later plan sees the
+                    # earlier plan's renewals of the same event) can't
+                    # be precomputed in one scan; keep per-plan passes.
+                    return None
+                seen.add(e)
+        xrow = {key: i for i, key in enumerate(self.threshold_keys)}
+        targets = []
+        tidx: List[int] = []
+        xsel: List[int] = []
+        cond_sel: List[int] = []
+        for p in insp:
+            renew = p.restore_phases is None
+            for e, thr, action_cost, corrective_cost in p.targets:
+                if thr < self.K[e]:
+                    cond_pos: Optional[int] = len(xsel)
+                    xsel.append(xrow[(e, thr)])
+                    cond_sel.append(len(targets))
+                else:
+                    cond_pos = None
+                targets.append(
+                    (
+                        e,
+                        action_cost,
+                        corrective_cost,
+                        p.detection_probability,
+                        p.detect_failures,
+                        renew,
+                        p.restore_phases,
+                        cond_pos,
+                    )
+                )
+                tidx.append(e)
+        fe = _FusedInspect()
+        fe.n_visits = len(insp)
+        fe.visit_cost = sum(p.visit_cost for p in insp)
+        fe.targets = tuple(targets)
+        fe.tidx = np.asarray(tidx, dtype=np.intp)
+        fe.xsel = np.asarray(xsel, dtype=np.intp)
+        fe.cond_sel = np.asarray(cond_sel, dtype=np.intp)
+        return fe
 
     # -- sampling primitives --------------------------------------------
     def _redraw(
@@ -355,37 +537,76 @@ class VectorizedKernel:
         """Re-sample event ``e``'s remaining jump chain for ``rows``.
 
         ``t`` (scalar or per-row array) is the draw point, ``phases``
-        the phase there, ``factor`` the acceleration in force.  Sojourn
-        of phase p at acceleration a is Exp(rate_p * a), realised as
+        the phase there (``None`` means phase 0 for every row — the
+        renewal fast path), ``factor`` the acceleration in force
+        (``None`` means no acceleration).  Sojourn of phase p at
+        acceleration a is Exp(rate_p * a), realised as
         ``standard_exponential() * inv_rate_p / a`` — memorylessness
         makes re-drawing at any point distributionally exact.
         """
         K = self.K[e]
         m = len(rows)
-        scales = self.inv_from[e][phases]
-        sojourns = rng.standard_exponential((m, K)) * scales
-        if factor is not None:
-            sojourns /= factor[:, None]
-        cums = np.cumsum(sojourns, axis=1)
-        t_arr = np.asarray(t, dtype=float)
-        base = t_arr[:, None] if t_arr.ndim else t_arr
-        jumps = base + cums
-        remaining = K - phases
-        # Pad the columns past the remaining phases with +inf — leaving
-        # the zero-sojourn duplicates in place would overcount phases in
-        # _phase_at.
-        jumps[np.arange(K)[None, :] >= remaining[:, None]] = np.inf
-        st.jumps[e][rows] = jumps
-        st.p0[e][rows] = phases
-        st.F[e][rows] = jumps[np.arange(m), remaining - 1]
+        if type(t) is float:
+            t_arr = base = t
+        else:
+            t_arr = np.asarray(t, dtype=float)
+            base = t_arr[:, None] if t_arr.ndim else t_arr
+        if phases is None:
+            # Fast path: a chain re-drawn from phase 0 (renewals,
+            # corrective replacements, restore-to-new actions — the
+            # vast majority of re-draws).  No per-row scale gather, no
+            # inf padding, plain column slices for F and the crossing
+            # times.
+            sojourns = st.pools[e].take(m) * self.inv0[e]
+            if factor is not None:
+                sojourns /= factor[:, None]
+            jumps = sojourns.cumsum(axis=1, out=sojourns)
+            jumps += base
+            st.jumps[e][rows] = jumps
+            st.p0[e][rows] = 0
+            st.F[e][rows] = jumps[:, K - 1]
+            st.dirty[rows] = True
+            for thr in self.plan_thresholds.get(e, ()):
+                st.X[(e, thr)][rows] = (
+                    -np.inf if thr < 1 else jumps[:, thr - 1]
+                )
+        else:
+            scales = self.inv_from[e][phases]
+            sojourns = st.pools[e].take(m) * scales
+            if factor is not None:
+                sojourns /= factor[:, None]
+            jumps = sojourns.cumsum(axis=1, out=sojourns)
+            jumps += base
+            remaining = K - phases
+            # Pad the columns past the remaining phases with +inf —
+            # leaving the zero-sojourn duplicates in place would
+            # overcount phases in _phase_at.
+            jumps[np.arange(K)[None, :] >= remaining[:, None]] = np.inf
+            st.jumps[e][rows] = jumps
+            st.p0[e][rows] = phases
+            arange_m = np.arange(m)
+            st.F[e][rows] = jumps[arange_m, remaining - 1]
+            st.dirty[rows] = True
+            for thr in self.plan_thresholds.get(e, ()):
+                # Crossing time of the inspection threshold: the jump
+                # into phase ``thr`` (column thr - p0 - 1 of the
+                # chain), already -inf when the chain was drawn at or
+                # past the threshold.
+                rel = thr - phases - 1
+                st.X[(e, thr)][rows] = np.where(
+                    rel < 0, -np.inf, jumps[arange_m, np.maximum(rel, 0)]
+                )
         if e in self.rdep_deps:
             st.path_t0[e][rows] = t_arr
-            st.factor[e][rows] = factor
+            st.factor[e][rows] = 1.0 if factor is None else factor
 
     def _phase_at(self, st: _ChunkState, e: int, rows: np.ndarray, t) -> np.ndarray:
         """Degradation phase of event ``e`` at time ``t`` for ``rows``."""
-        t_arr = np.asarray(t, dtype=float)
-        bound = t_arr[:, None] if t_arr.ndim else t_arr
+        if type(t) is float:
+            bound = t
+        else:
+            t_arr = np.asarray(t, dtype=float)
+            bound = t_arr[:, None] if t_arr.ndim else t_arr
         return st.p0[e][rows] + np.count_nonzero(
             st.jumps[e][rows] <= bound, axis=1
         )
@@ -395,10 +616,16 @@ class VectorizedKernel:
     ) -> np.ndarray:
         """Acceleration of target ``e`` at time ``t``: the product over
         its dependencies whose trigger is failed (trigger failure times
-        are the F column — triggers are pure basic events)."""
-        fac = np.ones(len(rows))
+        are the F column — triggers are pure basic events).
+
+        ``rows`` may be ``None`` for the whole-column variant (used by
+        the end-of-epoch reconciliation, where gathering ~every row
+        costs more than the full columns)."""
+        fac = None
         for trig, f in self.rdep_deps[e]:
-            fac = fac * np.where(st.F[trig][rows] <= t, f, 1.0)
+            Ft = st.F[trig] if rows is None else st.F[trig][rows]
+            term = np.where(Ft <= t, f, 1.0)
+            fac = term if fac is None else fac * term
         return fac
 
     # -- cost mirrors ---------------------------------------------------
@@ -423,7 +650,9 @@ class VectorizedKernel:
         )
 
     # -- composition ----------------------------------------------------
-    def _compose_top(self, st: _ChunkState) -> np.ndarray:
+    def _compose_top(
+        self, st: _ChunkState, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """System failure time per row, given the current jump chains.
 
         Component slots carry the failure-time columns; each gate op
@@ -433,10 +662,15 @@ class VectorizedKernel:
         selections propagate *actual component failure times*, so a
         finite top value is the exact instant the object engine would
         raise the top event on the same chains.
+
+        ``rows`` restricts the composition to a row subset (the dirty
+        rows of the cached top column); every op is elementwise per
+        row, so the subset result equals the full composition gathered
+        at ``rows``.
         """
         vals: List[np.ndarray] = [None] * self.n_slots  # type: ignore[list-item]
         for e in range(self.n_events):
-            vals[e] = st.F[e]
+            vals[e] = st.F[e] if rows is None else st.F[e][rows]
         for op in self.gate_ops:
             children = [vals[c] for c in op.children]
             if op.kind == _GateOp.MIN:
@@ -444,7 +678,21 @@ class VectorizedKernel:
             elif op.kind == _GateOp.MAX:
                 v = np.maximum.reduce(children)
             elif op.kind == _GateOp.KTH:
-                v = np.partition(np.stack(children), op.k - 1, axis=0)[op.k - 1]
+                if op.k == 2 and len(children) == 4:
+                    # Second smallest of four via pairwise min/max
+                    # (e.g. the paper's 2-of-4 bolt vote): the second
+                    # smallest is the smaller of the two pair maxima or
+                    # the larger of the two pair minima — six
+                    # elementwise ops, no stack/partition round-trip.
+                    a, b, c, d = children
+                    v = np.minimum(
+                        np.maximum(np.minimum(a, b), np.minimum(c, d)),
+                        np.minimum(np.maximum(a, b), np.maximum(c, d)),
+                    )
+                else:
+                    v = np.partition(
+                        np.stack(children), op.k - 1, axis=0
+                    )[op.k - 1]
             else:  # PAND: non-decreasing order, fires at the last child
                 ok = children[0] <= children[1]
                 for a, b in zip(children[1:-1], children[2:]):
@@ -453,12 +701,61 @@ class VectorizedKernel:
             vals[op.slot] = v
         return vals[self.top_slot]
 
+    def _sync(self, st: _ChunkState) -> None:
+        """Bring the cached top times (T) and earliest eligible switch
+        candidates (S) of the dirty rows up to date.
+
+        Re-draws and switch-point moves mark their rows dirty;
+        everything else is unchanged since the last composition, so the
+        gather/scatter subset pass touches tens of rows per wave
+        instead of the whole chunk.  ``min(T, S)`` per row is then the
+        exact next instant anything can happen to that row between
+        epochs — the per-row next-event lower bound that lets
+        ``_advance`` skip every row (often the whole chunk) with
+        nothing pending before the next calendar tick.
+        """
+        n_dirty = int(np.count_nonzero(st.dirty))
+        if not n_dirty:
+            return
+        if n_dirty == st.n:
+            st.T = self._compose_top(st)
+            self._candidates(st, None)
+            st.dirty[:] = False
+        else:
+            rows = st.dirty.nonzero()[0]
+            st.T[rows] = self._compose_top(st, rows)
+            self._candidates(st, rows)
+            st.dirty[rows] = False
+
+    def _candidates(
+        self, st: _ChunkState, rows: Optional[np.ndarray]
+    ) -> None:
+        """Earliest eligible RDEP switch candidate per row, into st.S.
+
+        A candidate for a target is a trigger failure strictly after
+        the target chain's switch point; st.S holds the earliest over
+        all (target, trigger) pairs, +inf when none is pending.
+        """
+        if not self.rdep_deps:
+            return
+        m = st.n if rows is None else len(rows)
+        S = np.full(m, np.inf)
+        for tgt, deps in self.rdep_deps.items():
+            t0 = st.path_t0[tgt] if rows is None else st.path_t0[tgt][rows]
+            for trig, _ in deps:
+                Ft = st.F[trig] if rows is None else st.F[trig][rows]
+                np.minimum(S, np.where(Ft > t0, Ft, np.inf), out=S)
+        if rows is None:
+            st.S = S
+        else:
+            st.S[rows] = S
+
     # -- inter-epoch advancement ----------------------------------------
     def _apply_switches(
-        self, st: _ChunkState, live: np.ndarray, T: np.ndarray, t1: float,
+        self, st: _ChunkState, hot: np.ndarray, t1: float,
         rng: np.random.Generator,
     ) -> bool:
-        """Apply each live row's earliest pending RDEP rate switch.
+        """Apply each hot row's earliest pending RDEP rate switch.
 
         A switch candidate for a target is a trigger failure strictly
         after the target chain's draw point and no later than
@@ -467,30 +764,42 @@ class VectorizedKernel:
         next interval.  Only the earliest candidate per row is applied
         (simultaneously across targets sharing it); the caller then
         recomposes and calls again, which keeps the factor product
-        exact when several triggers fail in sequence.
+        exact when several triggers fail in sequence.  Everything is
+        gathered at the ``hot`` row subset — rows without a pending
+        event never enter the scan.
+
+        Returns whether any switch was applied; the caller only
+        commits failures on switch-free waves.
         """
         if not self.rdep_deps:
             return False
-        bound = np.minimum(T, t1)
+        bound = np.minimum(st.T[hot], t1)
+        # S is the row-wise minimum over every (target, trigger)
+        # candidate past its draw point, so S > bound everywhere means
+        # no candidate can be eligible — skip the per-target scan (the
+        # common case: most waves are commit-only).
+        if not (st.S[hot] <= bound).any():
+            return False
         taus: Dict[int, np.ndarray] = {}
         for tgt, deps in self.rdep_deps.items():
-            cand = np.full(st.n, np.inf)
-            t0 = st.path_t0[tgt]
+            cand = np.full(len(hot), np.inf)
+            t0 = st.path_t0[tgt][hot]
             for trig, _ in deps:
-                Ft = st.F[trig]
-                eligible = live & (Ft > t0) & (Ft <= bound)
+                Ft = st.F[trig][hot]
+                eligible = (Ft > t0) & (Ft <= bound)
                 cand = np.where(eligible & (Ft < cand), Ft, cand)
             taus[tgt] = cand
         row_min = np.minimum.reduce(list(taus.values()))
-        hit = live & np.isfinite(row_min)
+        hit = np.isfinite(row_min)
         if not hit.any():
             return False
         for tgt, cand in taus.items():
             apply = hit & (cand == row_min)
             if not apply.any():
                 continue
-            rows = np.flatnonzero(apply)
-            tau = row_min[rows]
+            idx = apply.nonzero()[0]
+            rows = hot[idx]
+            tau = row_min[idx]
             fac = self._current_factor(st, tgt, rows, tau)
             up = st.F[tgt][rows] > tau
             if up.any():
@@ -499,24 +808,28 @@ class VectorizedKernel:
                 self._redraw(st, tgt, up_rows, tau[up], phases, fac[up], rng)
             # Failed targets get no re-draw (no pending transition to
             # reschedule) but must still advance their switch point, or
-            # the same trigger would be re-found forever.
+            # the same trigger would be re-found forever.  The moved
+            # switch point invalidates the cached S column.
             down_rows = rows[~up]
             if len(down_rows):
                 st.path_t0[tgt][down_rows] = tau[~up]
                 st.factor[tgt][down_rows] = fac[~up]
+                st.dirty[down_rows] = True
         return True
 
     def _commit_failures(
-        self, st: _ChunkState, live: np.ndarray, T: np.ndarray, t1: float,
+        self, st: _ChunkState, hot: np.ndarray, t1: float,
         rng: np.random.Generator,
     ) -> bool:
         """Commit system failures at T <= t1 and apply the strategy's
         failure response (absorbing stop or corrective renewal)."""
-        fail = live & (T <= t1)
+        T_hot = st.T[hot]
+        fail = T_hot <= t1
         if not fail.any():
             return False
-        rows = np.flatnonzero(fail)
-        tf = T[rows]
+        idx = fail.nonzero()[0]
+        rows = hot[idx]
+        tf = T_hot[idx]
         st.fail_rows.append(rows)
         st.fail_times.append(tf)
         st.costs["failures"][rows] += (
@@ -548,28 +861,72 @@ class VectorizedKernel:
             )
             st.down_until[in_rows] = du_in
             # Corrective renewal: the whole asset restarts as new.
-            zeros = np.zeros(len(in_rows), dtype=np.int64)
-            ones = np.ones(len(in_rows))
-            for e in range(self.n_events):
-                self._redraw(st, e, in_rows, du_in, zeros, ones, rng)
+            self._renew_all(st, in_rows, du_in, rng)
         return True
+
+    def _renew_all(
+        self,
+        st: _ChunkState,
+        rows: np.ndarray,
+        t: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Renew every event's chain from phase 0 at per-row time ``t``
+        — the corrective-renewal inner loop of ``_commit_failures``,
+        with the per-event ``_redraw`` dispatch overhead (time
+        broadcasting, dirty marking, branchwork) hoisted out of the
+        loop.  Pool consumption order matches event-by-event
+        ``_redraw`` calls exactly."""
+        base = t[:, None]
+        m = len(rows)
+        for e in range(self.n_events):
+            sojourns = st.pools[e].take(m) * self.inv0[e]
+            jumps = sojourns.cumsum(axis=1, out=sojourns)
+            jumps += base
+            st.jumps[e][rows] = jumps
+            st.p0[e][rows] = 0
+            st.F[e][rows] = jumps[:, self.K[e] - 1]
+            for thr in self.plan_thresholds.get(e, ()):
+                st.X[(e, thr)][rows] = (
+                    -np.inf if thr < 1 else jumps[:, thr - 1]
+                )
+        for e in self.rdep_deps:
+            st.path_t0[e][rows] = t
+            st.factor[e][rows] = 1.0
+        st.dirty[rows] = True
 
     def _advance(
         self, st: _ChunkState, t1: float, rng: np.random.Generator
     ) -> None:
         """Run all rows forward until no event remains at or before
         ``t1``: alternate earliest-switch application and failure
-        commits until the composed system failure times clear ``t1``."""
+        commits until the composed system failure times clear ``t1``.
+
+        Per-row compaction: after syncing the dirty caches, the only
+        rows that participate in a wave are the *hot* ones — rows whose
+        cached top time or earliest switch candidate is at or before
+        ``t1``.  On a maintained model only a handful of the chunk's
+        rows are hot per interval, so every wave is three whole-column
+        compares plus work proportional to the hot subset.
+
+        Switches and failure commits alternate strictly — failures are
+        only committed on waves where *no* row applied a switch — so a
+        row's composed failure time is never consumed while another
+        pending dependency switch could still reshape it.  Every wave
+        with hot rows makes progress (a hot row either has an eligible
+        switch at or before ``min(T, t1)`` or its composed top time is
+        at or before ``t1``), and mutated rows re-enter the next wave
+        with their caches re-synced.
+        """
         for _ in range(_MAX_WAVE_ITERATIONS):
-            live = ~st.done
-            if not live.any():
+            self._sync(st)
+            hot = (~st.done & ((st.T <= t1) | (st.S <= t1))).nonzero()[0]
+            if not len(hot):
                 return
-            T = self._compose_top(st)
-            if self._apply_switches(st, live, T, t1, rng):
+            if self._apply_switches(st, hot, t1, rng):
                 continue
-            if self._commit_failures(st, live, T, t1, rng):
-                continue
-            return
+            if not self._commit_failures(st, hot, t1, rng):
+                return
         raise SimulationError(
             "vectorized kernel failed to converge advancing the chunk "
             f"to t={t1!r} (wave iteration cap exceeded)"
@@ -581,6 +938,7 @@ class VectorizedKernel:
         st: _ChunkState,
         t: float,
         plans: List[_PlanCols],
+        fused: Optional[_FusedInspect],
         rng: np.random.Generator,
     ) -> None:
         # System restoration (priority 1) precedes repair/inspection
@@ -591,12 +949,27 @@ class VectorizedKernel:
         if not active.any():
             return
         disc = self._discount(t)
-        act_rows = np.flatnonzero(active)
-        for plan in plans:
-            if plan.is_inspection:
-                self._inspect(st, t, plan, active, act_rows, disc, rng)
-            else:
-                self._repair(st, t, plan, act_rows, disc, rng)
+        if fused is not None:
+            # Repairs (if any) keep their priority slot ahead of the
+            # fused inspection pass.
+            for plan in plans:
+                if not plan.is_inspection:
+                    self._repair(
+                        st, t, plan, active, active.nonzero()[0], disc, rng
+                    )
+            self._inspect_fused(st, t, fused, active, disc, rng)
+        else:
+            act_rows = active.nonzero()[0]
+            n_visits = 0
+            for plan in plans:
+                if plan.is_inspection:
+                    n_visits += 1
+                    self._inspect(st, t, plan, active, act_rows, disc, rng)
+                else:
+                    self._repair(st, t, plan, active, act_rows, disc, rng)
+            if n_visits:
+                # One masked add for all of the epoch's visits.
+                st.n_insp += active if n_visits == 1 else n_visits * active
         # End-of-epoch RDEP reconciliation: replacements above may have
         # un-failed trigger components, decelerating their targets.  The
         # object engine reschedules the pending target transition at the
@@ -604,12 +977,12 @@ class VectorizedKernel:
         # the chain at the same instant t with the settled factor is
         # distributionally identical.
         for tgt in self.rdep_deps:
-            fac = self._current_factor(st, tgt, act_rows, t)
-            changed = fac != st.factor[tgt][act_rows]
+            fac = self._current_factor(st, tgt, None, t)
+            changed = active & (fac != st.factor[tgt])
             if not changed.any():
                 continue
-            rows = act_rows[changed]
-            new_fac = fac[changed]
+            rows = changed.nonzero()[0]
+            new_fac = fac[rows]
             up = st.F[tgt][rows] > t
             if up.any():
                 up_rows = rows[up]
@@ -619,6 +992,10 @@ class VectorizedKernel:
             if len(down_rows):
                 st.factor[tgt][down_rows] = new_fac[~up]
                 st.path_t0[tgt][down_rows] = t
+                # path_t0 moved, so the cached earliest-eligible-switch
+                # candidate for these rows is stale (up rows were
+                # already marked dirty by the re-draw above).
+                st.dirty[down_rows] = True
 
     def _inspect(
         self,
@@ -630,41 +1007,150 @@ class VectorizedKernel:
         disc: float,
         rng: np.random.Generator,
     ) -> None:
-        st.n_insp[act_rows] += 1
-        st.costs["inspections"][act_rows] += plan.visit_cost * disc
+        # Whole-column masked adds: x + 0.0 == x for the inactive rows
+        # (costs are finite and non-negative), and the active rows see
+        # the exact same addition as a fancy-indexed scatter — without
+        # the gather/scatter index machinery.  (n_insp is booked once
+        # per epoch by _process_epoch.)
+        if plan.visit_cost != 0.0:
+            st.costs["inspections"] += (plan.visit_cost * disc) * active
         dp = plan.detection_probability
+        renew = plan.restore_phases is None
         for e, threshold, action_cost, corrective_cost in plan.targets:
             failed = active & (st.F[e] <= t)
+            frows = None
             if plan.detect_failures and failed.any():
-                rows = np.flatnonzero(failed)
-                st.costs["corrective"][rows] += corrective_cost * disc
-                st.n_corr[rows] += 1
-                fac = self._current_factor_or_ones(st, e, rows, t)
-                self._redraw(
-                    st, e, rows, t, np.zeros(len(rows), dtype=np.int64), fac, rng
-                )
-            candidates = np.flatnonzero(active & ~failed)
-            if not len(candidates):
-                continue
-            phases = self._phase_at(st, e, candidates, t)
-            selected = phases >= threshold
-            if dp < 1.0:
-                # Object draw: a visit *misses* when random() >= dp.
-                selected &= rng.random(len(candidates)) < dp
-            if not selected.any():
-                continue
-            rows = candidates[selected]
-            st.costs["preventive"][rows] += action_cost * disc
-            st.n_prev[rows] += 1
-            self._apply_action(
-                st, e, rows, t, phases[selected], plan.restore_phases, rng
-            )
+                frows = failed.nonzero()[0]
+                st.costs["corrective"][frows] += corrective_cost * disc
+                st.n_corr[frows] += 1
+            rows = None
+            if threshold < self.K[e]:
+                # Condition check against the cached crossing-time
+                # column: phase(t) >= threshold iff the chain crossed
+                # by t.  Only the (typically few) crossed rows are
+                # gathered; everyone else costs one boolean column op
+                # instead of a phase count over the whole jump matrix.
+                # (threshold == K means crossing *is* failing, so the
+                # preventive branch can never fire on an unfailed row
+                # and the scan is skipped outright.)
+                rows = (
+                    active & ~failed & (st.X[(e, threshold)] <= t)
+                ).nonzero()[0]
+                if len(rows) and dp < 1.0:
+                    # Object draw: a visit *misses* when random() >=
+                    # dp.  Uniforms are consumed only for rows past the
+                    # threshold — independent draws, so
+                    # distributionally identical to rolling for every
+                    # candidate.
+                    rows = rows[st.upool.take(len(rows)) < dp]
+                if len(rows):
+                    st.costs["preventive"][rows] += action_cost * disc
+                    st.n_prev[rows] += 1
+                else:
+                    rows = None
+            if renew:
+                # Corrective replacement and a restore-to-new action
+                # both re-draw from phase 0 at the same instant — fuse
+                # them into one re-draw over the union (the pool is
+                # consumed row-contiguously either way).
+                if frows is None:
+                    merged = rows
+                elif rows is None:
+                    merged = frows
+                else:
+                    merged = np.concatenate((frows, rows))
+                if merged is not None:
+                    fac = self._current_factor_or_none(st, e, merged, t)
+                    self._redraw(st, e, merged, t, None, fac, rng)
+            else:
+                if frows is not None:
+                    fac = self._current_factor_or_none(st, e, frows, t)
+                    self._redraw(st, e, frows, t, None, fac, rng)
+                if rows is not None:
+                    self._apply_action(
+                        st, e, rows, t, None, plan.restore_phases, rng
+                    )
+
+    def _inspect_fused(
+        self,
+        st: _ChunkState,
+        t: float,
+        fe: _FusedInspect,
+        active: np.ndarray,
+        disc: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """All of one epoch's inspection plans in a single pass.
+
+        The per-target failed scans collapse into one stacked 2-D
+        comparison over the inspected events' F rows, the condition
+        checks into one over their crossing-time rows — ~4 matrix ops
+        per epoch instead of ~5 column ops per target.  Per-target
+        gathers, cost scatters and re-draws then run only for targets
+        whose row-wise ``any`` fired, in the same order as the
+        sequential plan loop (so the RNG pools are consumed
+        identically)."""
+        st.n_insp += active if fe.n_visits == 1 else fe.n_visits * active
+        if fe.visit_cost != 0.0:
+            st.costs["inspections"] += (fe.visit_cost * disc) * active
+        failed_mat = st.F[fe.tidx] <= t
+        failed_mat &= active
+        any_failed = failed_mat.any(axis=1)
+        if len(fe.xsel):
+            crossed_mat = st.Xmat[fe.xsel] <= t
+            crossed_mat &= active
+            crossed_mat &= ~failed_mat[fe.cond_sel]
+            any_crossed = crossed_mat.any(axis=1)
+        for j, (
+            e,
+            action_cost,
+            corrective_cost,
+            dp,
+            detect,
+            renew,
+            restore_phases,
+            cond_pos,
+        ) in enumerate(fe.targets):
+            frows = None
+            if detect and any_failed[j]:
+                frows = failed_mat[j].nonzero()[0]
+                st.costs["corrective"][frows] += corrective_cost * disc
+                st.n_corr[frows] += 1
+            rows = None
+            if cond_pos is not None and any_crossed[cond_pos]:
+                rows = crossed_mat[cond_pos].nonzero()[0]
+                if dp < 1.0:
+                    rows = rows[st.upool.take(len(rows)) < dp]
+                if len(rows):
+                    st.costs["preventive"][rows] += action_cost * disc
+                    st.n_prev[rows] += 1
+                else:
+                    rows = None
+            if renew:
+                if frows is None:
+                    merged = rows
+                elif rows is None:
+                    merged = frows
+                else:
+                    merged = np.concatenate((frows, rows))
+                if merged is not None:
+                    fac = self._current_factor_or_none(st, e, merged, t)
+                    self._redraw(st, e, merged, t, None, fac, rng)
+            else:
+                if frows is not None:
+                    fac = self._current_factor_or_none(st, e, frows, t)
+                    self._redraw(st, e, frows, t, None, fac, rng)
+                if rows is not None:
+                    self._apply_action(
+                        st, e, rows, t, None, restore_phases, rng
+                    )
 
     def _repair(
         self,
         st: _ChunkState,
         t: float,
         plan: _PlanCols,
+        active: np.ndarray,
         act_rows: np.ndarray,
         disc: float,
         rng: np.random.Generator,
@@ -673,11 +1159,10 @@ class VectorizedKernel:
         # of condition — including failed ones, which come back at
         # phase K - restore_phases (restore_phases >= 1, so always < K).
         for e, _, action_cost, _ in plan.targets:
-            st.costs["preventive"][act_rows] += action_cost * disc
-            st.n_prev[act_rows] += 1
-            phases = self._phase_at(st, e, act_rows, t)
+            st.costs["preventive"] += (action_cost * disc) * active
+            st.n_prev += active
             self._apply_action(
-                st, e, act_rows, t, phases, plan.restore_phases, rng
+                st, e, act_rows, t, None, plan.restore_phases, rng
             )
 
     def _apply_action(
@@ -686,43 +1171,67 @@ class VectorizedKernel:
         e: int,
         rows: np.ndarray,
         t: float,
-        phases: np.ndarray,
+        phases: Optional[np.ndarray],
         restore_phases: Optional[int],
         rng: np.random.Generator,
     ) -> None:
         """Mirror of _perform_action: restore the phase, re-draw the
         chain from ``t``.  The object engine re-draws the pending jump
         even when the phase is numerically unchanged (_set_phase always
-        cancels and reschedules), so an unconditional re-draw matches."""
+        cancels and reschedules), so an unconditional re-draw matches.
+        ``phases`` may be None — a full renewal (restore_phases None)
+        never needs them, so callers skip the phase count entirely."""
         if restore_phases is None:
-            new_phases = np.zeros(len(rows), dtype=np.int64)
+            new_phases = None
         else:
+            if phases is None:
+                phases = self._phase_at(st, e, rows, t)
             new_phases = np.maximum(phases - restore_phases, 0)
-        fac = self._current_factor_or_ones(st, e, rows, t)
+        fac = self._current_factor_or_none(st, e, rows, t)
         self._redraw(st, e, rows, t, new_phases, fac, rng)
 
-    def _current_factor_or_ones(
+    def _current_factor_or_none(
         self, st: _ChunkState, e: int, rows: np.ndarray, t
-    ) -> np.ndarray:
+    ) -> Optional[np.ndarray]:
+        """Acceleration factor for RDEP targets, else ``None`` — the
+        ``_redraw`` fast path skips the division by an all-ones column."""
         if e in self.rdep_deps:
             return self._current_factor(st, e, rows, t)
-        return np.ones(len(rows))
+        return None
 
     # -- chunk driver ---------------------------------------------------
-    def simulate_chunk(self, n: int, rng: np.random.Generator) -> TrajectoryBatch:
-        """Simulate ``n`` trajectories in lockstep; returns their batch."""
-        st = _ChunkState(n, self.n_events, tuple(self.rdep_deps))
-        zeros = np.zeros(n, dtype=np.int64)
-        ones = np.ones(n)
+    def simulate_chunk(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        progress: Optional[Callable[[float], None]] = None,
+    ) -> TrajectoryBatch:
+        """Simulate ``n`` trajectories in lockstep; returns their batch.
+
+        ``progress``, when given, is called with the fraction of the
+        calendar processed after every epoch (and once with 1.0 at the
+        end).  It must not touch the RNG; the kernel's results are
+        bit-identical with or without a callback.
+        """
+        st = _ChunkState(
+            n, self.n_events, tuple(self.rdep_deps), self.threshold_keys
+        )
+        st.pools = [_ExpPool(rng, self.K[e], n) for e in range(self.n_events)]
+        st.upool = _UniformPool(rng)
         all_rows = np.arange(n)
         for e in range(self.n_events):
             st.jumps[e] = np.empty((n, self.K[e]))
             st.p0[e] = np.zeros(n, dtype=np.int64)
-            self._redraw(st, e, all_rows, 0.0, zeros, ones, rng)
-        for t, plans in self.epochs:
+            self._redraw(st, e, all_rows, 0.0, None, None, rng)
+        n_steps = len(self.epochs) + 1
+        for i, (t, plans, fused) in enumerate(self.epochs):
             self._advance(st, t, rng)
-            self._process_epoch(st, t, plans, rng)
+            self._process_epoch(st, t, plans, fused, rng)
+            if progress is not None:
+                progress((i + 1) / n_steps)
         self._advance(st, self.horizon, rng)
+        if progress is not None:
+            progress(1.0)
         return self._build_batch(st)
 
     def _build_batch(self, st: _ChunkState) -> TrajectoryBatch:
@@ -758,7 +1267,7 @@ class VectorizedKernel:
 def iter_vectorized_batches(
     simulator: FMTSimulator,
     seeds: Sequence[np.random.SeedSequence],
-    chunk_size: int = DEFAULT_CHUNK_TRAJECTORIES,
+    chunk_size: Optional[int] = None,
 ) -> Iterator[TrajectoryBatch]:
     """Yield one :class:`TrajectoryBatch` per lockstep chunk of seeds.
 
@@ -766,11 +1275,14 @@ def iter_vectorized_batches(
     object engine instead (bit-identical to ``kernel="object"``); fully
     vectorizable models derive each chunk's RNG from a child of the
     chunk's first seed, so results are deterministic for a fixed chunk
-    layout but not bit-comparable with the object path.
+    layout but not bit-comparable with the object path.  ``chunk_size``
+    defaults to the simulator's configured ``chunk_trajectories``.
     """
     n_total = len(seeds)
     if n_total == 0:
         return
+    if chunk_size is None:
+        chunk_size = simulator.config.chunk_trajectories
     instr = simulator.config.instrumentation
     if instr is None:
         instr = _obs.current()
@@ -794,7 +1306,7 @@ def iter_vectorized_batches(
 def simulate_batch_columns_vectorized(
     simulator: FMTSimulator,
     seeds: Sequence[np.random.SeedSequence],
-    chunk_size: int = DEFAULT_CHUNK_TRAJECTORIES,
+    chunk_size: Optional[int] = None,
 ) -> TrajectoryBatch:
     """Columnar results for ``seeds`` via the lockstep kernel.
 

@@ -35,6 +35,12 @@ _FORMAT_VERSION = 1
 
 CODE_SALT = f"repro-{__version__}/studies-v{_FORMAT_VERSION}"
 
+#: Default vectorized chunk size, mirrored from
+#: :data:`repro.simulation.executor.DEFAULT_CHUNK_TRAJECTORIES` as a
+#: literal so this module stays import-light (a test asserts the two
+#: agree).  Only deviations from it enter the key material.
+_DEFAULT_CHUNK_TRAJECTORIES = 4096
+
 
 def canonical(obj: Any) -> str:
     """Deterministic canonical rendering of a study ingredient.
@@ -123,6 +129,7 @@ def study_material(
     confidence: float,
     record_events: bool,
     kernel: str = "object",
+    chunk_trajectories: int = _DEFAULT_CHUNK_TRAJECTORIES,
 ) -> str:
     """The full canonical material of one study request.
 
@@ -131,7 +138,11 @@ def study_material(
     in a different order, so its results are not bit-identical to the
     object engine's and must not alias its cache entries — but folding
     ``"object"`` into every key would invalidate all caches written
-    before the kernel knob existed.
+    before the kernel knob existed.  ``chunk_trajectories`` follows the
+    same rule: the vectorized kernel consumes one RNG stream per chunk,
+    so a non-default chunk size yields different trajectories and must
+    fracture the key, while the default (4096) stays out of the
+    material to keep existing digests stable.
     """
     material = {
         "salt": CODE_SALT,
@@ -146,6 +157,8 @@ def study_material(
     }
     if kernel != "object":
         material["kernel"] = str(kernel)
+    if int(chunk_trajectories) != _DEFAULT_CHUNK_TRAJECTORIES:
+        material["chunk_trajectories"] = int(chunk_trajectories)
     return canonical(material)
 
 

@@ -64,7 +64,11 @@ from repro.observability import instrumentation as _obs
 from repro.observability import spans as _spans
 from repro.observability.instrumentation import Instrumentation
 from repro.observability.logging_setup import get_logger, kv
-from repro.simulation.executor import FMTSimulator, SimulationConfig
+from repro.simulation.executor import (
+    DEFAULT_CHUNK_TRAJECTORIES,
+    FMTSimulator,
+    SimulationConfig,
+)
 from repro.simulation.metrics import KpiSummary, reliability_curve
 from repro.simulation.montecarlo import MonteCarlo, MonteCarloResult
 from repro.simulation.trace import Trajectory
@@ -116,6 +120,7 @@ class StudyRequest:
     confidence: float = 0.95
     record_events: bool = False
     kernel: str = "object"
+    chunk_trajectories: int = DEFAULT_CHUNK_TRAJECTORIES
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -123,6 +128,11 @@ class StudyRequest:
         if self.horizon <= 0.0:
             raise ValidationError(
                 f"horizon must be positive, got {self.horizon}"
+            )
+        if self.chunk_trajectories < 1:
+            raise ValidationError(
+                "chunk_trajectories must be >= 1, "
+                f"got {self.chunk_trajectories}"
             )
 
     def key(self) -> StudyKey:
@@ -138,6 +148,7 @@ class StudyRequest:
                 confidence=self.confidence,
                 record_events=self.record_events,
                 kernel=self.kernel,
+                chunk_trajectories=self.chunk_trajectories,
             )
         )
 
@@ -158,6 +169,7 @@ class StudyRequest:
             confidence=0.95,
             record_events=self.record_events,
             kernel=self.kernel,
+            chunk_trajectories=self.chunk_trajectories,
         )
 
     def to_dict(self) -> dict:
@@ -187,6 +199,7 @@ class StudyRequest:
             "confidence": self.confidence,
             "record_events": self.record_events,
             "kernel": self.kernel,
+            "chunk_trajectories": self.chunk_trajectories,
         }
 
     @classmethod
@@ -212,6 +225,9 @@ class StudyRequest:
             confidence=float(data.get("confidence", 0.95)),
             record_events=bool(data.get("record_events", False)),
             kernel=str(data.get("kernel", "object")),
+            chunk_trajectories=int(
+                data.get("chunk_trajectories", DEFAULT_CHUNK_TRAJECTORIES)
+            ),
         )
 
     def build_simulator(self) -> FMTSimulator:
@@ -223,6 +239,7 @@ class StudyRequest:
             ),
             record_events=self.record_events,
             kernel=self.kernel,
+            chunk_trajectories=self.chunk_trajectories,
         )
         return FMTSimulator(self.tree, self.strategy, config=config)
 
@@ -250,6 +267,7 @@ class StudyRequest:
             seed=self.seed,
             record_events=self.record_events,
             kernel=self.kernel,
+            chunk_trajectories=self.chunk_trajectories,
         )
 
 
@@ -546,6 +564,16 @@ class StudyRunner:
                 if sibling_key.digest not in self._memo:
                     self._store(sibling_key, sibling_value)
             return value
+
+    def prototype(self, request: StudyRequest) -> FMTSimulator:
+        """The cached validated simulator for ``request``'s material.
+
+        Public accessor for callers (the service's kernel router) that
+        need to inspect a validated simulator without running a study;
+        shares the same LRU as the study path, so the inspection is
+        free for any model the runner will simulate anyway.
+        """
+        return self._prototype(request)
 
     def _prototype(self, request: StudyRequest) -> FMTSimulator:
         """The cached simulator prototype for the request's material.

@@ -343,3 +343,158 @@ def test_queue_full_exception_carries_fields():
     assert error.pending == 7
     assert error.retry_after == 1.5
     assert "7 pending" in str(error)
+
+
+# ----------------------------------------------------------------------
+# Service-side kernel routing (ISSUE 10)
+# ----------------------------------------------------------------------
+
+
+def _raw_submission(request, drop=("kernel",)):
+    """Wire envelope bytes with fields removed from the payload."""
+    envelope = encode_wire(request)
+    for field in drop:
+        envelope["payload"].pop(field, None)
+    return json.dumps(envelope).encode("utf-8")
+
+
+def test_omitted_kernel_upgrades_to_vectorized(service, simple_or_tree):
+    from dataclasses import replace
+
+    request = _request(simple_or_tree, n_runs=30, seed=71)
+    response = _submit(service, request, raw=_raw_submission(request))
+    assert response.status == 202
+    submitted = json.loads(response.body)
+    assert submitted["kernel"] == "vectorized"
+    assert submitted["kernel_fallback_reason"] is None
+    # The rewrite happens before the key is computed: the upgraded
+    # request lives in the vectorized cache namespace, never aliasing
+    # the object engine's artifacts.
+    upgraded = replace(request, kernel="vectorized")
+    assert submitted["study_key"] == upgraded.key().digest
+    assert submitted["study_key"] != request.key().digest
+
+    _wait_done(service, submitted["job_id"])
+    status = json.loads(
+        service.handle("GET", submitted["location"], {}, b"").body
+    )
+    assert status["status"] == "done"
+    assert status["kernel"] == "vectorized"
+    assert status["kernel_fallback_reason"] is None
+    counters = service.instrumentation.registry.to_dict()["counters"]
+    assert counters["service.kernel_upgrades"] >= 1
+
+
+def test_explicit_kernel_choice_wins(service, simple_or_tree):
+    # A payload that names the object kernel keeps it, even though the
+    # model is vectorizable.
+    request = _request(simple_or_tree, n_runs=30, seed=72)
+    response = _submit(service, request)
+    assert response.status == 202
+    submitted = json.loads(response.body)
+    assert submitted["kernel"] == "object"
+    assert submitted["kernel_fallback_reason"] is None
+    assert submitted["study_key"] == request.key().digest
+
+
+def _degraded_tree():
+    from repro.core.builder import FMTBuilder
+
+    builder = FMTBuilder("routed")
+    builder.degraded_event("a", phases=3, mean=6.0, threshold=2)
+    builder.degraded_event("b", phases=2, mean=9.0, threshold=1)
+    builder.or_gate("top", ["a", "b"])
+    return builder.build("top")
+
+
+def test_non_vectorizable_model_surfaces_fallback_reason(service):
+    from repro.maintenance.modules import InspectionModule
+    from repro.maintenance.actions import clean
+
+    strategy = MaintenanceStrategy(
+        "s",
+        inspections=(
+            InspectionModule(
+                "i",
+                period=1.0,
+                targets=["a"],
+                action=clean(),
+                timing="exponential",
+            ),
+        ),
+    )
+    request = StudyRequest(
+        tree=_degraded_tree(),
+        strategy=strategy,
+        horizon=4.0,
+        seed=73,
+        n_runs=20,
+    )
+    response = _submit(service, request, raw=_raw_submission(request))
+    assert response.status == 202
+    submitted = json.loads(response.body)
+    # The model cannot ride the lockstep kernel, so the request stays
+    # on the object engine and the reason is surfaced.
+    assert submitted["kernel"] == "object"
+    assert "exponential" in submitted["kernel_fallback_reason"]
+    assert submitted["study_key"] == request.key().digest
+
+    _wait_done(service, submitted["job_id"])
+    status = json.loads(
+        service.handle("GET", submitted["location"], {}, b"").body
+    )
+    assert status["status"] == "done"
+    assert status["kernel"] == "object"
+    assert "exponential" in status["kernel_fallback_reason"]
+
+
+def test_explicit_vectorized_on_fallback_model_keeps_reason(service):
+    from repro.maintenance.modules import InspectionModule
+    from repro.maintenance.actions import clean
+
+    strategy = MaintenanceStrategy(
+        "s",
+        inspections=(
+            InspectionModule(
+                "i",
+                period=1.0,
+                targets=["a"],
+                action=clean(),
+                delay=0.25,
+            ),
+        ),
+    )
+    request = StudyRequest(
+        tree=_degraded_tree(),
+        strategy=strategy,
+        horizon=4.0,
+        seed=74,
+        n_runs=20,
+        kernel="vectorized",
+    )
+    response = _submit(service, request)
+    assert response.status == 202
+    submitted = json.loads(response.body)
+    # Explicit choice is honoured (the driver falls back internally,
+    # bit-identical to the object engine) and the reason is surfaced.
+    assert submitted["kernel"] == "vectorized"
+    assert "delayed" in submitted["kernel_fallback_reason"]
+
+
+def test_upgraded_submission_matches_in_process_vectorized(simple_or_tree):
+    from dataclasses import replace
+
+    service = StudyService(max_pending=8, workers=1)
+    try:
+        request = _request(simple_or_tree, n_runs=40, seed=75)
+        response = _submit(service, request, raw=_raw_submission(request))
+        submitted = json.loads(response.body)
+        job = _wait_done(service, submitted["job_id"])
+        runner = StudyRunner()
+        try:
+            expected = runner.summary(replace(request, kernel="vectorized"))
+        finally:
+            runner.close()
+        assert encode_wire(job.result) == encode_wire(expected)
+    finally:
+        service.close()

@@ -1,0 +1,171 @@
+"""Shared-memory parallel fold: bit-identity, overflow, leak safety."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.simulation.batch import COST_FIELDS, TrajectoryBatch
+from repro.simulation.executor import FMTSimulator, SimulationConfig
+from repro.simulation.parallel import (
+    SharedSimulationPool,
+    sample_parallel_batch,
+)
+from repro.simulation.shm import (
+    FAILURE_SLOTS_PER_ROW,
+    ShmBatchWriter,
+    shared_memory_available,
+    write_chunk_batch,
+)
+
+
+def _assert_batches_equal(a: TrajectoryBatch, b: TrajectoryBatch) -> None:
+    assert a.horizon == b.horizon
+    assert np.array_equal(a.failure_times, b.failure_times)
+    assert np.array_equal(a.failure_offsets, b.failure_offsets)
+    assert np.array_equal(a.downtime, b.downtime)
+    for field in COST_FIELDS:
+        assert np.array_equal(a.costs[field], b.costs[field]), field
+    assert np.array_equal(a.n_inspections, b.n_inspections)
+    assert np.array_equal(a.n_preventive_actions, b.n_preventive_actions)
+    assert np.array_equal(
+        a.n_corrective_replacements, b.n_corrective_replacements
+    )
+
+
+def _segments() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _make_batch(n: int, failures_per_row: int = 1) -> TrajectoryBatch:
+    rng = np.random.default_rng(0)
+    counts = np.full(n, failures_per_row, dtype=np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return TrajectoryBatch(
+        horizon=10.0,
+        failure_times=rng.uniform(0.0, 10.0, int(offsets[-1])),
+        failure_offsets=offsets,
+        downtime=rng.uniform(0.0, 1.0, n),
+        costs={field: rng.uniform(0.0, 5.0, n) for field in COST_FIELDS},
+        n_inspections=rng.integers(0, 40, n),
+        n_preventive_actions=rng.integers(0, 5, n),
+        n_corrective_replacements=rng.integers(0, 3, n),
+    )
+
+
+def test_shared_memory_available_here():
+    assert shared_memory_available()
+
+
+def test_writer_roundtrip_in_process():
+    # Driver and "worker" in one process: scatter two chunks, gather,
+    # and compare against a straight concatenation.
+    chunk_a, chunk_b = _make_batch(5), _make_batch(3)
+    with ShmBatchWriter(10.0, [5, 3]) as writer:
+        handles = [
+            write_chunk_batch(chunk_a, writer.spec(0)),
+            write_chunk_batch(chunk_b, writer.spec(1)),
+        ]
+        merged = writer.finalize(handles)
+    _assert_batches_equal(merged, TrajectoryBatch.merge([chunk_a, chunk_b]))
+
+
+def test_writer_overflow_falls_back_to_pickled_times():
+    # Zero reserved slots force every chunk through the overflow path;
+    # the gathered batch must still be exact.
+    chunk = _make_batch(4, failures_per_row=FAILURE_SLOTS_PER_ROW + 2)
+    with ShmBatchWriter(10.0, [4], slots_per_row=0) as writer:
+        handle = write_chunk_batch(chunk, writer.spec(0))
+        assert handle.overflow_times is not None
+        merged = writer.finalize([handle])
+    _assert_batches_equal(merged, chunk)
+
+
+def test_writer_close_idempotent_and_unlinks():
+    before = _segments()
+    writer = ShmBatchWriter(10.0, [2])
+    assert len(_segments() - before) == 1
+    writer.close()
+    writer.close()
+    assert _segments() == before
+    with pytest.raises(SimulationError):
+        writer.finalize([])
+
+
+def test_writer_rejects_bad_plan():
+    with pytest.raises(ValidationError):
+        ShmBatchWriter(10.0, [])
+    with pytest.raises(ValidationError):
+        ShmBatchWriter(10.0, [4, 0])
+
+
+def test_write_chunk_rejects_row_mismatch():
+    with ShmBatchWriter(10.0, [3]) as writer:
+        with pytest.raises(SimulationError):
+            write_chunk_batch(_make_batch(2), writer.spec(0))
+
+
+def test_shm_fold_bit_identical_to_pickled(maintained_tree, inspection_strategy):
+    simulator = FMTSimulator(
+        maintained_tree, inspection_strategy, horizon=20.0
+    )
+    seeds = np.random.SeedSequence(11).spawn(40)
+    before = _segments()
+    shm_batch = sample_parallel_batch(
+        simulator, seeds, processes=2, chunk_size=9, use_shared_memory=True
+    )
+    pickled = sample_parallel_batch(
+        simulator, seeds, processes=2, chunk_size=9, use_shared_memory=False
+    )
+    _assert_batches_equal(shm_batch, pickled)
+    assert _segments() == before
+
+
+def test_shm_fold_through_shared_pool(maintained_tree, inspection_strategy):
+    simulator = FMTSimulator(
+        maintained_tree, inspection_strategy, horizon=20.0
+    )
+    seeds = np.random.SeedSequence(12).spawn(30)
+    before = _segments()
+    with SharedSimulationPool(processes=2) as pool:
+        shm_batch = sample_parallel_batch(
+            simulator, seeds, processes=2, chunk_size=8, pool=pool,
+            use_shared_memory=True,
+        )
+    pickled = sample_parallel_batch(
+        simulator, seeds, processes=2, chunk_size=8, use_shared_memory=False
+    )
+    _assert_batches_equal(shm_batch, pickled)
+    assert _segments() == before
+
+
+def test_shm_fold_vectorized_kernel(maintained_tree, inspection_strategy):
+    config = SimulationConfig(horizon=20.0, kernel="vectorized")
+    simulator = FMTSimulator(
+        maintained_tree, inspection_strategy, config=config
+    )
+    seeds = np.random.SeedSequence(13).spawn(24)
+    shm_batch = sample_parallel_batch(
+        simulator, seeds, processes=2, chunk_size=6, use_shared_memory=True
+    )
+    pickled = sample_parallel_batch(
+        simulator, seeds, processes=2, chunk_size=6, use_shared_memory=False
+    )
+    _assert_batches_equal(shm_batch, pickled)
+
+
+def test_shm_segment_unlinked_when_worker_raises(maintained_tree):
+    # Garbage seeds make every worker chunk raise before simulating;
+    # the exception propagates to the driver, which must still unlink
+    # the segment in its ``finally``.
+    simulator = FMTSimulator(maintained_tree, None, horizon=20.0)
+    bad_seeds = ["not-a-seed"] * 8
+    before = _segments()
+    with pytest.raises(Exception):
+        sample_parallel_batch(
+            simulator, bad_seeds, processes=2, chunk_size=2,
+            use_shared_memory=True,
+        )
+    assert _segments() == before

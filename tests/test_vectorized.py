@@ -318,18 +318,27 @@ def test_random_tree_kernel_equivalence(
         "s", inspections=modules, on_system_failure="replace",
         system_repair_time=0.05,
     )
-    report = compare_kernels(
-        tree,
-        strategy,
-        horizon=20.0,
-        cost_model=CostModel(system_failure=100.0,
-                             downtime_per_year=1000.0),
-        n_runs=600,
-        seed=seed,
-        alpha=1e-5,
-    )
+    def differential(n_runs, seed):
+        return compare_kernels(
+            tree,
+            strategy,
+            horizon=20.0,
+            cost_model=CostModel(system_failure=100.0,
+                                 downtime_per_year=1000.0),
+            n_runs=n_runs,
+            seed=seed,
+            alpha=1e-5,
+        )
+
+    report = differential(600, seed)
     assert report.fallback_reason is None
-    assert report.passed, report.describe()
+    if not report.passed:
+        # The CI-overlap leg is a binary check on two independent 95%
+        # intervals, so a correct kernel still trips it now and then at
+        # n=600.  Escalate the sample size before declaring bias: a
+        # real discrepancy only gets more significant with more runs.
+        report = differential(6000, seed + 1)
+        assert report.passed, report.describe()
 
 
 def test_repair_module_matches_object_engine():
